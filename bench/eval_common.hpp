@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared driver for the Figure 8/9/10 runtime experiments: for one
+ * cache organization, run every PARSEC-like benchmark under NeoMESI,
+ * NS-MESI and NS-MOESI, multiple perturbed trials each, and print the
+ * runtimes normalized to NS-MOESI with +/- one standard deviation
+ * (the paper's §5.2 methodology).
+ */
+
+#ifndef NEO_BENCH_EVAL_COMMON_HPP
+#define NEO_BENCH_EVAL_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sim_runner.hpp"
+#include "sim/logging.hpp"
+#include "workload/workload.hpp"
+
+namespace neo::bench
+{
+
+struct EvalOptions
+{
+    std::uint64_t opsPerCore = 4000;
+    unsigned trials = 3;
+    std::uint64_t baseSeed = 42;
+};
+
+inline int
+runFigure(const std::string &figure, const std::string &org_name,
+          const EvalOptions &opt = {})
+{
+    setQuiet(true);
+    const ProtocolVariant protocols[] = {ProtocolVariant::NeoMESI,
+                                         ProtocolVariant::NSMESI,
+                                         ProtocolVariant::NSMOESI};
+
+    std::printf("==== %s: runtime normalized to NS-MOESI, %s "
+                "organization ====\n",
+                figure.c_str(), org_name.c_str());
+    std::printf("(32 cores, Table 1 configuration, %u trials/cell, "
+                "%llu ops/core)\n\n",
+                opt.trials,
+                static_cast<unsigned long long>(opt.opsPerCore));
+    std::printf("%-14s %-22s %-22s %-22s coherent\n", "benchmark",
+                "NeoMESI", "NS-MESI", "NS-MOESI");
+
+    bool all_ok = true;
+    for (const auto &wl : parsecSuite()) {
+        double ns_moesi_mean = 0.0;
+        struct Cell
+        {
+            double mean = 0.0, stdev = 0.0;
+            bool ok = true;
+        };
+        std::vector<Cell> cells;
+        for (ProtocolVariant v : protocols) {
+            HierarchySpec spec = organizationByName(org_name, v);
+            RunConfig cfg;
+            cfg.opsPerCore = opt.opsPerCore;
+            cfg.seed = opt.baseSeed;
+            const TrialSummary t = runTrials(spec, wl, cfg, opt.trials);
+            Cell c;
+            c.mean = t.runtime.mean();
+            c.stdev = t.runtime.stdev();
+            c.ok = t.allCoherent;
+            if (v == ProtocolVariant::NSMOESI)
+                ns_moesi_mean = c.mean;
+            cells.push_back(c);
+        }
+        std::printf("%-14s", wl.name.c_str());
+        bool row_ok = true;
+        for (const Cell &c : cells) {
+            std::printf(" %7.4f +/- %-6.4f   ", c.mean / ns_moesi_mean,
+                        c.stdev / ns_moesi_mean);
+            row_ok = row_ok && c.ok;
+        }
+        std::printf(" %s\n", row_ok ? "yes" : "NO");
+        all_ok = all_ok && row_ok;
+    }
+    std::printf("\nShape check: all three protocols should be "
+                "statistically on-par (within ~1 sigma of 1.0), as in "
+                "the paper's Figures 8-10.\n");
+    return all_ok ? 0 : 1;
+}
+
+} // namespace neo::bench
+
+#endif // NEO_BENCH_EVAL_COMMON_HPP

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Figure 10: runtimes with the Skewed organization (Fig. 7A: 16 cores
+ * with private L2s plus 16 cores behind one shared L2), normalized to
+ * NS-MOESI.
+ */
+
+#include "eval_common.hpp"
+
+int
+main()
+{
+    return neo::bench::runFigure("Figure 10", "skewed");
+}

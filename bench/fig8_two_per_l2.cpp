@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 8: runtimes with the "2 Cores per L2" organization (Fig. 7B),
+ * normalized to NS-MOESI.
+ */
+
+#include "eval_common.hpp"
+
+int
+main()
+{
+    return neo::bench::runFigure("Figure 8", "2perL2");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 9: runtimes with the "8 Cores per L2" organization (Fig. 7C),
+ * normalized to NS-MOESI.
+ */
+
+#include "eval_common.hpp"
+
+int
+main()
+{
+    return neo::bench::runFigure("Figure 9", "8perL2");
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section 5.3's optimization-utilization statistics: how often are
+ * the theory/tool-prohibited optimizations actually exercised?
+ *
+ * The paper reports, aggregated over all benchmarks: ~1.5% of L1
+ * misses satisfied via non-sibling communication under NS-MESI, ~2%
+ * under NS-MOESI, and blocked-request fractions of ~0.4% at the L2s
+ * and ~0.7% at the L3 — which is why the optimizations buy almost
+ * nothing (Figures 8-10).
+ */
+
+#include <cstdio>
+
+#include "core/sim_runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace neo;
+
+int
+main()
+{
+    setQuiet(true);
+    constexpr std::uint64_t ops = 3000;
+    const char *orgs[] = {"2perL2", "8perL2", "skewed"};
+
+    std::printf("==== Section 5.3: utilization of the prohibited "
+                "optimizations ====\n");
+    std::printf("(aggregated over the 7 PARSEC-like benchmarks and "
+                "all 3 organizations)\n\n");
+
+    struct Agg
+    {
+        std::uint64_t misses = 0, upgrades = 0, ns = 0;
+        std::uint64_t l2req = 0, l2blk = 0, l3req = 0, l3blk = 0;
+    };
+
+    for (ProtocolVariant v :
+         {ProtocolVariant::NeoMESI, ProtocolVariant::NSMESI,
+          ProtocolVariant::NSMOESI}) {
+        Agg agg;
+        for (const char *org : orgs) {
+            for (const auto &wl : parsecSuite()) {
+                HierarchySpec spec = organizationByName(org, v);
+                RunConfig cfg;
+                cfg.opsPerCore = ops;
+                cfg.seed = 7;
+                const RunResult r = runOnce(spec, wl, cfg);
+                agg.misses += r.l1Misses;
+                agg.upgrades += r.l1Upgrades;
+                agg.ns += r.nonSiblingData;
+                agg.l2req += r.l2Requests;
+                agg.l2blk += r.l2Blocked;
+                agg.l3req += r.l3Requests;
+                agg.l3blk += r.l3Blocked;
+            }
+        }
+        const double denom =
+            static_cast<double>(agg.misses + agg.upgrades);
+        std::printf("%-9s  non-sibling data transfers: %6.2f%% of L1 "
+                    "misses\n",
+                    protocolName(v),
+                    denom > 0 ? 100.0 * static_cast<double>(agg.ns) /
+                                    denom
+                              : 0.0);
+        std::printf("           blocked arrivals: %5.2f%% at L2 "
+                    "directories, %5.2f%% at the L3\n",
+                    agg.l2req ? 100.0 *
+                                    static_cast<double>(agg.l2blk) /
+                                    static_cast<double>(agg.l2req)
+                              : 0.0,
+                    agg.l3req ? 100.0 *
+                                    static_cast<double>(agg.l3blk) /
+                                    static_cast<double>(agg.l3req)
+                              : 0.0);
+    }
+
+    std::printf("\nShape check (paper): NeoMESI uses no non-sibling "
+                "transfers by construction;\nNS-MESI/NS-MOESI use them "
+                "on only a few percent of misses, and blocked\n"
+                "fractions stay below ~1%% — the prohibited "
+                "optimizations are rarely exercised.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 1: the simulated system configuration. Prints the table and
+ * verifies a System instantiates with exactly these parameters in
+ * each Figure 7 organization.
+ */
+
+#include <cstdio>
+
+#include "core/system.hpp"
+
+using namespace neo;
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("==== Table 1: Simulation System Configurations ====\n");
+    std::printf("%-22s %s\n", "Cores and ISA", "32 in-order x86 cores");
+    std::printf("%-22s %s\n", "Frequency", "2 GHz");
+    std::printf("%-22s %s\n", "Inclusivity", "Fully Inclusive Hierarchy");
+    std::printf("%-22s %s\n", "Cache Block Size", "64 Bytes");
+    std::printf("%-22s %s\n", "L1 I&D Caches", "32KB, 2-way, 2-cycle");
+    std::printf("%-22s %s\n", "L2 Cache",
+                "4MB, 8-way, 6-cycle, Unbanked");
+    std::printf("%-22s %s\n", "L3 Cache",
+                "64MB, 16-way, 16-cycle, Unbanked");
+    std::printf("%-22s %s\n", "DRAM", "2GB, 160-cycle");
+    std::printf("%-22s %s\n", "Link Bandwidth", "32GB/s");
+    std::printf("%-22s %s\n", "Link Latency", "1-cycle");
+
+    // Cross-check against the code's constants.
+    const CacheGeometry l1 = table1L1();
+    const CacheGeometry l2 = table1L2();
+    const CacheGeometry l3 = table1L3();
+    neo_assert(l1.sizeBytes == 32 * 1024 && l1.assoc == 2 &&
+                   l1.accessLatency == 2 && l1.blockSize == 64,
+               "L1 geometry drifted from Table 1");
+    neo_assert(l2.sizeBytes == 4ULL << 20 && l2.assoc == 8 &&
+                   l2.accessLatency == 6,
+               "L2 geometry drifted from Table 1");
+    neo_assert(l3.sizeBytes == 64ULL << 20 && l3.assoc == 16 &&
+                   l3.accessLatency == 16,
+               "L3 geometry drifted from Table 1");
+
+    std::printf("\nInstantiating the three Figure 7 organizations:\n");
+    for (const char *org : {"skewed", "2perL2", "8perL2"}) {
+        EventQueue eventq;
+        HierarchySpec spec =
+            organizationByName(org, ProtocolVariant::NeoMESI);
+        System system(spec, eventq);
+        neo_assert(system.numL1s() == 32,
+                   "every organization has 32 cores");
+        std::printf("  %-8s: %2zu directories, %zu L1s, DRAM %lluMB, "
+                    "link %llu cycle\n",
+                    org, system.numDirs(), system.numL1s(),
+                    static_cast<unsigned long long>(spec.dramBytes >>
+                                                    20),
+                    static_cast<unsigned long long>(
+                        spec.network.linkLatency));
+    }
+    std::printf("\nTable 1 configuration verified.\n");
+    return 0;
+}

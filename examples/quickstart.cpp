@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: build a hierarchy, run a workload, read the statistics.
+ *
+ * This is the 60-second tour of the library:
+ *   1. describe a cache tree (any shape — NeoMESI is verified for all
+ *      of them),
+ *   2. pick a protocol variant,
+ *   3. drive it with a synthetic workload,
+ *   4. check coherence and print the numbers.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/sim_runner.hpp"
+#include "sim/stats.hpp"
+
+using namespace neo;
+
+int
+main()
+{
+    // 1. A small 2-level hierarchy: root L3 over two L2s, two L1s each.
+    HierarchySpec spec;
+    spec.name = "quickstart";
+    spec.protocol = ProtocolVariant::NeoMESI;
+    spec.root.geom = CacheGeometry{256 * 1024, 8, 64, 10};
+    for (int i = 0; i < 2; ++i) {
+        TreeNodeSpec l2{CacheGeometry{64 * 1024, 4, 64, 4}, {}};
+        for (int j = 0; j < 2; ++j)
+            l2.children.push_back(
+                TreeNodeSpec{CacheGeometry{8 * 1024, 2, 64, 1}, {}});
+        spec.root.children.push_back(l2);
+    }
+
+    // 2..3. A sharing-heavy workload on 4 cores, 2 perturbed trials.
+    WorkloadParams wl;
+    wl.name = "quickstart-mix";
+    wl.privateBlocksPerCore = 64;
+    wl.sharedBlocks = 32;
+    wl.sharedFraction = 0.25;
+    wl.sharedWriteFraction = 0.4;
+
+    RunConfig cfg;
+    cfg.opsPerCore = 20000;
+    const RunResult r = runOnce(spec, wl, cfg);
+
+    // 4. Results.
+    std::printf("protocol        : %s\n",
+                protocolName(spec.protocol));
+    std::printf("simulated cycles: %llu\n",
+                static_cast<unsigned long long>(r.runtime));
+    std::printf("L1 accesses     : %llu (%.1f%% hits)\n",
+                static_cast<unsigned long long>(r.l1Hits + r.l1Misses),
+                100.0 * static_cast<double>(r.l1Hits) /
+                    static_cast<double>(r.l1Hits + r.l1Misses));
+    std::printf("network messages: %llu\n",
+                static_cast<unsigned long long>(r.networkMessages));
+    std::printf("blocked at dirs : %.2f%% (L2)  %.2f%% (root)\n",
+                100.0 * r.blockedL2Fraction(),
+                100.0 * r.blockedL3Fraction());
+    if (r.violations.empty() && !r.deadlocked) {
+        std::printf("coherence       : OK (Neo-sum checker passed)\n");
+        return 0;
+    }
+    for (const auto &v : r.violations)
+        std::printf("VIOLATION: %s\n", v.c_str());
+    return 1;
+}

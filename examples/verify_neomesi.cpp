@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Push-button verification of NeoMESI, end to end.
+ *
+ * Runs the full Neo methodology (§2.5) against the NeoMESI models:
+ *   Antecedent 1 — the flat Closed and Open Neo Systems satisfy Neo
+ *                  safety;
+ *   Antecedent 2 — the flat Open Neo System implements a leaf (the
+ *                  Safe Composition Invariant, modified methodology);
+ *   Parametric   — view-abstraction cutoff convergence extends both
+ *                  to every instance size.
+ *
+ * If every check prints VERIFIED, the Neo theory licenses composing
+ * these subprotocols into ANY tree: any arity, any depth, unbalanced
+ * or not — the paper's headline property.
+ */
+
+#include <cstdio>
+
+#include "verif/explorer.hpp"
+#include "verif/models/flat_closed.hpp"
+#include "verif/models/flat_open.hpp"
+#include "verif/parametric.hpp"
+
+using namespace neo;
+using namespace neo::verif;
+
+int
+main()
+{
+    const VerifFeatures f = VerifFeatures::neoMESI();
+    const ExploreLimits lim{8'000'000, 600.0};
+    bool all_ok = true;
+
+    std::printf("Verifying NeoMESI (%s) with the Neo methodology\n\n",
+                f.describe().c_str());
+
+    std::printf("[Antecedent 1] Neo safety of the flat systems:\n");
+    for (std::size_t n : {2u, 3u, 4u}) {
+        ModelShape shape;
+        const auto c =
+            explore(buildClosedModel(n, f, shape), lim, false, false);
+        const auto o = explore(
+            buildOpenModel(n, f, CompositionMethod::None, shape), lim,
+            false, false);
+        std::printf("  N=%zu: closed %-9s (%7llu states)   open %-9s "
+                    "(%7llu states)\n",
+                    n, verifStatusName(c.status),
+                    static_cast<unsigned long long>(c.statesExplored),
+                    verifStatusName(o.status),
+                    static_cast<unsigned long long>(o.statesExplored));
+        all_ok = all_ok && c.status == VerifStatus::Verified &&
+                 o.status == VerifStatus::Verified;
+    }
+
+    std::printf("\n[Antecedent 2] Safe Composition Invariant "
+                "(modified methodology, §4.1.3):\n");
+    for (std::size_t n : {2u, 3u, 4u}) {
+        ModelShape shape;
+        const auto r = explore(
+            buildOpenModel(n, f, CompositionMethod::Modified, shape),
+            lim, false, false);
+        std::printf("  N=%zu: %-9s (%7llu states) — every Omega "
+                    "transition matched by a leaf\n",
+                    n, verifStatusName(r.status),
+                    static_cast<unsigned long long>(r.statesExplored));
+        all_ok = all_ok && r.status == VerifStatus::Verified;
+    }
+
+    std::printf("\n[Parametric] view-abstraction cutoff:\n");
+    const auto pc = verifyParametric(closedModelFactory(f), 1, 7, lim);
+    std::printf("  closed: %s — %s\n", verifStatusName(pc.status),
+                pc.detail.c_str());
+    const auto po = verifyParametric(
+        openModelFactory(f, CompositionMethod::Modified), 1, 7, lim);
+    std::printf("  open:   %s — %s\n", verifStatusName(po.status),
+                po.detail.c_str());
+    all_ok = all_ok && pc.converged && po.converged;
+
+    if (all_ok) {
+        std::printf("\n=> NeoMESI is verified for EVERY tree "
+                    "configuration. Compose away.\n");
+        return 0;
+    }
+    std::printf("\nSome check failed — see above.\n");
+    return 1;
+}

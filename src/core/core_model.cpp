@@ -1,0 +1,39 @@
+#include "core_model.hpp"
+
+namespace neo
+{
+
+CoreModel::CoreModel(std::string name, EventQueue &eventq, CoreId id,
+                     L1Controller &l1, WorkloadGen &workload,
+                     std::uint64_t num_ops, FinishedFn on_finish)
+    : SimObject(std::move(name), eventq), id_(id), l1_(l1),
+      workload_(workload), numOps_(num_ops),
+      onFinish_(std::move(on_finish))
+{
+}
+
+void
+CoreModel::start()
+{
+    issueNext();
+}
+
+void
+CoreModel::issueNext()
+{
+    if (opsDone_ >= numOps_) {
+        finishTick_ = curTick();
+        if (onFinish_)
+            onFinish_(id_);
+        return;
+    }
+    const MemOp op = workload_.next(id_);
+    eventq().schedule(curTick() + op.think, [this, op]() {
+        l1_.coreRequest(op.addr, op.write, [this]() {
+            ++opsDone_;
+            issueNext();
+        });
+    });
+}
+
+} // namespace neo

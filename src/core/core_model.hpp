@@ -1,0 +1,53 @@
+/**
+ * @file
+ * In-order core model (Table 1: 32 in-order x86 cores at 2 GHz).
+ *
+ * Each core replays a synthetic workload stream: think for the op's
+ * compute gap, issue the memory op to its L1, stall until completion,
+ * repeat. Runtime for the Figure 8-10 experiments is the tick at which
+ * the last core finishes its quota of operations.
+ */
+
+#ifndef NEO_CORE_CORE_MODEL_HPP
+#define NEO_CORE_CORE_MODEL_HPP
+
+#include <functional>
+
+#include "protocol/l1_controller.hpp"
+#include "sim/sim_object.hpp"
+#include "workload/workload.hpp"
+
+namespace neo
+{
+
+class CoreModel : public SimObject
+{
+  public:
+    using FinishedFn = std::function<void(CoreId)>;
+
+    CoreModel(std::string name, EventQueue &eventq, CoreId id,
+              L1Controller &l1, WorkloadGen &workload,
+              std::uint64_t num_ops, FinishedFn on_finish);
+
+    /** Begin replaying the stream. */
+    void start();
+
+    bool finished() const { return opsDone_ >= numOps_; }
+    Tick finishTick() const { return finishTick_; }
+    std::uint64_t opsDone() const { return opsDone_; }
+
+  private:
+    void issueNext();
+
+    CoreId id_;
+    L1Controller &l1_;
+    WorkloadGen &workload_;
+    std::uint64_t numOps_;
+    std::uint64_t opsDone_ = 0;
+    Tick finishTick_ = 0;
+    FinishedFn onFinish_;
+};
+
+} // namespace neo
+
+#endif // NEO_CORE_CORE_MODEL_HPP

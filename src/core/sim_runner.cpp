@@ -1,0 +1,114 @@
+#include "sim_runner.hpp"
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/core_model.hpp"
+
+namespace neo
+{
+
+RunResult
+runOnce(const HierarchySpec &spec, const WorkloadParams &workload,
+        const RunConfig &cfg)
+{
+    EventQueue eventq;
+    System system(spec, eventq);
+
+    const auto num_cores = static_cast<unsigned>(system.numL1s());
+    WorkloadGen gen(workload, num_cores, spec.root.geom.blockSize,
+                    cfg.seed);
+
+    std::vector<std::unique_ptr<CoreModel>> cores;
+    unsigned finished = 0;
+    Tick last_finish = 0;
+    for (unsigned c = 0; c < num_cores; ++c) {
+        std::ostringstream name;
+        name << "core_" << c;
+        cores.push_back(std::make_unique<CoreModel>(
+            name.str(), eventq, c, system.l1(c), gen, cfg.opsPerCore,
+            [&finished, &last_finish, &eventq](CoreId) {
+                ++finished;
+                last_finish = eventq.curTick();
+            }));
+    }
+    for (auto &core : cores)
+        core->start();
+
+    eventq.run(maxTick, cfg.maxEvents);
+
+    RunResult result;
+    result.runtime = last_finish;
+    result.deadlocked = finished != num_cores;
+    if (result.deadlocked) {
+        neo_warn(spec.name, "/", workload.name, ": only ", finished,
+                 " of ", num_cores, " cores finished (deadlock?)");
+    }
+
+    for (std::size_t i = 0; i < system.numL1s(); ++i) {
+        const auto &l1 = system.l1(i);
+        result.l1Hits += l1.hits().value();
+        result.l1Misses += l1.misses().value();
+        result.l1Upgrades += l1.upgrades().value();
+        result.nonSiblingData += l1.nonSiblingData().value();
+    }
+    const auto leaf_dirs = system.leafLevelDirs();
+    for (std::size_t i = 0; i < system.numDirs(); ++i) {
+        const auto &dir = system.dir(i);
+        const bool is_leaf_level =
+            std::find(leaf_dirs.begin(), leaf_dirs.end(), &dir) !=
+            leaf_dirs.end();
+        if (is_leaf_level && !dir.isRoot()) {
+            result.l2Requests += dir.requestArrivals().value();
+            result.l2Blocked += dir.blockedArrivals().value();
+        } else {
+            result.l3Requests += dir.requestArrivals().value();
+            result.l3Blocked += dir.blockedArrivals().value();
+        }
+    }
+    result.networkMessages = system.network().messageCount().value();
+
+    if (cfg.checkCoherence) {
+        if (!system.checker().quiescent()) {
+            result.violations.push_back(
+                "system not quiescent at end of run");
+        }
+        auto v = system.checker().check();
+        result.violations.insert(result.violations.end(), v.begin(),
+                                 v.end());
+    }
+
+    if (cfg.dumpStats) {
+        StatGroup group(spec.name + "/" + workload.name);
+        system.addStats(group);
+        group.print(std::cout);
+    }
+    return result;
+}
+
+TrialSummary
+runTrials(const HierarchySpec &spec, const WorkloadParams &workload,
+          const RunConfig &base, unsigned trials)
+{
+    TrialSummary summary;
+    for (unsigned t = 0; t < trials; ++t) {
+        RunConfig cfg = base;
+        cfg.seed = base.seed + t * 7919;
+        const RunResult r = runOnce(spec, workload, cfg);
+        summary.runtime.sample(static_cast<double>(r.runtime));
+        summary.nonSiblingFraction.sample(r.nonSiblingFraction());
+        summary.blockedL2.sample(r.blockedL2Fraction());
+        summary.blockedL3.sample(r.blockedL3Fraction());
+        const auto accesses = r.l1Hits + r.l1Misses;
+        summary.missRate.sample(
+            accesses ? static_cast<double>(r.l1Misses) /
+                           static_cast<double>(accesses)
+                     : 0.0);
+        if (!r.violations.empty() || r.deadlocked)
+            summary.allCoherent = false;
+    }
+    return summary;
+}
+
+} // namespace neo

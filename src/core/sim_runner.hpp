@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Experiment driver: one full simulation = hierarchy + protocol +
+ * workload + seed. Multi-trial runs reproduce the paper's methodology
+ * of averaging perturbed runs and reporting +/- one standard deviation
+ * (Alameldeen & Wood, HPCA 2003).
+ */
+
+#ifndef NEO_CORE_SIM_RUNNER_HPP
+#define NEO_CORE_SIM_RUNNER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace neo
+{
+
+/** Aggregate outcome of one simulation. */
+struct RunResult
+{
+    Tick runtime = 0; ///< tick at which the last core finished
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l1Upgrades = 0;
+    std::uint64_t nonSiblingData = 0;
+    std::uint64_t l2Requests = 0;
+    std::uint64_t l2Blocked = 0;
+    std::uint64_t l3Requests = 0;
+    std::uint64_t l3Blocked = 0;
+    std::uint64_t networkMessages = 0;
+    bool deadlocked = false;
+    std::vector<std::string> violations; ///< coherence checker output
+
+    double
+    nonSiblingFraction() const
+    {
+        const auto total = l1Misses + l1Upgrades;
+        return total ? static_cast<double>(nonSiblingData) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    double
+    blockedL2Fraction() const
+    {
+        return l2Requests ? static_cast<double>(l2Blocked) /
+                                static_cast<double>(l2Requests)
+                          : 0.0;
+    }
+    double
+    blockedL3Fraction() const
+    {
+        return l3Requests ? static_cast<double>(l3Blocked) /
+                                static_cast<double>(l3Requests)
+                          : 0.0;
+    }
+};
+
+struct RunConfig
+{
+    std::uint64_t opsPerCore = 20000;
+    std::uint64_t seed = 1;
+    /** Run the coherence checker at the end of the simulation. */
+    bool checkCoherence = true;
+    /** Dump every controller/network statistic to stdout at the end. */
+    bool dumpStats = false;
+    /** Hard event cap as a runaway/deadlock backstop. */
+    std::uint64_t maxEvents = 2'000'000'000ULL;
+};
+
+/** Execute one simulation to completion. */
+RunResult runOnce(const HierarchySpec &spec,
+                  const WorkloadParams &workload, const RunConfig &cfg);
+
+/** Multi-trial summary for one (protocol, organization, benchmark). */
+struct TrialSummary
+{
+    SampleStat runtime{"runtime"};
+    SampleStat nonSiblingFraction{"ns_fraction"};
+    SampleStat blockedL2{"blocked_l2"};
+    SampleStat blockedL3{"blocked_l3"};
+    SampleStat missRate{"miss_rate"};
+    bool allCoherent = true;
+};
+
+TrialSummary runTrials(const HierarchySpec &spec,
+                       const WorkloadParams &workload,
+                       const RunConfig &base, unsigned trials);
+
+} // namespace neo
+
+#endif // NEO_CORE_SIM_RUNNER_HPP

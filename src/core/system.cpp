@@ -1,0 +1,183 @@
+#include "system.hpp"
+
+#include <sstream>
+
+namespace neo
+{
+
+CacheGeometry
+table1L1()
+{
+    // 32 KB, 2-way, 2-cycle, 64 B blocks.
+    return CacheGeometry{32 * 1024, 2, 64, 2};
+}
+
+CacheGeometry
+table1L2()
+{
+    // 4 MB, 8-way, 6-cycle, unbanked.
+    return CacheGeometry{4ULL * 1024 * 1024, 8, 64, 6};
+}
+
+CacheGeometry
+table1L3()
+{
+    // 64 MB, 16-way, 16-cycle, unbanked.
+    return CacheGeometry{64ULL * 1024 * 1024, 16, 64, 16};
+}
+
+namespace
+{
+
+TreeNodeSpec
+l1Leaf()
+{
+    return TreeNodeSpec{table1L1(), {}};
+}
+
+TreeNodeSpec
+l2With(unsigned num_l1s)
+{
+    TreeNodeSpec l2{table1L2(), {}};
+    for (unsigned i = 0; i < num_l1s; ++i)
+        l2.children.push_back(l1Leaf());
+    return l2;
+}
+
+HierarchySpec
+baseSpec(ProtocolVariant v)
+{
+    HierarchySpec spec;
+    spec.protocol = v;
+    spec.root.geom = table1L3();
+    spec.network = NetworkParams{};
+    return spec;
+}
+
+} // namespace
+
+HierarchySpec
+skewedOrg(ProtocolVariant v)
+{
+    // Fig. 7A: 16 cores with private L1+L2, plus 16 cores behind one
+    // shared L2, all under the unified L3.
+    HierarchySpec spec = baseSpec(v);
+    spec.name = "Skewed";
+    for (unsigned i = 0; i < 16; ++i)
+        spec.root.children.push_back(l2With(1));
+    spec.root.children.push_back(l2With(16));
+    return spec;
+}
+
+HierarchySpec
+twoCoresPerL2Org(ProtocolVariant v)
+{
+    // Fig. 7B: 16 L2s, 2 cores each.
+    HierarchySpec spec = baseSpec(v);
+    spec.name = "2 Cores per L2";
+    for (unsigned i = 0; i < 16; ++i)
+        spec.root.children.push_back(l2With(2));
+    return spec;
+}
+
+HierarchySpec
+eightCoresPerL2Org(ProtocolVariant v)
+{
+    // Fig. 7C: 4 L2s, 8 cores each.
+    HierarchySpec spec = baseSpec(v);
+    spec.name = "8 Cores per L2";
+    for (unsigned i = 0; i < 4; ++i)
+        spec.root.children.push_back(l2With(8));
+    return spec;
+}
+
+HierarchySpec
+organizationByName(const std::string &name, ProtocolVariant v)
+{
+    if (name == "skewed")
+        return skewedOrg(v);
+    if (name == "2perL2")
+        return twoCoresPerL2Org(v);
+    if (name == "8perL2")
+        return eightCoresPerL2Org(v);
+    neo_fatal("unknown organization: ", name);
+}
+
+System::System(const HierarchySpec &spec, EventQueue &eventq)
+    : spec_(spec), cfg_(ProtocolConfig::forVariant(spec.protocol))
+{
+    neo_assert(!spec.root.children.empty(),
+               "the root must have children");
+    dram_ = std::make_unique<DramModel>(spec.dramBytes, spec.dramLatency);
+    net_ = std::make_unique<TreeNetwork>(spec.name + ".net", eventq,
+                                         spec.network);
+    build(spec.root, invalidNode, 0, eventq);
+    checker_ = std::make_unique<CoherenceChecker>(*net_);
+    for (auto &d : dirs_)
+        checker_->addDir(d.get());
+    for (auto &l : l1s_)
+        checker_->addL1(l.get());
+}
+
+void
+System::build(const TreeNodeSpec &node, NodeId parent, unsigned depth,
+              EventQueue &eventq)
+{
+    if (node.children.empty()) {
+        std::ostringstream name;
+        name << "l1_" << l1s_.size();
+        l1s_.push_back(std::make_unique<L1Controller>(
+            name.str(), eventq, *net_, parent, node.geom, cfg_));
+        return;
+    }
+    std::ostringstream name;
+    name << (parent == invalidNode ? "root" : "dir") << "_"
+         << dirs_.size();
+    dirs_.push_back(std::make_unique<DirController>(
+        name.str(), eventq, *net_, parent, node.geom, cfg_,
+        parent == invalidNode ? dram_.get() : nullptr));
+    const NodeId self = dirs_.back()->nodeId();
+    for (const auto &child : node.children)
+        build(child, self, depth + 1, eventq);
+}
+
+void
+System::setTrace(const std::function<void(const std::string &)> &fn)
+{
+    for (auto &d : dirs_)
+        d->setTrace(fn);
+    for (auto &l : l1s_)
+        l->setTrace(fn);
+}
+
+std::vector<const DirController *>
+System::leafLevelDirs() const
+{
+    std::vector<const DirController *> out;
+    for (const auto &d : dirs_) {
+        bool all_leaves = true;
+        for (NodeId c : net_->childrenOf(d->nodeId())) {
+            bool is_l1 = false;
+            for (const auto &l : l1s_)
+                if (l->nodeId() == c)
+                    is_l1 = true;
+            if (!is_l1)
+                all_leaves = false;
+        }
+        if (all_leaves)
+            out.push_back(d.get());
+    }
+    return out;
+}
+
+void
+System::addStats(StatGroup &group) const
+{
+    net_->addStats(group);
+    for (const auto &d : dirs_)
+        d->addStats(group);
+    for (const auto &l : l1s_)
+        l->addStats(group);
+}
+
+} // namespace neo

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Whole-system assembly: an arbitrary cache-tree hierarchy running one
+ * of the four protocol variants.
+ *
+ * A HierarchySpec is a recursive tree description — NeoMESI is verified
+ * for every tree configuration, so the builder accepts any arity at
+ * any node and any depth (§3: "the protocol does not assume symmetry
+ * or balance in the tree hierarchy").
+ */
+
+#ifndef NEO_CORE_SYSTEM_HPP
+#define NEO_CORE_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "network/tree_network.hpp"
+#include "protocol/coherence_checker.hpp"
+#include "protocol/dir_controller.hpp"
+#include "protocol/l1_controller.hpp"
+#include "protocol/protocol_config.hpp"
+#include "sim/event_queue.hpp"
+
+namespace neo
+{
+
+/** Recursive description of one tree node. */
+struct TreeNodeSpec
+{
+    /** Geometry of this node's cache (L1 for leaves, L2/L3+directory
+     *  for internal nodes). */
+    CacheGeometry geom;
+    /** Children; empty means this node is an L1 leaf. */
+    std::vector<TreeNodeSpec> children;
+};
+
+struct HierarchySpec
+{
+    std::string name = "system";
+    TreeNodeSpec root;
+    NetworkParams network;
+    ProtocolVariant protocol = ProtocolVariant::NeoMESI;
+    std::uint64_t dramBytes = 2ULL << 30;
+    Tick dramLatency = 160;
+};
+
+/** Table 1 cache geometries. */
+CacheGeometry table1L1();
+CacheGeometry table1L2();
+CacheGeometry table1L3();
+
+/**
+ * The three Figure 7 cache organizations, 32 cores each.
+ * @{
+ */
+HierarchySpec skewedOrg(ProtocolVariant v);
+HierarchySpec twoCoresPerL2Org(ProtocolVariant v);
+HierarchySpec eightCoresPerL2Org(ProtocolVariant v);
+/** @} */
+
+/** Organization lookup by name: "skewed", "2perL2", "8perL2". */
+HierarchySpec organizationByName(const std::string &name,
+                                 ProtocolVariant v);
+
+/**
+ * A fully wired hierarchy: network, root + intermediate directories,
+ * L1s, DRAM, and a coherence checker over all of it.
+ */
+class System
+{
+  public:
+    System(const HierarchySpec &spec, EventQueue &eventq);
+
+    std::size_t numL1s() const { return l1s_.size(); }
+    L1Controller &l1(std::size_t i) { return *l1s_.at(i); }
+    const L1Controller &l1(std::size_t i) const { return *l1s_.at(i); }
+
+    std::size_t numDirs() const { return dirs_.size(); }
+    DirController &dir(std::size_t i) { return *dirs_.at(i); }
+    DirController &root() { return *dirs_.front(); }
+
+    TreeNetwork &network() { return *net_; }
+    CoherenceChecker &checker() { return *checker_; }
+    const HierarchySpec &spec() const { return spec_; }
+
+    /** Install a trace callback on every controller. */
+    void setTrace(const std::function<void(const std::string &)> &fn);
+
+    /** Directories whose children are all leaves ("L2 level") vs the
+     *  rest — used by the §5.3 blocked-fraction breakdown. */
+    std::vector<const DirController *> leafLevelDirs() const;
+
+    void addStats(StatGroup &group) const;
+
+  private:
+    void build(const TreeNodeSpec &node, NodeId parent, unsigned depth,
+               EventQueue &eventq);
+
+    HierarchySpec spec_;
+    ProtocolConfig cfg_;
+    std::unique_ptr<DramModel> dram_;
+    std::unique_ptr<TreeNetwork> net_;
+    std::vector<std::unique_ptr<DirController>> dirs_;
+    std::vector<std::unique_ptr<L1Controller>> l1s_;
+    std::unique_ptr<CoherenceChecker> checker_;
+};
+
+} // namespace neo
+
+#endif // NEO_CORE_SYSTEM_HPP

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Generic set-associative tag/metadata array with true-LRU replacement.
+ *
+ * The array stores protocol-defined per-line entries (L1 line state,
+ * directory entries, ...). Victim selection is split from allocation so
+ * the coherence protocol can veto victims that are mid-transaction and
+ * perform the recursive-invalidation work required by the inclusive
+ * hierarchy before the line is actually dropped.
+ */
+
+#ifndef NEO_MEM_CACHE_ARRAY_HPP
+#define NEO_MEM_CACHE_ARRAY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/address.hpp"
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace neo
+{
+
+/** Geometry + latency of one cache level (Table 1 rows). */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint64_t assoc = 1;
+    std::uint64_t blockSize = 64;
+    Tick accessLatency = 1;
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (assoc * blockSize);
+    }
+};
+
+template <typename EntryT>
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geom)
+        : geom_(geom), map_(geom.blockSize, geom.numSets()),
+          ways_(geom.numSets() * geom.assoc)
+    {
+        neo_assert(geom.sizeBytes % (geom.assoc * geom.blockSize) == 0,
+                   "cache size not divisible by assoc*block");
+        neo_assert(isPowerOf2(geom.numSets()), "set count must be 2^k");
+    }
+
+    const CacheGeometry &geometry() const { return geom_; }
+    const AddressMap &addressMap() const { return map_; }
+
+    /** Find the entry for a block, or nullptr on miss. Updates LRU. */
+    EntryT *
+    find(Addr addr)
+    {
+        Way *w = lookup(addr);
+        if (w == nullptr)
+            return nullptr;
+        w->lastUsed = ++useClock_;
+        return &w->entry;
+    }
+
+    /** Find without disturbing LRU state. */
+    EntryT *
+    peek(Addr addr)
+    {
+        Way *w = lookup(addr);
+        return w != nullptr ? &w->entry : nullptr;
+    }
+
+    const EntryT *
+    peek(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->peek(addr);
+    }
+
+    /** True when the set holding @p addr has an invalid way free. */
+    bool
+    hasFreeWay(Addr addr) const
+    {
+        const std::uint64_t base = setBase(addr);
+        for (std::uint64_t i = 0; i < geom_.assoc; ++i)
+            if (!ways_[base + i].valid)
+                return true;
+        return false;
+    }
+
+    /**
+     * Pick the LRU victim among valid ways of @p addr's set for which
+     * @p evictable returns true. Returns the victim's block address.
+     */
+    std::optional<Addr>
+    victimFor(Addr addr,
+              const std::function<bool(Addr, const EntryT &)> &evictable)
+        const
+    {
+        const std::uint64_t base = setBase(addr);
+        const Way *best = nullptr;
+        for (std::uint64_t i = 0; i < geom_.assoc; ++i) {
+            const Way &w = ways_[base + i];
+            if (!w.valid || !evictable(wayAddr(w, addr), w.entry))
+                continue;
+            if (best == nullptr || w.lastUsed < best->lastUsed)
+                best = &w;
+        }
+        if (best == nullptr)
+            return std::nullopt;
+        return wayAddr(*best, addr);
+    }
+
+    /**
+     * Install a fresh entry for @p addr in a free way. The caller must
+     * have made room first (see victimFor / erase).
+     */
+    EntryT &
+    allocate(Addr addr)
+    {
+        neo_assert(lookup(addr) == nullptr, "double allocate of block ",
+                   addr);
+        const std::uint64_t base = setBase(addr);
+        for (std::uint64_t i = 0; i < geom_.assoc; ++i) {
+            Way &w = ways_[base + i];
+            if (!w.valid) {
+                w.valid = true;
+                w.tag = map_.tag(addr);
+                w.lastUsed = ++useClock_;
+                w.entry = EntryT{};
+                ++allocated_;
+                return w.entry;
+            }
+        }
+        neo_panic("allocate with no free way for block ", addr);
+    }
+
+    /** Drop a block from the array. */
+    void
+    erase(Addr addr)
+    {
+        Way *w = lookup(addr);
+        neo_assert(w != nullptr, "erasing non-resident block ", addr);
+        w->valid = false;
+        --allocated_;
+    }
+
+    /** Number of currently valid lines. */
+    std::uint64_t occupancy() const { return allocated_; }
+
+    /** Invoke fn(addr, entry) for every valid line. */
+    void
+    forEach(const std::function<void(Addr, EntryT &)> &fn)
+    {
+        for (std::uint64_t set = 0; set < geom_.numSets(); ++set) {
+            for (std::uint64_t i = 0; i < geom_.assoc; ++i) {
+                Way &w = ways_[set * geom_.assoc + i];
+                if (w.valid)
+                    fn(reconstruct(w.tag, set), w.entry);
+            }
+        }
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUsed = 0;
+        EntryT entry{};
+    };
+
+    std::uint64_t
+    setBase(Addr addr) const
+    {
+        return map_.setIndex(addr) * geom_.assoc;
+    }
+
+    Way *
+    lookup(Addr addr)
+    {
+        const std::uint64_t base = setBase(addr);
+        const Addr tag = map_.tag(addr);
+        for (std::uint64_t i = 0; i < geom_.assoc; ++i) {
+            Way &w = ways_[base + i];
+            if (w.valid && w.tag == tag)
+                return &w;
+        }
+        return nullptr;
+    }
+
+    /** Rebuild the block address of a way that shares addr's set. */
+    Addr
+    wayAddr(const Way &w, Addr addr_in_set) const
+    {
+        return reconstruct(w.tag, map_.setIndex(addr_in_set));
+    }
+
+    Addr
+    reconstruct(Addr tag, std::uint64_t set) const
+    {
+        const unsigned set_bits = log2i(geom_.numSets());
+        return (tag << (set_bits + map_.blockBits())) |
+               (set << map_.blockBits());
+    }
+
+    CacheGeometry geom_;
+    AddressMap map_;
+    std::vector<Way> ways_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t allocated_ = 0;
+};
+
+} // namespace neo
+
+#endif // NEO_MEM_CACHE_ARRAY_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fixed-latency DRAM timing model (Table 1: 2 GB, 160-cycle access).
+ *
+ * Capacity is tracked only for sanity checks; the coherence state of
+ * memory-resident blocks lives in the root directory (the hierarchy is
+ * fully inclusive in metadata).
+ */
+
+#ifndef NEO_MEM_DRAM_HPP
+#define NEO_MEM_DRAM_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace neo
+{
+
+class DramModel
+{
+  public:
+    DramModel(std::uint64_t capacity_bytes, Tick access_latency)
+        : capacity_(capacity_bytes), latency_(access_latency)
+    {
+    }
+
+    Tick accessLatency() const { return latency_; }
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    /** Latency of a read or write of one block starting now. */
+    Tick
+    access(Tick now)
+    {
+        // Single-channel occupancy: back-to-back accesses serialize.
+        const Tick start = now > busyUntil_ ? now : busyUntil_;
+        busyUntil_ = start + latency_;
+        ++accesses_;
+        return busyUntil_ - now;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    std::uint64_t capacity_;
+    Tick latency_;
+    Tick busyUntil_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace neo
+
+#endif // NEO_MEM_DRAM_HPP

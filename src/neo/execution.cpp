@@ -1,0 +1,63 @@
+#include "execution.hpp"
+
+#include <sstream>
+
+namespace neo
+{
+
+const char *
+actionKindName(ActionKind k)
+{
+    switch (k) {
+      case ActionKind::Input:
+        return "input";
+      case ActionKind::Output:
+        return "output";
+      case ActionKind::Internal:
+      default:
+        return "internal";
+    }
+}
+
+Action
+lambda()
+{
+    return Action{"lambda", ActionKind::Internal};
+}
+
+std::string
+ExecutionSummary::str() const
+{
+    std::ostringstream os;
+    os << permName(initialSum);
+    for (const auto &step : steps) {
+        os << ", "
+           << (step.action.kind == ActionKind::Internal ? "lambda"
+                                                        : step.action.name)
+           << ", " << permName(step.sum);
+    }
+    return os.str();
+}
+
+ExecutionSummary
+ExecutionSummary::compressStutter() const
+{
+    ExecutionSummary out;
+    out.initialSum = initialSum;
+    Perm prev = initialSum;
+    for (const auto &step : steps) {
+        if (step.action.kind == ActionKind::Internal && step.sum == prev)
+            continue; // pure stutter
+        out.steps.push_back(step);
+        prev = step.sum;
+    }
+    return out;
+}
+
+bool
+summariesMatch(const ExecutionSummary &omega, const ExecutionSummary &leaf)
+{
+    return omega.compressStutter() == leaf.compressStutter();
+}
+
+} // namespace neo

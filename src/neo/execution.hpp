@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Executions and execution summaries (Section 2.3 of the paper).
+ *
+ * An execution of a Neo System is a sequence s0, a1, s1, ..., ak, sk of
+ * states and actions. Its summary sum(e) substitutes each state with
+ * its permission summary and each internal action with the silent
+ * symbol lambda. The Safe Composition Invariant says every execution
+ * of an Open Neo System Ω has a leaf execution with an identical
+ * summary — then Ω "implements" the leaf.
+ *
+ * These types are the concrete artifact behind Figure 2 and are used
+ * by the composition checker and the neo_executions example.
+ */
+
+#ifndef NEO_NEO_EXECUTION_HPP
+#define NEO_NEO_EXECUTION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "neo/permission.hpp"
+
+namespace neo
+{
+
+/** Visibility class of a transition's action. */
+enum class ActionKind : std::uint8_t { Input, Output, Internal };
+
+const char *actionKindName(ActionKind k);
+
+/** The label on one transition edge. */
+struct Action
+{
+    std::string name;
+    ActionKind kind = ActionKind::Internal;
+
+    bool
+    operator==(const Action &o) const
+    {
+        // Internal actions are all identified with lambda.
+        if (kind == ActionKind::Internal &&
+            o.kind == ActionKind::Internal) {
+            return true;
+        }
+        return kind == o.kind && name == o.name;
+    }
+};
+
+/** The canonical silent action. */
+Action lambda();
+
+/** One step of a summarized execution: the action taken and the
+ *  permission summary of the state it leads to. */
+struct SummaryStep
+{
+    Action action;
+    Perm sum = Perm::I;
+
+    bool
+    operator==(const SummaryStep &o) const
+    {
+        return action == o.action && sum == o.sum;
+    }
+};
+
+/**
+ * A summarized execution: the summary of the start state followed by
+ * (action, summary) steps.
+ */
+struct ExecutionSummary
+{
+    Perm initialSum = Perm::I;
+    std::vector<SummaryStep> steps;
+
+    bool
+    operator==(const ExecutionSummary &o) const
+    {
+        return initialSum == o.initialSum && steps == o.steps;
+    }
+
+    /** Render like the paper's e_Omega listing. */
+    std::string str() const;
+
+    /**
+     * The stuttering-insensitive core used by the implementation
+     * relation in practice: drop lambda steps that do not change the
+     * summary (a leaf matches them by stuttering).
+     */
+    ExecutionSummary compressStutter() const;
+};
+
+/**
+ * Checks sum(e_L) == sum(e_Omega) modulo stuttering — i.e. whether the
+ * leaf execution witnesses that Omega implements the leaf on this
+ * behavior.
+ */
+bool summariesMatch(const ExecutionSummary &omega,
+                    const ExecutionSummary &leaf);
+
+} // namespace neo
+
+#endif // NEO_NEO_EXECUTION_HPP

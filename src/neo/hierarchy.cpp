@@ -1,0 +1,116 @@
+#include "hierarchy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace neo
+{
+
+NeoNode
+NeoNode::leaf(Perm p)
+{
+    NeoNode n;
+    n.perm_ = p;
+    n.internal_ = false;
+    return n;
+}
+
+NeoNode
+NeoNode::internal(Perm p)
+{
+    NeoNode n;
+    n.perm_ = p;
+    n.internal_ = true;
+    return n;
+}
+
+NeoNode &
+NeoNode::compose(NeoNode child)
+{
+    neo_assert(internal_, "only internal/root nodes compose children");
+    children_.push_back(std::move(child));
+    return *this;
+}
+
+Perm
+NeoNode::sum() const
+{
+    if (isLeaf())
+        return leafSum(perm_);
+    std::vector<Perm> child_sums;
+    child_sums.reserve(children_.size());
+    for (const NeoNode &c : children_)
+        child_sums.push_back(c.sum());
+    return composeSum(perm_, child_sums);
+}
+
+std::size_t
+NeoNode::size() const
+{
+    std::size_t n = 1;
+    for (const NeoNode &c : children_)
+        n += c.size();
+    return n;
+}
+
+std::size_t
+NeoNode::depth() const
+{
+    std::size_t d = 0;
+    for (const NeoNode &c : children_)
+        d = std::max(d, c.depth());
+    return d + 1;
+}
+
+std::string
+NeoNode::str() const
+{
+    std::ostringstream os;
+    os << permName(perm_);
+    if (!children_.empty()) {
+        os << "(";
+        for (std::size_t i = 0; i < children_.size(); ++i) {
+            if (i)
+                os << ",";
+            os << children_[i].str();
+        }
+        os << ")";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+bool
+replaceLeafImpl(NeoNode &node, std::size_t &remaining,
+                NeoNode &subtree, bool &done)
+{
+    if (node.isLeaf()) {
+        if (remaining == 0) {
+            node = std::move(subtree);
+            done = true;
+            return true;
+        }
+        --remaining;
+        return false;
+    }
+    for (std::size_t i = 0; i < node.numChildren() && !done; ++i)
+        replaceLeafImpl(node.child(i), remaining, subtree, done);
+    return done;
+}
+
+} // namespace
+
+bool
+replaceLeaf(NeoNode &root, std::size_t leaf_index, NeoNode subtree)
+{
+    bool done = false;
+    std::size_t remaining = leaf_index;
+    replaceLeafImpl(root, remaining, subtree, done);
+    return done;
+}
+
+} // namespace neo

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 1 as a data structure: composable Neo Systems with recursive
+ * summaries.
+ *
+ * A NeoHierarchy is the abstract tree the theory quantifies over — a
+ * root node composing Open Neo Systems, each an internal node
+ * composing further Open systems, bottoming out at leaves. Its one
+ * operation is the recursive sum of §2.2/§2.4: summarize every
+ * subtree into a permission, forcing any violation anywhere below to
+ * surface as `bad` at the top.
+ *
+ * The simulator's CoherenceChecker computes the same sums over live
+ * controllers; this standalone structure is the theory-level object
+ * used for reasoning, testing, and teaching (examples/neo_executions).
+ */
+
+#ifndef NEO_NEO_HIERARCHY_HPP
+#define NEO_NEO_HIERARCHY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "neo/permission.hpp"
+
+namespace neo
+{
+
+/**
+ * A node of a Neo hierarchy: a leaf with a permission, or an internal
+ * or root node with a Permission variable and composed children.
+ */
+class NeoNode
+{
+  public:
+    /** Construct a leaf with permission @p p. */
+    static NeoNode leaf(Perm p);
+
+    /** Construct an internal/root node with Permission @p p. */
+    static NeoNode internal(Perm p);
+
+    /** Compose a child Open Neo System under this (internal) node.
+     *  @return *this, for chaining. */
+    NeoNode &compose(NeoNode child);
+
+    bool isLeaf() const { return children_.empty() && !internal_; }
+
+    /** The node's own permission (leaf) or Permission variable. */
+    Perm permission() const { return perm_; }
+    void setPermission(Perm p) { perm_ = p; }
+
+    std::size_t numChildren() const { return children_.size(); }
+    const NeoNode &child(std::size_t i) const
+    {
+        return children_.at(i);
+    }
+    NeoNode &child(std::size_t i) { return children_.at(i); }
+
+    /**
+     * The recursive Neo summary of this subtree (§2.2): the leaf's
+     * permission, or composeSum over the node's Permission and its
+     * children's summaries.
+     */
+    Perm sum() const;
+
+    /** Total node count in the subtree (for tests/inventory). */
+    std::size_t size() const;
+
+    /** Depth of the subtree (a leaf has depth 1). */
+    std::size_t depth() const;
+
+    /** Render like "M(S(S,I),I)" for debugging. */
+    std::string str() const;
+
+  private:
+    NeoNode() = default;
+
+    Perm perm_ = Perm::I;
+    bool internal_ = false;
+    std::vector<NeoNode> children_;
+};
+
+/**
+ * Replace the @p leaf_index 'th leaf (in left-to-right order) of the
+ * hierarchy with @p subtree — the scaling operation the Safe
+ * Composition Invariant licenses (§2.3): when the subtree implements
+ * a leaf, the result remains safe.
+ *
+ * @return true if the leaf existed and was replaced.
+ */
+bool replaceLeaf(NeoNode &root, std::size_t leaf_index,
+                 NeoNode subtree);
+
+} // namespace neo
+
+#endif // NEO_NEO_HIERARCHY_HPP

@@ -1,0 +1,61 @@
+#include "permission.hpp"
+
+namespace neo
+{
+
+const char *
+permName(Perm p)
+{
+    switch (p) {
+      case Perm::I:
+        return "I";
+      case Perm::S:
+        return "S";
+      case Perm::O:
+        return "O";
+      case Perm::E:
+        return "E";
+      case Perm::M:
+        return "M";
+      case Perm::Bad:
+      default:
+        return "Bad";
+    }
+}
+
+Perm
+composeSum(Perm node_permission, std::span<const Perm> child_sums)
+{
+    if (node_permission == Perm::Bad)
+        return Perm::Bad;
+    for (std::size_t i = 0; i < child_sums.size(); ++i) {
+        const Perm ci = child_sums[i];
+        if (ci == Perm::Bad)
+            return Perm::Bad;
+        if (!permDominates(node_permission, ci))
+            return Perm::Bad;
+        for (std::size_t j = i + 1; j < child_sums.size(); ++j) {
+            if (!permCompatible(ci, child_sums[j]))
+                return Perm::Bad;
+        }
+    }
+    return node_permission;
+}
+
+Perm
+permFromName(const std::string &name)
+{
+    if (name == "I")
+        return Perm::I;
+    if (name == "S")
+        return Perm::S;
+    if (name == "O")
+        return Perm::O;
+    if (name == "E")
+        return Perm::E;
+    if (name == "M")
+        return Perm::M;
+    return Perm::Bad;
+}
+
+} // namespace neo

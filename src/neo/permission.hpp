@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The coherence permission lattice and Neo summary (sum) functions.
+ *
+ * Section 2.2/2.4 of the paper: permissions form the set
+ * P = {I, S, O, E, M, bad} with partial order I < S < O < {E, M} < bad
+ * (E and M are both top exclusive permissions; a silent E->M upgrade
+ * does not change what external observers can see). The Neo coherence
+ * summary sumC of a subtree is its internal node's Permission variable,
+ * with side conditions that force any violation below to surface as
+ * `bad`:
+ *   (1) Permission of a node dominates the summary of each child
+ *       subtree (the "permission principle"), and
+ *   (2) the children's summaries are mutually compatible in the MOESI
+ *       sense (at most one E/M with everyone else I; at most one O,
+ *       coexisting only with S/I).
+ */
+
+#ifndef NEO_NEO_PERMISSION_HPP
+#define NEO_NEO_PERMISSION_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace neo
+{
+
+/** MOESI coherence permissions plus the Neo `bad` element. */
+enum class Perm : std::uint8_t { I = 0, S, O, E, M, Bad };
+
+/** Number of non-bad permissions. */
+constexpr unsigned numPerms = 5;
+
+/** Short display name ("I", "S", ...). */
+const char *permName(Perm p);
+
+/**
+ * Rank in the partial order; E and M share the top non-bad rank.
+ * I=0 < S=1 < O=2 < E=M=3 < Bad=4.
+ */
+constexpr unsigned
+permRank(Perm p)
+{
+    switch (p) {
+      case Perm::I:
+        return 0;
+      case Perm::S:
+        return 1;
+      case Perm::O:
+        return 2;
+      case Perm::E:
+      case Perm::M:
+        return 3;
+      case Perm::Bad:
+      default:
+        return 4;
+    }
+}
+
+/** True when a child subtree summarizing to @p child may live under a
+ *  node whose Permission is @p parent (the permission principle). */
+constexpr bool
+permDominates(Perm parent, Perm child)
+{
+    return permRank(parent) >= permRank(child) &&
+           parent != Perm::Bad;
+}
+
+/**
+ * Pairwise MOESI compatibility between two sibling subtree summaries.
+ * E/M demand all siblings I; O tolerates S/I; S tolerates S/I.
+ */
+constexpr bool
+permCompatible(Perm a, Perm b)
+{
+    if (a == Perm::Bad || b == Perm::Bad)
+        return false;
+    if (a == Perm::I || b == Perm::I)
+        return true;
+    if (a == Perm::E || a == Perm::M || b == Perm::E || b == Perm::M)
+        return false; // exclusive vs. any non-I
+    if (a == Perm::O && b == Perm::O)
+        return false; // single owner
+    return true; // {S,O} x {S,O} minus (O,O)
+}
+
+/** Leaf summary: a leaf's sum is just its coherence permission. */
+constexpr Perm
+leafSum(Perm leaf_perm)
+{
+    return leaf_perm;
+}
+
+/**
+ * Composite summary per Section 2.4: returns `bad` when any child
+ * summarizes to bad, when children are mutually incompatible, or when
+ * a child exceeds the node's Permission; otherwise returns the node's
+ * Permission variable.
+ */
+Perm composeSum(Perm node_permission, std::span<const Perm> child_sums);
+
+/** Parse "I"/"S"/"O"/"E"/"M"/"Bad"; returns Bad for unknown names. */
+Perm permFromName(const std::string &name);
+
+} // namespace neo
+
+#endif // NEO_NEO_PERMISSION_HPP

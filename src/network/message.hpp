@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Base message type and consumer interface for the interconnect.
+ */
+
+#ifndef NEO_NETWORK_MESSAGE_HPP
+#define NEO_NETWORK_MESSAGE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace neo
+{
+
+/**
+ * A unit of transfer on the interconnect. Protocol layers derive from
+ * this to add coherence payloads; the network only needs source,
+ * destination and size.
+ */
+struct Message
+{
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    std::uint32_t sizeBytes = 8;
+
+    virtual ~Message() = default;
+
+    /** Human-readable tag for traces. */
+    virtual std::string describe() const { return "Message"; }
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/** Endpoint that accepts delivered messages. */
+class MessageConsumer
+{
+  public:
+    virtual ~MessageConsumer() = default;
+
+    /** Called by the network when a message arrives at this node. */
+    virtual void deliver(MessagePtr msg) = 0;
+};
+
+} // namespace neo
+
+#endif // NEO_NETWORK_MESSAGE_HPP

@@ -1,0 +1,146 @@
+#include "tree_network.hpp"
+
+#include <algorithm>
+
+namespace neo
+{
+
+TreeNetwork::TreeNetwork(std::string name, EventQueue &eventq,
+                         const NetworkParams &params)
+    : SimObject(std::move(name), eventq), params_(params),
+      jitterRng_(params.jitterSeed)
+{
+}
+
+NodeId
+TreeNetwork::addNode(MessageConsumer *sink, NodeId parent)
+{
+    neo_assert(sink != nullptr, "network node needs a sink");
+    const auto id = static_cast<NodeId>(nodes_.size());
+    NodeInfo info;
+    info.sink = sink;
+    info.parent = parent;
+    if (parent == invalidNode) {
+        info.depth = 0;
+    } else {
+        neo_assert(parent < nodes_.size(), "unknown parent node ", parent);
+        info.depth = nodes_[parent].depth + 1;
+        nodes_[parent].children.push_back(id);
+    }
+    nodes_.push_back(std::move(info));
+    return id;
+}
+
+unsigned
+TreeNetwork::hops(NodeId a, NodeId b) const
+{
+    neo_assert(a < nodes_.size() && b < nodes_.size(),
+               "hops on unregistered node");
+    unsigned n = 0;
+    NodeId x = a;
+    NodeId y = b;
+    while (nodes_[x].depth > nodes_[y].depth) {
+        x = nodes_[x].parent;
+        ++n;
+    }
+    while (nodes_[y].depth > nodes_[x].depth) {
+        y = nodes_[y].parent;
+        ++n;
+    }
+    while (x != y) {
+        x = nodes_[x].parent;
+        y = nodes_[y].parent;
+        n += 2;
+    }
+    return n;
+}
+
+Tick &
+TreeNetwork::linkBusy(NodeId child_end, bool upward)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(child_end) << 1) | (upward ? 1 : 0);
+    return linkBusy_[key];
+}
+
+void
+TreeNetwork::deliver(MessagePtr msg)
+{
+    neo_assert(msg->src < nodes_.size() && msg->dst < nodes_.size(),
+               "message endpoints not registered");
+    neo_assert(msg->src != msg->dst, "message to self: ",
+               msg->describe());
+
+    const Tick now = curTick();
+    const auto ser_ticks = static_cast<Tick>(
+        static_cast<double>(msg->sizeBytes) / params_.bytesPerTick + 0.999);
+
+    // Find the lowest common ancestor, collecting the downward leg.
+    NodeId lca;
+    std::vector<NodeId> down_path; // child endpoints of downward links
+    {
+        NodeId cx = msg->src;
+        NodeId cy = msg->dst;
+        while (nodes_[cx].depth > nodes_[cy].depth)
+            cx = nodes_[cx].parent;
+        while (nodes_[cy].depth > nodes_[cx].depth) {
+            down_path.push_back(cy);
+            cy = nodes_[cy].parent;
+        }
+        while (cx != cy) {
+            down_path.push_back(cy);
+            cx = nodes_[cx].parent;
+            cy = nodes_[cy].parent;
+        }
+        lca = cx;
+        // down_path holds child endpoints from dst upward; reverse so
+        // we traverse from the LCA downward.
+        std::reverse(down_path.begin(), down_path.end());
+    }
+
+    // Store-and-forward over the path, charging per-link latency +
+    // serialization + occupancy.
+    Tick arrive = now;
+    unsigned hop_count = 0;
+    for (NodeId cx = msg->src; cx != lca; cx = nodes_[cx].parent) {
+        Tick &busy = linkBusy(cx, true);
+        const Tick start = std::max(arrive, busy);
+        busy = start + ser_ticks;
+        arrive = start + ser_ticks + params_.linkLatency;
+        ++hop_count;
+    }
+    // Downward links: from the LCA to dst.
+    for (NodeId child_end : down_path) {
+        Tick &busy = linkBusy(child_end, false);
+        const Tick start = std::max(arrive, busy);
+        busy = start + ser_ticks;
+        arrive = start + ser_ticks + params_.linkLatency;
+        ++hop_count;
+    }
+
+    if (params_.maxJitter > 0)
+        arrive += jitterRng_.below(params_.maxJitter + 1);
+
+    ++messages_;
+    bytes_ += msg->sizeBytes;
+    hopStat_.sample(static_cast<double>(hop_count));
+    latencyStat_.sample(static_cast<double>(arrive - now));
+
+    MessageConsumer *sink = nodes_[msg->dst].sink;
+    // Move the payload into the delivery event.
+    auto *raw = msg.release();
+    eventq().schedule(arrive, [sink, raw]() {
+        sink->deliver(MessagePtr(raw));
+    });
+}
+
+void
+TreeNetwork::addStats(StatGroup &group) const
+{
+    group.add(&messages_);
+    group.add(&bytes_);
+    group.add(&hopStat_);
+    group.add(&latencyStat_);
+}
+
+} // namespace neo

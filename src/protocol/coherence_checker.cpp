@@ -1,0 +1,110 @@
+#include "coherence_checker.hpp"
+
+#include <sstream>
+
+namespace neo
+{
+
+void
+CoherenceChecker::addDir(const DirController *dir)
+{
+    dirs_[dir->nodeId()] = dir;
+}
+
+void
+CoherenceChecker::addL1(const L1Controller *l1)
+{
+    l1s_[l1->nodeId()] = l1;
+}
+
+bool
+CoherenceChecker::quiescent() const
+{
+    for (const auto &[id, dir] : dirs_)
+        if (!dir->quiescent())
+            return false;
+    for (const auto &[id, l1] : l1s_)
+        if (!l1->quiescent())
+            return false;
+    return true;
+}
+
+Perm
+CoherenceChecker::subtreeSum(NodeId node, Addr addr,
+                             std::vector<std::string> &violations) const
+{
+    auto l1_it = l1s_.find(node);
+    if (l1_it != l1s_.end())
+        return leafSum(l1_it->second->blockPerm(addr));
+
+    auto dir_it = dirs_.find(node);
+    neo_assert(dir_it != dirs_.end(), "unregistered node ", node);
+    const DirController *dir = dir_it->second;
+
+    std::vector<Perm> child_sums;
+    const auto &children = net_.childrenOf(node);
+    child_sums.reserve(children.size());
+    for (NodeId c : children)
+        child_sums.push_back(subtreeSum(c, addr, violations));
+
+    const Perm perm = dir->blockPerm(addr);
+    const Perm sum = composeSum(perm, child_sums);
+    if (sum == Perm::Bad) {
+        std::ostringstream os;
+        os << dir->name() << ": block 0x" << std::hex << addr << std::dec
+           << " summarizes to bad (Permission=" << permName(perm)
+           << ", children:";
+        for (std::size_t i = 0; i < child_sums.size(); ++i)
+            os << " " << permName(child_sums[i]);
+        os << ")";
+        violations.push_back(os.str());
+    }
+
+    // Inclusion: any child holding the block must be tracked here.
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (child_sums[i] != Perm::I && perm == Perm::I) {
+            std::ostringstream os;
+            os << dir->name() << ": inclusion violated for block 0x"
+               << std::hex << addr << std::dec << " held by child "
+               << children[i];
+            violations.push_back(os.str());
+        }
+    }
+    return sum;
+}
+
+std::vector<std::string>
+CoherenceChecker::check() const
+{
+    std::vector<std::string> violations;
+
+    // Collect every address tracked anywhere in the hierarchy.
+    std::set<Addr> addrs;
+    for (const auto &[id, dir] : dirs_) {
+        dir->forEachEntry(
+            [&addrs](const DirController::EntryView &e) {
+                addrs.insert(e.addr);
+            });
+    }
+    for (const auto &[id, l1] : l1s_) {
+        l1->forEachLine([&addrs](Addr a, L1State s) {
+            if (l1StatePerm(s) != Perm::I)
+                addrs.insert(a);
+        });
+    }
+
+    // Find the root (the registered dir whose parent is invalid).
+    const DirController *root = nullptr;
+    for (const auto &[id, dir] : dirs_) {
+        if (dir->isRoot())
+            root = dir;
+    }
+    neo_assert(root != nullptr, "checker needs a root directory");
+
+    for (Addr a : addrs)
+        subtreeSum(root->nodeId(), a, violations);
+
+    return violations;
+}
+
+} // namespace neo

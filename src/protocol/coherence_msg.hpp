@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Coherence message vocabulary shared by every protocol variant.
+ *
+ * The message set is the union of what TreeMSI, NeoMESI, NS-MESI and
+ * NS-MOESI need; variants simply never emit the types they do not use
+ * (e.g. PutO exists only under NS-MOESI, and globalRequester is only
+ * consulted when non-sibling forwarding is enabled).
+ */
+
+#ifndef NEO_PROTOCOL_COHERENCE_MSG_HPP
+#define NEO_PROTOCOL_COHERENCE_MSG_HPP
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "neo/permission.hpp"
+#include "network/message.hpp"
+#include "sim/types.hpp"
+
+namespace neo
+{
+
+enum class MsgType : std::uint8_t
+{
+    // Child -> parent requests.
+    GetS,    ///< request read permission
+    GetM,    ///< request write permission
+    PutS,    ///< evict a shared copy (explicit eviction notification)
+    PutE,    ///< evict a clean exclusive copy
+    PutM,    ///< write back a dirty copy
+    PutO,    ///< write back an owned copy (NS-MOESI only)
+    // Parent -> child demands.
+    FwdGetS, ///< owner: supply data to a reader
+    FwdGetM, ///< owner: supply data to a writer and invalidate
+    Inv,     ///< invalidate a shared copy
+    // Responses.
+    Data,    ///< data + permission grant
+    InvAck,  ///< invalidation acknowledged
+    PutAck,  ///< eviction acknowledged
+    // Completion.
+    Unblock, ///< requester is done; unblocks the directory
+};
+
+const char *msgTypeName(MsgType t);
+
+/** True for the message classes a blocked directory must still accept
+ *  (responses to its own outstanding operations). */
+constexpr bool
+isResponse(MsgType t)
+{
+    return t == MsgType::Data || t == MsgType::InvAck ||
+           t == MsgType::PutAck || t == MsgType::Unblock;
+}
+
+constexpr bool
+isRequest(MsgType t)
+{
+    return t == MsgType::GetS || t == MsgType::GetM ||
+           t == MsgType::PutS || t == MsgType::PutE ||
+           t == MsgType::PutM || t == MsgType::PutO;
+}
+
+constexpr bool
+isDemand(MsgType t)
+{
+    return t == MsgType::FwdGetS || t == MsgType::FwdGetM ||
+           t == MsgType::Inv;
+}
+
+/** Control messages are 8 B; Data adds a 64 B block (Table 1). */
+constexpr std::uint32_t controlMsgBytes = 8;
+constexpr std::uint32_t dataMsgBytes = 72;
+
+struct CoherenceMsg : Message
+{
+    MsgType type = MsgType::GetS;
+    Addr addr = 0;
+
+    /**
+     * For FwdGetS/FwdGetM: the node the data must be sent to. Under
+     * Neo rules this is always a sibling of the recipient (or, with
+     * respondToParent, the recipient's parent); under NS protocols it
+     * may be an arbitrary tree node.
+     */
+    NodeId target = invalidNode;
+
+    /** For Fwd*: send the data up to the recipient's parent instead of
+     *  to `target` (used when satisfying an external request). */
+    bool respondToParent = false;
+
+    /** For Data: the permission granted with the block. */
+    Perm grant = Perm::I;
+
+    /** For Data/Unblock/InvAck/Put*: block is dirty wrt next level. */
+    bool dirty = false;
+
+    /** Originating L1 of the whole transaction (NS forwarding). */
+    NodeId globalRequester = invalidNode;
+
+    /** Data supplied by a cache (an L1), not a directory — the §5.3
+     *  non-sibling-communication statistic counts only these. */
+    bool fromCache = false;
+
+    std::string
+    describe() const override
+    {
+        std::ostringstream os;
+        os << msgTypeName(type) << "[addr=0x" << std::hex << addr
+           << std::dec << " src=" << src << " dst=" << dst;
+        if (target != invalidNode)
+            os << " target=" << target;
+        if (type == MsgType::Data)
+            os << " grant=" << permName(grant);
+        if (dirty)
+            os << " dirty";
+        os << "]";
+        return os.str();
+    }
+};
+
+/** Construct a coherence message with size set from its type. */
+inline std::unique_ptr<CoherenceMsg>
+makeMsg(MsgType type, Addr addr, NodeId src, NodeId dst)
+{
+    auto m = std::make_unique<CoherenceMsg>();
+    m->type = type;
+    m->addr = addr;
+    m->src = src;
+    m->dst = dst;
+    m->sizeBytes =
+        (type == MsgType::Data) ? dataMsgBytes : controlMsgBytes;
+    return m;
+}
+
+} // namespace neo
+
+#endif // NEO_PROTOCOL_COHERENCE_MSG_HPP

@@ -1,0 +1,82 @@
+#include "protocol_config.hpp"
+
+#include "coherence_msg.hpp"
+
+namespace neo
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:
+        return "GetS";
+      case MsgType::GetM:
+        return "GetM";
+      case MsgType::PutS:
+        return "PutS";
+      case MsgType::PutE:
+        return "PutE";
+      case MsgType::PutM:
+        return "PutM";
+      case MsgType::PutO:
+        return "PutO";
+      case MsgType::FwdGetS:
+        return "Fwd_GetS";
+      case MsgType::FwdGetM:
+        return "Fwd_GetM";
+      case MsgType::Inv:
+        return "Inv";
+      case MsgType::Data:
+        return "Data";
+      case MsgType::InvAck:
+        return "InvAck";
+      case MsgType::PutAck:
+        return "PutAck";
+      case MsgType::Unblock:
+        return "Unblock";
+    }
+    return "?";
+}
+
+const char *
+protocolName(ProtocolVariant v)
+{
+    switch (v) {
+      case ProtocolVariant::TreeMSI:
+        return "TreeMSI";
+      case ProtocolVariant::NeoMESI:
+        return "NeoMESI";
+      case ProtocolVariant::NSMESI:
+        return "NS-MESI";
+      case ProtocolVariant::NSMOESI:
+        return "NS-MOESI";
+    }
+    return "?";
+}
+
+ProtocolConfig
+ProtocolConfig::forVariant(ProtocolVariant v)
+{
+    ProtocolConfig c;
+    switch (v) {
+      case ProtocolVariant::TreeMSI:
+        break;
+      case ProtocolVariant::NeoMESI:
+        c.exclusiveState = true;
+        break;
+      case ProtocolVariant::NSMESI:
+        c.exclusiveState = true;
+        c.nonSiblingFwd = true;
+        break;
+      case ProtocolVariant::NSMOESI:
+        c.exclusiveState = true;
+        c.nonSiblingFwd = true;
+        c.ownedState = true;
+        c.nonBlockingDir = true;
+        break;
+    }
+    return c;
+}
+
+} // namespace neo

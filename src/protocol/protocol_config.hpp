@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Protocol variants along the paper's iterative-feature axis (§4.2).
+ *
+ * One parameterized engine implements all four evaluated protocols;
+ * the flags correspond exactly to the features the paper adds (or is
+ * forbidden from adding):
+ *
+ *   TreeMSI  — the §4 baseline: MSI permissions, blocking directories,
+ *              inclusive hierarchy with explicit evictions.
+ *   NeoMESI  — +E state. The verified protocol (§3).
+ *   NS-MESI  — +non-sibling data forwarding (prohibited by the Neo
+ *              theory, §4.2.1 / §5.1.1).
+ *   NS-MOESI — +O state and non-blocking directories (exceed the model
+ *              checker's capacity, §4.2.2 / §5.1.2).
+ */
+
+#ifndef NEO_PROTOCOL_PROTOCOL_CONFIG_HPP
+#define NEO_PROTOCOL_PROTOCOL_CONFIG_HPP
+
+#include <string>
+
+namespace neo
+{
+
+enum class ProtocolVariant
+{
+    TreeMSI,
+    NeoMESI,
+    NSMESI,
+    NSMOESI,
+};
+
+const char *protocolName(ProtocolVariant v);
+
+struct ProtocolConfig
+{
+    /** Grant/track the E state (MESI instead of MSI). */
+    bool exclusiveState = false;
+
+    /** Owners answer FwdGetS by moving to O and keeping the line
+     *  (MOESI); otherwise they downgrade to S and the data migrates
+     *  toward the directory. */
+    bool ownedState = false;
+
+    /** Owners send data directly to the original (possibly
+     *  non-sibling) requester instead of relaying through the tree. */
+    bool nonSiblingFwd = false;
+
+    /** Directories release the block as soon as responses are out,
+     *  instead of blocking until the requester's Unblock arrives. */
+    bool nonBlockingDir = false;
+
+    static ProtocolConfig forVariant(ProtocolVariant v);
+};
+
+} // namespace neo
+
+#endif // NEO_PROTOCOL_PROTOCOL_CONFIG_HPP

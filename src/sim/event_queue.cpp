@@ -1,0 +1,119 @@
+#include "event_queue.hpp"
+
+namespace neo
+{
+
+class EventQueue::FunctionEvent : public Event
+{
+  public:
+    explicit FunctionEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+    void
+    process() override
+    {
+        fn_();
+    }
+
+  private:
+    std::function<void()> fn_;
+};
+
+EventQueue::~EventQueue()
+{
+    // Drain the heap, freeing any owned one-shot wrappers that never
+    // fired. Caller-owned events are left alone.
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        if (e.generation == e.ev->generation_ && e.ev->scheduled_) {
+            e.ev->scheduled_ = false;
+            if (auto *fe = dynamic_cast<FunctionEvent *>(e.ev))
+                delete fe;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    neo_assert(ev != nullptr, "scheduling null event");
+    neo_assert(!ev->scheduled_, "event already scheduled");
+    neo_assert(when >= curTick_, "scheduling event in the past: when=",
+               when, " curTick=", curTick_);
+    ev->scheduled_ = true;
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ++ev->generation_;
+    queue_.push(Entry{when, ev->seq_, ev->generation_, ev});
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    neo_assert(ev != nullptr && ev->scheduled_,
+               "descheduling an unscheduled event");
+    // Lazy deletion: bump the generation so the stale heap entry is
+    // skipped when popped.
+    ev->scheduled_ = false;
+    ++ev->generation_;
+    --live_;
+}
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    schedule(new FunctionEvent(std::move(fn)), when);
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        if (e.generation != e.ev->generation_ || !e.ev->scheduled_)
+            continue; // cancelled entry
+        neo_assert(e.when >= curTick_, "event queue went backwards");
+        curTick_ = e.when;
+        e.ev->scheduled_ = false;
+        --live_;
+        ++processed_;
+        Event *ev = e.ev;
+        ev->process();
+        if (auto *fe = dynamic_cast<FunctionEvent *>(ev)) {
+            if (!fe->scheduled())
+                delete fe;
+        }
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit, std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events) {
+        // Peek for the limit check without consuming cancelled entries.
+        bool found = false;
+        while (!queue_.empty()) {
+            const Entry &e = queue_.top();
+            if (e.generation != e.ev->generation_ || !e.ev->scheduled_) {
+                queue_.pop();
+                continue;
+            }
+            found = true;
+            break;
+        }
+        if (!found)
+            break;
+        if (queue_.top().when > limit)
+            break;
+        runOne();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace neo

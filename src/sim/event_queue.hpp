@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue orders Events by (tick, insertion sequence), so
+ * same-tick events run in a deterministic FIFO order. Controllers and
+ * the network schedule work by posting events; the kernel owns global
+ * simulated time.
+ */
+
+#ifndef NEO_SIM_EVENT_QUEUE_HPP
+#define NEO_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace neo
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable work. Derive and implement process(), or
+ * use EventQueue::schedule(tick, fn) for one-shot lambdas.
+ */
+class Event
+{
+  public:
+    virtual ~Event() = default;
+
+    /** Callback invoked when simulated time reaches the scheduled tick. */
+    virtual void process() = 0;
+
+    /** True while sitting in an event queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick this event is scheduled for (valid only while scheduled). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/**
+ * A priority queue of events plus the global simulated clock.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule @p ev at absolute time @p when (>= curTick()).
+     * The caller retains ownership of the event.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a pending event; it may later be rescheduled. */
+    void deschedule(Event *ev);
+
+    /**
+     * Schedule a one-shot callable at absolute time @p when. The queue
+     * owns the wrapper and frees it after it fires.
+     */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** True when no events are pending. */
+    bool empty() const { return live_ != 0 ? false : true; }
+
+    /** Number of live (non-cancelled) pending events. */
+    std::uint64_t pending() const { return live_; }
+
+    /**
+     * Run events until the queue drains, @p limit ticks pass, or
+     * @p max_events events have been processed.
+     *
+     * @return number of events processed.
+     */
+    std::uint64_t run(Tick limit = maxTick,
+                      std::uint64_t max_events = UINT64_MAX);
+
+    /** Process exactly one event if any is pending.
+     *  @return true if an event ran. */
+    bool runOne();
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t processedCount() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    /** One-shot lambda adapter owned by the queue. */
+    class FunctionEvent;
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t live_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_EVENT_QUEUE_HPP

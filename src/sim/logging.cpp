@@ -1,0 +1,61 @@
+#include "logging.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace neo
+{
+
+namespace
+{
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet);
+}
+
+bool
+isQuiet()
+{
+    return quietFlag.load();
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietFlag.load())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietFlag.load())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace neo

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal split.
+ *
+ * panic()  — an internal invariant of the simulator itself was violated;
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  — the user asked for something the simulator cannot do
+ *            (bad configuration); exits with an error code.
+ * warn()/inform() — status messages that never stop the simulation.
+ */
+
+#ifndef NEO_SIM_LOGGING_HPP
+#define NEO_SIM_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace neo
+{
+
+namespace detail
+{
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Toggle for inform()/warn() output (benchmarks silence it). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+#define neo_panic(...) \
+    ::neo::detail::panicImpl(__FILE__, __LINE__, \
+                             ::neo::detail::concat(__VA_ARGS__))
+
+#define neo_fatal(...) \
+    ::neo::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::neo::detail::concat(__VA_ARGS__))
+
+#define neo_warn(...) \
+    ::neo::detail::warnImpl(::neo::detail::concat(__VA_ARGS__))
+
+#define neo_inform(...) \
+    ::neo::detail::informImpl(::neo::detail::concat(__VA_ARGS__))
+
+/** Panic unless a simulator-internal invariant holds. */
+#define neo_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::neo::detail::panicImpl(__FILE__, __LINE__, \
+                ::neo::detail::concat("assertion failed: ", #cond, \
+                                      " ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace neo
+
+#endif // NEO_SIM_LOGGING_HPP

@@ -1,0 +1,14 @@
+#include "random.hpp"
+
+#include <cmath>
+
+namespace neo
+{
+
+double
+Random::logApprox(double x)
+{
+    return std::log(x);
+}
+
+} // namespace neo

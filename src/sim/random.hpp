@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component (workload generators, network jitter,
+ * multi-trial evaluation) draws from an explicitly seeded Random so a
+ * whole experiment is reproducible from one seed, per the
+ * Alameldeen-Wood methodology of running multiple perturbed trials.
+ */
+
+#ifndef NEO_SIM_RANDOM_HPP
+#define NEO_SIM_RANDOM_HPP
+
+#include <cstdint>
+
+#include "sim/logging.hpp"
+
+namespace neo
+{
+
+/**
+ * xoshiro256** generator: fast, high quality, trivially seedable.
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding so nearby seeds give uncorrelated streams.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        neo_assert(bound > 0, "Random::below with zero bound");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        neo_assert(lo <= hi, "Random::between with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish think time draw with the given mean; used for
+     * inter-request compute gaps in the core model.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        const double u = uniform();
+        // Inverse CDF of the exponential, rounded down.
+        double v = -mean * logApprox(1.0 - u);
+        if (v < 0.0)
+            v = 0.0;
+        return static_cast<std::uint64_t>(v);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Cheap natural log good to a few ulps over (0, 1]; avoids <cmath>
+     *  in this hot header. */
+    static double logApprox(double x);
+
+    std::uint64_t state_[4];
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_RANDOM_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Common base for named simulated components.
+ */
+
+#ifndef NEO_SIM_SIM_OBJECT_HPP
+#define NEO_SIM_SIM_OBJECT_HPP
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+
+namespace neo
+{
+
+/**
+ * A named component bound to an event queue. All controllers, cores,
+ * and the network derive from this so traces and stats carry readable
+ * component names.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eventq)
+        : name_(std::move(name)), eventq_(eventq)
+    {
+    }
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventq() { return eventq_; }
+    Tick curTick() const { return eventq_.curTick(); }
+
+    /** Hook called once after the whole system is wired together. */
+    virtual void startup() {}
+
+  private:
+    std::string name_;
+    EventQueue &eventq_;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_SIM_OBJECT_HPP

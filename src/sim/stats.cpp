@@ -1,0 +1,99 @@
+#include "stats.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+namespace neo
+{
+
+void
+SampleStat::sample(double v)
+{
+    ++n_;
+    total_ += v;
+    if (n_ == 1) {
+        mean_ = v;
+        m2_ = 0.0;
+        min_ = v;
+        max_ = v;
+        return;
+    }
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+SampleStat::stdev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+void
+SampleStat::reset()
+{
+    n_ = 0;
+    mean_ = m2_ = min_ = max_ = total_ = 0.0;
+}
+
+Histogram::Histogram(std::string name, double bucket_width,
+                     std::size_t num_buckets)
+    : name_(std::move(name)), width_(bucket_width),
+      buckets_(num_buckets + 1, 0)
+{
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < 0.0)
+        v = 0.0;
+    auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    count_ = 0;
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << name_ << " (n=" << count_ << ")\n";
+    for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+        os << "  [" << width_ * static_cast<double>(i) << ", "
+           << width_ * static_cast<double>(i + 1) << "): " << buckets_[i]
+           << "\n";
+    }
+    os << "  overflow: " << buckets_.back() << "\n";
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    os << "==== " << name_ << " ====\n";
+    for (const auto *s : scalars_)
+        os << "  " << s->name() << " = " << s->value() << "\n";
+    for (const auto *s : samples_) {
+        os << "  " << s->name() << ": n=" << s->count() << " mean="
+           << std::setprecision(6) << s->mean() << " stdev=" << s->stdev()
+           << " min=" << s->min() << " max=" << s->max() << "\n";
+    }
+    for (const auto *h : histograms_)
+        h->print(os);
+}
+
+} // namespace neo

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Lightweight statistics package (gem5-stats inspired).
+ *
+ * Scalar     — a named counter.
+ * SampleStat — streaming mean / stdev / min / max over samples
+ *              (Welford's algorithm).
+ * Histogram  — fixed-bucket distribution.
+ * StatGroup  — a named collection that can be dumped as text.
+ */
+
+#ifndef NEO_SIM_STATS_HPP
+#define NEO_SIM_STATS_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace neo
+{
+
+/** A named monotonically adjustable counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name) : name_(std::move(name)) {}
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming sample statistics via Welford's online algorithm. */
+class SampleStat
+{
+  public:
+    SampleStat() = default;
+    explicit SampleStat(std::string name) : name_(std::move(name)) {}
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample (n-1) standard deviation; 0 for fewer than 2 samples. */
+    double stdev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double total() const { return total_; }
+    const std::string &name() const { return name_; }
+    void reset();
+
+  private:
+    std::string name_;
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double total_ = 0.0;
+};
+
+/** Fixed-width bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /**
+     * @param name display name
+     * @param bucket_width width of each bucket
+     * @param num_buckets number of regular buckets (plus one overflow)
+     */
+    Histogram(std::string name, double bucket_width,
+              std::size_t num_buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
+    const std::string &name() const { return name_; }
+    void reset();
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    double width_ = 1.0;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A registry of statistics owned elsewhere; dumps them in one block.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(const Scalar *s) { scalars_.push_back(s); }
+    void add(const SampleStat *s) { samples_.push_back(s); }
+    void add(const Histogram *h) { histograms_.push_back(h); }
+
+    void print(std::ostream &os) const;
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<const Scalar *> scalars_;
+    std::vector<const SampleStat *> samples_;
+    std::vector<const Histogram *> histograms_;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_STATS_HPP

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every substrate.
+ *
+ * The simulator is tick-based: a Tick is one cycle of the 2 GHz core
+ * clock from Table 1 of the paper. All latencies in the memory system
+ * are expressed in Ticks.
+ */
+
+#ifndef NEO_SIM_TYPES_HPP
+#define NEO_SIM_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace neo
+{
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** A physical address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a controller/node in the hierarchy. */
+using NodeId = std::uint32_t;
+
+/** Sentinel node id. */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Identifier of a core. */
+using CoreId = std::uint32_t;
+
+} // namespace neo
+
+#endif // NEO_SIM_TYPES_HPP

@@ -1,0 +1,181 @@
+#include "explorer.hpp"
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+namespace neo
+{
+
+namespace
+{
+
+/** FNV-1a over the state bytes. */
+struct VStateHash
+{
+    std::size_t
+    operator()(const VState &s) const
+    {
+        std::size_t h = 1469598103934665603ULL;
+        for (std::uint8_t b : s) {
+            h ^= b;
+            h *= 1099511628211ULL;
+        }
+        return h;
+    }
+};
+
+} // namespace
+
+const char *
+verifStatusName(VerifStatus s)
+{
+    switch (s) {
+      case VerifStatus::Verified:
+        return "VERIFIED";
+      case VerifStatus::InvariantViolated:
+        return "INVARIANT VIOLATED";
+      case VerifStatus::Deadlock:
+        return "DEADLOCK";
+      case VerifStatus::LimitExceeded:
+        return "EXCEEDED BOUNDS";
+    }
+    return "?";
+}
+
+ExploreResult
+explore(const TransitionSystem &ts, const ExploreLimits &limits,
+        bool detect_deadlock, bool keep_trace,
+        const std::function<void(const VState &)> &on_state)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
+    ExploreResult result;
+    result.ruleFires.assign(ts.rules().size(), 0);
+
+    // Visited set maps each canonical state to its id; parent edges
+    // (state id -> (parent id, rule index)) reconstruct traces.
+    std::unordered_map<VState, std::uint64_t, VStateHash> visited;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> parent;
+    std::vector<VState> stateById; // only kept when tracing
+
+    const auto &canon = ts.canonicalizer();
+    const auto &rules = ts.rules();
+
+    auto elapsed = [&t0]() {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    auto estimate_memory = [&]() {
+        const std::uint64_t per_state =
+            ts.numVars() + 48 /* hash-map node overhead */ +
+            (keep_trace ? ts.numVars() + 12 : 0);
+        return visited.size() * per_state;
+    };
+
+    auto fail_invariants = [&](const VState &s) -> const char * {
+        for (const auto &inv : ts.invariants()) {
+            if (!inv.check(s))
+                return inv.name.c_str();
+        }
+        return nullptr;
+    };
+
+    auto build_trace = [&](std::uint64_t id) {
+        std::vector<std::string> names;
+        while (id != 0) {
+            const auto [pid, rule] = parent[id];
+            names.push_back(rules[rule].name);
+            id = pid;
+        }
+        std::reverse(names.begin(), names.end());
+        return names;
+    };
+
+    std::deque<std::pair<std::uint64_t, VState>> work;
+
+    VState init = ts.initialState();
+    if (canon)
+        canon(init);
+    visited.emplace(init, 0);
+    parent.emplace_back(0, 0);
+    if (keep_trace)
+        stateById.push_back(init);
+    if (on_state)
+        on_state(init);
+    work.emplace_back(0, init);
+
+    if (const char *inv = fail_invariants(init)) {
+        result.status = VerifStatus::InvariantViolated;
+        result.violatedInvariant = inv;
+        result.badState = ts.describe(init);
+        result.statesExplored = 1;
+        result.seconds = elapsed();
+        return result;
+    }
+
+    // BFS; each work item carries its state so stateById is only
+    // needed for trace rendering.
+    while (!work.empty()) {
+        if (visited.size() >= limits.maxStates ||
+            elapsed() > limits.maxSeconds) {
+            result.status = VerifStatus::LimitExceeded;
+            break;
+        }
+        const std::uint64_t id = work.front().first;
+        VState s = std::move(work.front().second);
+        work.pop_front();
+
+        bool any_enabled = false;
+        for (std::size_t r = 0; r < rules.size(); ++r) {
+            if (!rules[r].guard(s))
+                continue;
+            any_enabled = true;
+            VState next = s;
+            rules[r].effect(next);
+            ++result.transitionsFired;
+            ++result.ruleFires[r];
+            if (canon)
+                canon(next);
+            auto [it, inserted] =
+                visited.emplace(next, visited.size());
+            if (!inserted)
+                continue;
+            const std::uint64_t nid = it->second;
+            parent.emplace_back(id, static_cast<std::uint32_t>(r));
+            if (keep_trace)
+                stateById.push_back(next);
+            if (on_state)
+                on_state(next);
+            if (const char *inv = fail_invariants(next)) {
+                result.status = VerifStatus::InvariantViolated;
+                result.violatedInvariant = inv;
+                result.badState = ts.describe(next);
+                if (keep_trace)
+                    result.trace = build_trace(nid);
+                result.statesExplored = visited.size();
+                result.seconds = elapsed();
+                result.memoryBytes = estimate_memory();
+                return result;
+            }
+            work.emplace_back(nid, std::move(next));
+        }
+
+        if (detect_deadlock && !any_enabled) {
+            result.status = VerifStatus::Deadlock;
+            result.badState = ts.describe(s);
+            result.statesExplored = visited.size();
+            result.seconds = elapsed();
+            result.memoryBytes = estimate_memory();
+            return result;
+        }
+    }
+
+    result.statesExplored = visited.size();
+    result.seconds = elapsed();
+    result.memoryBytes = estimate_memory();
+    return result;
+}
+
+} // namespace neo

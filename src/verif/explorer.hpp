@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Explicit-state reachability with invariant checking.
+ *
+ * BFS over the transition system's state graph with a canonicalizing
+ * symmetry reduction (identical Neo leaves are interchangeable, §2.1),
+ * counterexample trace reconstruction, and the time/state/memory
+ * bounds the paper's §4 methodology study needs (Cubicle was run with
+ * a 2-day / 50 GB bound; we scale the bounds to this machine and
+ * report EXCEEDED the same way).
+ */
+
+#ifndef NEO_VERIF_EXPLORER_HPP
+#define NEO_VERIF_EXPLORER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verif/transition_system.hpp"
+
+namespace neo
+{
+
+struct ExploreLimits
+{
+    std::uint64_t maxStates = 20'000'000;
+    double maxSeconds = 120.0;
+};
+
+enum class VerifStatus
+{
+    Verified,          ///< fixpoint reached, all invariants hold
+    InvariantViolated, ///< a reachable state breaks an invariant
+    Deadlock,          ///< a non-final state with no enabled rule
+    LimitExceeded,     ///< state/time bound hit before the fixpoint
+};
+
+const char *verifStatusName(VerifStatus s);
+
+struct ExploreResult
+{
+    VerifStatus status = VerifStatus::Verified;
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitionsFired = 0;
+    double seconds = 0.0;
+    /** Rough live-memory footprint of the visited set + frontier. */
+    std::uint64_t memoryBytes = 0;
+    std::string violatedInvariant;
+    /** Rule names from the initial state to the violation. */
+    std::vector<std::string> trace;
+    /** Human-readable violating state. */
+    std::string badState;
+    /** Per-rule firing counts (indexed like ts.rules()); a zero for a
+     *  feature-enabled rule means dead logic in the model. */
+    std::vector<std::uint64_t> ruleFires;
+};
+
+/**
+ * Run BFS reachability.
+ *
+ * @param ts the model
+ * @param limits bounds; exceeding them yields LimitExceeded
+ * @param detect_deadlock report states with no outgoing transitions
+ * @param keep_trace store predecessors for counterexamples (costs
+ *        memory; disable for capacity experiments)
+ */
+ExploreResult explore(const TransitionSystem &ts,
+                      const ExploreLimits &limits,
+                      bool detect_deadlock = false,
+                      bool keep_trace = true,
+                      const std::function<void(const VState &)> &
+                          on_state = {});
+
+} // namespace neo
+
+#endif // NEO_VERIF_EXPLORER_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The flat Closed Neo System model: a root directory composed with N
+ * identical leaves (Antecedent 1 of §2.5 requires verifying Neo
+ * safety of exactly this system).
+ *
+ * Standard protocol-verification abstraction: one cache block, no
+ * data values, single-slot channels per virtual network per leaf
+ * (request, demand, response, completion). The feature flags grow the
+ * model along the paper's §4.2 ladder.
+ */
+
+#ifndef NEO_VERIF_MODELS_FLAT_CLOSED_HPP
+#define NEO_VERIF_MODELS_FLAT_CLOSED_HPP
+
+#include "verif/models/verif_features.hpp"
+#include "verif/parametric.hpp"
+#include "verif/transition_system.hpp"
+
+namespace neo::verif
+{
+
+/**
+ * Build the closed system with @p n leaves.
+ *
+ * @param shape out-parameter describing shared/leaf variable layout
+ *        (consumed by the parametric engine).
+ */
+TransitionSystem buildClosedModel(std::size_t n,
+                                  const VerifFeatures &features,
+                                  ModelShape &shape);
+
+/** ModelFactory adapter for verifyParametric. */
+ModelFactory closedModelFactory(const VerifFeatures &features);
+
+/** Map a model cache state to its coherence permission. */
+Perm cacheStPerm(std::uint8_t c);
+
+} // namespace neo::verif
+
+#endif // NEO_VERIF_MODELS_FLAT_CLOSED_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The flat Open Neo System model and the Safe Composition Invariant.
+ *
+ * An Open Neo System is an internal directory composed with N leaves;
+ * unlike the closed system it has an environment: a parent that can
+ * grant, invalidate and forward (input actions) and that receives the
+ * directory's relays, acks and data (output actions). The directory
+ * carries the Neo `Permission` variable of §2.4/§3.2.
+ *
+ * Antecedent 2 of §2.5 requires proving that this system IMPLEMENTS a
+ * leaf: every execution summarizes like some leaf execution. Both of
+ * the paper's verification methodologies are implemented:
+ *
+ *  - CompositionMethod::Original (§4.1.1): the model checker strictly
+ *    alternates between an Ω transition and a spec-leaf transition; a
+ *    `lastMatch` variable carries the statically matched leaf rule;
+ *    invariant (2) is the full disjunction of every leaf guard. This
+ *    is the formulation that exhausted >200 GB on the MSI baseline.
+ *
+ *  - CompositionMethod::Modified (§4.1.3): the matched leaf
+ *    transition is embedded in the body of each Ω rule; a single
+ *    L_could_fire bit replaces the disjunction. This is the
+ *    methodology that made NeoMESI verifiable.
+ *
+ * Under VerifFeatures::nonSiblingFwd the directory's external data
+ * reply goes to a non-sibling — an output action no leaf possesses —
+ * so the composition check must FAIL (§4.2.1), which the bench
+ * demonstrates mechanically.
+ */
+
+#ifndef NEO_VERIF_MODELS_FLAT_OPEN_HPP
+#define NEO_VERIF_MODELS_FLAT_OPEN_HPP
+
+#include "verif/models/verif_features.hpp"
+#include "verif/parametric.hpp"
+#include "verif/transition_system.hpp"
+
+namespace neo::verif
+{
+
+enum class CompositionMethod
+{
+    None,     ///< check Neo safety only (Antecedent 1)
+    Original, ///< alternating product, guard-disjunction invariant
+    Modified, ///< embedded leaf, L_could_fire invariant
+};
+
+const char *compositionMethodName(CompositionMethod m);
+
+TransitionSystem buildOpenModel(std::size_t n,
+                                const VerifFeatures &features,
+                                CompositionMethod method,
+                                ModelShape &shape);
+
+/** ModelFactory adapter for verifyParametric. */
+ModelFactory openModelFactory(const VerifFeatures &features,
+                              CompositionMethod method);
+
+} // namespace neo::verif
+
+#endif // NEO_VERIF_MODELS_FLAT_OPEN_HPP

@@ -1,0 +1,241 @@
+#include "german.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace neo::verif
+{
+
+namespace
+{
+
+// Client cache states.
+enum GermanSt : std::uint8_t { G_I = 0, G_S, G_E };
+
+// Channel-1 (request) contents.
+enum GermanReq : std::uint8_t { GR_None = 0, GR_ReqS, GR_ReqE };
+
+// Channel-2 (grant/invalidate) contents.
+enum GermanGnt : std::uint8_t
+{
+    GG_None = 0,
+    GG_GntS,
+    GG_GntE,
+    GG_Inv
+};
+
+// Channel-3 (invalidate-ack) contents.
+enum GermanAck : std::uint8_t { GA_None = 0, GA_InvAck };
+
+constexpr std::size_t leafBlockVars = 7;
+
+} // namespace
+
+TransitionSystem
+buildGermanModel(std::size_t n, ModelShape &shape)
+{
+    neo_assert(n >= 1 && n <= 12, "german model supports 1..12 clients");
+    TransitionSystem ts;
+
+    // Home (directory) state.
+    const auto exGntd = ts.addVar("exGntd", 0); // exclusive granted
+    const auto curCmd = ts.addVar("curCmd", GR_None);
+    const auto curPtrValid = ts.addVar("curPtrValid", 0);
+
+    shape.sharedVars = ts.numVars();
+    shape.numLeaves = n;
+    shape.leafBlockSize = leafBlockVars;
+
+    struct LV
+    {
+        std::size_t st, ch1, ch2, ch3, shrSet, invSet, curPtr;
+    };
+    std::vector<LV> L(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string p = "c" + std::to_string(i) + ".";
+        L[i].st = ts.addVar(p + "st", G_I);
+        L[i].ch1 = ts.addVar(p + "ch1", GR_None);
+        L[i].ch2 = ts.addVar(p + "ch2", GG_None);
+        L[i].ch3 = ts.addVar(p + "ch3", GA_None);
+        L[i].shrSet = ts.addVar(p + "shr", 0);
+        L[i].invSet = ts.addVar(p + "inv", 0);
+        // curPtr folded into the leaf block for symmetry.
+        L[i].curPtr = ts.addVar(p + "cur", 0);
+    }
+
+    const std::size_t shared_count = shape.sharedVars;
+    ts.setCanonicalizer([shared_count, n](VState &s) {
+        std::vector<std::array<std::uint8_t, leafBlockVars>> b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::copy_n(s.begin() + shared_count + i * leafBlockVars,
+                        leafBlockVars, b[i].begin());
+        }
+        std::sort(b.begin(), b.end());
+        for (std::size_t i = 0; i < n; ++i) {
+            std::copy_n(b[i].begin(), leafBlockVars,
+                        s.begin() + shared_count + i * leafBlockVars);
+        }
+    });
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const LV me = L[i];
+
+        // Client requests.
+        ts.addRule(
+            "sendReqS_" + std::to_string(i), ActionKind::Internal,
+            [me](const VState &s) {
+                return s[me.st] == G_I && s[me.ch1] == GR_None;
+            },
+            [me](VState &s) { s[me.ch1] = GR_ReqS; });
+        ts.addRule(
+            "sendReqE_" + std::to_string(i), ActionKind::Internal,
+            [me](const VState &s) {
+                return (s[me.st] == G_I || s[me.st] == G_S) &&
+                       s[me.ch1] == GR_None;
+            },
+            [me](VState &s) { s[me.ch1] = GR_ReqE; });
+
+        // Home picks a request when idle.
+        ts.addRule(
+            "recvReq_" + std::to_string(i), ActionKind::Internal,
+            [me, curCmd](const VState &s) {
+                return s[curCmd] == GR_None && s[me.ch1] != GR_None;
+            },
+            [me, curCmd, curPtrValid, L, n](VState &s) {
+                s[curCmd] = s[me.ch1];
+                s[me.ch1] = GR_None;
+                for (std::size_t j = 0; j < n; ++j) {
+                    s[L[j].curPtr] = 0;
+                    // Snapshot the sharer set: only these clients are
+                    // invalidated for THIS command (real German's
+                    // InvSet; without it stale acks poison Exgntd).
+                    s[L[j].invSet] = s[L[j].shrSet];
+                }
+                s[me.curPtr] = 1;
+                s[curPtrValid] = 1;
+            });
+
+        // Home sends invalidates to sharers when needed.
+        ts.addRule(
+            "sendInv_" + std::to_string(i), ActionKind::Internal,
+            [me, curCmd, exGntd](const VState &s) {
+                if (s[me.ch2] != GG_None || !s[me.invSet])
+                    return false;
+                return s[curCmd] == GR_ReqE ||
+                       (s[curCmd] == GR_ReqS && s[exGntd] == 1);
+            },
+            [me](VState &s) {
+                s[me.ch2] = GG_Inv;
+                s[me.invSet] = 0;
+            });
+
+        // Client acknowledges the invalidate.
+        ts.addRule(
+            "recvInv_" + std::to_string(i), ActionKind::Internal,
+            [me](const VState &s) {
+                return s[me.ch2] == GG_Inv && s[me.ch3] == GA_None;
+            },
+            [me](VState &s) {
+                s[me.ch2] = GG_None;
+                s[me.st] = G_I;
+                s[me.ch3] = GA_InvAck;
+            });
+
+        // Home collects the ack.
+        ts.addRule(
+            "recvInvAck_" + std::to_string(i), ActionKind::Internal,
+            [me, curCmd](const VState &s) {
+                return s[me.ch3] == GA_InvAck && s[curCmd] != GR_None;
+            },
+            [me, exGntd](VState &s) {
+                s[me.ch3] = GA_None;
+                s[me.shrSet] = 0;
+                s[exGntd] = 0;
+            });
+
+        // Home grants.
+        ts.addRule(
+            "sendGntS_" + std::to_string(i), ActionKind::Internal,
+            [me, curCmd, exGntd](const VState &s) {
+                return s[curCmd] == GR_ReqS && s[me.curPtr] &&
+                       s[exGntd] == 0 && s[me.ch2] == GG_None;
+            },
+            [me, curCmd, curPtrValid](VState &s) {
+                s[me.ch2] = GG_GntS;
+                s[me.shrSet] = 1;
+                s[curCmd] = GR_None;
+                s[curPtrValid] = 0;
+            });
+        ts.addRule(
+            "sendGntE_" + std::to_string(i), ActionKind::Internal,
+            [me, curCmd, exGntd, L, n](const VState &s) {
+                if (s[curCmd] != GR_ReqE || !s[me.curPtr] ||
+                    s[exGntd] != 0 || s[me.ch2] != GG_None)
+                    return false;
+                for (std::size_t j = 0; j < n; ++j)
+                    if (s[L[j].shrSet])
+                        return false;
+                return true;
+            },
+            [me, curCmd, curPtrValid, exGntd](VState &s) {
+                s[me.ch2] = GG_GntE;
+                s[me.shrSet] = 1;
+                s[exGntd] = 1;
+                s[curCmd] = GR_None;
+                s[curPtrValid] = 0;
+            });
+
+        // Client receives grants.
+        ts.addRule(
+            "recvGntS_" + std::to_string(i), ActionKind::Internal,
+            [me](const VState &s) { return s[me.ch2] == GG_GntS; },
+            [me](VState &s) {
+                s[me.ch2] = GG_None;
+                s[me.st] = G_S;
+            });
+        ts.addRule(
+            "recvGntE_" + std::to_string(i), ActionKind::Internal,
+            [me](const VState &s) { return s[me.ch2] == GG_GntE; },
+            [me](VState &s) {
+                s[me.ch2] = GG_None;
+                s[me.st] = G_E;
+            });
+    }
+
+    // The canonical German control property.
+    ts.addInvariant("CtrlProp", [L, n](const VState &s) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                if (i == j)
+                    continue;
+                if (s[L[i].st] == G_E && s[L[j].st] != G_I)
+                    return false;
+            }
+        }
+        return true;
+    });
+
+    ts.setSummarizer([L, n](const VState &s) {
+        std::vector<Perm> sums;
+        for (std::size_t i = 0; i < n; ++i) {
+            sums.push_back(s[L[i].st] == G_E
+                               ? Perm::E
+                               : (s[L[i].st] == G_S ? Perm::S
+                                                    : Perm::I));
+        }
+        return composeSum(Perm::M, sums);
+    });
+
+    return ts;
+}
+
+ModelFactory
+germanModelFactory()
+{
+    return [](std::size_t n, ModelShape &shape) {
+        return buildGermanModel(n, shape);
+    };
+}
+
+} // namespace neo::verif

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The German protocol — the toy coherence protocol Matthews et al.
+ * used for NeoGerman, their original Neo case study.
+ *
+ * German (the classic parametric-verification benchmark the paper
+ * cites from the Cubicle distribution) has three stable states, no
+ * transient states, no data forwarding, and about a dozen transitions.
+ * The paper's §2 argument is that NeoGerman's verifiability "belies
+ * the actual verification scalability of the Neo methodology": this
+ * model exists so the sec4 bench can show, side by side, how small the
+ * toy's state space is compared to NeoMESI's.
+ */
+
+#ifndef NEO_VERIF_MODELS_GERMAN_HPP
+#define NEO_VERIF_MODELS_GERMAN_HPP
+
+#include "verif/parametric.hpp"
+#include "verif/transition_system.hpp"
+
+namespace neo::verif
+{
+
+/** Build the German protocol with @p n clients. */
+TransitionSystem buildGermanModel(std::size_t n, ModelShape &shape);
+
+/** ModelFactory adapter for verifyParametric. */
+ModelFactory germanModelFactory();
+
+} // namespace neo::verif
+
+#endif // NEO_VERIF_MODELS_GERMAN_HPP

@@ -1,0 +1,51 @@
+#include "verif_features.hpp"
+
+#include <sstream>
+
+namespace neo::verif
+{
+
+std::string
+VerifFeatures::describe() const
+{
+    std::ostringstream os;
+    os << (exclusiveState ? (ownedState ? "MOESI" : "MESI") : "MSI");
+    if (inclusiveEvictions)
+        os << "+inclusive";
+    if (nonSiblingFwd)
+        os << "+non-sibling";
+    return os.str();
+}
+
+VerifFeatures
+VerifFeatures::baselineMSI()
+{
+    return VerifFeatures{};
+}
+
+VerifFeatures
+VerifFeatures::inclusiveMSI()
+{
+    VerifFeatures f;
+    f.inclusiveEvictions = true;
+    return f;
+}
+
+VerifFeatures
+VerifFeatures::neoMESI()
+{
+    VerifFeatures f;
+    f.inclusiveEvictions = true;
+    f.exclusiveState = true;
+    return f;
+}
+
+VerifFeatures
+VerifFeatures::withOwned()
+{
+    VerifFeatures f = neoMESI();
+    f.ownedState = true;
+    return f;
+}
+
+} // namespace neo::verif

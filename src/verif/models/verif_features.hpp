@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared vocabulary for the verification protocol models: the feature
+ * axis of §4.2 and the small-domain encodings of cache states and
+ * message channels used by the flat Closed/Open Neo System models.
+ *
+ * The models are the standard single-block abstraction used for
+ * protocol verification (one address, no data values, single-slot
+ * channels per virtual network per node) — the same abstraction level
+ * as the Murphi/Cubicle models the paper's methodology targets.
+ */
+
+#ifndef NEO_VERIF_MODELS_VERIF_FEATURES_HPP
+#define NEO_VERIF_MODELS_VERIF_FEATURES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace neo::verif
+{
+
+/** Protocol features along the paper's iterative ladder (§4.2). */
+struct VerifFeatures
+{
+    /** E state (MESI instead of MSI). */
+    bool exclusiveState = false;
+    /** O state (MOESI; §4.2.2 found this exceeds the tools). */
+    bool ownedState = false;
+    /** Fully inclusive hierarchy: replacements + explicit eviction
+     *  notifications (PutS/PutE/PutM) and directory recalls. */
+    bool inclusiveEvictions = false;
+    /** Non-sibling data forwarding (prohibited by the theory,
+     *  §4.2.1); only meaningful for the Open system's composition
+     *  check, where it must FAIL the Safe Composition Invariant. */
+    bool nonSiblingFwd = false;
+
+    std::string describe() const;
+
+    static VerifFeatures baselineMSI();
+    /** Baseline + inclusive evictions. */
+    static VerifFeatures inclusiveMSI();
+    /** Inclusive + E — the verified NeoMESI feature set. */
+    static VerifFeatures neoMESI();
+    /** NeoMESI + O — the set §4.2.2 could not verify in bounds. */
+    static VerifFeatures withOwned();
+};
+
+/** Leaf cache states (stable + transients). */
+enum CacheSt : std::uint8_t
+{
+    C_I = 0,
+    C_S,
+    C_E,
+    C_M,
+    C_O,
+    C_ISD, ///< GetS outstanding
+    C_IMD, ///< GetM outstanding from I
+    C_SMD, ///< GetM outstanding from S
+    C_OMD, ///< GetM outstanding from O
+    C_SIA, ///< PutS outstanding
+    C_EIA,
+    C_MIA,
+    C_OIA,
+    C_IIA, ///< Put raced with Inv/Fwd
+    numCacheSt
+};
+
+/** Leaf -> directory request channel. */
+enum ReqMsg : std::uint8_t
+{
+    RQ_None = 0,
+    RQ_GetS,
+    RQ_GetM,
+    RQ_PutS,
+    RQ_PutE,
+    RQ_PutM,
+    RQ_PutO,
+    numReqMsg
+};
+
+/** Directory -> leaf demand channel. */
+enum FwdMsg : std::uint8_t
+{
+    FW_None = 0,
+    FW_Inv,
+    FW_FwdGetS,
+    FW_FwdGetM,
+    FW_PutAck,
+    numFwdMsg
+};
+
+/** Data channel into a leaf. */
+enum RespMsg : std::uint8_t
+{
+    RS_None = 0,
+    RS_DataS,
+    RS_DataE,
+    RS_DataM,
+    numRespMsg
+};
+
+/** Leaf -> directory completion/ack channel. */
+enum AckMsg : std::uint8_t
+{
+    AK_None = 0,
+    AK_InvAck,
+    AK_InvAckD, ///< ack carrying a dirty block
+    AK_Unblock,
+    AK_UnblockD,
+    numAckMsg
+};
+
+/** Directory transaction phase. */
+enum DirBusy : std::uint8_t
+{
+    DB_Idle = 0,
+    DB_Read,    ///< serving a GetS
+    DB_Write,   ///< serving a GetM (collecting acks, then grant)
+    DB_Recall,  ///< inclusive eviction: recalling every copy
+    DB_FetchR,  ///< (open) GetS relayed to the parent
+    DB_FetchW,  ///< (open) GetM relayed to the parent
+    DB_ExtRead, ///< (open) serving a parent Fwd_GetS
+    DB_ExtWrite,///< (open) serving a parent Fwd_GetM
+    DB_ExtInv,  ///< (open) serving a parent Inv
+    DB_EvictWB, ///< (open) writeback sent, awaiting PutAck
+    numDirBusy
+};
+
+} // namespace neo::verif
+
+#endif // NEO_VERIF_MODELS_VERIF_FEATURES_HPP

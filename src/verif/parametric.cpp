@@ -1,0 +1,115 @@
+#include "parametric.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace neo
+{
+
+namespace
+{
+
+/**
+ * Project a concrete state onto its size-<=2 views (Abdulla et al.'s
+ * view abstraction): the shared variables (ack counters saturated)
+ * extended with every sub-multiset of at most two leaf blocks. The
+ * number of views is bounded independently of N, so the view sets of
+ * successive instance sizes can converge.
+ */
+void
+collectViews(const VState &s, const ModelShape &shape,
+             unsigned saturation,
+             std::set<std::vector<std::uint8_t>> &out)
+{
+    std::vector<std::uint8_t> shared(
+        s.begin(), s.begin() + static_cast<long>(shape.sharedVars));
+    for (std::size_t idx : shape.saturatedSharedVars) {
+        shared[idx] = static_cast<std::uint8_t>(
+            std::min<unsigned>(shared[idx], saturation));
+    }
+    // Distinct leaf blocks with multiplicity.
+    std::map<std::vector<std::uint8_t>, unsigned> counts;
+    for (std::size_t l = 0; l < shape.numLeaves; ++l) {
+        const auto base = shape.sharedVars + l * shape.leafBlockSize;
+        std::vector<std::uint8_t> block(
+            s.begin() + static_cast<long>(base),
+            s.begin() + static_cast<long>(base + shape.leafBlockSize));
+        ++counts[block];
+    }
+    auto emit = [&](const std::vector<std::uint8_t> *a,
+                    const std::vector<std::uint8_t> *b) {
+        std::vector<std::uint8_t> view = shared;
+        if (a != nullptr)
+            view.insert(view.end(), a->begin(), a->end());
+        if (b != nullptr)
+            view.insert(view.end(), b->begin(), b->end());
+        out.insert(std::move(view));
+    };
+    emit(nullptr, nullptr);
+    for (auto it = counts.begin(); it != counts.end(); ++it) {
+        emit(&it->first, nullptr);
+        if (it->second >= 2)
+            emit(&it->first, &it->first);
+        for (auto jt = std::next(it); jt != counts.end(); ++jt)
+            emit(&it->first, &jt->first);
+    }
+}
+
+} // namespace
+
+ParametricResult
+verifyParametric(const ModelFactory &factory, std::size_t from,
+                 std::size_t to, const ExploreLimits &limits,
+                 unsigned saturation)
+{
+    neo_assert(from >= 1 && from <= to, "bad parametric sweep range");
+    ParametricResult result;
+    std::set<std::vector<std::uint8_t>> prevAbstract;
+
+    for (std::size_t n = from; n <= to; ++n) {
+        ModelShape shape;
+        TransitionSystem ts = factory(n, shape);
+        neo_assert(shape.numLeaves == n, "factory mis-reported shape");
+
+        std::set<std::vector<std::uint8_t>> abstractSet;
+        const ExploreResult er =
+            explore(ts, limits, false, true,
+                    [&](const VState &s) {
+                        collectViews(s, shape, saturation,
+                                     abstractSet);
+                    });
+
+        result.perInstance.push_back(er);
+        result.instanceSizes.push_back(n);
+        result.abstractSetSizes.push_back(abstractSet.size());
+
+        if (er.status != VerifStatus::Verified) {
+            result.status = er.status;
+            std::ostringstream os;
+            os << "instance N=" << n << ": "
+               << verifStatusName(er.status);
+            if (!er.violatedInvariant.empty())
+                os << " (" << er.violatedInvariant << ")";
+            result.detail = os.str();
+            return result;
+        }
+
+        if (n > from && abstractSet == prevAbstract) {
+            result.converged = true;
+            result.cutoff = n - 1;
+            std::ostringstream os;
+            os << "abstract reach set converged at cutoff N=" << n - 1
+               << " (" << abstractSet.size()
+               << " views); invariants hold for all N";
+            result.detail = os.str();
+            return result;
+        }
+        prevAbstract = std::move(abstractSet);
+    }
+
+    result.detail = "no convergence within the sweep";
+    return result;
+}
+
+} // namespace neo

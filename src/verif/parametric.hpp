@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Push-button parametric verification via saturation (view)
+ * abstraction with cutoff convergence.
+ *
+ * Cubicle proves properties for every instance size N with SMT-based
+ * backward reachability over array-based systems. We substitute a
+ * technique with the same push-button character for systems of
+ * identical, symmetric leaves (exactly Neo's leaf assumption):
+ *
+ *  1. model-check each concrete instance N = from .. to (all
+ *     invariants, full reachability);
+ *  2. project each reachable set through a saturation abstraction
+ *     that keeps the shared (directory) variables exact and counts
+ *     leaves per leaf-local configuration, saturating at a small
+ *     bound ("0, 1, many");
+ *  3. when the abstract reachable sets of two consecutive sizes
+ *     coincide, adding further leaves only replicates existing
+ *     leaf configurations — the cutoff has been reached and the
+ *     invariants hold for all larger N.
+ *
+ * This mirrors the view-abstraction cutoff method (Abdulla et al.,
+ * "Parameterized verification through view abstraction") specialized
+ * to our models.
+ */
+
+#ifndef NEO_VERIF_PARAMETRIC_HPP
+#define NEO_VERIF_PARAMETRIC_HPP
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verif/explorer.hpp"
+
+namespace neo
+{
+
+/**
+ * How a model exposes its structure to the abstraction: the first
+ * sharedVars variables are global; the rest is numLeaves consecutive
+ * blocks of leafBlockSize variables, one per identical leaf.
+ */
+struct ModelShape
+{
+    std::size_t sharedVars = 0;
+    std::size_t numLeaves = 0;
+    std::size_t leafBlockSize = 0;
+    /** Shared variables whose value range grows with N (ack
+     *  counters): the abstraction saturates them like leaf counts. */
+    std::vector<std::size_t> saturatedSharedVars;
+};
+
+/** Factory producing the model instantiated with N leaves. */
+using ModelFactory =
+    std::function<TransitionSystem(std::size_t n, ModelShape &shape)>;
+
+struct ParametricResult
+{
+    /** Overall outcome across the sweep. */
+    VerifStatus status = VerifStatus::Verified;
+    /** True when the abstract reach sets converged within the sweep. */
+    bool converged = false;
+    /** Smallest N whose abstraction equals N+1's (the cutoff). */
+    std::size_t cutoff = 0;
+    std::vector<ExploreResult> perInstance;
+    std::vector<std::size_t> instanceSizes;
+    std::vector<std::size_t> abstractSetSizes;
+    std::string detail;
+};
+
+/**
+ * Run the parametric sweep.
+ *
+ * @param factory builds the N-leaf instance
+ * @param from smallest instance (>= 1)
+ * @param to largest instance to try before giving up on convergence
+ * @param saturation count bound per leaf configuration (default 2 =
+ *        "zero, one, many")
+ */
+ParametricResult
+verifyParametric(const ModelFactory &factory, std::size_t from,
+                 std::size_t to, const ExploreLimits &limits,
+                 unsigned saturation = 2);
+
+} // namespace neo
+
+#endif // NEO_VERIF_PARAMETRIC_HPP

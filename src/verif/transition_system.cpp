@@ -1,0 +1,20 @@
+#include "transition_system.hpp"
+
+#include <sstream>
+
+namespace neo
+{
+
+std::string
+TransitionSystem::describe(const VState &s) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i)
+            os << " ";
+        os << varNames_[i] << "=" << static_cast<int>(s[i]);
+    }
+    return os.str();
+}
+
+} // namespace neo

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Guarded-command transition systems for the model checker.
+ *
+ * This is the Murphi/Cubicle-workalike substrate the Neo verification
+ * methodology runs on: a finite vector of small-domain variables, a
+ * set of named guarded rules (each tagged input / output / internal in
+ * the Neo sense), and a set of invariants. Protocol models (the flat
+ * Closed and Open Neo Systems of §2.5) are built against this.
+ */
+
+#ifndef NEO_VERIF_TRANSITION_SYSTEM_HPP
+#define NEO_VERIF_TRANSITION_SYSTEM_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "neo/execution.hpp"
+#include "sim/logging.hpp"
+
+namespace neo
+{
+
+/** A model-checker state: one byte per declared variable. */
+using VState = std::vector<std::uint8_t>;
+
+/**
+ * Declarative finite transition system.
+ */
+class TransitionSystem
+{
+  public:
+    using Guard = std::function<bool(const VState &)>;
+    using Effect = std::function<void(VState &)>;
+    using Check = std::function<bool(const VState &)>;
+    /** Maps a state to its canonical symmetry representative. */
+    using Canonicalizer = std::function<void(VState &)>;
+    /** Permission summary of a state (the Neo sumC output). */
+    using Summarizer = std::function<Perm(const VState &)>;
+
+    struct Rule
+    {
+        std::string name;
+        ActionKind kind = ActionKind::Internal;
+        Guard guard;
+        Effect effect;
+    };
+
+    struct Invariant
+    {
+        std::string name;
+        Check check;
+    };
+
+    /** Declare a variable; @return its index into the state vector. */
+    std::size_t
+    addVar(std::string name, std::uint8_t init = 0)
+    {
+        varNames_.push_back(std::move(name));
+        init_.push_back(init);
+        return varNames_.size() - 1;
+    }
+
+    void
+    addRule(std::string name, ActionKind kind, Guard guard, Effect effect)
+    {
+        rules_.push_back(
+            Rule{std::move(name), kind, std::move(guard),
+                 std::move(effect)});
+    }
+
+    void
+    addInvariant(std::string name, Check check)
+    {
+        invariants_.push_back(Invariant{std::move(name),
+                                        std::move(check)});
+    }
+
+    void setCanonicalizer(Canonicalizer c) { canon_ = std::move(c); }
+    void setSummarizer(Summarizer s) { sum_ = std::move(s); }
+
+    VState initialState() const { return init_; }
+    std::size_t numVars() const { return init_.size(); }
+    const std::vector<Rule> &rules() const { return rules_; }
+    const std::vector<Invariant> &invariants() const
+    {
+        return invariants_;
+    }
+    const Canonicalizer &canonicalizer() const { return canon_; }
+    const Summarizer &summarizer() const { return sum_; }
+    const std::string &varName(std::size_t i) const
+    {
+        return varNames_.at(i);
+    }
+
+    /** Render a state for counterexample traces. */
+    std::string describe(const VState &s) const;
+
+  private:
+    std::vector<std::string> varNames_;
+    VState init_;
+    std::vector<Rule> rules_;
+    std::vector<Invariant> invariants_;
+    Canonicalizer canon_;
+    Summarizer sum_;
+};
+
+} // namespace neo
+
+#endif // NEO_VERIF_TRANSITION_SYSTEM_HPP

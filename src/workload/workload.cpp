@@ -1,0 +1,193 @@
+#include "workload.hpp"
+
+#include "sim/logging.hpp"
+
+namespace neo
+{
+
+WorkloadGen::WorkloadGen(const WorkloadParams &params, unsigned num_cores,
+                         std::uint64_t block_size, std::uint64_t seed)
+    : params_(params), numCores_(num_cores), blockSize_(block_size)
+{
+    neo_assert(num_cores > 0, "workload needs cores");
+    rngs_.reserve(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c)
+        rngs_.emplace_back(seed * 2654435761ULL + c + 1);
+    if (params_.pattern == SharingPattern::Migratory) {
+        migOwner_.assign(params_.sharedBlocks, 0);
+        migLeft_.assign(params_.sharedBlocks, 0);
+    }
+}
+
+Addr
+WorkloadGen::privateBlockAddr(CoreId core, std::uint64_t block) const
+{
+    // Private regions are laid out back to back from address 0.
+    const std::uint64_t idx =
+        static_cast<std::uint64_t>(core) * params_.privateBlocksPerCore +
+        block;
+    return idx * blockSize_;
+}
+
+Addr
+WorkloadGen::sharedBlockAddr(std::uint64_t block) const
+{
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(numCores_) *
+        params_.privateBlocksPerCore;
+    return (base + block) * blockSize_;
+}
+
+std::uint64_t
+WorkloadGen::pickSharedBlock(CoreId core, Random &rng)
+{
+    const std::uint64_t n = params_.sharedBlocks;
+    switch (params_.pattern) {
+      case SharingPattern::Uniform:
+        return rng.below(n);
+      case SharingPattern::Neighbor: {
+        // A pipeline stage shares a window of blocks with the next
+        // stage: core i draws from the slice [i, i+2) of the region.
+        const std::uint64_t slice = n / numCores_ > 0 ? n / numCores_ : 1;
+        const std::uint64_t stage =
+            (core + (rng.chance(0.5) ? 0u : 1u)) % numCores_;
+        return (stage * slice + rng.below(slice)) % n;
+      }
+      case SharingPattern::Migratory: {
+        const std::uint64_t b = rng.below(n);
+        if (migLeft_[b] == 0 || migOwner_[b] == core) {
+            // Claim (or continue) an exclusive burst on this block.
+            if (migLeft_[b] == 0) {
+                migOwner_[b] = core;
+                migLeft_[b] = 1 + static_cast<std::uint32_t>(
+                                      rng.below(params_.migratoryBurst));
+            }
+            --migLeft_[b];
+            return b;
+        }
+        // Someone else is bursting on b; fall back to a private-ish
+        // corner of the shared region.
+        return (b + core) % n;
+      }
+    }
+    return 0;
+}
+
+MemOp
+WorkloadGen::next(CoreId core)
+{
+    neo_assert(core < numCores_, "core id out of range");
+    Random &rng = rngs_[core];
+    MemOp op;
+    op.think = rng.geometric(params_.meanThink);
+    if (params_.sharedBlocks > 0 && rng.chance(params_.sharedFraction)) {
+        op.addr = sharedBlockAddr(pickSharedBlock(core, rng));
+        op.write = rng.chance(params_.sharedWriteFraction);
+    } else {
+        op.addr = privateBlockAddr(
+            core, rng.below(params_.privateBlocksPerCore));
+        op.write = rng.chance(params_.privateWriteFraction);
+    }
+    return op;
+}
+
+std::vector<WorkloadParams>
+parsecSuite()
+{
+    // Parameters follow the PARSEC characterization (PACT 2008):
+    // working-set sizes and sharing intensities are scaled to the
+    // simulated cache sizes while preserving the relative ordering
+    // (canneal/facesim large and irregular; swaptions/blackscholes
+    // tiny and private; dedup/x264 pipelined).
+    std::vector<WorkloadParams> suite;
+
+    WorkloadParams p;
+    p.name = "blackscholes";
+    p.privateBlocksPerCore = 384;
+    p.sharedBlocks = 128;
+    p.sharedFraction = 0.02;
+    p.privateWriteFraction = 0.25;
+    p.sharedWriteFraction = 0.05;
+    p.meanThink = 10.0;
+    p.pattern = SharingPattern::Uniform;
+    suite.push_back(p);
+
+    p = WorkloadParams{};
+    p.name = "bodytrack";
+    p.privateBlocksPerCore = 512;
+    p.sharedBlocks = 512;
+    p.sharedFraction = 0.10;
+    p.privateWriteFraction = 0.30;
+    p.sharedWriteFraction = 0.15;
+    p.meanThink = 7.0;
+    p.pattern = SharingPattern::Uniform;
+    suite.push_back(p);
+
+    p = WorkloadParams{};
+    p.name = "canneal";
+    p.privateBlocksPerCore = 2048;
+    p.sharedBlocks = 4096;
+    p.sharedFraction = 0.30;
+    p.privateWriteFraction = 0.35;
+    p.sharedWriteFraction = 0.40;
+    p.meanThink = 4.0;
+    p.pattern = SharingPattern::Uniform;
+    suite.push_back(p);
+
+    p = WorkloadParams{};
+    p.name = "dedup";
+    p.privateBlocksPerCore = 768;
+    p.sharedBlocks = 1024;
+    p.sharedFraction = 0.15;
+    p.privateWriteFraction = 0.35;
+    p.sharedWriteFraction = 0.35;
+    p.meanThink = 6.0;
+    p.pattern = SharingPattern::Neighbor;
+    suite.push_back(p);
+
+    p = WorkloadParams{};
+    p.name = "facesim";
+    p.privateBlocksPerCore = 3072;
+    p.sharedBlocks = 1024;
+    p.sharedFraction = 0.05;
+    p.privateWriteFraction = 0.40;
+    p.sharedWriteFraction = 0.20;
+    p.meanThink = 5.0;
+    p.pattern = SharingPattern::Uniform;
+    suite.push_back(p);
+
+    p = WorkloadParams{};
+    p.name = "swaptions";
+    p.privateBlocksPerCore = 256;
+    p.sharedBlocks = 64;
+    p.sharedFraction = 0.01;
+    p.privateWriteFraction = 0.30;
+    p.sharedWriteFraction = 0.05;
+    p.meanThink = 9.0;
+    p.pattern = SharingPattern::Uniform;
+    suite.push_back(p);
+
+    p = WorkloadParams{};
+    p.name = "x264";
+    p.privateBlocksPerCore = 1024;
+    p.sharedBlocks = 1536;
+    p.sharedFraction = 0.12;
+    p.privateWriteFraction = 0.30;
+    p.sharedWriteFraction = 0.25;
+    p.meanThink = 6.0;
+    p.pattern = SharingPattern::Neighbor;
+    suite.push_back(p);
+
+    return suite;
+}
+
+WorkloadParams
+parsecProfile(const std::string &name)
+{
+    for (const auto &p : parsecSuite())
+        if (p.name == name)
+            return p;
+    neo_fatal("unknown PARSEC profile: ", name);
+}
+
+} // namespace neo

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Synthetic multithreaded workload generators.
+ *
+ * The paper evaluates with seven PARSEC benchmarks under gem5
+ * full-system simulation. We have neither gem5 nor PARSEC binaries, so
+ * each benchmark is replaced by a synthetic address-stream generator
+ * whose parameters follow the published PARSEC characterization
+ * (Bienia et al., PACT 2008): per-thread working-set size, fraction of
+ * accesses to shared data, write ratios, and the dominant sharing
+ * pattern (data-parallel, pipeline/neighbor, or irregular/uniform).
+ * The paper's evaluation claims are relative across protocols under
+ * identical streams, which this preserves (see DESIGN.md).
+ */
+
+#ifndef NEO_WORKLOAD_WORKLOAD_HPP
+#define NEO_WORKLOAD_WORKLOAD_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace neo
+{
+
+/** One memory operation issued by a core. */
+struct MemOp
+{
+    Addr addr = 0;
+    bool write = false;
+    /** Compute cycles before this op is issued. */
+    Tick think = 0;
+};
+
+/** How shared blocks are distributed among threads. */
+enum class SharingPattern
+{
+    /** Any thread touches any shared block (irregular, canneal-like). */
+    Uniform,
+    /** Thread i shares mostly with threads i-1 / i+1 (pipeline,
+     *  dedup/x264-like). */
+    Neighbor,
+    /** Shared blocks are accessed in exclusive bursts by one thread at
+     *  a time (migratory, lock-protected data). */
+    Migratory,
+};
+
+struct WorkloadParams
+{
+    std::string name = "synthetic";
+    /** Private working set, in blocks, per core. */
+    std::uint64_t privateBlocksPerCore = 512;
+    /** Globally shared region size, in blocks. */
+    std::uint64_t sharedBlocks = 256;
+    /** Probability an access goes to the shared region. */
+    double sharedFraction = 0.05;
+    /** Write probability for private accesses. */
+    double privateWriteFraction = 0.3;
+    /** Write probability for shared accesses. */
+    double sharedWriteFraction = 0.2;
+    /** Mean compute gap between memory ops, cycles. */
+    double meanThink = 6.0;
+    SharingPattern pattern = SharingPattern::Uniform;
+    /** For Migratory: mean burst length before the block migrates. */
+    std::uint32_t migratoryBurst = 8;
+};
+
+/**
+ * Deterministic per-core operation stream over a block-granular
+ * address space: each core owns a private region and all cores share
+ * one region laid out after the private ones.
+ */
+class WorkloadGen
+{
+  public:
+    WorkloadGen(const WorkloadParams &params, unsigned num_cores,
+                std::uint64_t block_size, std::uint64_t seed);
+
+    MemOp next(CoreId core);
+
+    const WorkloadParams &params() const { return params_; }
+    const std::string &name() const { return params_.name; }
+
+  private:
+    Addr privateBlockAddr(CoreId core, std::uint64_t block) const;
+    Addr sharedBlockAddr(std::uint64_t block) const;
+
+    /** Pick a shared block index for @p core under the pattern. */
+    std::uint64_t pickSharedBlock(CoreId core, Random &rng);
+
+    WorkloadParams params_;
+    unsigned numCores_;
+    std::uint64_t blockSize_;
+    std::vector<Random> rngs_; ///< one stream per core
+    /** Migratory pattern state: current exclusive holder per block
+     *  group and remaining burst. */
+    std::vector<std::uint32_t> migOwner_;
+    std::vector<std::uint32_t> migLeft_;
+};
+
+/** The seven PARSEC-like presets of the paper's evaluation (§5.2). */
+std::vector<WorkloadParams> parsecSuite();
+
+/** Look up one preset by name (fatal on unknown name). */
+WorkloadParams parsecProfile(const std::string &name);
+
+} // namespace neo
+
+#endif // NEO_WORKLOAD_WORKLOAD_HPP

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the system builder and experiment runner: the Figure 7
+ * organizations, arbitrary-tree construction, leaf-level directory
+ * classification, multi-trial statistics, and deadlock-freedom of the
+ * verification models (detect_deadlock mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim_runner.hpp"
+#include "test_util.hpp"
+#include "verif/explorer.hpp"
+#include "verif/models/flat_closed.hpp"
+#include "verif/models/flat_open.hpp"
+
+using namespace neo;
+using namespace neo::test;
+
+namespace
+{
+
+TEST(Organizations, Figure7Shapes)
+{
+    struct Case
+    {
+        const char *name;
+        std::size_t dirs;
+    };
+    // Skewed: L3 + 16 private L2s + 1 shared L2; 2perL2: L3 + 16 L2s;
+    // 8perL2: L3 + 4 L2s.
+    const Case cases[] = {{"skewed", 18}, {"2perL2", 17},
+                          {"8perL2", 5}};
+    for (const Case &c : cases) {
+        EventQueue eventq;
+        HierarchySpec spec =
+            organizationByName(c.name, ProtocolVariant::NeoMESI);
+        System system(spec, eventq);
+        EXPECT_EQ(system.numL1s(), 32u) << c.name;
+        EXPECT_EQ(system.numDirs(), c.dirs) << c.name;
+        EXPECT_TRUE(system.root().isRoot());
+    }
+}
+
+TEST(Organizations, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(organizationByName("bogus", ProtocolVariant::NeoMESI),
+                ::testing::ExitedWithCode(1), "unknown organization");
+}
+
+TEST(Organizations, SkewedIsActuallySkewed)
+{
+    EventQueue eventq;
+    System system(skewedOrg(ProtocolVariant::NeoMESI), eventq);
+    // One L2 has 16 children, sixteen L2s have 1 child.
+    std::size_t wide = 0, narrow = 0;
+    for (std::size_t d = 0; d < system.numDirs(); ++d) {
+        if (system.dir(d).isRoot())
+            continue;
+        const auto n = system.dir(d).numChildren();
+        if (n == 16)
+            ++wide;
+        else if (n == 1)
+            ++narrow;
+    }
+    EXPECT_EQ(wide, 1u);
+    EXPECT_EQ(narrow, 16u);
+}
+
+TEST(SystemBuilder, LeafLevelDirsClassification)
+{
+    EventQueue eventq;
+    HierarchySpec spec = deepTree(ProtocolVariant::NeoMESI);
+    System system(spec, eventq);
+    const auto leaf_dirs = system.leafLevelDirs();
+    // deepTree: 2 L2s in arm A + 1 L2 in arm B + 1 L2 in arm C are
+    // leaf-level; the mid dir and the root are not.
+    EXPECT_EQ(leaf_dirs.size(), 4u);
+    for (const auto *d : leaf_dirs)
+        EXPECT_FALSE(d->isRoot());
+}
+
+TEST(SimRunner, TrialsVaryBySeed)
+{
+    HierarchySpec spec = tinyTree(ProtocolVariant::NeoMESI, 2, 2);
+    WorkloadParams wl;
+    wl.privateBlocksPerCore = 32;
+    wl.sharedBlocks = 16;
+    wl.sharedFraction = 0.3;
+    RunConfig cfg;
+    cfg.opsPerCore = 500;
+    const TrialSummary t = runTrials(spec, wl, cfg, 3);
+    EXPECT_TRUE(t.allCoherent);
+    EXPECT_EQ(t.runtime.count(), 3u);
+    // Different seeds must produce different (but close) runtimes.
+    EXPECT_GT(t.runtime.stdev(), 0.0);
+    EXPECT_LT(t.runtime.stdev(), 0.2 * t.runtime.mean());
+}
+
+TEST(SimRunner, DeterministicForFixedSeed)
+{
+    HierarchySpec spec = tinyTree(ProtocolVariant::NSMOESI, 2, 2);
+    WorkloadParams wl;
+    wl.privateBlocksPerCore = 16;
+    wl.sharedBlocks = 8;
+    wl.sharedFraction = 0.4;
+    RunConfig cfg;
+    cfg.opsPerCore = 300;
+    cfg.seed = 12345;
+    const RunResult a = runOnce(spec, wl, cfg);
+    const RunResult b = runOnce(spec, wl, cfg);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.networkMessages, b.networkMessages);
+}
+
+TEST(SimRunner, ProtocolsSeeSameWorkload)
+{
+    // The evaluation's premise: identical streams across protocols.
+    WorkloadParams wl;
+    wl.privateBlocksPerCore = 16;
+    wl.sharedBlocks = 8;
+    wl.sharedFraction = 0.4;
+    RunConfig cfg;
+    cfg.opsPerCore = 300;
+    RunResult results[2];
+    int k = 0;
+    for (ProtocolVariant v :
+         {ProtocolVariant::NeoMESI, ProtocolVariant::NSMOESI}) {
+        results[k++] =
+            runOnce(tinyTree(v, 2, 2), wl, cfg);
+    }
+    // Same per-core op streams -> the same total op count; hits,
+    // misses and upgrades partition it differently per protocol (the
+    // O state turns some upgrades into hits).
+    for (const RunResult &r : results) {
+        EXPECT_EQ(r.l1Hits + r.l1Misses + r.l1Upgrades,
+                  300u * 4u);
+    }
+}
+
+TEST(VerifModels, DeadlockFree)
+{
+    using namespace neo::verif;
+    ModelShape shape;
+    const auto closed = explore(
+        buildClosedModel(2, VerifFeatures::neoMESI(), shape),
+        ExploreLimits{5'000'000, 120.0}, /*detect_deadlock=*/true);
+    EXPECT_EQ(closed.status, VerifStatus::Verified)
+        << closed.badState;
+    const auto open = explore(
+        buildOpenModel(2, VerifFeatures::neoMESI(),
+                       CompositionMethod::None, shape),
+        ExploreLimits{5'000'000, 120.0}, /*detect_deadlock=*/true);
+    EXPECT_EQ(open.status, VerifStatus::Verified) << open.badState;
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the model-checker engine itself: reachability,
+ * invariant violation with trace reconstruction, deadlock detection,
+ * bounds, canonicalization-based symmetry reduction, and the
+ * parametric view-abstraction machinery on toy systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "verif/explorer.hpp"
+#include "verif/parametric.hpp"
+
+using namespace neo;
+
+namespace
+{
+
+/** A counter that steps 0..max with a reset rule. */
+TransitionSystem
+counterSystem(std::uint8_t max)
+{
+    TransitionSystem ts;
+    const auto x = ts.addVar("x", 0);
+    ts.addRule(
+        "inc", ActionKind::Internal,
+        [x, max](const VState &s) { return s[x] < max; },
+        [x](VState &s) { ++s[x]; });
+    ts.addRule(
+        "reset", ActionKind::Internal,
+        [x, max](const VState &s) { return s[x] == max; },
+        [x](VState &s) { s[x] = 0; });
+    return ts;
+}
+
+TEST(Explorer, ExactReachableCount)
+{
+    TransitionSystem ts = counterSystem(9);
+    const auto r = explore(ts, ExploreLimits{1000, 10.0});
+    EXPECT_EQ(r.status, VerifStatus::Verified);
+    EXPECT_EQ(r.statesExplored, 10u);
+}
+
+TEST(Explorer, InvariantViolationWithShortestTrace)
+{
+    TransitionSystem ts = counterSystem(9);
+    ts.addInvariant("below7",
+                    [](const VState &s) { return s[0] < 7; });
+    const auto r = explore(ts, ExploreLimits{1000, 10.0});
+    EXPECT_EQ(r.status, VerifStatus::InvariantViolated);
+    EXPECT_EQ(r.violatedInvariant, "below7");
+    // BFS finds the shortest counterexample: seven "inc" steps.
+    EXPECT_EQ(r.trace.size(), 7u);
+    EXPECT_TRUE(std::all_of(r.trace.begin(), r.trace.end(),
+                            [](const std::string &s) {
+                                return s == "inc";
+                            }));
+}
+
+TEST(Explorer, DeadlockDetection)
+{
+    TransitionSystem ts;
+    const auto x = ts.addVar("x", 0);
+    ts.addRule(
+        "step", ActionKind::Internal,
+        [x](const VState &s) { return s[x] < 3; },
+        [x](VState &s) { ++s[x]; });
+    // No rule from x==3: a deadlock when detection is on.
+    auto r = explore(ts, ExploreLimits{1000, 10.0}, true);
+    EXPECT_EQ(r.status, VerifStatus::Deadlock);
+    r = explore(ts, ExploreLimits{1000, 10.0}, false);
+    EXPECT_EQ(r.status, VerifStatus::Verified);
+}
+
+TEST(Explorer, StateBoundReported)
+{
+    TransitionSystem ts = counterSystem(200);
+    const auto r = explore(ts, ExploreLimits{50, 10.0});
+    EXPECT_EQ(r.status, VerifStatus::LimitExceeded);
+    EXPECT_GE(r.statesExplored, 50u);
+}
+
+TEST(Explorer, CanonicalizationMergesSymmetricStates)
+{
+    // Two independent bits; with sorting canonicalization the states
+    // (0,1) and (1,0) merge: 3 canonical states instead of 4.
+    auto build = [](bool canon) {
+        TransitionSystem ts;
+        const auto a = ts.addVar("a", 0);
+        const auto b = ts.addVar("b", 0);
+        ts.addRule(
+            "setA", ActionKind::Internal,
+            [a](const VState &s) { return s[a] == 0; },
+            [a](VState &s) { s[a] = 1; });
+        ts.addRule(
+            "setB", ActionKind::Internal,
+            [b](const VState &s) { return s[b] == 0; },
+            [b](VState &s) { s[b] = 1; });
+        if (canon) {
+            ts.setCanonicalizer([](VState &s) {
+                if (s[0] > s[1])
+                    std::swap(s[0], s[1]);
+            });
+        }
+        return ts;
+    };
+    const auto plain =
+        explore(build(false), ExploreLimits{100, 10.0});
+    const auto reduced =
+        explore(build(true), ExploreLimits{100, 10.0});
+    EXPECT_EQ(plain.statesExplored, 4u);
+    EXPECT_EQ(reduced.statesExplored, 3u);
+}
+
+TEST(Explorer, OnStateVisitsEveryState)
+{
+    TransitionSystem ts = counterSystem(5);
+    unsigned visits = 0;
+    explore(ts, ExploreLimits{100, 10.0}, false, true,
+            [&](const VState &) { ++visits; });
+    EXPECT_EQ(visits, 6u);
+}
+
+/** Parametric toy: N clients, at most one in the critical section. */
+ModelFactory
+mutexFactory(bool buggy)
+{
+    return [buggy](std::size_t n, ModelShape &shape) {
+        TransitionSystem ts;
+        const auto lock = ts.addVar("lock", 0);
+        shape.sharedVars = 1;
+        shape.numLeaves = n;
+        shape.leafBlockSize = 1;
+        std::vector<std::size_t> in(n);
+        for (std::size_t i = 0; i < n; ++i)
+            in[i] = ts.addVar("in" + std::to_string(i), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto me = in[i];
+            ts.addRule(
+                "enter" + std::to_string(i), ActionKind::Internal,
+                [lock, buggy](const VState &s) {
+                    return buggy || s[lock] == 0;
+                },
+                [lock, me](VState &s) {
+                    s[lock] = 1;
+                    s[me] = 1;
+                });
+            ts.addRule(
+                "leave" + std::to_string(i), ActionKind::Internal,
+                [me](const VState &s) { return s[me] == 1; },
+                [lock, me](VState &s) {
+                    s[lock] = 0;
+                    s[me] = 0;
+                });
+        }
+        ts.addInvariant("mutex", [in, n](const VState &s) {
+            unsigned inside = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                inside += s[in[i]];
+            return inside <= 1;
+        });
+        ts.setCanonicalizer([n](VState &s) {
+            std::sort(s.begin() + 1, s.begin() + 1 + n);
+        });
+        return ts;
+    };
+}
+
+TEST(Parametric, ToyMutexConverges)
+{
+    const auto r = verifyParametric(mutexFactory(false), 1, 6,
+                                    ExploreLimits{10000, 10.0});
+    EXPECT_EQ(r.status, VerifStatus::Verified);
+    EXPECT_TRUE(r.converged) << r.detail;
+    EXPECT_LE(r.cutoff, 3u);
+}
+
+TEST(Parametric, ToyMutexBugFoundAtSmallestInstance)
+{
+    const auto r = verifyParametric(mutexFactory(true), 1, 6,
+                                    ExploreLimits{10000, 10.0});
+    EXPECT_EQ(r.status, VerifStatus::InvariantViolated);
+    EXPECT_FALSE(r.converged);
+    // The two-client instance already exposes it.
+    ASSERT_GE(r.perInstance.size(), 2u);
+    EXPECT_EQ(r.perInstance.back().status,
+              VerifStatus::InvariantViolated);
+}
+
+TEST(Parametric, ViewSetSizesAreBoundedAcrossN)
+{
+    const auto r = verifyParametric(mutexFactory(false), 1, 6,
+                                    ExploreLimits{10000, 10.0});
+    ASSERT_GE(r.abstractSetSizes.size(), 2u);
+    // Convergence means the final two view-set sizes are equal.
+    const auto k = r.abstractSetSizes.size();
+    EXPECT_EQ(r.abstractSetSizes[k - 1], r.abstractSetSizes[k - 2]);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the NeoHierarchy structure: recursive sums over Figure-1
+ * shaped trees, violation surfacing, and the leaf-replacement scaling
+ * operation of §2.3. Also model-coverage checks: no rule of the
+ * NeoMESI verification models is dead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <algorithm>
+
+#include "neo/hierarchy.hpp"
+#include "verif/explorer.hpp"
+#include "verif/models/flat_closed.hpp"
+#include "verif/models/flat_open.hpp"
+
+using namespace neo;
+
+namespace
+{
+
+NeoNode
+healthySubtree()
+{
+    // S-directory over two S leaves and an I leaf.
+    NeoNode n = NeoNode::internal(Perm::S);
+    n.compose(NeoNode::leaf(Perm::S))
+        .compose(NeoNode::leaf(Perm::S))
+        .compose(NeoNode::leaf(Perm::I));
+    return n;
+}
+
+TEST(NeoHierarchy, LeafSumIsItsPermission)
+{
+    EXPECT_EQ(NeoNode::leaf(Perm::M).sum(), Perm::M);
+    EXPECT_EQ(NeoNode::leaf(Perm::I).sum(), Perm::I);
+}
+
+TEST(NeoHierarchy, HealthyTreeSummarizesToRootPermission)
+{
+    NeoNode root = NeoNode::internal(Perm::M);
+    root.compose(healthySubtree())
+        .compose(NeoNode::leaf(Perm::I))
+        .compose(healthySubtree());
+    EXPECT_EQ(root.sum(), Perm::M);
+    EXPECT_EQ(root.size(), 10u);
+    EXPECT_EQ(root.depth(), 3u);
+}
+
+TEST(NeoHierarchy, DeepViolationSurfacesAtTheTop)
+{
+    NeoNode deep = NeoNode::internal(Perm::S);
+    // Permission principle violated three levels down: an M leaf
+    // under an S directory.
+    NeoNode mid = NeoNode::internal(Perm::S);
+    mid.compose(NeoNode::leaf(Perm::M));
+    deep.compose(mid);
+    NeoNode root = NeoNode::internal(Perm::M);
+    root.compose(deep).compose(NeoNode::leaf(Perm::I));
+    EXPECT_EQ(root.sum(), Perm::Bad);
+}
+
+TEST(NeoHierarchy, SiblingIncompatibilitySurfaces)
+{
+    NeoNode root = NeoNode::internal(Perm::M);
+    root.compose(NeoNode::leaf(Perm::E))
+        .compose(NeoNode::leaf(Perm::S));
+    EXPECT_EQ(root.sum(), Perm::Bad);
+    NeoNode ok = NeoNode::internal(Perm::M);
+    ok.compose(NeoNode::leaf(Perm::E)).compose(NeoNode::leaf(Perm::I));
+    EXPECT_EQ(ok.sum(), Perm::M);
+}
+
+TEST(NeoHierarchy, ReplaceLeafScalesTheTree)
+{
+    // §2.3: scale a hierarchy by replacing a leaf with a subhierarchy
+    // that summarizes identically.
+    NeoNode root = NeoNode::internal(Perm::M);
+    root.compose(NeoNode::leaf(Perm::S))
+        .compose(NeoNode::leaf(Perm::I));
+    ASSERT_EQ(root.sum(), Perm::M);
+
+    // The replacement subtree also sums to S, like the leaf it
+    // replaces — the Safe Composition Invariant's premise.
+    NeoNode sub = healthySubtree();
+    ASSERT_EQ(sub.sum(), Perm::S);
+    ASSERT_TRUE(replaceLeaf(root, 0, std::move(sub)));
+    EXPECT_EQ(root.sum(), Perm::M);
+    EXPECT_EQ(root.depth(), 3u);
+
+    // Replacing past the last leaf fails.
+    EXPECT_FALSE(replaceLeaf(root, 99, NeoNode::leaf(Perm::I)));
+}
+
+TEST(NeoHierarchy, StrRendersShape)
+{
+    NeoNode root = NeoNode::internal(Perm::M);
+    root.compose(NeoNode::leaf(Perm::S))
+        .compose(NeoNode::leaf(Perm::I));
+    EXPECT_EQ(root.str(), "M(S,I)");
+}
+
+// ---- model rule coverage: dead logic detection ----
+//
+// Rules are instantiated per leaf index (and per (owner, target)
+// pair); symmetry canonicalization renumbers leaves, so individual
+// instances can legitimately never fire. Coverage is therefore
+// checked per rule FAMILY (name with index suffixes stripped).
+
+std::string
+familyOf(const std::string &rule)
+{
+    std::string f = rule;
+    // strip trailing _<digits> and _to_<digits> suffixes
+    for (int pass = 0; pass < 2; ++pass) {
+        const auto us = f.find_last_of('_');
+        if (us == std::string::npos)
+            break;
+        const std::string tail = f.substr(us + 1);
+        if (!tail.empty() &&
+            std::all_of(tail.begin(), tail.end(), ::isdigit)) {
+            f = f.substr(0, us);
+            if (f.size() >= 3 && f.substr(f.size() - 3) == "_to")
+                f = f.substr(0, f.size() - 3);
+        } else {
+            break;
+        }
+    }
+    return f;
+}
+
+void
+expectFamilyCoverage(const neo::verif::VerifFeatures &features,
+                     const std::set<std::string> &allowed_dead)
+{
+    using namespace neo::verif;
+    ModelShape shape;
+    TransitionSystem ts = buildClosedModel(3, features, shape);
+    const ExploreResult r =
+        explore(ts, ExploreLimits{5'000'000, 300.0}, false, false);
+    ASSERT_EQ(r.status, VerifStatus::Verified);
+    std::map<std::string, std::uint64_t> fires;
+    for (std::size_t i = 0; i < ts.rules().size(); ++i)
+        fires[familyOf(ts.rules()[i].name)] += r.ruleFires[i];
+    for (const auto &[family, count] : fires) {
+        if (allowed_dead.count(family))
+            continue;
+        EXPECT_GT(count, 0u) << "dead rule family: " << family;
+    }
+}
+
+TEST(ModelCoverage, ClosedNeoMESIFamiliesAllFire)
+{
+    // d_fwdM_dispatch requires an owner coexisting with sharers,
+    // which MESI forbids — it exists for the O-state ladder step.
+    expectFamilyCoverage(neo::verif::VerifFeatures::neoMESI(),
+                         {"d_fwdM_dispatch"});
+}
+
+TEST(ModelCoverage, ClosedMOESIExercisesTheDeferredForward)
+{
+    // Under MOESI the deferred owner-forward MUST fire somewhere —
+    // this is the single-writer race the +O state introduces.
+    expectFamilyCoverage(neo::verif::VerifFeatures::withOwned(), {});
+}
+
+TEST(ModelCoverage, OpenNeoMESIFamiliesAllFire)
+{
+    using namespace neo::verif;
+    ModelShape shape;
+    TransitionSystem ts = buildOpenModel(
+        3, VerifFeatures::neoMESI(), CompositionMethod::None, shape);
+    const ExploreResult r =
+        explore(ts, ExploreLimits{5'000'000, 300.0}, false, false);
+    ASSERT_EQ(r.status, VerifStatus::Verified);
+    std::map<std::string, std::uint64_t> fires;
+    for (std::size_t i = 0; i < ts.rules().size(); ++i)
+        fires[familyOf(ts.rules()[i].name)] += r.ruleFires[i];
+    const std::set<std::string> allowed_dead = {"d_fwdM_dispatch"};
+    for (const auto &[family, count] : fires) {
+        if (allowed_dead.count(family))
+            continue;
+        EXPECT_GT(count, 0u) << "dead rule family: " << family;
+    }
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit + property tests for the Neo theory layer: the permission
+ * lattice, the sum functions' §2.4 requirements, and execution
+ * summaries (§2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "neo/execution.hpp"
+#include "neo/permission.hpp"
+
+using namespace neo;
+
+namespace
+{
+
+constexpr std::array<Perm, 5> allPerms = {Perm::I, Perm::S, Perm::O,
+                                          Perm::E, Perm::M};
+
+TEST(PermLattice, RanksOrdered)
+{
+    EXPECT_LT(permRank(Perm::I), permRank(Perm::S));
+    EXPECT_LT(permRank(Perm::S), permRank(Perm::O));
+    EXPECT_LT(permRank(Perm::O), permRank(Perm::E));
+    EXPECT_EQ(permRank(Perm::E), permRank(Perm::M));
+    EXPECT_LT(permRank(Perm::M), permRank(Perm::Bad));
+}
+
+TEST(PermLattice, CompatibilityTable)
+{
+    // I is compatible with everything (non-bad).
+    for (Perm p : allPerms) {
+        EXPECT_TRUE(permCompatible(Perm::I, p));
+        EXPECT_TRUE(permCompatible(p, Perm::I));
+    }
+    // Exclusives tolerate only I.
+    for (Perm x : {Perm::E, Perm::M}) {
+        for (Perm p : {Perm::S, Perm::O, Perm::E, Perm::M}) {
+            EXPECT_FALSE(permCompatible(x, p))
+                << permName(x) << " vs " << permName(p);
+        }
+    }
+    // Single owner; owner coexists with sharers.
+    EXPECT_TRUE(permCompatible(Perm::O, Perm::S));
+    EXPECT_FALSE(permCompatible(Perm::O, Perm::O));
+    EXPECT_TRUE(permCompatible(Perm::S, Perm::S));
+    // Bad poisons everything.
+    for (Perm p : allPerms)
+        EXPECT_FALSE(permCompatible(Perm::Bad, p));
+}
+
+TEST(PermLattice, CompatibilityIsSymmetric)
+{
+    for (Perm a : allPerms)
+        for (Perm b : allPerms)
+            EXPECT_EQ(permCompatible(a, b), permCompatible(b, a))
+                << permName(a) << " vs " << permName(b);
+}
+
+TEST(SumFunction, Requirement1BadPropagates)
+{
+    // §2.2 requirement (1): any bad child makes the composite bad.
+    for (Perm node : allPerms) {
+        const Perm sums[] = {Perm::I, Perm::Bad};
+        EXPECT_EQ(composeSum(node, sums), Perm::Bad)
+            << "node " << permName(node);
+    }
+}
+
+TEST(SumFunction, Requirement2ViolationsSurface)
+{
+    // §2.2 requirement (2): incompatible children make it bad.
+    const Perm two_m[] = {Perm::M, Perm::M};
+    EXPECT_EQ(composeSum(Perm::M, two_m), Perm::Bad);
+    const Perm e_and_s[] = {Perm::E, Perm::S};
+    EXPECT_EQ(composeSum(Perm::M, e_and_s), Perm::Bad);
+    const Perm o_and_o[] = {Perm::O, Perm::O};
+    EXPECT_EQ(composeSum(Perm::M, o_and_o), Perm::Bad);
+}
+
+TEST(SumFunction, PermissionPrincipleEnforced)
+{
+    // §3.2: no child may exceed the node's Permission.
+    const Perm m_child[] = {Perm::M};
+    EXPECT_EQ(composeSum(Perm::S, m_child), Perm::Bad);
+    EXPECT_EQ(composeSum(Perm::I, m_child), Perm::Bad);
+    // E and M share the top rank: a child in M under E is permitted
+    // (the silent-upgrade convention).
+    EXPECT_EQ(composeSum(Perm::E, m_child), Perm::E);
+}
+
+TEST(SumFunction, HealthyCompositionsReturnPermission)
+{
+    const Perm sharers[] = {Perm::S, Perm::S, Perm::I};
+    EXPECT_EQ(composeSum(Perm::S, sharers), Perm::S);
+    EXPECT_EQ(composeSum(Perm::M, sharers), Perm::M);
+    const Perm owner_mix[] = {Perm::O, Perm::S, Perm::I};
+    EXPECT_EQ(composeSum(Perm::M, owner_mix), Perm::M);
+    const Perm empty[] = {Perm::I, Perm::I};
+    for (Perm node : allPerms)
+        EXPECT_EQ(composeSum(node, empty), node);
+}
+
+TEST(SumFunction, RecursiveHierarchyExample)
+{
+    // A 3-level composition: two healthy subtrees under a root.
+    const Perm left_children[] = {Perm::S, Perm::S};
+    const Perm left = composeSum(Perm::S, left_children);
+    const Perm right_children[] = {Perm::I, Perm::I};
+    const Perm right = composeSum(Perm::I, right_children);
+    const Perm top[] = {left, right};
+    EXPECT_EQ(composeSum(Perm::M, top), Perm::M);
+
+    // Poison one leaf: the root summary must turn bad.
+    const Perm bad_left_children[] = {Perm::M, Perm::S};
+    const Perm bad_left = composeSum(Perm::S, bad_left_children);
+    const Perm bad_top[] = {bad_left, right};
+    EXPECT_EQ(composeSum(Perm::M, bad_top), Perm::Bad);
+}
+
+TEST(Executions, InternalActionsAreLambda)
+{
+    const Action a{"anything", ActionKind::Internal};
+    const Action b{"else", ActionKind::Internal};
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, lambda());
+    const Action in{"Inv", ActionKind::Input};
+    const Action out{"Inv", ActionKind::Output};
+    EXPECT_FALSE(in == out); // same name, different kind
+}
+
+TEST(Executions, StutterCompression)
+{
+    ExecutionSummary e;
+    e.initialSum = Perm::S;
+    e.steps = {
+        {lambda(), Perm::S}, // pure stutter: dropped
+        {lambda(), Perm::I}, // perm-changing internal: kept
+        {Action{"InvAck", ActionKind::Output}, Perm::I},
+        {lambda(), Perm::I}, // stutter: dropped
+    };
+    const auto c = e.compressStutter();
+    EXPECT_EQ(c.steps.size(), 2u);
+    EXPECT_EQ(c.steps[0].sum, Perm::I);
+    EXPECT_EQ(c.steps[1].action.name, "InvAck");
+}
+
+TEST(Executions, MatchIsStutterInsensitiveButActionSensitive)
+{
+    ExecutionSummary a, b;
+    a.initialSum = b.initialSum = Perm::I;
+    a.steps = {{Action{"GetS", ActionKind::Output}, Perm::I},
+               {lambda(), Perm::S}};
+    b.steps = {{lambda(), Perm::I},
+               {Action{"GetS", ActionKind::Output}, Perm::I},
+               {lambda(), Perm::I},
+               {lambda(), Perm::S}};
+    EXPECT_TRUE(summariesMatch(a, b));
+
+    b.steps.push_back({Action{"GetM", ActionKind::Output}, Perm::S});
+    EXPECT_FALSE(summariesMatch(a, b));
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the tree interconnect: topology queries, routing
+ * hop counts, latency/serialization modeling, link FIFO ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "network/tree_network.hpp"
+
+using namespace neo;
+
+namespace
+{
+
+struct Sink : MessageConsumer
+{
+    std::vector<std::pair<Tick, std::string>> got;
+    EventQueue *q = nullptr;
+    void
+    deliver(MessagePtr msg) override
+    {
+        got.emplace_back(q->curTick(), msg->describe());
+    }
+};
+
+struct Fixture
+{
+    EventQueue q;
+    NetworkParams params;
+    TreeNetwork net{"net", q, params};
+    std::vector<Sink> sinks{16};
+    std::vector<NodeId> ids;
+
+    Fixture()
+    {
+        // root(0) -> {a(1) -> {leaf(3), leaf(4)}, b(2) -> {leaf(5)}}
+        for (auto &s : sinks)
+            s.q = &q;
+        ids.push_back(net.addNode(&sinks[0], invalidNode));
+        ids.push_back(net.addNode(&sinks[1], ids[0]));
+        ids.push_back(net.addNode(&sinks[2], ids[0]));
+        ids.push_back(net.addNode(&sinks[3], ids[1]));
+        ids.push_back(net.addNode(&sinks[4], ids[1]));
+        ids.push_back(net.addNode(&sinks[5], ids[2]));
+    }
+
+    void
+    send(NodeId src, NodeId dst, std::uint32_t bytes = 8)
+    {
+        auto m = std::make_unique<Message>();
+        m->src = src;
+        m->dst = dst;
+        m->sizeBytes = bytes;
+        net.deliver(std::move(m));
+    }
+};
+
+TEST(TreeNetwork, TopologyQueries)
+{
+    Fixture f;
+    EXPECT_EQ(f.net.parentOf(f.ids[3]), f.ids[1]);
+    EXPECT_EQ(f.net.childrenOf(f.ids[0]).size(), 2u);
+    EXPECT_TRUE(f.net.areSiblings(f.ids[3], f.ids[4]));
+    EXPECT_FALSE(f.net.areSiblings(f.ids[3], f.ids[5]));
+    EXPECT_FALSE(f.net.areSiblings(f.ids[0], f.ids[1]));
+}
+
+TEST(TreeNetwork, HopCounts)
+{
+    Fixture f;
+    EXPECT_EQ(f.net.hops(f.ids[3], f.ids[1]), 1u); // child-parent
+    EXPECT_EQ(f.net.hops(f.ids[3], f.ids[4]), 2u); // siblings
+    EXPECT_EQ(f.net.hops(f.ids[3], f.ids[5]), 4u); // across the root
+    EXPECT_EQ(f.net.hops(f.ids[3], f.ids[0]), 2u);
+    EXPECT_EQ(f.net.hops(f.ids[2], f.ids[2]), 0u);
+}
+
+TEST(TreeNetwork, LatencyScalesWithHops)
+{
+    Fixture f;
+    f.send(f.ids[3], f.ids[1]); // 1 hop
+    f.q.run();
+    ASSERT_EQ(f.sinks[1].got.size(), 1u);
+    const Tick one_hop = f.sinks[1].got[0].first;
+
+    f.send(f.ids[3], f.ids[5]); // 4 hops
+    f.q.run();
+    ASSERT_EQ(f.sinks[5].got.size(), 1u);
+    const Tick start = one_hop; // current tick when second was sent
+    const Tick four_hops = f.sinks[5].got[0].first - start;
+    EXPECT_NEAR(static_cast<double>(four_hops),
+                4.0 * static_cast<double>(one_hop), 1.0);
+}
+
+TEST(TreeNetwork, LargerMessagesSerializeLonger)
+{
+    Fixture f;
+    f.send(f.ids[3], f.ids[1], 8);
+    f.q.run();
+    const Tick small = f.sinks[1].got.at(0).first;
+    Fixture g;
+    g.send(g.ids[3], g.ids[1], 72);
+    g.q.run();
+    const Tick big = g.sinks[1].got.at(0).first;
+    EXPECT_GT(big, small);
+}
+
+TEST(TreeNetwork, PerLinkFifoOrdering)
+{
+    Fixture f;
+    // Two messages down the same link, the big one first: the second
+    // must not overtake (store-and-forward occupancy).
+    auto first = std::make_unique<Message>();
+    first->src = f.ids[0];
+    first->dst = f.ids[1];
+    first->sizeBytes = 72;
+    auto second = std::make_unique<Message>();
+    second->src = f.ids[0];
+    second->dst = f.ids[1];
+    second->sizeBytes = 8;
+    f.net.deliver(std::move(first));
+    f.net.deliver(std::move(second));
+    f.q.run();
+    ASSERT_EQ(f.sinks[1].got.size(), 2u);
+    EXPECT_LE(f.sinks[1].got[0].first, f.sinks[1].got[1].first);
+}
+
+TEST(TreeNetwork, StatsAccumulate)
+{
+    Fixture f;
+    f.send(f.ids[3], f.ids[4], 8);
+    f.send(f.ids[3], f.ids[5], 72);
+    f.q.run();
+    EXPECT_EQ(f.net.messageCount().value(), 2u);
+    EXPECT_EQ(f.net.totalBytes().value(), 80u);
+    EXPECT_EQ(f.net.hopStat().count(), 2u);
+    EXPECT_DOUBLE_EQ(f.net.hopStat().max(), 4.0);
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Directed protocol scenarios on small trees: the classic coherence
+ * transactions (read, share, write, upgrade, invalidation, eviction)
+ * across every protocol variant, with the Neo-sum coherence checker
+ * run after each step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+using namespace neo;
+using namespace neo::test;
+
+namespace
+{
+
+class ProtocolBasic : public ::testing::TestWithParam<ProtocolVariant>
+{
+  protected:
+    void
+    build(unsigned n_l2 = 2, unsigned n_l1 = 2)
+    {
+        spec_ = tinyTree(GetParam(), n_l2, n_l1);
+        system_ = std::make_unique<System>(spec_, eventq_);
+    }
+
+    void
+    expectCoherent()
+    {
+        ASSERT_TRUE(system_->checker().quiescent());
+        const auto v = system_->checker().check();
+        for (const auto &s : v)
+            ADD_FAILURE() << s;
+    }
+
+    EventQueue eventq_;
+    HierarchySpec spec_;
+    std::unique_ptr<System> system_;
+};
+
+TEST_P(ProtocolBasic, SingleReadFillsLine)
+{
+    build();
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x1000, false));
+    const Perm p = system_->l1(0).blockPerm(0x1000);
+    if (ProtocolConfig::forVariant(GetParam()).exclusiveState)
+        EXPECT_EQ(p, Perm::E);
+    else
+        EXPECT_EQ(p, Perm::S);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, SingleWriteGivesM)
+{
+    build();
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x1000, true));
+    EXPECT_EQ(system_->l1(0).blockPerm(0x1000), Perm::M);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, TwoReadersShare)
+{
+    build();
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x2000, false));
+    // Reader in the *other* L2 subtree.
+    ASSERT_TRUE(access(eventq_, system_->l1(2), 0x2000, false));
+    if (ProtocolConfig::forVariant(GetParam()).ownedState) {
+        // The exclusive first reader stays the (clean) owner in O.
+        EXPECT_EQ(system_->l1(0).blockPerm(0x2000), Perm::O);
+    } else {
+        EXPECT_EQ(system_->l1(0).blockPerm(0x2000), Perm::S);
+    }
+    EXPECT_EQ(system_->l1(2).blockPerm(0x2000), Perm::S);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, WriteInvalidatesRemoteReader)
+{
+    build();
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x3000, false));
+    ASSERT_TRUE(access(eventq_, system_->l1(2), 0x3000, true));
+    EXPECT_EQ(system_->l1(0).blockPerm(0x3000), Perm::I);
+    EXPECT_EQ(system_->l1(2).blockPerm(0x3000), Perm::M);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, WriteInvalidatesSiblingReader)
+{
+    build();
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x3040, false));
+    ASSERT_TRUE(access(eventq_, system_->l1(1), 0x3040, true));
+    EXPECT_EQ(system_->l1(0).blockPerm(0x3040), Perm::I);
+    EXPECT_EQ(system_->l1(1).blockPerm(0x3040), Perm::M);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, ReadAfterRemoteWriteForwardsData)
+{
+    // Figure 4/5/6 scenario: a reader misses while a cache in another
+    // subtree holds the block in M.
+    build();
+    ASSERT_TRUE(access(eventq_, system_->l1(3), 0x4000, true));
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x4000, false));
+    EXPECT_EQ(system_->l1(0).blockPerm(0x4000), Perm::S);
+    const Perm writer = system_->l1(3).blockPerm(0x4000);
+    if (ProtocolConfig::forVariant(GetParam()).ownedState)
+        EXPECT_EQ(writer, Perm::O);
+    else
+        EXPECT_EQ(writer, Perm::S);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, UpgradeFromShared)
+{
+    build();
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x5000, false));
+    ASSERT_TRUE(access(eventq_, system_->l1(2), 0x5000, false));
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x5000, true));
+    EXPECT_EQ(system_->l1(0).blockPerm(0x5000), Perm::M);
+    EXPECT_EQ(system_->l1(2).blockPerm(0x5000), Perm::I);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, SilentExclusiveUpgrade)
+{
+    build();
+    if (!ProtocolConfig::forVariant(GetParam()).exclusiveState)
+        GTEST_SKIP() << "MSI has no E state";
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x6000, false));
+    ASSERT_EQ(system_->l1(0).blockPerm(0x6000), Perm::E);
+    const auto misses_before = system_->l1(0).misses().value();
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x6000, true));
+    EXPECT_EQ(system_->l1(0).blockPerm(0x6000), Perm::M);
+    // The whole point of E: the write produced no new miss.
+    EXPECT_EQ(system_->l1(0).misses().value(), misses_before);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, CapacityEvictionWritesBack)
+{
+    build();
+    auto &l1 = system_->l1(0);
+    // The tiny L1 holds 8 blocks (2-way x 4 sets); writing 9 blocks
+    // that collide in a set forces a dirty eviction.
+    for (unsigned i = 0; i < 9; ++i) {
+        const Addr a = 0x10000 + static_cast<Addr>(i) * tinyL1().sizeBytes / 2;
+        ASSERT_TRUE(access(eventq_, l1, a, true)) << "op " << i;
+    }
+    EXPECT_GT(l1.evictions().value(), 0u);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, ReadSharedByAllCores)
+{
+    build(2, 2);
+    for (std::size_t i = 0; i < system_->numL1s(); ++i)
+        ASSERT_TRUE(access(eventq_, system_->l1(i), 0x7000, false));
+    const bool moesi =
+        ProtocolConfig::forVariant(GetParam()).ownedState;
+    for (std::size_t i = 0; i < system_->numL1s(); ++i) {
+        const Perm p = system_->l1(i).blockPerm(0x7000);
+        if (moesi && i == 0)
+            EXPECT_EQ(p, Perm::O);
+        else
+            EXPECT_EQ(p, Perm::S);
+    }
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, WriteRotatesOwnershipAcrossAllCores)
+{
+    build(2, 2);
+    for (std::size_t i = 0; i < system_->numL1s(); ++i)
+        ASSERT_TRUE(access(eventq_, system_->l1(i), 0x8000, true));
+    for (std::size_t i = 0; i + 1 < system_->numL1s(); ++i)
+        EXPECT_EQ(system_->l1(i).blockPerm(0x8000), Perm::I);
+    EXPECT_EQ(system_->l1(system_->numL1s() - 1).blockPerm(0x8000),
+              Perm::M);
+    expectCoherent();
+}
+
+TEST_P(ProtocolBasic, DeepUnbalancedTree)
+{
+    spec_ = deepTree(GetParam());
+    system_ = std::make_unique<System>(spec_, eventq_);
+    // Writer deep in subtree A, reader in subtree B, writer in C.
+    ASSERT_TRUE(access(eventq_, system_->l1(0), 0x9000, true));
+    ASSERT_TRUE(access(eventq_, system_->l1(4), 0x9000, false));
+    ASSERT_TRUE(access(eventq_, system_->l1(7), 0x9000, true));
+    EXPECT_EQ(system_->l1(7).blockPerm(0x9000), Perm::M);
+    EXPECT_EQ(system_->l1(0).blockPerm(0x9000), Perm::I);
+    EXPECT_EQ(system_->l1(4).blockPerm(0x9000), Perm::I);
+    expectCoherent();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolBasic,
+    ::testing::Values(ProtocolVariant::TreeMSI, ProtocolVariant::NeoMESI,
+                      ProtocolVariant::NSMESI, ProtocolVariant::NSMOESI),
+    [](const ::testing::TestParamInfo<ProtocolVariant> &info) {
+        std::string n = protocolName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+} // namespace

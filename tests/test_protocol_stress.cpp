@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Randomized concurrent stress over every protocol variant and several
+ * tree shapes. All cores issue overlapping traffic on a small address
+ * pool (maximizing conflicts, forwards, recalls and evictions); the
+ * run must drain without deadlock and pass the Neo-sum coherence
+ * checker, both at the end and at quiescent points reached mid-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sim_runner.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+using namespace neo;
+using namespace neo::test;
+
+namespace
+{
+
+struct StressShape
+{
+    const char *name;
+    unsigned l2s;
+    unsigned l1sPerL2;
+};
+
+using StressParam = std::tuple<ProtocolVariant, StressShape>;
+
+class ProtocolStress : public ::testing::TestWithParam<StressParam>
+{
+};
+
+TEST_P(ProtocolStress, RandomConflictTraffic)
+{
+    const auto [variant, shape] = GetParam();
+    EventQueue eventq;
+    HierarchySpec spec = tinyTree(variant, shape.l2s, shape.l1sPerL2);
+    System system(spec, eventq);
+
+    const unsigned num_cores = static_cast<unsigned>(system.numL1s());
+    constexpr unsigned ops_per_core = 400;
+    constexpr unsigned num_blocks = 24; // tiny pool -> heavy conflicts
+
+    Random rng(12345);
+    std::vector<unsigned> remaining(num_cores, ops_per_core);
+    unsigned live = num_cores;
+
+    // Self-rescheduling issuer per core.
+    std::function<void(unsigned)> issue = [&](unsigned c) {
+        if (remaining[c] == 0) {
+            --live;
+            return;
+        }
+        --remaining[c];
+        const Addr addr = rng.below(num_blocks) * 64;
+        const bool write = rng.chance(0.45);
+        system.l1(c).coreRequest(addr, write,
+                                 [&issue, c]() { issue(c); });
+    };
+    for (unsigned c = 0; c < num_cores; ++c)
+        issue(c);
+
+    std::uint64_t checks = 0;
+    while (!eventq.empty()) {
+        eventq.run(maxTick, 5000);
+        if (system.checker().quiescent()) {
+            const auto v = system.checker().check();
+            for (const auto &s : v)
+                FAIL() << "mid-run violation: " << s;
+            ++checks;
+        }
+        ASSERT_LT(eventq.processedCount(), 50'000'000u)
+            << "runaway event loop (livelock?)";
+    }
+
+    EXPECT_EQ(live, 0u) << "deadlock: not all cores finished";
+    ASSERT_TRUE(system.checker().quiescent());
+    const auto v = system.checker().check();
+    for (const auto &s : v)
+        FAIL() << "final violation: " << s;
+}
+
+TEST_P(ProtocolStress, HotBlockContention)
+{
+    // Every core hammers the SAME block with writes: maximal
+    // invalidation/forward churn through the common ancestor.
+    const auto [variant, shape] = GetParam();
+    EventQueue eventq;
+    HierarchySpec spec = tinyTree(variant, shape.l2s, shape.l1sPerL2);
+    System system(spec, eventq);
+
+    const unsigned num_cores = static_cast<unsigned>(system.numL1s());
+    std::vector<unsigned> remaining(num_cores, 120);
+    std::function<void(unsigned)> issue = [&](unsigned c) {
+        if (remaining[c] == 0)
+            return;
+        --remaining[c];
+        system.l1(c).coreRequest(0x40, true,
+                                 [&issue, c]() { issue(c); });
+    };
+    for (unsigned c = 0; c < num_cores; ++c)
+        issue(c);
+
+    eventq.run(maxTick, 20'000'000);
+    ASSERT_TRUE(eventq.empty()) << "deadlock under hot-block writes";
+    for (unsigned c = 0; c < num_cores; ++c)
+        EXPECT_EQ(remaining[c], 0u);
+    const auto v = system.checker().check();
+    for (const auto &s : v)
+        FAIL() << s;
+}
+
+TEST_P(ProtocolStress, MixedWorkloadViaRunner)
+{
+    const auto [variant, shape] = GetParam();
+    HierarchySpec spec = tinyTree(variant, shape.l2s, shape.l1sPerL2);
+    WorkloadParams wl;
+    wl.name = "stress";
+    wl.privateBlocksPerCore = 16;
+    wl.sharedBlocks = 24;
+    wl.sharedFraction = 0.4;
+    wl.sharedWriteFraction = 0.5;
+    wl.meanThink = 2.0;
+    RunConfig cfg;
+    cfg.opsPerCore = 500;
+    cfg.seed = 99;
+    const RunResult r = runOnce(spec, wl, cfg);
+    EXPECT_FALSE(r.deadlocked);
+    for (const auto &s : r.violations)
+        FAIL() << s;
+    EXPECT_GT(r.l1Misses, 0u);
+}
+
+constexpr StressShape shapes[] = {
+    {"2x2", 2, 2},
+    {"4x2", 4, 2},
+    {"2x4", 2, 4},
+    {"3x3", 3, 3},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolStress,
+    ::testing::Combine(
+        ::testing::Values(ProtocolVariant::TreeMSI,
+                          ProtocolVariant::NeoMESI,
+                          ProtocolVariant::NSMESI,
+                          ProtocolVariant::NSMOESI),
+        ::testing::ValuesIn(shapes)),
+    [](const ::testing::TestParamInfo<StressParam> &info) {
+        std::string n = protocolName(std::get<0>(info.param));
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n + "_" + std::get<1>(info.param).name;
+    });
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * neosim — command-line driver for the hierarchy simulator.
+ *
+ * Examples:
+ *   neosim --org 2perL2 --protocol NeoMESI --benchmark canneal
+ *   neosim --org skewed --protocol NS-MOESI --ops 10000 --trials 5
+ *   neosim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/sim_runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace neo;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: neosim [options]\n"
+        "  --org NAME        skewed | 2perL2 | 8perL2  (default 2perL2)\n"
+        "  --protocol NAME   TreeMSI | NeoMESI | NS-MESI | NS-MOESI\n"
+        "                    (default NeoMESI)\n"
+        "  --benchmark NAME  a PARSEC-like preset      (default canneal)\n"
+        "  --ops N           memory ops per core       (default 5000)\n"
+        "  --seed N          base RNG seed             (default 1)\n"
+        "  --trials N        perturbed trials          (default 1)\n"
+        "  --no-check        skip the end-of-run coherence checker\n"
+        "  --stats           dump every controller/network statistic\n"
+        "  --list            list organizations, protocols, benchmarks\n");
+}
+
+ProtocolVariant
+parseProtocol(const std::string &s)
+{
+    if (s == "TreeMSI")
+        return ProtocolVariant::TreeMSI;
+    if (s == "NeoMESI")
+        return ProtocolVariant::NeoMESI;
+    if (s == "NS-MESI")
+        return ProtocolVariant::NSMESI;
+    if (s == "NS-MOESI")
+        return ProtocolVariant::NSMOESI;
+    neo_fatal("unknown protocol: ", s);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string org = "2perL2";
+    std::string protocol = "NeoMESI";
+    std::string benchmark = "canneal";
+    RunConfig cfg;
+    cfg.opsPerCore = 5000;
+    cfg.seed = 1;
+    unsigned trials = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                neo_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--org") {
+            org = next();
+        } else if (arg == "--protocol") {
+            protocol = next();
+        } else if (arg == "--benchmark") {
+            benchmark = next();
+        } else if (arg == "--ops") {
+            cfg.opsPerCore = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--trials") {
+            trials = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--no-check") {
+            cfg.checkCoherence = false;
+        } else if (arg == "--stats") {
+            cfg.dumpStats = true;
+        } else if (arg == "--list") {
+            std::printf("organizations: skewed 2perL2 8perL2\n");
+            std::printf(
+                "protocols:     TreeMSI NeoMESI NS-MESI NS-MOESI\n");
+            std::printf("benchmarks:   ");
+            for (const auto &p : parsecSuite())
+                std::printf(" %s", p.name.c_str());
+            std::printf("\n");
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    setQuiet(true);
+    const HierarchySpec spec =
+        organizationByName(org, parseProtocol(protocol));
+    const WorkloadParams wl = parsecProfile(benchmark);
+
+    std::printf("neosim: %s / %s / %s, %llu ops/core, %u trial(s)\n",
+                org.c_str(), protocol.c_str(), benchmark.c_str(),
+                static_cast<unsigned long long>(cfg.opsPerCore),
+                trials);
+
+    if (trials == 1) {
+        const RunResult r = runOnce(spec, wl, cfg);
+        const auto total = r.l1Hits + r.l1Misses;
+        std::printf("runtime (cycles)     %llu\n",
+                    static_cast<unsigned long long>(r.runtime));
+        std::printf("L1 miss rate         %.2f%%\n",
+                    total ? 100.0 * static_cast<double>(r.l1Misses) /
+                                static_cast<double>(total)
+                          : 0.0);
+        std::printf("non-sibling data     %.2f%% of misses\n",
+                    100.0 * r.nonSiblingFraction());
+        std::printf("blocked arrivals     %.2f%% (L2)  %.2f%% (L3)\n",
+                    100.0 * r.blockedL2Fraction(),
+                    100.0 * r.blockedL3Fraction());
+        std::printf("network messages     %llu\n",
+                    static_cast<unsigned long long>(r.networkMessages));
+        if (cfg.checkCoherence) {
+            std::printf("coherence            %s\n",
+                        r.violations.empty() && !r.deadlocked
+                            ? "OK"
+                            : "VIOLATED");
+            for (const auto &v : r.violations)
+                std::printf("  %s\n", v.c_str());
+        }
+        return r.violations.empty() && !r.deadlocked ? 0 : 1;
+    }
+
+    const TrialSummary t = runTrials(spec, wl, cfg, trials);
+    std::printf("runtime (cycles)     %.0f +/- %.0f\n",
+                t.runtime.mean(), t.runtime.stdev());
+    std::printf("L1 miss rate         %.2f%%\n",
+                100.0 * t.missRate.mean());
+    std::printf("non-sibling data     %.2f%% of misses\n",
+                100.0 * t.nonSiblingFraction.mean());
+    std::printf("blocked arrivals     %.2f%% (L2)  %.2f%% (L3)\n",
+                100.0 * t.blockedL2.mean(), 100.0 * t.blockedL3.mean());
+    std::printf("coherence            %s\n",
+                t.allCoherent ? "OK in every trial" : "VIOLATED");
+    return t.allCoherent ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * neoverify — command-line front end for the push-button verifier.
+ *
+ * Examples:
+ *   neoverify --features neomesi --system open --method modified --n 3
+ *   neoverify --features neomesi --parametric
+ *   neoverify --features nsmesi --system open --method modified --n 2
+ *     (demonstrates the composition failure of non-sibling forwarding)
+ *   neoverify --features german --n 4
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "verif/explorer.hpp"
+#include "verif/models/flat_closed.hpp"
+#include "verif/models/flat_open.hpp"
+#include "verif/models/german.hpp"
+#include "verif/parametric.hpp"
+
+using namespace neo;
+using namespace neo::verif;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: neoverify [options]\n"
+        "  --features NAME   msi | msi-incl | neomesi | moesi | nsmesi\n"
+        "                    | german            (default neomesi)\n"
+        "  --system KIND     closed | open       (default open)\n"
+        "  --method NAME     none | original | modified\n"
+        "                    (default modified; open systems only)\n"
+        "  --n N             leaves in the flat instance (default 3)\n"
+        "  --parametric      sweep N with cutoff detection instead\n"
+        "  --max-states N    state bound          (default 8000000)\n"
+        "  --max-seconds S   time bound           (default 600)\n"
+        "  --trace           print the counterexample, if any\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string features = "neomesi";
+    std::string system = "open";
+    std::string method = "modified";
+    std::size_t n = 3;
+    bool parametric = false;
+    bool want_trace = false;
+    ExploreLimits lim{8'000'000, 600.0};
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                neo_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--features") {
+            features = next();
+        } else if (arg == "--system") {
+            system = next();
+        } else if (arg == "--method") {
+            method = next();
+        } else if (arg == "--n") {
+            n = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--parametric") {
+            parametric = true;
+        } else if (arg == "--max-states") {
+            lim.maxStates = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--max-seconds") {
+            lim.maxSeconds = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--trace") {
+            want_trace = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    VerifFeatures f;
+    if (features == "msi")
+        f = VerifFeatures::baselineMSI();
+    else if (features == "msi-incl")
+        f = VerifFeatures::inclusiveMSI();
+    else if (features == "neomesi")
+        f = VerifFeatures::neoMESI();
+    else if (features == "moesi")
+        f = VerifFeatures::withOwned();
+    else if (features == "nsmesi") {
+        f = VerifFeatures::neoMESI();
+        f.nonSiblingFwd = true;
+    } else if (features != "german") {
+        neo_fatal("unknown feature set: ", features);
+    }
+
+    CompositionMethod cm = CompositionMethod::Modified;
+    if (method == "none")
+        cm = CompositionMethod::None;
+    else if (method == "original")
+        cm = CompositionMethod::Original;
+    else if (method != "modified")
+        neo_fatal("unknown method: ", method);
+
+    auto factory = [&]() -> ModelFactory {
+        if (features == "german")
+            return germanModelFactory();
+        if (system == "closed")
+            return closedModelFactory(f);
+        return openModelFactory(f, cm);
+    }();
+
+    if (parametric) {
+        const ParametricResult r = verifyParametric(factory, 1, 8, lim);
+        std::printf("parametric sweep: %s\n",
+                    verifStatusName(r.status));
+        for (std::size_t k = 0; k < r.instanceSizes.size(); ++k) {
+            std::printf("  N=%zu: %-10s %9llu states  %zu views\n",
+                        r.instanceSizes[k],
+                        verifStatusName(r.perInstance[k].status),
+                        static_cast<unsigned long long>(
+                            r.perInstance[k].statesExplored),
+                        r.abstractSetSizes[k]);
+        }
+        std::printf("%s\n", r.detail.c_str());
+        return r.converged &&
+                       r.status == VerifStatus::Verified
+                   ? 0
+                   : 1;
+    }
+
+    ModelShape shape;
+    const TransitionSystem ts = [&] {
+        if (features == "german")
+            return buildGermanModel(n, shape);
+        if (system == "closed")
+            return buildClosedModel(n, f, shape);
+        return buildOpenModel(n, f, cm, shape);
+    }();
+
+    const ExploreResult r = explore(ts, lim, false, true);
+    std::printf("%s (%s, %s, N=%zu): %s\n", features.c_str(),
+                system.c_str(), method.c_str(), n,
+                verifStatusName(r.status));
+    std::printf("  %llu states, %llu transitions, %.2fs, ~%.1f MB\n",
+                static_cast<unsigned long long>(r.statesExplored),
+                static_cast<unsigned long long>(r.transitionsFired),
+                r.seconds,
+                static_cast<double>(r.memoryBytes) / (1024.0 * 1024.0));
+    if (r.status == VerifStatus::InvariantViolated) {
+        std::printf("  violated invariant: %s\n",
+                    r.violatedInvariant.c_str());
+        if (want_trace) {
+            std::printf("  counterexample:\n");
+            for (const auto &step : r.trace)
+                std::printf("    %s\n", step.c_str());
+            std::printf("  bad state: %s\n", r.badState.c_str());
+        }
+    }
+    return r.status == VerifStatus::Verified ? 0 : 1;
+}
