@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_skewed.dir/fig10_skewed.cpp.o"
+  "CMakeFiles/fig10_skewed.dir/fig10_skewed.cpp.o.d"
+  "fig10_skewed"
+  "fig10_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

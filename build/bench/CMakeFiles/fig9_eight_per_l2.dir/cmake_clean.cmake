@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_eight_per_l2.dir/fig9_eight_per_l2.cpp.o"
+  "CMakeFiles/fig9_eight_per_l2.dir/fig9_eight_per_l2.cpp.o.d"
+  "fig9_eight_per_l2"
+  "fig9_eight_per_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_eight_per_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_verification_matrix.dir/sec4_verification_matrix.cpp.o"
+  "CMakeFiles/sec4_verification_matrix.dir/sec4_verification_matrix.cpp.o.d"
+  "sec4_verification_matrix"
+  "sec4_verification_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_verification_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

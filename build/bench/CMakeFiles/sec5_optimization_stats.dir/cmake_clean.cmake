@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_optimization_stats.dir/sec5_optimization_stats.cpp.o"
+  "CMakeFiles/sec5_optimization_stats.dir/sec5_optimization_stats.cpp.o.d"
+  "sec5_optimization_stats"
+  "sec5_optimization_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_optimization_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_broader_applicability.dir/sec6_broader_applicability.cpp.o"
+  "CMakeFiles/sec6_broader_applicability.dir/sec6_broader_applicability.cpp.o.d"
+  "sec6_broader_applicability"
+  "sec6_broader_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_broader_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

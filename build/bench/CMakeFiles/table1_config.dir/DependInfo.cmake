@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_config.cpp" "bench/CMakeFiles/table1_config.dir/table1_config.cpp.o" "gcc" "bench/CMakeFiles/table1_config.dir/table1_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verif/CMakeFiles/neo_verif.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/neo_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/neo_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/neo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/neo/CMakeFiles/neo_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_executions.dir/neo_executions.cpp.o"
+  "CMakeFiles/neo_executions.dir/neo_executions.cpp.o.d"
+  "neo_executions"
+  "neo_executions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_executions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

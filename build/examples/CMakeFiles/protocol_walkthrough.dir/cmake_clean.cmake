@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_walkthrough.dir/protocol_walkthrough.cpp.o"
+  "CMakeFiles/protocol_walkthrough.dir/protocol_walkthrough.cpp.o.d"
+  "protocol_walkthrough"
+  "protocol_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_neomesi.dir/verify_neomesi.cpp.o"
+  "CMakeFiles/verify_neomesi.dir/verify_neomesi.cpp.o.d"
+  "verify_neomesi"
+  "verify_neomesi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_neomesi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for verify_neomesi.
+# This may be replaced when dependencies are built.

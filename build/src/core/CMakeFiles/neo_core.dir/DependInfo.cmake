@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core_model.cpp" "src/core/CMakeFiles/neo_core.dir/core_model.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/core_model.cpp.o.d"
+  "/root/repo/src/core/sim_runner.cpp" "src/core/CMakeFiles/neo_core.dir/sim_runner.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/sim_runner.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/neo_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/neo_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/neo_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/neo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/neo_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/neo/CMakeFiles/neo_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

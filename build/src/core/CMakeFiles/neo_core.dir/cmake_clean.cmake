@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_core.dir/core_model.cpp.o"
+  "CMakeFiles/neo_core.dir/core_model.cpp.o.d"
+  "CMakeFiles/neo_core.dir/sim_runner.cpp.o"
+  "CMakeFiles/neo_core.dir/sim_runner.cpp.o.d"
+  "CMakeFiles/neo_core.dir/system.cpp.o"
+  "CMakeFiles/neo_core.dir/system.cpp.o.d"
+  "libneo_core.a"
+  "libneo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

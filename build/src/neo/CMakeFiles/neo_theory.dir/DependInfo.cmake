@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neo/execution.cpp" "src/neo/CMakeFiles/neo_theory.dir/execution.cpp.o" "gcc" "src/neo/CMakeFiles/neo_theory.dir/execution.cpp.o.d"
+  "/root/repo/src/neo/hierarchy.cpp" "src/neo/CMakeFiles/neo_theory.dir/hierarchy.cpp.o" "gcc" "src/neo/CMakeFiles/neo_theory.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/neo/permission.cpp" "src/neo/CMakeFiles/neo_theory.dir/permission.cpp.o" "gcc" "src/neo/CMakeFiles/neo_theory.dir/permission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

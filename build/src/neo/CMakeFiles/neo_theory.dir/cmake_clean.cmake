@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_theory.dir/execution.cpp.o"
+  "CMakeFiles/neo_theory.dir/execution.cpp.o.d"
+  "CMakeFiles/neo_theory.dir/hierarchy.cpp.o"
+  "CMakeFiles/neo_theory.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/neo_theory.dir/permission.cpp.o"
+  "CMakeFiles/neo_theory.dir/permission.cpp.o.d"
+  "libneo_theory.a"
+  "libneo_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

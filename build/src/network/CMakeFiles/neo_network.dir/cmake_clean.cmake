@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_network.dir/tree_network.cpp.o"
+  "CMakeFiles/neo_network.dir/tree_network.cpp.o.d"
+  "libneo_network.a"
+  "libneo_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/coherence_checker.cpp" "src/protocol/CMakeFiles/neo_protocol.dir/coherence_checker.cpp.o" "gcc" "src/protocol/CMakeFiles/neo_protocol.dir/coherence_checker.cpp.o.d"
+  "/root/repo/src/protocol/dir_controller.cpp" "src/protocol/CMakeFiles/neo_protocol.dir/dir_controller.cpp.o" "gcc" "src/protocol/CMakeFiles/neo_protocol.dir/dir_controller.cpp.o.d"
+  "/root/repo/src/protocol/l1_controller.cpp" "src/protocol/CMakeFiles/neo_protocol.dir/l1_controller.cpp.o" "gcc" "src/protocol/CMakeFiles/neo_protocol.dir/l1_controller.cpp.o.d"
+  "/root/repo/src/protocol/protocol_config.cpp" "src/protocol/CMakeFiles/neo_protocol.dir/protocol_config.cpp.o" "gcc" "src/protocol/CMakeFiles/neo_protocol.dir/protocol_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/neo_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/neo/CMakeFiles/neo_theory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

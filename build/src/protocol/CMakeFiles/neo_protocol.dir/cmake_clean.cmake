@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_protocol.dir/coherence_checker.cpp.o"
+  "CMakeFiles/neo_protocol.dir/coherence_checker.cpp.o.d"
+  "CMakeFiles/neo_protocol.dir/dir_controller.cpp.o"
+  "CMakeFiles/neo_protocol.dir/dir_controller.cpp.o.d"
+  "CMakeFiles/neo_protocol.dir/l1_controller.cpp.o"
+  "CMakeFiles/neo_protocol.dir/l1_controller.cpp.o.d"
+  "CMakeFiles/neo_protocol.dir/protocol_config.cpp.o"
+  "CMakeFiles/neo_protocol.dir/protocol_config.cpp.o.d"
+  "libneo_protocol.a"
+  "libneo_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/neo_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/logging.cpp.o"
+  "CMakeFiles/neo_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/random.cpp.o"
+  "CMakeFiles/neo_sim.dir/random.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/stats.cpp.o"
+  "CMakeFiles/neo_sim.dir/stats.cpp.o.d"
+  "libneo_sim.a"
+  "libneo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verif/explorer.cpp" "src/verif/CMakeFiles/neo_verif.dir/explorer.cpp.o" "gcc" "src/verif/CMakeFiles/neo_verif.dir/explorer.cpp.o.d"
+  "/root/repo/src/verif/models/flat_closed.cpp" "src/verif/CMakeFiles/neo_verif.dir/models/flat_closed.cpp.o" "gcc" "src/verif/CMakeFiles/neo_verif.dir/models/flat_closed.cpp.o.d"
+  "/root/repo/src/verif/models/flat_open.cpp" "src/verif/CMakeFiles/neo_verif.dir/models/flat_open.cpp.o" "gcc" "src/verif/CMakeFiles/neo_verif.dir/models/flat_open.cpp.o.d"
+  "/root/repo/src/verif/models/german.cpp" "src/verif/CMakeFiles/neo_verif.dir/models/german.cpp.o" "gcc" "src/verif/CMakeFiles/neo_verif.dir/models/german.cpp.o.d"
+  "/root/repo/src/verif/models/verif_features.cpp" "src/verif/CMakeFiles/neo_verif.dir/models/verif_features.cpp.o" "gcc" "src/verif/CMakeFiles/neo_verif.dir/models/verif_features.cpp.o.d"
+  "/root/repo/src/verif/parametric.cpp" "src/verif/CMakeFiles/neo_verif.dir/parametric.cpp.o" "gcc" "src/verif/CMakeFiles/neo_verif.dir/parametric.cpp.o.d"
+  "/root/repo/src/verif/transition_system.cpp" "src/verif/CMakeFiles/neo_verif.dir/transition_system.cpp.o" "gcc" "src/verif/CMakeFiles/neo_verif.dir/transition_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/neo/CMakeFiles/neo_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_verif.dir/explorer.cpp.o"
+  "CMakeFiles/neo_verif.dir/explorer.cpp.o.d"
+  "CMakeFiles/neo_verif.dir/models/flat_closed.cpp.o"
+  "CMakeFiles/neo_verif.dir/models/flat_closed.cpp.o.d"
+  "CMakeFiles/neo_verif.dir/models/flat_open.cpp.o"
+  "CMakeFiles/neo_verif.dir/models/flat_open.cpp.o.d"
+  "CMakeFiles/neo_verif.dir/models/german.cpp.o"
+  "CMakeFiles/neo_verif.dir/models/german.cpp.o.d"
+  "CMakeFiles/neo_verif.dir/models/verif_features.cpp.o"
+  "CMakeFiles/neo_verif.dir/models/verif_features.cpp.o.d"
+  "CMakeFiles/neo_verif.dir/parametric.cpp.o"
+  "CMakeFiles/neo_verif.dir/parametric.cpp.o.d"
+  "CMakeFiles/neo_verif.dir/transition_system.cpp.o"
+  "CMakeFiles/neo_verif.dir/transition_system.cpp.o.d"
+  "libneo_verif.a"
+  "libneo_verif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_verif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

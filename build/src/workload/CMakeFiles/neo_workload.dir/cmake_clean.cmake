@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_workload.dir/workload.cpp.o"
+  "CMakeFiles/neo_workload.dir/workload.cpp.o.d"
+  "libneo_workload.a"
+  "libneo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dir_directed.dir/test_dir_directed.cpp.o"
+  "CMakeFiles/test_dir_directed.dir/test_dir_directed.cpp.o.d"
+  "test_dir_directed"
+  "test_dir_directed.pdb"
+  "test_dir_directed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dir_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_german.dir/test_german.cpp.o"
+  "CMakeFiles/test_german.dir/test_german.cpp.o.d"
+  "test_german"
+  "test_german.pdb"
+  "test_german[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_german.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neo_theory.dir/test_neo_theory.cpp.o"
+  "CMakeFiles/test_neo_theory.dir/test_neo_theory.cpp.o.d"
+  "test_neo_theory"
+  "test_neo_theory.pdb"
+  "test_neo_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neo_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

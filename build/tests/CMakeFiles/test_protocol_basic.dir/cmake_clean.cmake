@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_basic.dir/test_protocol_basic.cpp.o"
+  "CMakeFiles/test_protocol_basic.dir/test_protocol_basic.cpp.o.d"
+  "test_protocol_basic"
+  "test_protocol_basic.pdb"
+  "test_protocol_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

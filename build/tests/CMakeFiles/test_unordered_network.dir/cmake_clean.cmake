@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unordered_network.dir/test_unordered_network.cpp.o"
+  "CMakeFiles/test_unordered_network.dir/test_unordered_network.cpp.o.d"
+  "test_unordered_network"
+  "test_unordered_network.pdb"
+  "test_unordered_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unordered_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verif_models.dir/test_verif_models.cpp.o"
+  "CMakeFiles/test_verif_models.dir/test_verif_models.cpp.o.d"
+  "test_verif_models"
+  "test_verif_models.pdb"
+  "test_verif_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verif_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

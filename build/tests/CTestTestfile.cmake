@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_protocol_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_verif_models[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_neo_theory[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_german[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_core_system[1]_include.cmake")
+include("/root/repo/build/tests/test_unordered_network[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_conformance[1]_include.cmake")
+include("/root/repo/build/tests/test_dir_directed[1]_include.cmake")

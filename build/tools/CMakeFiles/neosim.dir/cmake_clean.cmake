@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neosim.dir/neosim.cpp.o"
+  "CMakeFiles/neosim.dir/neosim.cpp.o.d"
+  "neosim"
+  "neosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

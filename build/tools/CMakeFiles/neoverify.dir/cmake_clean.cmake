@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neoverify.dir/neoverify.cpp.o"
+  "CMakeFiles/neoverify.dir/neoverify.cpp.o.d"
+  "neoverify"
+  "neoverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neoverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
