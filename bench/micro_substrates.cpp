@@ -106,6 +106,47 @@ BM_ModelCheckerThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_ModelCheckerThroughput)->Unit(benchmark::kMillisecond);
 
+/**
+ * States/sec vs worker-thread count on the largest bundled flat
+ * closed config (NeoMESI, N=6: ~378k canonical states). The JSON
+ * output carries "states" (must be identical across thread counts —
+ * the differential guarantee) and the "states_per_sec" rate the bench
+ * trajectory tracks for parallel speedup.
+ */
+void
+BM_CheckerParallelScaling(benchmark::State &state)
+{
+    using namespace neo::verif;
+    ModelShape shape;
+    const TransitionSystem ts =
+        buildClosedModel(6, VerifFeatures::neoMESI(), shape);
+    ExploreLimits lim{2'000'000, 120.0};
+    lim.threads = static_cast<unsigned>(state.range(0));
+    std::uint64_t states = 0;
+    double seconds = 0.0;
+    for (auto _ : state) {
+        const ExploreResult r = explore(ts, lim, false, false);
+        states = r.statesExplored;
+        seconds += r.seconds;
+        benchmark::DoNotOptimize(r.statesExplored);
+    }
+    state.counters["threads"] = static_cast<double>(lim.threads);
+    state.counters["states"] = static_cast<double>(states);
+    state.counters["states_per_sec"] =
+        seconds > 0.0 ? static_cast<double>(states) *
+                            static_cast<double>(state.iterations()) /
+                            seconds
+                      : 0.0;
+}
+BENCHMARK(BM_CheckerParallelScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void
 BM_FullSimulationSmall(benchmark::State &state)
 {

@@ -4,28 +4,10 @@
 #include <deque>
 #include <unordered_map>
 
+#include "verif/parallel_explorer.hpp"
+
 namespace neo
 {
-
-namespace
-{
-
-/** FNV-1a over the state bytes. */
-struct VStateHash
-{
-    std::size_t
-    operator()(const VState &s) const
-    {
-        std::size_t h = 1469598103934665603ULL;
-        for (std::uint8_t b : s) {
-            h ^= b;
-            h *= 1099511628211ULL;
-        }
-        return h;
-    }
-};
-
-} // namespace
 
 const char *
 verifStatusName(VerifStatus s)
@@ -48,6 +30,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         bool detect_deadlock, bool keep_trace,
         const std::function<void(const VState &)> &on_state)
 {
+    if (limits.threads > 1)
+        return exploreParallel(ts, limits, detect_deadlock, keep_trace,
+                               on_state);
+
     using Clock = std::chrono::steady_clock;
     const auto t0 = Clock::now();
 
@@ -55,10 +41,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     result.ruleFires.assign(ts.rules().size(), 0);
 
     // Visited set maps each canonical state to its id; parent edges
-    // (state id -> (parent id, rule index)) reconstruct traces.
+    // (state id -> (parent id, rule index)) reconstruct traces and
+    // are only kept when tracing.
     std::unordered_map<VState, std::uint64_t, VStateHash> visited;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> parent;
-    std::vector<VState> stateById; // only kept when tracing
 
     const auto &canon = ts.canonicalizer();
     const auto &rules = ts.rules();
@@ -67,11 +53,24 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         return std::chrono::duration<double>(Clock::now() - t0).count();
     };
 
-    auto estimate_memory = [&]() {
-        const std::uint64_t per_state =
-            ts.numVars() + 48 /* hash-map node overhead */ +
-            (keep_trace ? ts.numVars() + 12 : 0);
-        return visited.size() * per_state;
+    std::deque<std::pair<std::uint64_t, VState>> work;
+
+    auto estimate_memory = [&]() -> std::uint64_t {
+        // Per visited state: the vector header + payload bytes of the
+        // map key, the id value, and hash-node overhead.
+        const std::uint64_t per_visited =
+            sizeof(VState) + ts.numVars() + 8 + 32;
+        // The predecessor map costs one (parent id, rule) link per
+        // state when traces are kept.
+        const std::uint64_t per_trace =
+            keep_trace
+                ? sizeof(std::pair<std::uint64_t, std::uint32_t>)
+                : 0;
+        // Frontier entries each carry a full state copy.
+        const std::uint64_t per_frontier =
+            sizeof(std::pair<std::uint64_t, VState>) + ts.numVars();
+        return visited.size() * (per_visited + per_trace) +
+               work.size() * per_frontier;
     };
 
     auto fail_invariants = [&](const VState &s) -> const char * {
@@ -93,15 +92,12 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         return names;
     };
 
-    std::deque<std::pair<std::uint64_t, VState>> work;
-
     VState init = ts.initialState();
     if (canon)
         canon(init);
     visited.emplace(init, 0);
-    parent.emplace_back(0, 0);
     if (keep_trace)
-        stateById.push_back(init);
+        parent.emplace_back(0, 0);
     if (on_state)
         on_state(init);
     work.emplace_back(0, init);
@@ -119,7 +115,9 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     // needed for trace rendering.
     while (!work.empty()) {
         if (visited.size() >= limits.maxStates ||
-            elapsed() > limits.maxSeconds) {
+            elapsed() > limits.maxSeconds ||
+            (limits.maxMemoryBytes != 0 &&
+             estimate_memory() > limits.maxMemoryBytes)) {
             result.status = VerifStatus::LimitExceeded;
             break;
         }
@@ -143,9 +141,8 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             if (!inserted)
                 continue;
             const std::uint64_t nid = it->second;
-            parent.emplace_back(id, static_cast<std::uint32_t>(r));
             if (keep_trace)
-                stateById.push_back(next);
+                parent.emplace_back(id, static_cast<std::uint32_t>(r));
             if (on_state)
                 on_state(next);
             if (const char *inv = fail_invariants(next)) {

@@ -26,6 +26,31 @@ struct ExploreLimits
 {
     std::uint64_t maxStates = 20'000'000;
     double maxSeconds = 120.0;
+    /** Live-memory bound over the visited set, trace structures and
+     *  frontier (the paper's 50 GB analogue); 0 = unbounded. */
+    std::uint64_t maxMemoryBytes = 0;
+    /** Worker threads. 1 runs the sequential BFS below; >1 runs the
+     *  sharded parallel explorer (parallel_explorer.hpp), which
+     *  reaches the same fixpoint with the same state/transition
+     *  counts but may report a different (equally valid)
+     *  counterexample trace. */
+    unsigned threads = 1;
+};
+
+/** FNV-1a over the state bytes — shared by the sequential visited set
+ *  and the parallel explorer's shard selection. */
+struct VStateHash
+{
+    std::size_t
+    operator()(const VState &s) const
+    {
+        std::size_t h = 1469598103934665603ULL;
+        for (std::uint8_t b : s) {
+            h ^= b;
+            h *= 1099511628211ULL;
+        }
+        return h;
+    }
 };
 
 enum class VerifStatus
@@ -57,13 +82,17 @@ struct ExploreResult
 };
 
 /**
- * Run BFS reachability.
+ * Run reachability: BFS when limits.threads == 1, the sharded
+ * parallel explorer otherwise.
  *
  * @param ts the model
  * @param limits bounds; exceeding them yields LimitExceeded
  * @param detect_deadlock report states with no outgoing transitions
  * @param keep_trace store predecessors for counterexamples (costs
  *        memory; disable for capacity experiments)
+ * @param on_state called once per newly discovered canonical state;
+ *        with threads > 1 calls are serialized under a mutex but
+ *        arrive in a nondeterministic order
  */
 ExploreResult explore(const TransitionSystem &ts,
                       const ExploreLimits &limits,

@@ -1,0 +1,343 @@
+#include "parallel_explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+
+namespace neo
+{
+
+namespace
+{
+
+/** Shard count; a power of two so the hash folds with a mask. */
+constexpr std::size_t kShardCount = 64;
+
+/** Predecessor link for one discovered state (trace rebuilding). */
+struct Record
+{
+    std::uint64_t parent; ///< packed (shard, index) of the parent
+    std::uint32_t rule;
+    std::uint32_t depth;
+};
+
+/** One slice of the visited set: states whose canonical hash folds to
+ *  this shard, each mapped to its shard-local index. */
+struct Shard
+{
+    std::mutex mu;
+    std::unordered_map<VState, std::uint32_t, VStateHash> ids;
+    std::vector<Record> recs; ///< indexed like ids' values; keep_trace only
+};
+
+struct WorkItem
+{
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    VState state;
+};
+
+/** Mutex-guarded deque. The owner consumes from the front (oldest
+ *  first, keeping expansion approximately breadth-first, hence short
+ *  counterexamples); thieves take from the back so they don't contend
+ *  with the owner's end. */
+class WorkQueue
+{
+  public:
+    void
+    push(WorkItem &&w)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        q_.push_back(std::move(w));
+    }
+
+    bool
+    pop(WorkItem &out)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        if (q_.empty())
+            return false;
+        out = std::move(q_.front());
+        q_.pop_front();
+        return true;
+    }
+
+    bool
+    steal(WorkItem &out)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        if (q_.empty())
+            return false;
+        out = std::move(q_.back());
+        q_.pop_back();
+        return true;
+    }
+
+  private:
+    std::mutex mu_;
+    std::deque<WorkItem> q_;
+};
+
+inline std::uint64_t
+packId(std::size_t shard, std::uint32_t local)
+{
+    return (static_cast<std::uint64_t>(shard) << 32) | local;
+}
+
+} // namespace
+
+ExploreResult
+exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
+                bool detect_deadlock, bool keep_trace,
+                const std::function<void(const VState &)> &on_state)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const unsigned nthreads = limits.threads > 1 ? limits.threads : 2;
+
+    ExploreResult result;
+    const auto &rules = ts.rules();
+    const auto &canon = ts.canonicalizer();
+    const auto &invs = ts.invariants();
+
+    std::vector<Shard> shards(kShardCount);
+    std::vector<WorkQueue> queues(nthreads);
+
+    std::atomic<std::uint64_t> statesTotal{0};
+    std::atomic<std::uint64_t> transitionsTotal{0};
+    std::vector<std::atomic<std::uint64_t>> ruleFires(rules.size());
+    /** Queued + currently-expanding items; 0 means the fixpoint. */
+    std::atomic<std::uint64_t> inFlight{0};
+    std::atomic<bool> stop{false};
+
+    // Terminal outcome. A violation or deadlock beats a bound; among
+    // violations discovered by different workers the smallest
+    // (depth, invariant index, state bytes) wins, so the report is
+    // deterministic once the racing workers have drained.
+    std::mutex termMu;
+    VerifStatus termStatus = VerifStatus::Verified;
+    std::uint32_t vioDepth = 0;
+    std::size_t vioInv = 0;
+    std::uint64_t vioId = 0;
+    VState vioState;
+    VState deadState;
+
+    std::mutex cbMu; // serializes the caller's on_state callback
+
+    auto elapsed = [&t0]() {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    // Same accounting as the sequential explorer, with the shard
+    // Record standing in for its predecessor pair.
+    auto estimate_memory = [&]() -> std::uint64_t {
+        const std::uint64_t per_visited =
+            sizeof(VState) + ts.numVars() + 8 + 32;
+        const std::uint64_t per_trace =
+            keep_trace ? sizeof(Record) : 0;
+        const std::uint64_t per_frontier =
+            sizeof(WorkItem) + ts.numVars();
+        return statesTotal.load(std::memory_order_relaxed) *
+                   (per_visited + per_trace) +
+               inFlight.load(std::memory_order_relaxed) * per_frontier;
+    };
+
+    auto failing_invariant = [&](const VState &s) -> int {
+        for (std::size_t i = 0; i < invs.size(); ++i) {
+            if (!invs[i].check(s))
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+
+    auto report_violation = [&](int inv, const VState &s,
+                                std::uint64_t id, std::uint32_t depth) {
+        const std::size_t invIdx = static_cast<std::size_t>(inv);
+        std::lock_guard<std::mutex> g(termMu);
+        const bool better =
+            termStatus != VerifStatus::InvariantViolated ||
+            std::tie(depth, invIdx, s) <
+                std::tie(vioDepth, vioInv, vioState);
+        if (better) {
+            termStatus = VerifStatus::InvariantViolated;
+            vioDepth = depth;
+            vioInv = invIdx;
+            vioId = id;
+            vioState = s;
+        }
+        stop.store(true, std::memory_order_relaxed);
+    };
+
+    auto report_deadlock = [&](const VState &s) {
+        std::lock_guard<std::mutex> g(termMu);
+        if (termStatus == VerifStatus::Verified ||
+            termStatus == VerifStatus::LimitExceeded) {
+            termStatus = VerifStatus::Deadlock;
+            deadState = s;
+        }
+        stop.store(true, std::memory_order_relaxed);
+    };
+
+    auto report_limit = [&]() {
+        std::lock_guard<std::mutex> g(termMu);
+        if (termStatus == VerifStatus::Verified)
+            termStatus = VerifStatus::LimitExceeded;
+        stop.store(true, std::memory_order_relaxed);
+    };
+
+    // Seed with the canonical initial state (mirrors the sequential
+    // explorer's pre-loop block, including the early violation exit).
+    VState init = ts.initialState();
+    if (canon)
+        canon(init);
+    std::uint64_t initId;
+    {
+        const std::size_t sh = VStateHash{}(init) & (kShardCount - 1);
+        shards[sh].ids.emplace(init, 0);
+        if (keep_trace)
+            shards[sh].recs.push_back(Record{0, 0, 0});
+        initId = packId(sh, 0);
+    }
+    statesTotal.store(1, std::memory_order_relaxed);
+    if (on_state)
+        on_state(init);
+    if (const int inv = failing_invariant(init); inv >= 0) {
+        result.ruleFires.assign(rules.size(), 0);
+        result.status = VerifStatus::InvariantViolated;
+        result.violatedInvariant = invs[static_cast<std::size_t>(inv)].name;
+        result.badState = ts.describe(init);
+        result.statesExplored = 1;
+        result.seconds = elapsed();
+        return result;
+    }
+    queues[0].push(WorkItem{initId, 0, init});
+    inFlight.store(1, std::memory_order_relaxed);
+
+    auto worker = [&](unsigned wid) {
+        WorkItem item;
+        for (;;) {
+            if (stop.load(std::memory_order_relaxed))
+                return;
+            bool got = queues[wid].pop(item);
+            for (unsigned k = 1; !got && k < nthreads; ++k)
+                got = queues[(wid + k) % nthreads].steal(item);
+            if (!got) {
+                if (inFlight.load(std::memory_order_acquire) == 0)
+                    return;
+                std::this_thread::yield();
+                continue;
+            }
+            // Cooperative bound check, once per expansion like the
+            // sequential loop's check per pop.
+            if (statesTotal.load(std::memory_order_relaxed) >=
+                    limits.maxStates ||
+                elapsed() > limits.maxSeconds ||
+                (limits.maxMemoryBytes != 0 &&
+                 estimate_memory() > limits.maxMemoryBytes)) {
+                report_limit();
+                inFlight.fetch_sub(1, std::memory_order_release);
+                return;
+            }
+            bool any_enabled = false;
+            for (std::size_t r = 0; r < rules.size(); ++r) {
+                if (stop.load(std::memory_order_relaxed))
+                    break;
+                if (!rules[r].guard(item.state))
+                    continue;
+                any_enabled = true;
+                VState next = item.state;
+                rules[r].effect(next);
+                transitionsTotal.fetch_add(1, std::memory_order_relaxed);
+                ruleFires[r].fetch_add(1, std::memory_order_relaxed);
+                if (canon)
+                    canon(next);
+                const std::size_t sh =
+                    VStateHash{}(next) & (kShardCount - 1);
+                std::uint32_t local;
+                bool inserted;
+                {
+                    std::lock_guard<std::mutex> g(shards[sh].mu);
+                    auto [it, ins] = shards[sh].ids.emplace(
+                        next, static_cast<std::uint32_t>(
+                                  shards[sh].ids.size()));
+                    inserted = ins;
+                    local = it->second;
+                    if (ins && keep_trace)
+                        shards[sh].recs.push_back(
+                            Record{item.id,
+                                   static_cast<std::uint32_t>(r),
+                                   item.depth + 1});
+                }
+                if (!inserted)
+                    continue;
+                statesTotal.fetch_add(1, std::memory_order_relaxed);
+                const std::uint64_t nid = packId(sh, local);
+                if (on_state) {
+                    std::lock_guard<std::mutex> g(cbMu);
+                    on_state(next);
+                }
+                if (const int inv = failing_invariant(next); inv >= 0) {
+                    report_violation(inv, next, nid, item.depth + 1);
+                    continue; // bad states are not expanded
+                }
+                inFlight.fetch_add(1, std::memory_order_relaxed);
+                queues[wid].push(
+                    WorkItem{nid, item.depth + 1, std::move(next)});
+            }
+            if (detect_deadlock && !any_enabled)
+                report_deadlock(item.state);
+            inFlight.fetch_sub(1, std::memory_order_release);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (unsigned w = 0; w < nthreads; ++w)
+        threads.emplace_back(worker, w);
+    for (auto &t : threads)
+        t.join();
+
+    result.ruleFires.assign(rules.size(), 0);
+    for (std::size_t r = 0; r < rules.size(); ++r)
+        result.ruleFires[r] =
+            ruleFires[r].load(std::memory_order_relaxed);
+    result.transitionsFired =
+        transitionsTotal.load(std::memory_order_relaxed);
+    std::uint64_t visited = 0;
+    for (const Shard &s : shards)
+        visited += s.ids.size();
+    result.statesExplored = visited;
+    result.memoryBytes = estimate_memory();
+
+    result.status = termStatus;
+    if (termStatus == VerifStatus::InvariantViolated) {
+        result.violatedInvariant = invs[vioInv].name;
+        result.badState = ts.describe(vioState);
+        if (keep_trace) {
+            std::vector<std::string> names;
+            std::uint64_t id = vioId;
+            for (;;) {
+                const Record &rec =
+                    shards[id >> 32].recs[id & 0xffffffffULL];
+                if (rec.depth == 0)
+                    break;
+                names.push_back(rules[rec.rule].name);
+                id = rec.parent;
+            }
+            std::reverse(names.begin(), names.end());
+            result.trace = std::move(names);
+        }
+    } else if (termStatus == VerifStatus::Deadlock) {
+        result.badState = ts.describe(deadState);
+    }
+
+    result.seconds = elapsed();
+    return result;
+}
+
+} // namespace neo

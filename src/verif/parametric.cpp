@@ -1,6 +1,7 @@
 #include "parametric.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
 
@@ -64,14 +65,23 @@ verifyParametric(const ModelFactory &factory, std::size_t from,
                  unsigned saturation)
 {
     neo_assert(from >= 1 && from <= to, "bad parametric sweep range");
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
     ParametricResult result;
     std::set<std::vector<std::uint8_t>> prevAbstract;
+    const auto finish = [&]() -> ParametricResult & {
+        result.seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        return result;
+    };
 
     for (std::size_t n = from; n <= to; ++n) {
         ModelShape shape;
         TransitionSystem ts = factory(n, shape);
         neo_assert(shape.numLeaves == n, "factory mis-reported shape");
 
+        // The callback is serialized by the explorer even in the
+        // parallel mode, and the view set is order-insensitive.
         std::set<std::vector<std::uint8_t>> abstractSet;
         const ExploreResult er =
             explore(ts, limits, false, true,
@@ -92,7 +102,7 @@ verifyParametric(const ModelFactory &factory, std::size_t from,
             if (!er.violatedInvariant.empty())
                 os << " (" << er.violatedInvariant << ")";
             result.detail = os.str();
-            return result;
+            return finish();
         }
 
         if (n > from && abstractSet == prevAbstract) {
@@ -103,13 +113,13 @@ verifyParametric(const ModelFactory &factory, std::size_t from,
                << " (" << abstractSet.size()
                << " views); invariants hold for all N";
             result.detail = os.str();
-            return result;
+            return finish();
         }
         prevAbstract = std::move(abstractSet);
     }
 
     result.detail = "no convergence within the sweep";
-    return result;
+    return finish();
 }
 
 } // namespace neo

@@ -67,11 +67,19 @@ struct ParametricResult
     std::vector<ExploreResult> perInstance;
     std::vector<std::size_t> instanceSizes;
     std::vector<std::size_t> abstractSetSizes;
+    /** Wall-clock for the whole sweep (all instances). */
+    double seconds = 0.0;
     std::string detail;
 };
 
 /**
  * Run the parametric sweep.
+ *
+ * With limits.threads > 1 each instance's reachability runs on the
+ * sharded parallel explorer internally (the view set is collected
+ * through the serialized on_state callback, so the abstraction —
+ * being a set — is independent of discovery order and identical to
+ * the sequential sweep's).
  *
  * @param factory builds the N-leaf instance
  * @param from smallest instance (>= 1)

@@ -82,6 +82,38 @@ TEST(Explorer, StateBoundReported)
     EXPECT_GE(r.statesExplored, 50u);
 }
 
+TEST(Explorer, MemoryEstimateCountsTraceStructures)
+{
+    // Regression: the estimate must include the predecessor map kept
+    // for counterexamples — at the fixpoint (empty frontier) the
+    // keep_trace run costs exactly one (parent id, rule) link per
+    // state more than the traceless run.
+    TransitionSystem ts = counterSystem(99);
+    const auto with_trace =
+        explore(ts, ExploreLimits{1000, 10.0}, false, true);
+    const auto without_trace =
+        explore(ts, ExploreLimits{1000, 10.0}, false, false);
+    EXPECT_EQ(with_trace.statesExplored, without_trace.statesExplored);
+    EXPECT_GT(with_trace.memoryBytes, without_trace.memoryBytes);
+    const std::uint64_t per_link =
+        sizeof(std::pair<std::uint64_t, std::uint32_t>);
+    EXPECT_EQ(with_trace.memoryBytes - without_trace.memoryBytes,
+              with_trace.statesExplored * per_link);
+}
+
+TEST(Explorer, MemoryBoundReported)
+{
+    TransitionSystem ts = counterSystem(200);
+    ExploreLimits lim{100000, 10.0};
+    lim.maxMemoryBytes = 2000; // a couple dozen states' worth
+    const auto r = explore(ts, lim);
+    EXPECT_EQ(r.status, VerifStatus::LimitExceeded);
+    EXPECT_LT(r.statesExplored, 201u);
+    // Unbounded (the default 0) must not trip.
+    const auto ok = explore(ts, ExploreLimits{1000, 10.0});
+    EXPECT_EQ(ok.status, VerifStatus::Verified);
+}
+
 TEST(Explorer, CanonicalizationMergesSymmetricStates)
 {
     // Two independent bits; with sorting canonicalization the states

@@ -41,6 +41,9 @@ usage()
         "  --parametric      sweep N with cutoff detection instead\n"
         "  --max-states N    state bound          (default 8000000)\n"
         "  --max-seconds S   time bound           (default 600)\n"
+        "  --max-memory B    live-memory bound in bytes (default off)\n"
+        "  --threads N       exploration workers; >1 uses the sharded\n"
+        "                    parallel explorer    (default 1)\n"
         "  --trace           print the counterexample, if any\n");
 }
 
@@ -78,6 +81,14 @@ main(int argc, char **argv)
             lim.maxStates = std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--max-seconds") {
             lim.maxSeconds = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--max-memory") {
+            lim.maxMemoryBytes =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--threads") {
+            lim.threads = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+            if (lim.threads == 0)
+                neo_fatal("--threads needs a value >= 1");
         } else if (arg == "--trace") {
             want_trace = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -124,7 +135,8 @@ main(int argc, char **argv)
 
     if (parametric) {
         const ParametricResult r = verifyParametric(factory, 1, 8, lim);
-        std::printf("parametric sweep: %s\n",
+        std::printf("parametric sweep (%u thread%s): %s\n",
+                    lim.threads, lim.threads == 1 ? "" : "s",
                     verifStatusName(r.status));
         for (std::size_t k = 0; k < r.instanceSizes.size(); ++k) {
             std::printf("  N=%zu: %-10s %9llu states  %zu views\n",
@@ -134,7 +146,7 @@ main(int argc, char **argv)
                             r.perInstance[k].statesExplored),
                         r.abstractSetSizes[k]);
         }
-        std::printf("%s\n", r.detail.c_str());
+        std::printf("%s (%.2fs)\n", r.detail.c_str(), r.seconds);
         return r.converged &&
                        r.status == VerifStatus::Verified
                    ? 0
@@ -151,8 +163,9 @@ main(int argc, char **argv)
     }();
 
     const ExploreResult r = explore(ts, lim, false, true);
-    std::printf("%s (%s, %s, N=%zu): %s\n", features.c_str(),
-                system.c_str(), method.c_str(), n,
+    std::printf("%s (%s, %s, N=%zu, %u thread%s): %s\n",
+                features.c_str(), system.c_str(), method.c_str(), n,
+                lim.threads, lim.threads == 1 ? "" : "s",
                 verifStatusName(r.status));
     std::printf("  %llu states, %llu transitions, %.2fs, ~%.1f MB\n",
                 static_cast<unsigned long long>(r.statesExplored),
