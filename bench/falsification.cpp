@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Falsification study: random-walk throughput and shrink quality.
+ *
+ * Two questions the walk engine must answer before it earns a place
+ * next to the exhaustive explorers:
+ *
+ *  A. Throughput — rule firings (visited states, counting revisits)
+ *     per second on the bundled models, walks vs BFS expansion rate.
+ *     Walks keep no visited set, so their rate bounds how fast the
+ *     falsifier covers instances too large to exhaust.
+ *
+ *  B. Counterexample quality — for every corpus mutant: raw walk
+ *     trace length, shrunk length, shrink cost (replays + bridge
+ *     search states), and the exhaustive-BFS counterexample length
+ *     as the minimality yardstick (BFS traces are shortest-path by
+ *     construction).
+ */
+
+#include <cstdio>
+
+#include "verif/explorer.hpp"
+#include "verif/models/mutants.hpp"
+#include "verif/random_walk.hpp"
+#include "verif/shrink.hpp"
+
+using namespace neo;
+using namespace neo::verif;
+
+namespace
+{
+
+void
+walkThroughput()
+{
+    std::printf("[A] walk throughput vs BFS expansion "
+                "(bundled models, walk budget 64 x 512 @ seed 1)\n");
+    std::printf("  %-22s %12s %12s %10s\n", "model", "walk st/s",
+                "bfs st/s", "bfs states");
+    for (const BundledModel &b : bundledModels()) {
+        ModelShape shape;
+        TransitionSystem ts = b.build(shape);
+
+        WalkOptions wopt;
+        wopt.walks = 64;
+        wopt.depth = 512;
+        wopt.seed = 1;
+        const WalkResult w = walkExplore(ts, wopt);
+
+        const ExploreResult r =
+            explore(ts, ExploreLimits{5'000'000, 60.0}, false, false);
+
+        std::printf("  %-22s %12.0f %12.0f %10llu\n", b.name.c_str(),
+                    w.seconds > 0.0 ? static_cast<double>(w.stepsTaken) /
+                                          w.seconds
+                                    : 0.0,
+                    r.seconds > 0.0
+                        ? static_cast<double>(r.statesExplored) /
+                              r.seconds
+                        : 0.0,
+                    static_cast<unsigned long long>(r.statesExplored));
+    }
+}
+
+void
+shrinkQuality()
+{
+    std::printf("\n[B] counterexample quality per corpus mutant "
+                "(documented budgets)\n");
+    std::printf("  %-34s %5s %7s %5s %8s %8s\n", "mutant", "raw",
+                "shrunk", "bfs", "replays", "search");
+    double rawSum = 0.0, shrunkSum = 0.0, bfsSum = 0.0;
+    std::size_t counted = 0;
+    for (const Mutant &m : mutantRegistry()) {
+        ModelShape shape;
+        TransitionSystem ts = m.build(shape);
+
+        WalkOptions wopt;
+        wopt.walks = m.budgetWalks;
+        wopt.depth = m.budgetDepth;
+        wopt.seed = m.budgetSeed;
+        const WalkResult w = walkExplore(ts, wopt);
+        if (w.status != VerifStatus::InvariantViolated) {
+            std::printf("  %-34s MISSED by walker\n", m.name.c_str());
+            continue;
+        }
+        const ShrinkResult s =
+            shrinkTrace(ts, w.trace, w.violatedInvariant);
+        const ExploreResult r =
+            explore(ts, ExploreLimits{5'000'000, 60.0});
+
+        std::printf("  %-34s %5zu %7zu %5zu %8llu %8llu\n",
+                    m.name.c_str(), s.rawLength, s.shrunkLength,
+                    r.trace.size(),
+                    static_cast<unsigned long long>(s.replays),
+                    static_cast<unsigned long long>(s.searchStates));
+        rawSum += static_cast<double>(s.rawLength);
+        shrunkSum += static_cast<double>(s.shrunkLength);
+        bfsSum += static_cast<double>(r.trace.size());
+        ++counted;
+    }
+    if (counted) {
+        const double n = static_cast<double>(counted);
+        std::printf("  mean raw %.1f -> shrunk %.1f (reduction %.0f%%)"
+                    "   BFS minimum %.1f\n",
+                    rawSum / n, shrunkSum / n,
+                    100.0 * (1.0 - shrunkSum / rawSum), bfsSum / n);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    walkThroughput();
+    shrinkQuality();
+    return 0;
+}

@@ -1,0 +1,103 @@
+#include "cli_parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "sim/logging.hpp"
+
+namespace neo
+{
+
+bool
+parseU64(const std::string &text, std::uint64_t &out, std::string &err)
+{
+    if (text.empty()) {
+        err = "empty value";
+        return false;
+    }
+    // strtoull accepts leading whitespace, '+', '-' (with wraparound!)
+    // and hex; restrict to plain decimal digits up front.
+    for (const char c : text) {
+        if (c < '0' || c > '9') {
+            err = "'" + text + "' is not a non-negative integer";
+            return false;
+        }
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE) {
+        err = "'" + text + "' overflows a 64-bit integer";
+        return false;
+    }
+    if (end != text.c_str() + text.size()) {
+        err = "'" + text + "' has trailing characters";
+        return false;
+    }
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+parseF64(const std::string &text, double &out, std::string &err)
+{
+    if (text.empty()) {
+        err = "empty value";
+        return false;
+    }
+    // Plain non-negative decimal only: digits with one optional dot.
+    bool seen_dot = false, seen_digit = false;
+    for (const char c : text) {
+        if (c == '.') {
+            if (seen_dot) {
+                err = "'" + text + "' is not a number";
+                return false;
+            }
+            seen_dot = true;
+        } else if (c >= '0' && c <= '9') {
+            seen_digit = true;
+        } else {
+            err = "'" + text + "' is not a non-negative number";
+            return false;
+        }
+    }
+    if (!seen_digit) {
+        err = "'" + text + "' is not a number";
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE) {
+        err = "'" + text + "' is out of range";
+        return false;
+    }
+    if (end != text.c_str() + text.size()) {
+        err = "'" + text + "' has trailing characters";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+std::uint64_t
+parseU64OrDie(const std::string &opt, const std::string &text)
+{
+    std::uint64_t v = 0;
+    std::string err;
+    if (!parseU64(text, v, err))
+        neo_fatal(opt, ": ", err);
+    return v;
+}
+
+double
+parseF64OrDie(const std::string &opt, const std::string &text)
+{
+    double v = 0.0;
+    std::string err;
+    if (!parseF64(text, v, err))
+        neo_fatal(opt, ": ", err);
+    return v;
+}
+
+} // namespace neo

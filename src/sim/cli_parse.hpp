@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Strict numeric parsing for the CLI front ends.
+ *
+ * The tools used to call strtoull() bare, which silently turns
+ * "3x", "abc" (-> 0) or "99999999999999999999999" (saturated) into a
+ * plausible-looking run with the wrong parameters. These helpers
+ * reject empty strings, signs, trailing junk and overflow, and report
+ * a message the caller can neo_fatal with.
+ */
+
+#ifndef NEO_SIM_CLI_PARSE_HPP
+#define NEO_SIM_CLI_PARSE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace neo
+{
+
+/**
+ * Parse a non-negative decimal integer strictly.
+ * @return true and set @p out on success; false and set @p err to a
+ *         human-readable reason otherwise.
+ */
+bool parseU64(const std::string &text, std::uint64_t &out,
+              std::string &err);
+
+/** Strict non-negative decimal double (for --max-seconds). */
+bool parseF64(const std::string &text, double &out, std::string &err);
+
+/**
+ * Parse @p text for option @p opt or die with a clear message
+ * (fatal exits with status 1, the tools' error convention).
+ */
+std::uint64_t parseU64OrDie(const std::string &opt,
+                            const std::string &text);
+double parseF64OrDie(const std::string &opt, const std::string &text);
+
+} // namespace neo
+
+#endif // NEO_SIM_CLI_PARSE_HPP

@@ -1,0 +1,206 @@
+#include "random_walk.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "sim/random.hpp"
+
+namespace neo
+{
+
+namespace
+{
+
+/** Golden-ratio stride between per-walk seeds; Random's SplitMix64
+ *  seeding decorrelates even adjacent seeds, the stride just keeps the
+ *  raw inputs distinct for any K. */
+constexpr std::uint64_t kWalkSeedStride = 0x9e3779b97f4a7c15ULL;
+
+/** One walk's outcome, kept only when it violates. */
+struct WalkViolation
+{
+    std::uint64_t walk = 0;
+    std::size_t invariant = 0;
+    std::vector<std::uint32_t> trace;
+    VState state;
+};
+
+} // namespace
+
+ReplayResult
+replayTrace(const TransitionSystem &ts,
+            const std::vector<std::uint32_t> &trace)
+{
+    ReplayResult r;
+    const auto &rules = ts.rules();
+    const auto &canon = ts.canonicalizer();
+
+    VState s = ts.initialState();
+    if (canon)
+        canon(s);
+    for (const std::uint32_t idx : trace) {
+        if (idx >= rules.size() || !rules[idx].guard(s)) {
+            r.finalState = std::move(s);
+            return r; // invalid: a step could not fire
+        }
+        rules[idx].effect(s);
+        if (canon)
+            canon(s);
+        ++r.stepsApplied;
+    }
+    r.valid = true;
+    for (const auto &inv : ts.invariants()) {
+        if (!inv.check(s)) {
+            r.violatedInvariant = inv.name;
+            break;
+        }
+    }
+    r.finalState = std::move(s);
+    return r;
+}
+
+WalkResult
+RandomWalkExplorer::run() const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
+    WalkResult result;
+    const auto &rules = ts_.rules();
+    const auto &invs = ts_.invariants();
+    const auto &canon = ts_.canonicalizer();
+
+    VState init = ts_.initialState();
+    if (canon)
+        canon(init);
+
+    // The initial state itself may already violate (degenerate mutant).
+    for (const auto &inv : invs) {
+        if (!inv.check(init)) {
+            result.status = VerifStatus::InvariantViolated;
+            result.violatedInvariant = inv.name;
+            result.badState = ts_.describe(init);
+            result.seconds =
+                std::chrono::duration<double>(Clock::now() - t0)
+                    .count();
+            return result;
+        }
+    }
+
+    // Lowest violating walk index seen so far; walks above it are
+    // skipped (they cannot win), walks below it always complete, so
+    // the final minimum — and hence the reported counterexample — is
+    // independent of the thread count and equal to what a sequential
+    // 0..K-1 sweep stopping at its first violation would report.
+    std::atomic<std::uint64_t> bestWalk{
+        std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> nextWalk{0};
+    std::atomic<std::uint64_t> stepsTotal{0};
+    std::atomic<std::uint64_t> walksRun{0};
+    std::atomic<std::uint64_t> deadEnds{0};
+
+    std::mutex vioMu;
+    std::vector<WalkViolation> violations;
+
+    auto run_walk = [&](std::uint64_t w) {
+        Random rng(opt_.seed + w * kWalkSeedStride);
+        VState s = init;
+        std::vector<std::uint32_t> fired;
+        fired.reserve(static_cast<std::size_t>(opt_.depth));
+        std::vector<std::uint32_t> enabled;
+        enabled.reserve(rules.size());
+
+        for (std::uint64_t step = 0; step < opt_.depth; ++step) {
+            enabled.clear();
+            for (std::size_t r = 0; r < rules.size(); ++r) {
+                if (rules[r].guard(s))
+                    enabled.push_back(static_cast<std::uint32_t>(r));
+            }
+            if (enabled.empty()) {
+                deadEnds.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            const std::uint32_t pick = enabled[static_cast<std::size_t>(
+                rng.below(enabled.size()))];
+            rules[pick].effect(s);
+            if (canon)
+                canon(s);
+            fired.push_back(pick);
+            stepsTotal.fetch_add(1, std::memory_order_relaxed);
+            for (std::size_t i = 0; i < invs.size(); ++i) {
+                if (!invs[i].check(s)) {
+                    std::lock_guard<std::mutex> g(vioMu);
+                    violations.push_back(
+                        WalkViolation{w, i, fired, s});
+                    // Lower bestWalk monotonically.
+                    std::uint64_t cur = bestWalk.load();
+                    while (w < cur &&
+                           !bestWalk.compare_exchange_weak(cur, w)) {
+                    }
+                    return;
+                }
+            }
+        }
+    };
+
+    const unsigned nthreads = opt_.threads > 0 ? opt_.threads : 1;
+    auto worker = [&]() {
+        for (;;) {
+            const std::uint64_t w =
+                nextWalk.fetch_add(1, std::memory_order_relaxed);
+            if (w >= opt_.walks)
+                return;
+            if (w > bestWalk.load(std::memory_order_relaxed))
+                continue; // cannot beat the current best violation
+            run_walk(w);
+            walksRun.fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+
+    if (nthreads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            threads.emplace_back(worker);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    result.stepsTaken = stepsTotal.load();
+    result.walksRun = walksRun.load();
+    result.deadEnds = deadEnds.load();
+
+    const std::uint64_t best = bestWalk.load();
+    if (best != std::numeric_limits<std::uint64_t>::max()) {
+        const WalkViolation *win = nullptr;
+        for (const auto &v : violations) {
+            if (v.walk == best)
+                win = &v;
+        }
+        result.status = VerifStatus::InvariantViolated;
+        result.walkIndex = win->walk;
+        result.violatedInvariant = invs[win->invariant].name;
+        result.trace = win->trace;
+        result.badState = ts_.describe(win->state);
+        result.traceNames.reserve(win->trace.size());
+        for (const std::uint32_t r : win->trace)
+            result.traceNames.push_back(rules[r].name);
+    }
+
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return result;
+}
+
+WalkResult
+walkExplore(const TransitionSystem &ts, const WalkOptions &opt)
+{
+    return RandomWalkExplorer(ts, opt).run();
+}
+
+} // namespace neo

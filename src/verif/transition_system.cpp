@@ -5,6 +5,38 @@
 namespace neo
 {
 
+std::size_t
+TransitionSystem::varIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < varNames_.size(); ++i) {
+        if (varNames_[i] == name)
+            return i;
+    }
+    neo_fatal("no such model variable: ", name);
+}
+
+bool
+TransitionSystem::dropInvariant(const std::string &name)
+{
+    for (auto it = invariants_.begin(); it != invariants_.end(); ++it) {
+        if (it->name == name) {
+            invariants_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+TransitionSystem::Rule *
+TransitionSystem::findRule(const std::string &name)
+{
+    for (auto &r : rules_) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
 std::string
 TransitionSystem::describe(const VState &s) const
 {

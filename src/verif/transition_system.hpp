@@ -78,6 +78,11 @@ class TransitionSystem
                                         std::move(check)});
     }
 
+    /** Remove an invariant by name; @return whether it existed. Used
+     *  by corpus mutants whose protocol change makes one bookkeeping
+     *  invariant vacuous, so the remaining violation is unique. */
+    bool dropInvariant(const std::string &name);
+
     void setCanonicalizer(Canonicalizer c) { canon_ = std::move(c); }
     void setSummarizer(Summarizer s) { sum_ = std::move(s); }
 
@@ -94,6 +99,16 @@ class TransitionSystem
     {
         return varNames_.at(i);
     }
+
+    /** Index of a declared variable; fatal if absent. The mutation
+     *  corpus addresses variables by name so mutants survive layout
+     *  changes in the model builders. */
+    std::size_t varIndex(const std::string &name) const;
+
+    /** Mutable rule lookup by exact name; nullptr if absent. Exists
+     *  for the mutant registry, which surgically rewrites guards and
+     *  effects of otherwise-correct models. */
+    Rule *findRule(const std::string &name);
 
     /** Render a state for counterexample traces. */
     std::string describe(const VState &s) const;

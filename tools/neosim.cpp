@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/sim_runner.hpp"
+#include "sim/cli_parse.hpp"
 #include "workload/workload.hpp"
 
 using namespace neo;
@@ -79,12 +80,12 @@ main(int argc, char **argv)
         } else if (arg == "--benchmark") {
             benchmark = next();
         } else if (arg == "--ops") {
-            cfg.opsPerCore = std::strtoull(next().c_str(), nullptr, 10);
+            cfg.opsPerCore = parseU64OrDie(arg, next());
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+            cfg.seed = parseU64OrDie(arg, next());
         } else if (arg == "--trials") {
-            trials = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            trials =
+                static_cast<unsigned>(parseU64OrDie(arg, next()));
         } else if (arg == "--no-check") {
             cfg.checkCoherence = false;
         } else if (arg == "--stats") {

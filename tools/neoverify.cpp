@@ -8,18 +8,24 @@
  *   neoverify --features nsmesi --system open --method modified --n 2
  *     (demonstrates the composition failure of non-sibling forwarding)
  *   neoverify --features german --n 4
+ *   neoverify --walk --walks 64 --depth 256 --seed 1 --mutant
+ *     dir_nonblocking_read --shrink --trace
+ *     (random-walk falsification of a corpus mutant, with the raw
+ *      counterexample delta-debugged to a locally minimal trace)
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "sim/cli_parse.hpp"
 #include "verif/explorer.hpp"
 #include "verif/models/flat_closed.hpp"
 #include "verif/models/flat_open.hpp"
 #include "verif/models/german.hpp"
+#include "verif/models/mutants.hpp"
 #include "verif/parametric.hpp"
+#include "verif/random_walk.hpp"
+#include "verif/shrink.hpp"
 
 using namespace neo;
 using namespace neo::verif;
@@ -44,7 +50,41 @@ usage()
         "  --max-memory B    live-memory bound in bytes (default off)\n"
         "  --threads N       exploration workers; >1 uses the sharded\n"
         "                    parallel explorer    (default 1)\n"
-        "  --trace           print the counterexample, if any\n");
+        "  --trace           print the counterexample, if any\n"
+        "falsification (random walks instead of exhaustive search):\n"
+        "  --walk            run seeded random walks, not reachability\n"
+        "  --walks K         independent walks    (default 64)\n"
+        "  --depth D         rule firings per walk (default 256)\n"
+        "  --seed S          master seed          (default 1)\n"
+        "  --shrink          delta-debug the counterexample trace\n"
+        "  --mutant NAME     verify a corpus mutant instead of a\n"
+        "                    bundled model (see --list-mutants)\n"
+        "  --list-mutants    print the mutation corpus and exit\n");
+}
+
+void
+listMutants()
+{
+    std::printf("%-34s %-22s %s\n", "mutant", "violates",
+                "budget (walks x depth @ seed)");
+    for (const auto &m : mutantRegistry()) {
+        std::printf("%-34s %-22s %llu x %llu @ %llu\n  %s\n",
+                    m.name.c_str(), m.violates.c_str(),
+                    static_cast<unsigned long long>(m.budgetWalks),
+                    static_cast<unsigned long long>(m.budgetDepth),
+                    static_cast<unsigned long long>(m.budgetSeed),
+                    m.description.c_str());
+    }
+}
+
+void
+printTrace(const std::vector<std::string> &steps,
+           const std::string &bad)
+{
+    std::printf("  counterexample:\n");
+    for (const auto &step : steps)
+        std::printf("    %s\n", step.c_str());
+    std::printf("  bad state: %s\n", bad.c_str());
 }
 
 } // namespace
@@ -55,10 +95,15 @@ main(int argc, char **argv)
     std::string features = "neomesi";
     std::string system = "open";
     std::string method = "modified";
+    std::string mutant;
     std::size_t n = 3;
     bool parametric = false;
     bool want_trace = false;
+    bool walk = false;
+    bool shrink = false;
+    WalkOptions wopt;
     ExploreLimits lim{8'000'000, 600.0};
+    bool seed_given = false, walks_given = false, depth_given = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -74,21 +119,42 @@ main(int argc, char **argv)
         } else if (arg == "--method") {
             method = next();
         } else if (arg == "--n") {
-            n = std::strtoull(next().c_str(), nullptr, 10);
+            n = static_cast<std::size_t>(parseU64OrDie(arg, next()));
         } else if (arg == "--parametric") {
             parametric = true;
         } else if (arg == "--max-states") {
-            lim.maxStates = std::strtoull(next().c_str(), nullptr, 10);
+            lim.maxStates = parseU64OrDie(arg, next());
         } else if (arg == "--max-seconds") {
-            lim.maxSeconds = std::strtod(next().c_str(), nullptr);
+            lim.maxSeconds = parseF64OrDie(arg, next());
         } else if (arg == "--max-memory") {
-            lim.maxMemoryBytes =
-                std::strtoull(next().c_str(), nullptr, 10);
+            lim.maxMemoryBytes = parseU64OrDie(arg, next());
         } else if (arg == "--threads") {
-            lim.threads = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            lim.threads =
+                static_cast<unsigned>(parseU64OrDie(arg, next()));
             if (lim.threads == 0)
                 neo_fatal("--threads needs a value >= 1");
+        } else if (arg == "--walk") {
+            walk = true;
+        } else if (arg == "--walks") {
+            wopt.walks = parseU64OrDie(arg, next());
+            walks_given = true;
+            if (wopt.walks == 0)
+                neo_fatal("--walks needs a value >= 1");
+        } else if (arg == "--depth") {
+            wopt.depth = parseU64OrDie(arg, next());
+            depth_given = true;
+            if (wopt.depth == 0)
+                neo_fatal("--depth needs a value >= 1");
+        } else if (arg == "--seed") {
+            wopt.seed = parseU64OrDie(arg, next());
+            seed_given = true;
+        } else if (arg == "--shrink") {
+            shrink = true;
+        } else if (arg == "--mutant") {
+            mutant = next();
+        } else if (arg == "--list-mutants") {
+            listMutants();
+            return 0;
         } else if (arg == "--trace") {
             want_trace = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -101,60 +167,86 @@ main(int argc, char **argv)
         }
     }
 
-    VerifFeatures f;
-    if (features == "msi")
-        f = VerifFeatures::baselineMSI();
-    else if (features == "msi-incl")
-        f = VerifFeatures::inclusiveMSI();
-    else if (features == "neomesi")
-        f = VerifFeatures::neoMESI();
-    else if (features == "moesi")
-        f = VerifFeatures::withOwned();
-    else if (features == "nsmesi") {
-        f = VerifFeatures::neoMESI();
-        f.nonSiblingFwd = true;
-    } else if (features != "german") {
-        neo_fatal("unknown feature set: ", features);
-    }
-
-    CompositionMethod cm = CompositionMethod::Modified;
-    if (method == "none")
-        cm = CompositionMethod::None;
-    else if (method == "original")
-        cm = CompositionMethod::Original;
-    else if (method != "modified")
-        neo_fatal("unknown method: ", method);
-
-    auto factory = [&]() -> ModelFactory {
-        if (features == "german")
-            return germanModelFactory();
-        if (system == "closed")
-            return closedModelFactory(f);
-        return openModelFactory(f, cm);
-    }();
-
-    if (parametric) {
-        const ParametricResult r = verifyParametric(factory, 1, 8, lim);
-        std::printf("parametric sweep (%u thread%s): %s\n",
-                    lim.threads, lim.threads == 1 ? "" : "s",
-                    verifStatusName(r.status));
-        for (std::size_t k = 0; k < r.instanceSizes.size(); ++k) {
-            std::printf("  N=%zu: %-10s %9llu states  %zu views\n",
-                        r.instanceSizes[k],
-                        verifStatusName(r.perInstance[k].status),
-                        static_cast<unsigned long long>(
-                            r.perInstance[k].statesExplored),
-                        r.abstractSetSizes[k]);
-        }
-        std::printf("%s (%.2fs)\n", r.detail.c_str(), r.seconds);
-        return r.converged &&
-                       r.status == VerifStatus::Verified
-                   ? 0
-                   : 1;
-    }
-
+    // ---- model selection: a corpus mutant or a bundled model ----
     ModelShape shape;
-    const TransitionSystem ts = [&] {
+    std::string model_desc;
+    TransitionSystem ts = [&]() -> TransitionSystem {
+        if (!mutant.empty()) {
+            const Mutant *m = findMutant(mutant);
+            if (!m) {
+                std::fprintf(stderr,
+                             "unknown mutant %s (try --list-mutants)\n",
+                             mutant.c_str());
+                std::exit(2);
+            }
+            // The mutant documents its own falsification budget;
+            // explicit flags still override it.
+            if (!walks_given)
+                wopt.walks = m->budgetWalks;
+            if (!depth_given)
+                wopt.depth = m->budgetDepth;
+            if (!seed_given)
+                wopt.seed = m->budgetSeed;
+            model_desc = "mutant " + m->name;
+            n = m->n;
+            return m->build(shape);
+        }
+
+        VerifFeatures f;
+        if (features == "msi")
+            f = VerifFeatures::baselineMSI();
+        else if (features == "msi-incl")
+            f = VerifFeatures::inclusiveMSI();
+        else if (features == "neomesi")
+            f = VerifFeatures::neoMESI();
+        else if (features == "moesi")
+            f = VerifFeatures::withOwned();
+        else if (features == "nsmesi") {
+            f = VerifFeatures::neoMESI();
+            f.nonSiblingFwd = true;
+        } else if (features != "german") {
+            neo_fatal("unknown feature set: ", features);
+        }
+
+        CompositionMethod cm = CompositionMethod::Modified;
+        if (method == "none")
+            cm = CompositionMethod::None;
+        else if (method == "original")
+            cm = CompositionMethod::Original;
+        else if (method != "modified")
+            neo_fatal("unknown method: ", method);
+
+        if (parametric) {
+            // Handled below from the factory; build a placeholder
+            // instance so the sweep path can ignore `ts`.
+            auto factory = [&]() -> ModelFactory {
+                if (features == "german")
+                    return germanModelFactory();
+                if (system == "closed")
+                    return closedModelFactory(f);
+                return openModelFactory(f, cm);
+            }();
+            const ParametricResult r =
+                verifyParametric(factory, 1, 8, lim);
+            std::printf("parametric sweep (%u thread%s): %s\n",
+                        lim.threads, lim.threads == 1 ? "" : "s",
+                        verifStatusName(r.status));
+            for (std::size_t k = 0; k < r.instanceSizes.size(); ++k) {
+                std::printf(
+                    "  N=%zu: %-10s %9llu states  %zu views\n",
+                    r.instanceSizes[k],
+                    verifStatusName(r.perInstance[k].status),
+                    static_cast<unsigned long long>(
+                        r.perInstance[k].statesExplored),
+                    r.abstractSetSizes[k]);
+            }
+            std::printf("%s (%.2fs)\n", r.detail.c_str(), r.seconds);
+            std::exit(r.converged && r.status == VerifStatus::Verified
+                          ? 0
+                          : 1);
+        }
+
+        model_desc = features + " (" + system + ", " + method + ")";
         if (features == "german")
             return buildGermanModel(n, shape);
         if (system == "closed")
@@ -162,9 +254,54 @@ main(int argc, char **argv)
         return buildOpenModel(n, f, cm, shape);
     }();
 
+    if (walk) {
+        wopt.threads = lim.threads;
+        const WalkResult w = walkExplore(ts, wopt);
+        std::printf(
+            "%s, N=%zu: random walk (%llu x %llu @ seed %llu, "
+            "%u thread%s): %s\n",
+            model_desc.c_str(), n,
+            static_cast<unsigned long long>(wopt.walks),
+            static_cast<unsigned long long>(wopt.depth),
+            static_cast<unsigned long long>(wopt.seed), wopt.threads,
+            wopt.threads == 1 ? "" : "s",
+            w.status == VerifStatus::Verified
+                ? "NO VIOLATION FOUND (walks cannot prove safety)"
+                : verifStatusName(w.status));
+        std::printf(
+            "  %llu steps in %llu walks (%llu dead ends), %.2fs, "
+            "%.0f states/s\n",
+            static_cast<unsigned long long>(w.stepsTaken),
+            static_cast<unsigned long long>(w.walksRun),
+            static_cast<unsigned long long>(w.deadEnds), w.seconds,
+            w.seconds > 0.0
+                ? static_cast<double>(w.stepsTaken) / w.seconds
+                : 0.0);
+        if (w.status == VerifStatus::InvariantViolated) {
+            std::printf("  violated invariant: %s (walk %llu, "
+                        "raw trace length %zu)\n",
+                        w.violatedInvariant.c_str(),
+                        static_cast<unsigned long long>(w.walkIndex),
+                        w.trace.size());
+            if (shrink) {
+                const ShrinkResult sr = shrinkTrace(
+                    ts, w.trace, w.violatedInvariant);
+                std::printf("  shrunk: %zu -> %zu steps "
+                            "(%llu replays)\n",
+                            sr.rawLength, sr.shrunkLength,
+                            static_cast<unsigned long long>(
+                                sr.replays));
+                if (want_trace)
+                    printTrace(sr.traceNames, sr.badState);
+            } else if (want_trace) {
+                printTrace(w.traceNames, w.badState);
+            }
+        }
+        return w.status == VerifStatus::Verified ? 0 : 1;
+    }
+
     const ExploreResult r = explore(ts, lim, false, true);
-    std::printf("%s (%s, %s, N=%zu, %u thread%s): %s\n",
-                features.c_str(), system.c_str(), method.c_str(), n,
+    std::printf("%s, N=%zu, %u thread%s: %s\n", model_desc.c_str(), n,
                 lim.threads, lim.threads == 1 ? "" : "s",
                 verifStatusName(r.status));
     std::printf("  %llu states, %llu transitions, %.2fs, ~%.1f MB\n",
@@ -175,12 +312,8 @@ main(int argc, char **argv)
     if (r.status == VerifStatus::InvariantViolated) {
         std::printf("  violated invariant: %s\n",
                     r.violatedInvariant.c_str());
-        if (want_trace) {
-            std::printf("  counterexample:\n");
-            for (const auto &step : r.trace)
-                std::printf("    %s\n", step.c_str());
-            std::printf("  bad state: %s\n", r.badState.c_str());
-        }
+        if (want_trace)
+            printTrace(r.trace, r.badState);
     }
     return r.status == VerifStatus::Verified ? 0 : 1;
 }
