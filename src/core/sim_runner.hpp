@@ -35,6 +35,22 @@ struct RunResult
     bool deadlocked = false;
     std::vector<std::string> violations; ///< coherence checker output
 
+    // Fault-campaign outcome (all zero on fault-free runs).
+    bool watchdogFired = false;
+    Tick watchdogTick = 0;
+    /** Controller dumps + queue summary captured at the hang. */
+    std::string postmortem;
+    std::uint64_t retries = 0;      ///< L1 timeout reissues
+    std::uint64_t staleDrops = 0;   ///< stale messages absorbed
+    std::uint64_t dupDrops = 0;     ///< transport duplicates filtered
+    std::uint64_t redrives = 0;     ///< directory sweep re-drives
+    std::uint64_t faultDrops = 0;
+    std::uint64_t faultDups = 0;
+    std::uint64_t faultDelays = 0;
+    std::uint64_t faultHolds = 0;
+    std::uint64_t recoveredTxns = 0; ///< misses needing >= 1 reissue
+    double recoveryLatencyMean = 0.0;
+
     double
     nonSiblingFraction() const
     {
@@ -69,11 +85,29 @@ struct RunConfig
     bool dumpStats = false;
     /** Hard event cap as a runaway/deadlock backstop. */
     std::uint64_t maxEvents = 2'000'000'000ULL;
+
+    /** Transport faults to inject (default: none). */
+    FaultParams faults;
+    /** Protocol recovery knobs. When faults are enabled and
+     *  recovery.timeout is 0, runOnce defaults it to 20000 ticks. */
+    RecoveryParams recovery;
+    /** Watchdog sampling window in ticks; 0 disables the watchdog. */
+    Tick watchdogInterval = 0;
+    /** Primary-silent windows tolerated while the network still moves. */
+    unsigned watchdogStrikes = 4;
 };
 
 /** Execute one simulation to completion. */
 RunResult runOnce(const HierarchySpec &spec,
                   const WorkloadParams &workload, const RunConfig &cfg);
+
+/**
+ * Process exit code for one run: 1 = coherence violation,
+ * 4 = watchdog fired, 3 = quiescent deadlock, 0 = clean.
+ * Violations dominate (a violated run that also hung is reported as
+ * a violation).
+ */
+int exitCodeFor(const RunResult &result);
 
 /** Multi-trial summary for one (protocol, organization, benchmark). */
 struct TrialSummary

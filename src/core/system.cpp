@@ -142,6 +142,22 @@ System::build(const TreeNodeSpec &node, NodeId parent, unsigned depth,
 }
 
 void
+System::configureResilience(const FaultParams &faults,
+                            const RecoveryParams &rec)
+{
+    if (faults.enabled()) {
+        injector_ = std::make_unique<FaultInjector>(faults);
+        net_->setFaultInjector(injector_.get());
+    }
+    if (rec.enabled()) {
+        for (auto &d : dirs_)
+            d->setResilience(rec);
+        for (auto &l : l1s_)
+            l->setResilience(rec);
+    }
+}
+
+void
 System::setTrace(const std::function<void(const std::string &)> &fn)
 {
     for (auto &d : dirs_)

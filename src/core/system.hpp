@@ -23,6 +23,7 @@
 #include "protocol/l1_controller.hpp"
 #include "protocol/protocol_config.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 
 namespace neo
 {
@@ -89,6 +90,19 @@ class System
     /** Install a trace callback on every controller. */
     void setTrace(const std::function<void(const std::string &)> &fn);
 
+    /**
+     * Arm fault injection and/or protocol recovery. When @p faults has
+     * any rate or blackout configured, a FaultInjector (owned here) is
+     * attached to the network; when @p rec is enabled, every controller
+     * gets transaction serials, dedup, and timeout/backoff reissue.
+     * Never calling this leaves runs bit-identical to pre-fault builds.
+     */
+    void configureResilience(const FaultParams &faults,
+                             const RecoveryParams &rec);
+
+    /** The attached injector, or nullptr when faults are off. */
+    FaultInjector *faultInjector() { return injector_.get(); }
+
     /** Directories whose children are all leaves ("L2 level") vs the
      *  rest — used by the §5.3 blocked-fraction breakdown. */
     std::vector<const DirController *> leafLevelDirs() const;
@@ -101,6 +115,7 @@ class System
 
     HierarchySpec spec_;
     ProtocolConfig cfg_;
+    std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<DramModel> dram_;
     std::unique_ptr<TreeNetwork> net_;
     std::vector<std::unique_ptr<DirController>> dirs_;

@@ -26,10 +26,24 @@ struct Message
     NodeId dst = invalidNode;
     std::uint32_t sizeBytes = 8;
 
+    /**
+     * Network-assigned send identity (0 until first offered). A
+     * fault-injected duplicate shares its original's id, so ingress
+     * dedup filters see transport copies, never distinct sends.
+     */
+    std::uint64_t msgId = 0;
+
     virtual ~Message() = default;
 
     /** Human-readable tag for traces. */
     virtual std::string describe() const { return "Message"; }
+
+    /** Deep copy for fault-injected duplication. */
+    virtual std::unique_ptr<Message>
+    clone() const
+    {
+        return std::make_unique<Message>(*this);
+    }
 };
 
 using MessagePtr = std::unique_ptr<Message>;

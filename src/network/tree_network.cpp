@@ -64,6 +64,17 @@ TreeNetwork::linkBusy(NodeId child_end, bool upward)
 }
 
 void
+TreeNetwork::scheduleDelivery(MessagePtr msg, Tick arrive)
+{
+    MessageConsumer *sink = nodes_[msg->dst].sink;
+    auto *raw = msg.release();
+    eventq().schedule(arrive, [this, sink, raw]() {
+        ++delivered_;
+        sink->deliver(MessagePtr(raw));
+    });
+}
+
+void
 TreeNetwork::deliver(MessagePtr msg)
 {
     neo_assert(msg->src < nodes_.size() && msg->dst < nodes_.size(),
@@ -72,6 +83,22 @@ TreeNetwork::deliver(MessagePtr msg)
                msg->describe());
 
     const Tick now = curTick();
+
+    // First offering of this payload: stamp its transport identity.
+    // (Protocol-level reissues build fresh Message objects, so they
+    // get fresh ids; only fault duplicates share one.)
+    if (msg->msgId == 0)
+        msg->msgId = ++msgSeq_;
+
+    FaultInjector::Decision fate;
+    if (faults_ != nullptr)
+        fate = faults_->decide(msg->msgId, now, msg->src, msg->dst);
+    if (fate.drop) {
+        ++messages_;
+        bytes_ += msg->sizeBytes;
+        return; // the payload evaporates
+    }
+
     const auto ser_ticks = static_cast<Tick>(
         static_cast<double>(msg->sizeBytes) / params_.bytesPerTick + 0.999);
 
@@ -104,7 +131,24 @@ TreeNetwork::deliver(MessagePtr msg)
     unsigned hop_count = 0;
     for (NodeId cx = msg->src; cx != lca; cx = nodes_[cx].parent) {
         Tick &busy = linkBusy(cx, true);
-        const Tick start = std::max(arrive, busy);
+        Tick start = std::max(arrive, busy);
+        if (faults_ != nullptr) {
+            const Tick release = faults_->linkRelease(cx, true, start);
+            if (release != start) {
+                faults_->noteHold(msg->msgId, now, msg->src, msg->dst,
+                                  release);
+                if (release == maxTick) {
+                    // Permanently severed: park instead of scheduling
+                    // an event at infinity, so the queue can drain.
+                    ++messages_;
+                    bytes_ += msg->sizeBytes;
+                    ++parkedMessages_;
+                    parked_.push_back(std::move(msg));
+                    return;
+                }
+                start = release;
+            }
+        }
         busy = start + ser_ticks;
         arrive = start + ser_ticks + params_.linkLatency;
         ++hop_count;
@@ -112,7 +156,23 @@ TreeNetwork::deliver(MessagePtr msg)
     // Downward links: from the LCA to dst.
     for (NodeId child_end : down_path) {
         Tick &busy = linkBusy(child_end, false);
-        const Tick start = std::max(arrive, busy);
+        Tick start = std::max(arrive, busy);
+        if (faults_ != nullptr) {
+            const Tick release =
+                faults_->linkRelease(child_end, false, start);
+            if (release != start) {
+                faults_->noteHold(msg->msgId, now, msg->src, msg->dst,
+                                  release);
+                if (release == maxTick) {
+                    ++messages_;
+                    bytes_ += msg->sizeBytes;
+                    ++parkedMessages_;
+                    parked_.push_back(std::move(msg));
+                    return;
+                }
+                start = release;
+            }
+        }
         busy = start + ser_ticks;
         arrive = start + ser_ticks + params_.linkLatency;
         ++hop_count;
@@ -120,18 +180,20 @@ TreeNetwork::deliver(MessagePtr msg)
 
     if (params_.maxJitter > 0)
         arrive += jitterRng_.below(params_.maxJitter + 1);
+    arrive += fate.delay;
 
     ++messages_;
     bytes_ += msg->sizeBytes;
     hopStat_.sample(static_cast<double>(hop_count));
     latencyStat_.sample(static_cast<double>(arrive - now));
 
-    MessageConsumer *sink = nodes_[msg->dst].sink;
-    // Move the payload into the delivery event.
-    auto *raw = msg.release();
-    eventq().schedule(arrive, [sink, raw]() {
-        sink->deliver(MessagePtr(raw));
-    });
+    if (fate.duplicate) {
+        // The clone keeps the original's msgId; ingress dedup at the
+        // destination recognizes and discards the extra copy.
+        MessagePtr copy = msg->clone();
+        scheduleDelivery(std::move(copy), arrive + fate.dupSkew);
+    }
+    scheduleDelivery(std::move(msg), arrive);
 }
 
 void
@@ -141,6 +203,8 @@ TreeNetwork::addStats(StatGroup &group) const
     group.add(&bytes_);
     group.add(&hopStat_);
     group.add(&latencyStat_);
+    group.add(&delivered_);
+    group.add(&parkedMessages_);
 }
 
 } // namespace neo

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "network/message.hpp"
+#include "sim/fault.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
 #include "sim/stats.hpp"
@@ -81,6 +82,19 @@ class TreeNetwork : public SimObject, public MessageConsumer
     const Scalar &totalBytes() const { return bytes_; }
     const SampleStat &hopStat() const { return hopStat_; }
     const SampleStat &latencyStat() const { return latencyStat_; }
+    /** Messages handed to a sink (excludes drops and parked traffic;
+     *  includes fault-injected duplicate copies). */
+    const Scalar &deliveredCount() const { return delivered_; }
+    /** Messages parked forever behind a permanent blackout. */
+    const Scalar &parkedCount() const { return parkedMessages_; }
+
+    /**
+     * Install (or clear) the transport fault injector. With no
+     * injector the data path is bit-identical to the fault-free
+     * network. Not owned; must outlive the network's use of it.
+     */
+    void setFaultInjector(FaultInjector *fi) { faults_ = fi; }
+    FaultInjector *faultInjector() { return faults_; }
 
     void addStats(StatGroup &group) const;
 
@@ -96,15 +110,25 @@ class TreeNetwork : public SimObject, public MessageConsumer
     /** Occupancy of one directed link, keyed by (childEnd, up?). */
     Tick &linkBusy(NodeId child_end, bool upward);
 
+    /** Schedule the sink handoff of @p msg at @p arrive. */
+    void scheduleDelivery(MessagePtr msg, Tick arrive);
+
     NetworkParams params_;
     std::vector<NodeInfo> nodes_;
     std::unordered_map<std::uint64_t, Tick> linkBusy_;
     Random jitterRng_;
+    FaultInjector *faults_ = nullptr;
+    std::uint64_t msgSeq_ = 0;
+    /** Traffic caught behind a permanent blackout: held, never
+     *  scheduled, so a severed subtree drains the event queue fast. */
+    std::vector<MessagePtr> parked_;
 
     Scalar messages_{"network.messages"};
     Scalar bytes_{"network.bytes"};
     SampleStat hopStat_{"network.hops"};
     SampleStat latencyStat_{"network.latency"};
+    Scalar delivered_{"network.delivered"};
+    Scalar parkedMessages_{"network.parked"};
 };
 
 } // namespace neo

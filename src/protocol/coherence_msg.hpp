@@ -103,6 +103,23 @@ struct CoherenceMsg : Message
      *  non-sibling-communication statistic counts only these. */
     bool fromCache = false;
 
+    /**
+     * End-to-end transaction identity for fault recovery: the serial
+     * the originating L1 (@p serialOwner) stamped on its request. It
+     * rides every relay, Fwd, Data, ack and Unblock of the
+     * transaction, so reissued requests and stale responses can be
+     * matched by (serialOwner, serial) anywhere in the tree. Zero
+     * when resilience is off (nothing consults it then).
+     */
+    std::uint64_t serial = 0;
+    NodeId serialOwner = invalidNode;
+
+    std::unique_ptr<Message>
+    clone() const override
+    {
+        return std::make_unique<CoherenceMsg>(*this);
+    }
+
     std::string
     describe() const override
     {
@@ -115,6 +132,8 @@ struct CoherenceMsg : Message
             os << " grant=" << permName(grant);
         if (dirty)
             os << " dirty";
+        if (serial != 0)
+            os << " txn=" << serialOwner << ":" << serial;
         os << "]";
         return os.str();
     }

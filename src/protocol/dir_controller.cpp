@@ -55,7 +55,10 @@ DirController::DirController(std::string name, EventQueue &eventq,
       evictions_(this->name() + ".evictions"),
       recalls_(this->name() + ".recalls"),
       dramReads_(this->name() + ".dram_reads"),
-      dramWrites_(this->name() + ".dram_writes")
+      dramWrites_(this->name() + ".dram_writes"),
+      redrives_(this->name() + ".redrives"),
+      staleDrops_(this->name() + ".stale_drops"),
+      dupDrops_(this->name() + ".dup_drops")
 {
     neo_assert((parent == invalidNode) == (dram != nullptr),
                "exactly the root directory fronts the DRAM");
@@ -144,10 +147,22 @@ DirController::numChildren() const
 }
 
 void
+DirController::setResilience(const RecoveryParams &rec)
+{
+    rec_ = rec;
+    resilient_ = true;
+}
+
+void
 DirController::deliver(MessagePtr msg)
 {
     auto *raw = dynamic_cast<CoherenceMsg *>(msg.get());
     neo_assert(raw != nullptr, name(), ": non-coherence message");
+    if (resilient_ && raw->msgId != 0 && dedup_.seen(raw->msgId)) {
+        ++dupDrops_;
+        trace("dup-drop " + raw->describe());
+        return;
+    }
     trace("recv " + raw->describe());
     msg.release();
     std::unique_ptr<CoherenceMsg> cm(raw);
@@ -169,6 +184,7 @@ DirController::deliver(MessagePtr msg)
           default:
             neo_panic("unreachable");
         }
+        maybeScheduleSweep();
         return;
     }
 
@@ -176,12 +192,18 @@ DirController::deliver(MessagePtr msg)
         ++requestArrivals_;
 
     routeOrDefer(std::move(cm), true);
+    maybeScheduleSweep();
 }
 
 void
 DirController::routeOrDefer(std::unique_ptr<CoherenceMsg> cm,
                             bool count_blocked)
 {
+    if (resilient_ &&
+        (cm->type == MsgType::GetS || cm->type == MsgType::GetM) &&
+        absorbReissue(*cm))
+        return;
+
     auto it = tbes_.find(cm->addr);
     if (it != tbes_.end()) {
         TBE &tbe = it->second;
@@ -255,6 +277,156 @@ DirController::process(std::unique_ptr<CoherenceMsg> msg)
 }
 
 bool
+DirController::absorbReissue(const CoherenceMsg &msg)
+{
+    if (msg.serial == 0)
+        return false;
+    auto it = tbes_.find(msg.addr);
+    if (it != tbes_.end()) {
+        TBE &tbe = it->second;
+        if (tbe.requester == msg.src &&
+            tbe.serialOwner == msg.serialOwner &&
+            tbe.serial == msg.serial) {
+            // The requester timed out on a transaction we are still
+            // working: re-send whatever of ours is outstanding.
+            ++staleDrops_;
+            redrive(msg.addr, tbe);
+            return true;
+        }
+        return false; // a different transaction: defer normally
+    }
+    // No TBE. If we retired this transaction, its requester completed
+    // (retirement needs the Unblock), so this copy was in flight
+    // before completion and is stale: absorb it. Re-executing it
+    // would race metadata that has already moved on.
+    for (const auto &r : recentRetired_) {
+        if (r.addr == msg.addr && r.requester == msg.src &&
+            r.serialOwner == msg.serialOwner &&
+            r.serial == msg.serial) {
+            ++staleDrops_;
+            return true;
+        }
+    }
+    return false; // never seen (the original was dropped): process it
+}
+
+bool
+DirController::replayRetiredUnblock(const CoherenceMsg &msg)
+{
+    if (!resilient_ || msg.serial == 0)
+        return false;
+    for (const auto &r : recentRetired_) {
+        if (r.addr != msg.addr || r.serial != msg.serial ||
+            r.serialOwner != msg.serialOwner)
+            continue;
+        if (r.sentUnblock && !isRoot()) {
+            // Our Unblock may have been the lost message; the parent
+            // re-drove its grant to ask for it again.
+            auto ub = make(MsgType::Unblock, msg.addr, parent_);
+            ub->dirty = r.dirtyUp;
+            ub->grant = r.achieved;
+            ub->sizeBytes = dataMsgBytes;
+            ub->serial = r.serial;
+            ub->serialOwner = r.serialOwner;
+            send(std::move(ub));
+        }
+        ++staleDrops_;
+        return true;
+    }
+    return false;
+}
+
+void
+DirController::redrive(Addr addr, TBE &tbe)
+{
+    ++redrives_;
+    tbe.lastActivity = curTick();
+    ensureChildren();
+    for (std::size_t s = 0; s < children_.size(); ++s) {
+        const auto bit = bitOf(static_cast<int>(s));
+        if ((tbe.invMask | tbe.subInvMask) & bit)
+            send(make(MsgType::Inv, addr, children_[s]));
+    }
+    const bool fetching = tbe.mode == DirMode::FetchRead ||
+                          tbe.mode == DirMode::FetchWrite;
+    if (fetching &&
+        (tbe.waitingData ||
+         (cfg_.nonSiblingFwd && tbe.waitingUnblock))) {
+        // The upward relay (or its answer) may have been lost.
+        auto req = make(tbe.mode == DirMode::FetchRead ? MsgType::GetS
+                                                       : MsgType::GetM,
+                        addr, parent_);
+        req->globalRequester = tbe.globalRequester;
+        req->serial = tbe.serial;
+        req->serialOwner = tbe.serialOwner;
+        send(std::move(req));
+    }
+    if (tbe.fwdDispatched &&
+        (tbe.fwdToParent ? tbe.waitingData : tbe.waitingUnblock)) {
+        auto fwd = make(tbe.fwdType, addr, tbe.fwdTo);
+        fwd->target = tbe.fwdTarget;
+        fwd->respondToParent = tbe.fwdToParent;
+        fwd->globalRequester = tbe.globalRequester;
+        fwd->serial = tbe.serial;
+        fwd->serialOwner = tbe.serialOwner;
+        send(std::move(fwd));
+    }
+    if (tbe.grantDispatched && tbe.waitingUnblock) {
+        auto data = make(MsgType::Data, addr, tbe.lastGrantDest);
+        data->grant = tbe.grantPerm;
+        data->dirty = tbe.grantDirty;
+        data->serial = tbe.serial;
+        data->serialOwner = tbe.serialOwner;
+        send(std::move(data));
+    }
+    if (tbe.mode == DirMode::EvictWB && !isRoot()) {
+        auto put = make(tbe.putType, addr, parent_);
+        put->dirty = tbe.putDirty;
+        if (tbe.putDirty)
+            put->sizeBytes = dataMsgBytes;
+        put->serial = tbe.serial;
+        put->serialOwner = tbe.serialOwner;
+        send(std::move(put));
+    }
+}
+
+void
+DirController::maybeScheduleSweep()
+{
+    if (!resilient_ || rec_.timeout == 0 || sweepScheduled_ ||
+        tbes_.empty())
+        return;
+    sweepScheduled_ = true;
+    eventq().schedule(curTick() + rec_.dirSweepPeriod(),
+                      [this]() { sweep(); });
+}
+
+void
+DirController::sweep()
+{
+    sweepScheduled_ = false;
+    if (tbes_.empty())
+        return;
+    const Tick idle = rec_.dirSweepPeriod();
+    const Tick now = curTick();
+    bool live = false;
+    for (auto &[addr, tbe] : tbes_) {
+        if (tbe.redrives >= rec_.maxRetries)
+            continue; // given up: the postmortem will report it
+        live = true;
+        if (now - tbe.lastActivity >= idle) {
+            ++tbe.redrives;
+            redrive(addr, tbe);
+        }
+    }
+    // Without a live TBE the sweep stops rescheduling itself so the
+    // event queue can drain to the quiescent-deadlock report; a new
+    // TBE re-arms it via deliver().
+    if (live)
+        maybeScheduleSweep();
+}
+
+bool
 DirController::makeRoom(Addr addr, std::unique_ptr<CoherenceMsg> &msg)
 {
     if (cache_.peek(addr) != nullptr)
@@ -289,6 +461,7 @@ DirController::startEviction(Addr victim)
     ++evictions_;
     TBE tbe;
     tbe.mode = DirMode::Evict;
+    tbe.lastActivity = curTick();
     // Recall every child copy (inclusive hierarchy, §4.2.2): Inv all
     // holders; the owner's ack brings the dirty block home.
     ensureChildren();
@@ -296,6 +469,7 @@ DirController::startEviction(Addr victim)
         if (entry->sharers & bitOf(static_cast<int>(s))) {
             send(make(MsgType::Inv, victim, children_[s]));
             ++tbe.acksLeft;
+            tbe.invMask |= bitOf(static_cast<int>(s));
             ++recalls_;
         }
     }
@@ -308,13 +482,16 @@ DirController::startEviction(Addr victim)
 }
 
 void
-DirController::sendUpward(MsgType t, Addr addr, bool dirty)
+DirController::sendUpward(MsgType t, Addr addr, bool dirty,
+                          std::uint64_t serial, NodeId serial_owner)
 {
     neo_assert(!isRoot(), "root has no parent to relay to");
     auto msg = make(t, addr, parent_);
     msg->dirty = dirty;
     if (dirty)
         msg->sizeBytes = dataMsgBytes;
+    msg->serial = serial;
+    msg->serialOwner = serial_owner;
     send(std::move(msg));
 }
 
@@ -330,8 +507,11 @@ DirController::handleChildGetS(std::unique_ptr<CoherenceMsg> msg)
     TBE tbe;
     tbe.requester = msg->src;
     tbe.globalRequester = msg->globalRequester;
+    tbe.serial = msg->serial;
+    tbe.serialOwner = msg->serialOwner;
+    tbe.lastActivity = curTick();
 
-    if (entry->owner == slot && cfg_.nonBlockingDir) {
+    if (entry->owner == slot && (cfg_.nonBlockingDir || resilient_)) {
         // The recorded owner is asking for the block again: its copy
         // is gone (a use-once drop or a raced Inv); drop the stale
         // ownership record before deciding how to serve.
@@ -354,6 +534,8 @@ DirController::handleChildGetS(std::unique_ptr<CoherenceMsg> msg)
         ++relaysUp_;
         auto req = make(MsgType::GetS, addr, parent_);
         req->globalRequester = tbe.globalRequester;
+        req->serial = tbe.serial;
+        req->serialOwner = tbe.serialOwner;
         send(std::move(req));
         tbes_.emplace(addr, std::move(tbe));
         return;
@@ -374,6 +556,13 @@ DirController::handleChildGetS(std::unique_ptr<CoherenceMsg> msg)
         fwd->target = cfg_.nonSiblingFwd ? tbe.globalRequester
                                          : tbe.requester;
         fwd->globalRequester = tbe.globalRequester;
+        fwd->serial = tbe.serial;
+        fwd->serialOwner = tbe.serialOwner;
+        tbe.fwdDispatched = true;
+        tbe.fwdType = MsgType::FwdGetS;
+        tbe.fwdTo = fwd->dst;
+        tbe.fwdTarget = fwd->target;
+        tbe.fwdToParent = false;
         send(std::move(fwd));
         entry->sharers |= bitOf(slot);
         if (!cfg_.ownedState) {
@@ -423,6 +612,9 @@ DirController::handleChildGetM(std::unique_ptr<CoherenceMsg> msg)
     TBE tbe;
     tbe.requester = msg->src;
     tbe.globalRequester = msg->globalRequester;
+    tbe.serial = msg->serial;
+    tbe.serialOwner = msg->serialOwner;
+    tbe.lastActivity = curTick();
 
     (void)slot;
     if (permRank(entry->perm) < permRank(Perm::E)) {
@@ -447,11 +639,14 @@ DirController::handleChildGetM(std::unique_ptr<CoherenceMsg> msg)
                     if (entry->owner == si)
                         entry->owner = -1;
                     ++tbe.acksLeft;
+                    tbe.invMask |= bitOf(si);
                 }
             }
         }
         auto req = make(MsgType::GetM, addr, parent_);
         req->globalRequester = tbe.globalRequester;
+        req->serial = tbe.serial;
+        req->serialOwner = tbe.serialOwner;
         send(std::move(req));
         tbes_.emplace(addr, std::move(tbe));
         return;
@@ -510,6 +705,7 @@ DirController::localWritePhase(Addr addr, TBE &tbe, DirEntry &entry)
             send(make(MsgType::Inv, addr, children_[s]));
             entry.sharers &= ~bitOf(si);
             ++tbe.acksLeft;
+            tbe.invMask |= bitOf(si);
         }
     }
 
@@ -555,6 +751,8 @@ DirController::handleChildPut(const CoherenceMsg &msg)
 {
     DirEntry *entry = cache_.peek(msg.addr);
     auto ack = make(MsgType::PutAck, msg.addr, msg.src);
+    ack->serial = msg.serial; // the ack names the Put it answers
+    ack->serialOwner = msg.serialOwner;
     if (entry == nullptr) {
         // Stale Put: the block was recalled while the Put was in
         // flight; the child is already in II_A.
@@ -616,11 +814,13 @@ DirController::handleParentInv(const CoherenceMsg &msg)
     }
     TBE tbe;
     tbe.mode = DirMode::ExtInv;
+    tbe.lastActivity = curTick();
     ensureChildren();
     for (std::size_t s = 0; s < children_.size(); ++s) {
         if (entry->sharers & bitOf(static_cast<int>(s))) {
             send(make(MsgType::Inv, msg.addr, children_[s]));
             ++tbe.acksLeft;
+            tbe.invMask |= bitOf(static_cast<int>(s));
         }
     }
     entry->sharers = 0;
@@ -634,12 +834,27 @@ void
 DirController::handleParentFwdGetS(const CoherenceMsg &msg)
 {
     DirEntry *entry = cache_.peek(msg.addr);
+    if (entry == nullptr && resilient_) {
+        // Re-driven demand for a block this subtree already passed on
+        // and erased: feed the target again (values are untracked).
+        ++staleDrops_;
+        auto data = make(MsgType::Data, msg.addr,
+                         msg.respondToParent ? parent_ : msg.target);
+        data->grant = Perm::S;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
+        send(std::move(data));
+        return;
+    }
     neo_assert(entry != nullptr, name(), ": Fwd_GetS for absent block");
     TBE tbe;
     tbe.mode = DirMode::ExtRead;
     tbe.extTarget = msg.target;
     tbe.extToParent = msg.respondToParent;
     tbe.globalRequester = msg.globalRequester;
+    tbe.serial = msg.serial;
+    tbe.serialOwner = msg.serialOwner;
+    tbe.lastActivity = curTick();
 
     if (entry->owner != -1) {
         auto fwd = make(MsgType::FwdGetS, msg.addr,
@@ -654,6 +869,13 @@ DirController::handleParentFwdGetS(const CoherenceMsg &msg)
             fwd->respondToParent = true;
             tbe.waitingData = true;
         }
+        fwd->serial = tbe.serial;
+        fwd->serialOwner = tbe.serialOwner;
+        tbe.fwdDispatched = true;
+        tbe.fwdType = MsgType::FwdGetS;
+        tbe.fwdTo = fwd->dst;
+        tbe.fwdTarget = fwd->target;
+        tbe.fwdToParent = fwd->respondToParent;
         send(std::move(fwd));
         if (!cfg_.ownedState) {
             entry->owner = -1;
@@ -679,12 +901,28 @@ void
 DirController::handleParentFwdGetM(const CoherenceMsg &msg)
 {
     DirEntry *entry = cache_.peek(msg.addr);
+    if (entry == nullptr && resilient_) {
+        // See handleParentFwdGetS: re-driven demand after we already
+        // handed the block over and erased it.
+        ++staleDrops_;
+        auto data = make(MsgType::Data, msg.addr,
+                         msg.respondToParent ? parent_ : msg.target);
+        data->grant = Perm::M;
+        data->dirty = true;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
+        send(std::move(data));
+        return;
+    }
     neo_assert(entry != nullptr, name(), ": Fwd_GetM for absent block");
     TBE tbe;
     tbe.mode = DirMode::ExtWrite;
     tbe.extTarget = msg.target;
     tbe.extToParent = msg.respondToParent;
     tbe.globalRequester = msg.globalRequester;
+    tbe.serial = msg.serial;
+    tbe.serialOwner = msg.serialOwner;
+    tbe.lastActivity = curTick();
 
     ensureChildren();
     for (std::size_t s = 0; s < children_.size(); ++s) {
@@ -695,6 +933,7 @@ DirController::handleParentFwdGetM(const CoherenceMsg &msg)
             send(make(MsgType::Inv, msg.addr, children_[s]));
             entry->sharers &= ~bitOf(si);
             ++tbe.acksLeft;
+            tbe.invMask |= bitOf(si);
         }
     }
 
@@ -737,6 +976,8 @@ DirController::handleData(const CoherenceMsg &msg)
 
     auto it = tbes_.find(msg.addr);
     if (it == tbes_.end()) {
+        if (replayRetiredUnblock(msg))
+            return;
         copy_update();
         return;
     }
@@ -746,10 +987,27 @@ DirController::handleData(const CoherenceMsg &msg)
 
     if (!tbe.waitingData) {
         // This transaction is not expecting data (NS relays complete
-        // on the Unblock); any Data landing now is a copy.
+        // on the Unblock); any Data landing now is a copy — unless it
+        // is a re-driven grant for a transaction we already retired,
+        // which re-elicits the Unblock the parent is waiting for.
+        if (replayRetiredUnblock(msg))
+            return;
         copy_update();
         return;
     }
+    if (resilient_ && (msg.serial != tbe.serial ||
+                       msg.serialOwner != tbe.serialOwner)) {
+        // A delayed grant from an older transaction of this block:
+        // adopting it could out-grant what the parent gave THIS
+        // transaction, and a re-driven grant for a transaction we
+        // already retired re-elicits the Unblock instead.
+        if (replayRetiredUnblock(msg))
+            return;
+        ++staleDrops_;
+        copy_update();
+        return;
+    }
+    tbe.lastActivity = curTick();
 
     switch (tbe.mode) {
       case DirMode::FetchRead: {
@@ -805,12 +1063,34 @@ void
 DirController::handleInvAck(const CoherenceMsg &msg)
 {
     auto it = tbes_.find(msg.addr);
+    if (resilient_ && it == tbes_.end()) {
+        ++staleDrops_; // ack for an already-finished invalidation
+        return;
+    }
     neo_assert(it != tbes_.end(), name(), ": InvAck without TBE");
     TBE &tbe = it->second;
     DirEntry *entry = cache_.peek(msg.addr);
+    if (resilient_ && entry == nullptr) {
+        ++staleDrops_;
+        return;
+    }
     neo_assert(entry != nullptr, name(), ": InvAck for absent entry");
+    const std::uint64_t src_bit =
+        resilient_ && isChild(msg.src) ? bitOf(slotOf(msg.src)) : 0;
+    if (resilient_ && src_bit == 0) {
+        ++staleDrops_;
+        return;
+    }
+    tbe.lastActivity = curTick();
 
     if (tbe.subInvActive) {
+        if (resilient_) {
+            if ((tbe.subInvMask & src_bit) == 0) {
+                ++staleDrops_; // duplicate ack of this nested wave
+                return;
+            }
+            tbe.subInvMask &= ~src_bit;
+        }
         if (--tbe.subInvAcksLeft == 0) {
             // Nested parent Inv satisfied: report up, stay fetching.
             send(make(MsgType::InvAck, msg.addr, parent_));
@@ -824,6 +1104,13 @@ DirController::handleInvAck(const CoherenceMsg &msg)
         return;
     }
 
+    if (resilient_) {
+        if ((tbe.invMask & src_bit) == 0) {
+            ++staleDrops_; // duplicate or reissue-crossed ack
+            return;
+        }
+        tbe.invMask &= ~src_bit;
+    }
     neo_assert(tbe.acksLeft > 0, name(), ": spurious InvAck");
     --tbe.acksLeft;
     if (msg.dirty) {
@@ -840,14 +1127,23 @@ DirController::handleUnblock(const CoherenceMsg &msg)
     auto it = tbes_.find(msg.addr);
     DirEntry *entry = cache_.peek(msg.addr);
     if (it != tbes_.end() && it->second.waitingUnblock &&
-        it->second.requester == msg.src) {
+        it->second.requester == msg.src &&
+        (!resilient_ || (msg.serial == it->second.serial &&
+                         msg.serialOwner == it->second.serialOwner))) {
         TBE &tbe = it->second;
+        tbe.lastActivity = curTick();
         tbe.waitingUnblock = false;
         tbe.unblockDirty = msg.dirty;
         tbe.unblockGrant = msg.grant;
         if (entry != nullptr && entry->owner == -1)
             entry->dataValid = true;
         completeIfReady(msg.addr);
+        return;
+    }
+    // Duplicates of a replayed Unblock must be inert under a blocking
+    // directory: the metadata-only adoption below is NS bookkeeping.
+    if (resilient_ && !cfg_.nonBlockingDir) {
+        ++staleDrops_;
         return;
     }
     // Late Unblock under non-blocking directories: metadata only.
@@ -866,6 +1162,12 @@ void
 DirController::handlePutAck(const CoherenceMsg &msg)
 {
     auto it = tbes_.find(msg.addr);
+    if (resilient_ &&
+        (it == tbes_.end() || it->second.mode != DirMode::EvictWB ||
+         msg.serial != it->second.serial)) {
+        ++staleDrops_; // ack for an already-retired (or reissued) Put
+        return;
+    }
     neo_assert(it != tbes_.end() && it->second.mode == DirMode::EvictWB,
                name(), ": PutAck without a pending writeback");
     if (cache_.peek(msg.addr) != nullptr)
@@ -889,6 +1191,23 @@ DirController::handleFwdDuringFetch(TBE &tbe, const CoherenceMsg &msg)
     // write-ownership transfers are serialized at the parent, so the
     // demand is necessarily from an epoch older than our pending one
     // and applies to the copy this subtree currently owns.
+    if (resilient_ && !cfg_.nonBlockingDir) {
+        // A delayed or re-driven Fwd caught us after our old copy was
+        // already evicted (the parent revoked our ownership when it
+        // processed the Put). We have nothing to hand over; grant the
+        // demanded permission directly so the parent's transaction can
+        // complete — in this permission-only model the supply itself
+        // carries no payload.
+        auto data = make(MsgType::Data, msg.addr,
+                         msg.respondToParent ? parent_ : msg.target);
+        data->grant = msg.type == MsgType::FwdGetM ? Perm::M : Perm::S;
+        data->dirty = msg.type == MsgType::FwdGetM;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
+        send(std::move(data));
+        ++staleDrops_;
+        return true;
+    }
     neo_assert(cfg_.nonBlockingDir, name(),
                ": Fwd during a fetch under a blocking directory");
     DirEntry *entry = cache_.peek(msg.addr);
@@ -907,6 +1226,7 @@ DirController::handleFwdDuringFetch(TBE &tbe, const CoherenceMsg &msg)
                 send(make(MsgType::Inv, msg.addr, children_[s]));
                 entry->sharers &= ~bitOf(si);
                 ++tbe.acksLeft;
+                tbe.invMask |= bitOf(si);
             }
         }
     }
@@ -917,6 +1237,8 @@ DirController::handleFwdDuringFetch(TBE &tbe, const CoherenceMsg &msg)
         fwd->target = msg.target;
         fwd->respondToParent = false;
         fwd->globalRequester = msg.globalRequester;
+        fwd->serial = msg.serial;
+        fwd->serialOwner = msg.serialOwner;
         send(std::move(fwd));
         if (is_getm) {
             entry->sharers &= ~bitOf(entry->owner);
@@ -928,6 +1250,8 @@ DirController::handleFwdDuringFetch(TBE &tbe, const CoherenceMsg &msg)
                          msg.respondToParent ? parent_ : msg.target);
         data->grant = is_getm ? Perm::M : Perm::S;
         data->dirty = entry->dirty;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         if (is_getm) {
             entry->dataValid = false;
@@ -945,6 +1269,8 @@ DirController::handleFwdDuringFetch(TBE &tbe, const CoherenceMsg &msg)
         fwd->target = msg.target;
         fwd->respondToParent = false;
         fwd->globalRequester = msg.globalRequester;
+        fwd->serial = msg.serial;
+        fwd->serialOwner = msg.serialOwner;
         send(std::move(fwd));
         if (is_getm)
             tbe.grantRevoked = true;
@@ -976,6 +1302,8 @@ DirController::handleDemandDuringEvictWB(TBE &tbe, const CoherenceMsg &msg)
                          msg.respondToParent ? parent_ : msg.target);
         data->grant = Perm::S;
         data->dirty = entry->dirty;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         entry->perm = Perm::S;
         entry->dirty = false;
@@ -986,6 +1314,8 @@ DirController::handleDemandDuringEvictWB(TBE &tbe, const CoherenceMsg &msg)
                          msg.respondToParent ? parent_ : msg.target);
         data->grant = Perm::M;
         data->dirty = entry->dirty;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         entry->perm = Perm::I;
         entry->dirty = false;
@@ -1014,12 +1344,14 @@ DirController::handleInvDuringFetch(TBE &tbe, const CoherenceMsg &msg)
         // permission at retire.
         send(make(MsgType::Inv, msg.addr, tbe.requester));
         ++tbe.subInvAcksLeft;
+        tbe.subInvMask |= bitOf(slotOf(tbe.requester));
         tbe.grantRevoked = true;
     }
     for (std::size_t s = 0; s < children_.size(); ++s) {
         if (entry->sharers & bitOf(static_cast<int>(s))) {
             send(make(MsgType::Inv, msg.addr, children_[s]));
             ++tbe.subInvAcksLeft;
+            tbe.subInvMask |= bitOf(static_cast<int>(s));
         }
     }
     entry->sharers = 0;
@@ -1048,10 +1380,13 @@ DirController::completeIfReady(Addr addr)
     // pending grant from our own copy.
     if (tbe.fwdPending) {
         tbe.fwdPending = false;
+        tbe.fwdDispatched = true;
         auto fwd = make(tbe.fwdType, addr, tbe.fwdTo);
         fwd->target = tbe.fwdTarget;
         fwd->respondToParent = tbe.fwdToParent;
         fwd->globalRequester = tbe.globalRequester;
+        fwd->serial = tbe.serial;
+        fwd->serialOwner = tbe.serialOwner;
         send(std::move(fwd));
         if (tbe.fwdToParent) {
             tbe.waitingData = true;
@@ -1074,7 +1409,11 @@ DirController::completeIfReady(Addr addr)
         auto data = make(MsgType::Data, addr, dest);
         data->grant = tbe.grantPerm;
         data->dirty = tbe.grantDirty;
+        data->serial = tbe.serial;
+        data->serialOwner = tbe.serialOwner;
         send(std::move(data));
+        tbe.grantDispatched = true;
+        tbe.lastGrantDest = dest;
     }
 
     if (tbe.waitingUnblock) {
@@ -1126,7 +1465,12 @@ DirController::completeIfReady(Addr addr)
                                            : MsgType::PutS;
         }
         tbe.putType = put;
-        sendUpward(put, addr, entry->dirty);
+        tbe.putDirty = entry->dirty;
+        if (resilient_) {
+            tbe.serial = ++serialCtr_;
+            tbe.serialOwner = nodeId_;
+        }
+        sendUpward(put, addr, entry->dirty, tbe.serial, tbe.serialOwner);
         // Any demands deferred during the recall can now be answered
         // from the copy in hand.
         auto deferred = std::move(tbe.deferred);
@@ -1187,6 +1531,11 @@ DirController::completeIfReady(Addr addr)
             ub->dirty = pass_up;
             ub->grant = entry->perm;
             ub->sizeBytes = dataMsgBytes;
+            ub->serial = tbe.serial;
+            ub->serialOwner = tbe.serialOwner;
+            tbe.sentUnblock = true;
+            tbe.achievedGrant = ub->grant;
+            tbe.achievedDirty = ub->dirty;
             send(std::move(ub));
         }
         break;
@@ -1226,6 +1575,22 @@ DirController::retire(Addr addr)
 {
     auto it = tbes_.find(addr);
     neo_assert(it != tbes_.end(), "retiring absent TBE");
+    if (resilient_ && it->second.serial != 0 &&
+        it->second.requester != invalidNode) {
+        // Retirement implies the requester's Unblock arrived, so any
+        // same-serial reissue still in flight is stale; remember the
+        // identity so absorbReissue can drop it.
+        // Sized to outlive the parent's reissue sweep: a directory
+        // retires transactions at the combined rate of its whole
+        // subtree, and an Unblock-loss repair needs this entry to
+        // still be here when the parent's re-driven grant lands.
+        recentRetired_.push_front(RetiredTxn{
+            addr, it->second.requester, it->second.serialOwner,
+            it->second.serial, it->second.sentUnblock,
+            it->second.achievedGrant, it->second.achievedDirty});
+        if (recentRetired_.size() > 8192)
+            recentRetired_.pop_back();
+    }
     auto deferred = std::move(it->second.deferred);
     tbes_.erase(it);
 
@@ -1269,7 +1634,9 @@ DirController::debugDump() const
            << (tbe.grantPending ? " grant!" : "")
            << (tbe.fwdPending ? " fwd!" : "")
            << (tbe.subInvActive ? " subInv" : "")
-           << " deferred=" << tbe.deferred.size() << "\n";
+           << " deferred=" << tbe.deferred.size()
+           << " txn=" << tbe.serialOwner << ":" << tbe.serial
+           << " redrives=" << tbe.redrives << "\n";
     }
     if (!retryQueue_.empty())
         os << name() << " retryQueue=" << retryQueue_.size() << "\n";
@@ -1287,6 +1654,9 @@ DirController::addStats(StatGroup &group) const
     group.add(&recalls_);
     group.add(&dramReads_);
     group.add(&dramWrites_);
+    group.add(&redrives_);
+    group.add(&staleDrops_);
+    group.add(&dupDrops_);
 }
 
 } // namespace neo

@@ -41,6 +41,7 @@
 #include "network/tree_network.hpp"
 #include "protocol/coherence_msg.hpp"
 #include "protocol/protocol_config.hpp"
+#include "sim/fault.hpp"
 #include "sim/sim_object.hpp"
 #include "sim/stats.hpp"
 
@@ -110,10 +111,25 @@ class DirController : public SimObject, public MessageConsumer
     /** Render in-flight transaction state (deadlock diagnostics). */
     std::string debugDump() const;
 
+    /**
+     * Arm fault recovery: ingress duplicate suppression, stale
+     * response/reissue tolerance, and a periodic sweep that re-drives
+     * transactions idle for a full directory timeout. Never called on
+     * fault-free runs, keeping them bit-identical.
+     */
+    void setResilience(const RecoveryParams &rec);
+
+    /** Requests parked waiting for a way or a retired TBE. */
+    std::size_t retryQueueDepth() const { return retryQueue_.size(); }
+
     // Statistics (§5.3: blocked-request fractions are
     // blockedArrivals / requestArrivals).
     const Scalar &requestArrivals() const { return requestArrivals_; }
     const Scalar &blockedArrivals() const { return blockedArrivals_; }
+    /** Sweep/reissue-triggered re-sends of outstanding messages. */
+    const Scalar &redrives() const { return redrives_; }
+    const Scalar &staleDrops() const { return staleDrops_; }
+    const Scalar &dupDrops() const { return dupDrops_; }
     void addStats(StatGroup &group) const;
 
   private:
@@ -170,6 +186,47 @@ class DirController : public SimObject, public MessageConsumer
         /** Writeback pending for Evict/EvictWB. */
         MsgType putType = MsgType::PutS;
         std::deque<MessagePtr> deferred;
+
+        // Fault-recovery bookkeeping (all zero when resilience is off).
+        /** End-to-end transaction identity (see CoherenceMsg). */
+        std::uint64_t serial = 0;
+        NodeId serialOwner = invalidNode;
+        /** Last tick this transaction made observable progress. */
+        Tick lastActivity = 0;
+        /** Child slots with an unacknowledged Inv outstanding. */
+        std::uint64_t invMask = 0;
+        std::uint64_t subInvMask = 0;
+        /** The armed grant/fwd was actually put on the wire (the
+         *  armed fields persist, so a re-drive can re-send them). */
+        bool grantDispatched = false;
+        NodeId lastGrantDest = invalidNode;
+        bool fwdDispatched = false;
+        /** Dirty flag of the EvictWB writeback (for re-drives). */
+        bool putDirty = false;
+        /** Sweep re-drives consumed (bounded by maxRetries). */
+        unsigned redrives = 0;
+        /** Recorded when the fetch-retirement Unblock goes out, so a
+         *  retired transaction can replay it (see RetiredTxn). */
+        bool sentUnblock = false;
+        Perm achievedGrant = Perm::I;
+        bool achievedDirty = false;
+    };
+
+    /** Retired transaction identity: a reissued request matching one
+     *  of these is a stale in-flight copy, absorbed rather than
+     *  re-executed against already-moved-on metadata. */
+    struct RetiredTxn
+    {
+        Addr addr = 0;
+        NodeId requester = invalidNode;
+        NodeId serialOwner = invalidNode;
+        std::uint64_t serial = 0;
+        /** This transaction ended with an Unblock to the parent; a
+         *  re-driven grant re-elicits it (the original may have been
+         *  dropped, leaving the parent waiting forever). */
+        bool sentUnblock = false;
+        Perm achieved = Perm::I; ///< grant the Unblock reported
+        bool dirtyUp = false;    ///< dirtiness the Unblock carried
     };
 
     void trace(const std::string &s);
@@ -231,7 +288,30 @@ class DirController : public SimObject, public MessageConsumer
     void startEviction(Addr victim);
 
     /** Relay a request up: to the parent, or to DRAM at the root. */
-    void sendUpward(MsgType t, Addr addr, bool dirty);
+    void sendUpward(MsgType t, Addr addr, bool dirty,
+                    std::uint64_t serial = 0,
+                    NodeId serial_owner = invalidNode);
+
+    /**
+     * Absorb a reissued GetS/GetM: re-drive the matching in-flight
+     * transaction, or drop a stale copy of a retired one.
+     * @return true when the message was consumed.
+     */
+    bool absorbReissue(const CoherenceMsg &msg);
+
+    /**
+     * A response for a retired transaction (a re-driven grant whose
+     * original completed here) re-elicits the retirement Unblock the
+     * parent may have lost. @return true when @p msg matched one.
+     */
+    bool replayRetiredUnblock(const CoherenceMsg &msg);
+
+    /** Re-send every outstanding message of a stuck transaction. */
+    void redrive(Addr addr, TBE &tbe);
+
+    /** Arm the periodic stuck-transaction sweep while TBEs exist. */
+    void maybeScheduleSweep();
+    void sweep();
 
     /** Check completion conditions and retire the TBE if met. */
     void completeIfReady(Addr addr);
@@ -252,6 +332,14 @@ class DirController : public SimObject, public MessageConsumer
     bool draining_ = false;
     TraceFn trace_;
 
+    // Fault-recovery state (dormant until setResilience()).
+    bool resilient_ = false;
+    RecoveryParams rec_;
+    std::uint64_t serialCtr_ = 0; ///< serials for dir-originated Puts
+    bool sweepScheduled_ = false;
+    DedupWindow dedup_{4096};
+    std::deque<RetiredTxn> recentRetired_;
+
     Scalar requestArrivals_;
     Scalar blockedArrivals_;
     Scalar relaysUp_;
@@ -260,6 +348,9 @@ class DirController : public SimObject, public MessageConsumer
     Scalar recalls_;
     Scalar dramReads_;
     Scalar dramWrites_;
+    Scalar redrives_;
+    Scalar staleDrops_;
+    Scalar dupDrops_;
 };
 
 } // namespace neo

@@ -80,9 +80,129 @@ L1Controller::L1Controller(std::string name, EventQueue &eventq,
       invsReceived_(this->name() + ".invs_received"),
       fwdsServed_(this->name() + ".fwds_served"),
       nonSiblingData_(this->name() + ".non_sibling_data"),
-      missLatency_(this->name() + ".miss_latency")
+      retries_(this->name() + ".retries"),
+      staleDrops_(this->name() + ".stale_drops"),
+      dupDrops_(this->name() + ".dup_drops"),
+      missLatency_(this->name() + ".miss_latency"),
+      recoveryLatency_(this->name() + ".recovery_latency")
 {
     nodeId_ = net_.addNode(this, parent);
+}
+
+void
+L1Controller::setResilience(const RecoveryParams &rec)
+{
+    rec_ = rec;
+    resilient_ = true;
+}
+
+std::string
+L1Controller::debugDump() const
+{
+    std::ostringstream os;
+    if (req_.has_value()) {
+        os << name() << ": req addr=0x" << std::hex << req_->addr
+           << std::dec << (req_->isWrite ? " W" : " R")
+           << (req_->issued ? " issued" : " queued");
+        if (req_->serial != 0)
+            os << " serial=" << req_->serial
+               << " attempts=" << req_->attempts;
+        os << "\n";
+    }
+    forEachLine([&](Addr a, L1State s) {
+        if (!l1Stable(s))
+            os << name() << ": 0x" << std::hex << a << std::dec << " "
+               << l1StateName(s) << "\n";
+    });
+    for (const auto &[addr, pp] : puts_)
+        os << name() << ": pending " << msgTypeName(pp.type) << " 0x"
+           << std::hex << addr << std::dec << " serial=" << pp.serial
+           << " attempts=" << pp.attempts << "\n";
+    if (!bufferedFwds_.empty())
+        os << name() << ": " << bufferedFwds_.size()
+           << " buffered Fwd demand(s)\n";
+    return os.str();
+}
+
+void
+L1Controller::armReqTimer()
+{
+    if (!resilient_ || rec_.timeout == 0)
+        return;
+    const std::uint64_t epoch = ++reqEpoch_;
+    eventq().schedule(curTick() + rec_.backoff(req_->attempts),
+                      [this, epoch]() { onReqTimeout(epoch); });
+}
+
+void
+L1Controller::onReqTimeout(std::uint64_t epoch)
+{
+    if (epoch != reqEpoch_ || !req_.has_value() || !req_->issued)
+        return; // completed or superseded
+    if (req_->attempts > rec_.maxRetries)
+        return; // give up; the watchdog will report the stall
+    ++req_->attempts;
+    ++retries_;
+    trace("reissue " + std::string(msgTypeName(req_->issuedType)));
+    auto msg = make(req_->issuedType, req_->addr, parent_);
+    msg->globalRequester = nodeId_;
+    msg->serial = req_->serial;
+    msg->serialOwner = nodeId_;
+    send(std::move(msg));
+    armReqTimer();
+}
+
+void
+L1Controller::armPutTimer(Addr addr, std::uint64_t epoch)
+{
+    if (rec_.timeout == 0)
+        return;
+    const auto it = puts_.find(addr);
+    if (it == puts_.end() || it->second.epoch != epoch)
+        return;
+    eventq().schedule(curTick() + rec_.backoff(it->second.attempts),
+                      [this, addr, epoch]() { onPutTimeout(addr, epoch); });
+}
+
+void
+L1Controller::onPutTimeout(Addr addr, std::uint64_t epoch)
+{
+    const auto it = puts_.find(addr);
+    if (it == puts_.end() || it->second.epoch != epoch)
+        return; // acked (or superseded) meanwhile
+    PendingPut &pp = it->second;
+    if (pp.attempts > rec_.maxRetries)
+        return;
+    ++pp.attempts;
+    ++retries_;
+    trace("reissue " + std::string(msgTypeName(pp.type)));
+    auto msg = make(pp.type, addr, parent_);
+    msg->dirty = pp.dirty;
+    if (pp.dirty)
+        msg->sizeBytes = dataMsgBytes;
+    msg->serial = pp.serial;
+    msg->serialOwner = nodeId_;
+    send(std::move(msg));
+    armPutTimer(addr, epoch);
+}
+
+void
+L1Controller::noteAck(Addr addr, bool dirty)
+{
+    if (!resilient_)
+        return;
+    ackMemos_.push_front(AckMemo{addr, dirty});
+    if (ackMemos_.size() > 64)
+        ackMemos_.pop_back();
+}
+
+bool
+L1Controller::recallAckDirty(Addr addr) const
+{
+    for (const auto &m : ackMemos_)
+        if (m.addr == addr)
+            return m.dirty;
+    return false;
 }
 
 void
@@ -189,7 +309,15 @@ L1Controller::pump()
         line->state = (s == L1State::O) ? L1State::OM_D : L1State::SM_D;
         auto msg = make(MsgType::GetM, addr, parent_);
         msg->globalRequester = nodeId_;
+        if (resilient_) {
+            req_->serial = ++serialCtr_;
+            req_->issuedType = MsgType::GetM;
+            req_->attempts = 1;
+            msg->serial = req_->serial;
+            msg->serialOwner = nodeId_;
+        }
         send(std::move(msg));
+        armReqTimer();
         return;
     }
 
@@ -217,7 +345,15 @@ L1Controller::pump()
     auto msg = make(req_->isWrite ? MsgType::GetM : MsgType::GetS, addr,
                     parent_);
     msg->globalRequester = nodeId_;
+    if (resilient_) {
+        req_->serial = ++serialCtr_;
+        req_->issuedType = msg->type;
+        req_->attempts = 1;
+        msg->serial = req_->serial;
+        msg->serialOwner = nodeId_;
+    }
     send(std::move(msg));
+    armReqTimer();
 }
 
 void
@@ -253,6 +389,16 @@ L1Controller::startEviction(Addr victim, Line &line)
     msg->dirty = dirty;
     if (dirty)
         msg->sizeBytes = dataMsgBytes; // writeback carries the block
+    if (resilient_) {
+        const std::uint64_t serial = ++serialCtr_;
+        const std::uint64_t epoch = ++putEpochCtr_;
+        puts_[victim] = PendingPut{serial, t, dirty, 1, epoch};
+        msg->serial = serial;
+        msg->serialOwner = nodeId_;
+        send(std::move(msg));
+        armPutTimer(victim, epoch);
+        return;
+    }
     send(std::move(msg));
 }
 
@@ -270,6 +416,25 @@ L1Controller::complete(Perm achieved, bool carry_dirty)
     ub->dirty = carry_dirty;
     ub->grant = achieved;
     ub->sizeBytes = dataMsgBytes; // Unblock carries the valid data
+    if (resilient_) {
+        ++reqEpoch_; // cancel any pending reissue timer
+        if (req_->serial != 0) {
+            if (req_->attempts > 1)
+                recoveryLatency_.sample(
+                    static_cast<double>(curTick() - missStart_));
+            ub->serial = req_->serial;
+            ub->serialOwner = nodeId_;
+            // The window must outlive the directory's reissue sweep:
+            // an Unblock loss is only repaired when a re-driven grant
+            // finds the finished transaction here, and the first
+            // redrive can lag the loss by ~2 sweep periods while this
+            // L1 keeps completing misses every few hundred ticks.
+            completed_.push_front(Completed{req_->addr, req_->serial,
+                                            achieved, carry_dirty});
+            if (completed_.size() > 1024)
+                completed_.pop_back();
+        }
+    }
     send(std::move(ub));
     DoneFn done = std::move(req_->done);
     req_.reset();
@@ -288,6 +453,11 @@ L1Controller::deliver(MessagePtr msg)
 {
     auto *cm = dynamic_cast<CoherenceMsg *>(msg.get());
     neo_assert(cm != nullptr, name(), ": non-coherence message");
+    if (resilient_ && cm->msgId != 0 && dedup_.seen(cm->msgId)) {
+        ++dupDrops_;
+        trace("dup-drop " + cm->describe());
+        return;
+    }
     trace("recv " + cm->describe());
     const L1State pre = blockState(cm->addr);
     switch (cm->type) {
@@ -316,6 +486,33 @@ L1Controller::deliver(MessagePtr msg)
 void
 L1Controller::handleData(const CoherenceMsg &msg)
 {
+    if (resilient_) {
+        const bool current = req_.has_value() && req_->issued &&
+                             req_->addr == msg.addr &&
+                             msg.serialOwner == nodeId_ &&
+                             msg.serial != 0 &&
+                             msg.serial == req_->serial;
+        if (!current) {
+            // Stale or repeated grant. If it matches a transaction we
+            // already finished, the directory re-drove the grant
+            // because our Unblock was lost: send the Unblock again.
+            for (const auto &c : completed_) {
+                if (c.addr == msg.addr && c.serial == msg.serial &&
+                    msg.serialOwner == nodeId_) {
+                    auto ub = make(MsgType::Unblock, msg.addr, parent_);
+                    ub->dirty = c.dirty;
+                    ub->grant = c.achieved;
+                    ub->sizeBytes = dataMsgBytes;
+                    ub->serial = c.serial;
+                    ub->serialOwner = nodeId_;
+                    send(std::move(ub));
+                    break;
+                }
+            }
+            ++staleDrops_;
+            return;
+        }
+    }
     Line *line = cache_.peek(msg.addr);
     neo_assert(line != nullptr, name(), ": Data for non-resident block");
     if (msg.fromCache && msg.src != parent_ &&
@@ -359,6 +556,8 @@ L1Controller::handleData(const CoherenceMsg &msg)
                                msg.addr, nodeId_);
             replay->target = fwd.target;
             replay->respondToParent = fwd.toParent;
+            replay->serial = fwd.serial;
+            replay->serialOwner = fwd.serialOwner;
             if (fwd.isGetM)
                 handleFwdGetM(*replay);
             else
@@ -383,10 +582,20 @@ L1Controller::handleInv(const CoherenceMsg &msg)
     ++invsReceived_;
     if (line == nullptr) {
         // The Inv chased a grant we already consumed use-once (the
-        // IS_D_I path erases the line on Data); ack it as stale.
-        neo_assert(cfg_.nonBlockingDir, name(),
+        // IS_D_I path erases the line on Data), or — under fault
+        // recovery — it is a re-driven Inv whose original ack was
+        // dropped. Re-ack, restoring the remembered dirty bit so
+        // migrated dirtiness is not lost with the retry.
+        neo_assert(cfg_.nonBlockingDir || resilient_, name(),
                    ": Inv for non-resident block");
-        send(make(MsgType::InvAck, msg.addr, parent_));
+        auto ack = make(MsgType::InvAck, msg.addr, parent_);
+        if (resilient_) {
+            ++staleDrops_;
+            ack->dirty = recallAckDirty(msg.addr);
+            if (ack->dirty)
+                ack->sizeBytes = dataMsgBytes;
+        }
+        send(std::move(ack));
         return;
     }
     bool dirty = false;
@@ -410,11 +619,11 @@ L1Controller::handleInv(const CoherenceMsg &msg)
       case L1State::IM_D_F:
         // Old-epoch Inv against the shared copy we upgraded from;
         // the buffered demands still apply to our incoming M.
-        neo_assert(cfg_.nonBlockingDir, name(),
+        neo_assert(cfg_.nonBlockingDir || resilient_, name(),
                    ": Inv during IM_D_F under a blocking directory");
         break;
       case L1State::IS_D:
-        neo_assert(cfg_.nonBlockingDir, name(),
+        neo_assert(cfg_.nonBlockingDir || resilient_, name(),
                    ": Inv during IS_D under a blocking directory");
         line->state = L1State::IS_D_I;
         break;
@@ -428,8 +637,21 @@ L1Controller::handleInv(const CoherenceMsg &msg)
         line->state = L1State::II_A;
         break;
       default:
+        if (resilient_) {
+            // Re-driven Inv against a transient that already answered
+            // the original (IM_D, IS_D_I, II_A, ...): re-ack with the
+            // remembered dirty bit, leaving the state alone.
+            ++staleDrops_;
+            auto stale = make(MsgType::InvAck, msg.addr, parent_);
+            stale->dirty = recallAckDirty(msg.addr);
+            if (stale->dirty)
+                stale->sizeBytes = dataMsgBytes;
+            send(std::move(stale));
+            return;
+        }
         neo_panic(name(), ": Inv in state ", l1StateName(line->state));
     }
+    noteAck(msg.addr, dirty);
     auto ack = make(MsgType::InvAck, msg.addr, parent_);
     ack->dirty = dirty;
     if (dirty)
@@ -446,13 +668,18 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
     ++fwdsServed_;
     const NodeId dest = fwdDest(msg);
     if (line == nullptr) {
-        // Epoch-crossed demand under back-to-back directories: our
-        // use-once copy is already gone, but the reader is starving;
-        // supply it (values are untracked; see DESIGN.md deviations).
-        neo_assert(cfg_.nonBlockingDir, name(),
+        // Epoch-crossed demand under back-to-back directories (or a
+        // re-driven demand under fault recovery): our copy is already
+        // gone, but the reader is starving; supply it (values are
+        // untracked; see DESIGN.md deviations).
+        neo_assert(cfg_.nonBlockingDir || resilient_, name(),
                    ": Fwd_GetS for absent block");
+        if (resilient_ && !cfg_.nonBlockingDir)
+            ++staleDrops_;
         auto data = make(MsgType::Data, msg.addr, dest);
         data->grant = Perm::S;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         return;
     }
@@ -461,6 +688,8 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
         auto data = make(MsgType::Data, msg.addr, dest);
         data->grant = Perm::S;
         data->dirty = dirty_to_reader;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         // NS-MESI: the owner also sends a copy to its parent (the new
         // owner) directly, saving the relay hop (Fig. 5, time (5)).
@@ -469,8 +698,23 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
             auto copy = make(MsgType::Data, msg.addr, parent_);
             copy->grant = Perm::S;
             copy->dirty = true;
+            copy->serial = msg.serial;
+            copy->serialOwner = msg.serialOwner;
             send(std::move(copy));
         }
+    };
+
+    // Under a blocking directory a Fwd that catches us mid-transaction
+    // can only be a fault-recovery re-drive of a demand we already
+    // served before moving on: feed the target again (stamped with the
+    // demand's own transaction identity) without touching our state.
+    auto staleSupply = [&]() {
+        ++staleDrops_;
+        auto data = make(MsgType::Data, msg.addr, dest);
+        data->grant = Perm::S;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
+        send(std::move(data));
     };
 
     switch (line->state) {
@@ -495,6 +739,10 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
       case L1State::OM_D:
         // Our own upgrade is queued behind this reader: serve it from
         // the O copy we still hold (non-blocking directories only).
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetS during OM_D under a blocking directory");
         supply(false);
@@ -512,6 +760,10 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
         supply(false);
         break;
       case L1State::SI_A:
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetS during SI_A under a blocking directory");
         supply(false);
@@ -521,34 +773,50 @@ L1Controller::handleFwdGetS(const CoherenceMsg &msg)
       case L1State::IM_D_F:
         // The directory made us owner and forwarded a reader before
         // our own data grant arrived (back-to-back processing).
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetS during ", l1StateName(line->state),
                    " under a blocking directory");
         line->state = L1State::IM_D_F;
         bufferedFwds_.push_back(
-            PendingFwd{false, msg.target, msg.respondToParent});
+            PendingFwd{false, msg.target, msg.respondToParent,
+                       msg.serial, msg.serialOwner});
         break;
       case L1State::IS_D:
       case L1State::IS_D_F:
         // We were granted E and a reader was forwarded at us before
         // the data arrived.
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetS during ", l1StateName(line->state),
                    " under a blocking directory");
         line->state = L1State::IS_D_F;
         bufferedFwds_.push_back(
-            PendingFwd{false, msg.target, msg.respondToParent});
+            PendingFwd{false, msg.target, msg.respondToParent,
+                       msg.serial, msg.serialOwner});
         break;
       case L1State::IS_D_I: {
         // Our own grant was revoked mid-flight; still feed the reader.
-        neo_assert(cfg_.nonBlockingDir, name(),
+        neo_assert(cfg_.nonBlockingDir || resilient_, name(),
                    ": Fwd_GetS during IS_D_I under a blocking dir");
         auto data = make(MsgType::Data, msg.addr, dest);
         data->grant = Perm::S;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         break;
       }
       default:
+        if (resilient_) {
+            staleSupply();
+            break;
+        }
         neo_panic(name(), ": Fwd_GetS in state ",
                   l1StateName(line->state));
     }
@@ -561,11 +829,15 @@ L1Controller::handleFwdGetM(const CoherenceMsg &msg)
     ++fwdsServed_;
     const NodeId dest = fwdDest(msg);
     if (line == nullptr) {
-        neo_assert(cfg_.nonBlockingDir, name(),
+        neo_assert(cfg_.nonBlockingDir || resilient_, name(),
                    ": Fwd_GetM for absent block");
+        if (resilient_ && !cfg_.nonBlockingDir)
+            ++staleDrops_;
         auto data = make(MsgType::Data, msg.addr, dest);
         data->grant = Perm::M;
         data->dirty = true;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         return;
     }
@@ -574,6 +846,21 @@ L1Controller::handleFwdGetM(const CoherenceMsg &msg)
         auto data = make(MsgType::Data, msg.addr, dest);
         data->grant = Perm::M;
         data->dirty = dirty;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
+        send(std::move(data));
+    };
+
+    // See handleFwdGetS: under a blocking directory a mid-transaction
+    // Fwd is a fault-recovery re-drive; re-feed the writer with the
+    // demand's transaction identity, leaving our state alone.
+    auto staleSupply = [&]() {
+        ++staleDrops_;
+        auto data = make(MsgType::Data, msg.addr, dest);
+        data->grant = Perm::M;
+        data->dirty = true;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
     };
 
@@ -593,6 +880,10 @@ L1Controller::handleFwdGetM(const CoherenceMsg &msg)
       case L1State::OM_D:
         // A competing writer won the race at the directory: hand the
         // block over; our own GetM grant will re-supply us.
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetM during OM_D under a blocking directory");
         supply(true);
@@ -610,6 +901,10 @@ L1Controller::handleFwdGetM(const CoherenceMsg &msg)
       case L1State::SI_A:
         // A back-to-back directory saw us as the last forwardable
         // copy while our PutS is in flight; feed the writer.
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetM during SI_A under a blocking directory");
         supply(false);
@@ -618,32 +913,48 @@ L1Controller::handleFwdGetM(const CoherenceMsg &msg)
       case L1State::IM_D:
       case L1State::SM_D:
       case L1State::IM_D_F:
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetM during ", l1StateName(line->state),
                    " under a blocking directory");
         line->state = L1State::IM_D_F;
         bufferedFwds_.push_back(
-            PendingFwd{true, msg.target, msg.respondToParent});
+            PendingFwd{true, msg.target, msg.respondToParent,
+                       msg.serial, msg.serialOwner});
         break;
       case L1State::IS_D:
       case L1State::IS_D_F:
         // Granted E; a writer was forwarded at us before our data.
+        if (resilient_ && !cfg_.nonBlockingDir) {
+            staleSupply();
+            break;
+        }
         neo_assert(cfg_.nonBlockingDir, name(),
                    ": Fwd_GetM during ", l1StateName(line->state),
                    " under a blocking directory");
         line->state = L1State::IS_D_F;
         bufferedFwds_.push_back(
-            PendingFwd{true, msg.target, msg.respondToParent});
+            PendingFwd{true, msg.target, msg.respondToParent,
+                       msg.serial, msg.serialOwner});
         break;
       case L1State::IS_D_I: {
-        neo_assert(cfg_.nonBlockingDir, name(),
+        neo_assert(cfg_.nonBlockingDir || resilient_, name(),
                    ": Fwd_GetM during IS_D_I under a blocking dir");
         auto data = make(MsgType::Data, msg.addr, dest);
         data->grant = Perm::M;
+        data->serial = msg.serial;
+        data->serialOwner = msg.serialOwner;
         send(std::move(data));
         break;
       }
       default:
+        if (resilient_) {
+            staleSupply();
+            break;
+        }
         neo_panic(name(), ": Fwd_GetM in state ",
                   l1StateName(line->state));
     }
@@ -654,6 +965,16 @@ L1Controller::handleFwdGetM(const CoherenceMsg &msg)
 void
 L1Controller::handlePutAck(const CoherenceMsg &msg)
 {
+    if (resilient_) {
+        // Only the ack for the outstanding Put retires it; acks for
+        // reissued copies of an already-retired Put are stale.
+        const auto it = puts_.find(msg.addr);
+        if (it == puts_.end() || it->second.serial != msg.serial) {
+            ++staleDrops_;
+            return;
+        }
+        puts_.erase(it);
+    }
     Line *line = cache_.peek(msg.addr);
     neo_assert(line != nullptr, name(), ": PutAck for absent block");
     switch (line->state) {
@@ -665,6 +986,10 @@ L1Controller::handlePutAck(const CoherenceMsg &msg)
         cache_.erase(msg.addr);
         break;
       default:
+        if (resilient_) {
+            ++staleDrops_;
+            break;
+        }
         neo_panic(name(), ": PutAck in state ",
                   l1StateName(line->state));
     }
@@ -681,7 +1006,11 @@ L1Controller::addStats(StatGroup &group) const
     group.add(&invsReceived_);
     group.add(&fwdsServed_);
     group.add(&nonSiblingData_);
+    group.add(&retries_);
+    group.add(&staleDrops_);
+    group.add(&dupDrops_);
     group.add(&missLatency_);
+    group.add(&recoveryLatency_);
 }
 
 } // namespace neo

@@ -14,14 +14,17 @@
 #define NEO_PROTOCOL_L1_CONTROLLER_HPP
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "mem/cache_array.hpp"
 #include "network/tree_network.hpp"
 #include "protocol/coherence_msg.hpp"
 #include "protocol/protocol_config.hpp"
+#include "sim/fault.hpp"
 #include "sim/sim_object.hpp"
 #include "sim/stats.hpp"
 
@@ -118,6 +121,17 @@ class L1Controller : public SimObject, public MessageConsumer
     /** True when no line is in a transient state (checker precondition). */
     bool quiescent() const;
 
+    /**
+     * Arm the fault-recovery machinery: transaction serials, ingress
+     * duplicate suppression, stale-message tolerance, and (when
+     * rec.timeout > 0) timeout/backoff reissue of requests and Puts.
+     * Never called on fault-free runs, keeping them bit-identical.
+     */
+    void setResilience(const RecoveryParams &rec);
+
+    /** Render in-flight state for deadlock postmortems. */
+    std::string debugDump() const;
+
     /** Iterate (addr, state) over resident lines. */
     void forEachLine(
         const std::function<void(Addr, L1State)> &fn) const;
@@ -130,6 +144,14 @@ class L1Controller : public SimObject, public MessageConsumer
     /** Misses whose data arrived from a non-parent, non-sibling node —
      *  the §5.3 "satisfied using non-sibling communication" counter. */
     const Scalar &nonSiblingData() const { return nonSiblingData_; }
+    /** Timeout-driven reissues of GetS/GetM/Put*. */
+    const Scalar &retries() const { return retries_; }
+    /** Stale responses/demands recognized and absorbed. */
+    const Scalar &staleDrops() const { return staleDrops_; }
+    /** Transport duplicates filtered at ingress. */
+    const Scalar &dupDrops() const { return dupDrops_; }
+    /** Miss latency of transactions that needed >= 1 reissue. */
+    const SampleStat &recoveryLatency() const { return recoveryLatency_; }
     void addStats(StatGroup &group) const;
 
   private:
@@ -145,6 +167,9 @@ class L1Controller : public SimObject, public MessageConsumer
         bool isWrite = false;
         DoneFn done;
         bool issued = false; ///< GetS/GetM sent (or waiting on evict)
+        std::uint64_t serial = 0;          ///< transaction serial
+        MsgType issuedType = MsgType::GetS; ///< for reissue
+        unsigned attempts = 0;             ///< issues so far
     };
 
     void trace(const std::string &s);
@@ -179,7 +204,47 @@ class L1Controller : public SimObject, public MessageConsumer
         bool isGetM = false;
         NodeId target = invalidNode;
         bool toParent = false;
+        std::uint64_t serial = 0; ///< demand's transaction identity
+        NodeId serialOwner = invalidNode;
     };
+
+    /** An eviction Put awaiting its ack, eligible for reissue. */
+    struct PendingPut
+    {
+        std::uint64_t serial = 0;
+        MsgType type = MsgType::PutS;
+        bool dirty = false;
+        unsigned attempts = 0;
+        std::uint64_t epoch = 0; ///< guards the one-shot timer chain
+    };
+
+    /** Recently finished transaction; lets a duplicate/re-driven Data
+     *  grant re-elicit the Unblock the directory may have lost. */
+    struct Completed
+    {
+        Addr addr = 0;
+        std::uint64_t serial = 0;
+        Perm achieved = Perm::I;
+        bool dirty = false;
+    };
+
+    /** Dirty bit of a recently sent InvAck, so a re-acked duplicate
+     *  Inv does not lose migrated dirtiness. */
+    struct AckMemo
+    {
+        Addr addr = 0;
+        bool dirty = false;
+    };
+
+    /** Arm (or re-arm) the demand-reissue timer with backoff. */
+    void armReqTimer();
+    void onReqTimeout(std::uint64_t epoch);
+    void armPutTimer(Addr addr, std::uint64_t epoch);
+    void onPutTimeout(Addr addr, std::uint64_t epoch);
+    /** Remember an InvAck's dirty bit (bounded memory). */
+    void noteAck(Addr addr, bool dirty);
+    /** Dirty bit recorded for @p addr, if any. */
+    bool recallAckDirty(Addr addr) const;
 
     TreeNetwork &net_;
     NodeId nodeId_ = invalidNode;
@@ -193,6 +258,18 @@ class L1Controller : public SimObject, public MessageConsumer
     TraceFn trace_;
     TransitionObserver observer_;
 
+    // Fault-recovery state. Dormant (and never consulted on hot paths
+    // beyond a bool test) until setResilience() arms it.
+    bool resilient_ = false;
+    RecoveryParams rec_;
+    std::uint64_t serialCtr_ = 0;
+    std::uint64_t reqEpoch_ = 0;  ///< invalidates pending req timers
+    std::uint64_t putEpochCtr_ = 0;
+    DedupWindow dedup_{4096};
+    std::unordered_map<Addr, PendingPut> puts_;
+    std::deque<Completed> completed_;
+    std::deque<AckMemo> ackMemos_;
+
     Scalar hits_;
     Scalar misses_;
     Scalar upgrades_;
@@ -200,7 +277,11 @@ class L1Controller : public SimObject, public MessageConsumer
     Scalar invsReceived_;
     Scalar fwdsServed_;
     Scalar nonSiblingData_;
+    Scalar retries_;
+    Scalar staleDrops_;
+    Scalar dupDrops_;
     SampleStat missLatency_;
+    SampleStat recoveryLatency_;
     Tick missStart_ = 0;
 };
 

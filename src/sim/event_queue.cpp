@@ -94,6 +94,7 @@ std::uint64_t
 EventQueue::run(Tick limit, std::uint64_t max_events)
 {
     std::uint64_t n = 0;
+    stopRequested_ = false;
     while (n < max_events) {
         // Peek for the limit check without consuming cancelled entries.
         bool found = false;
@@ -112,6 +113,8 @@ EventQueue::run(Tick limit, std::uint64_t max_events)
             break;
         runOne();
         ++n;
+        if (stopRequested_)
+            break;
     }
     return n;
 }

@@ -99,6 +99,13 @@ class EventQueue
      *  @return true if an event ran. */
     bool runOne();
 
+    /**
+     * Ask the current run() loop to return after the event in
+     * progress (used by the watchdog to abort a hung simulation).
+     * Cleared on the next run() entry.
+     */
+    void requestStop() { stopRequested_ = true; }
+
     /** Total events processed over the queue's lifetime. */
     std::uint64_t processedCount() const { return processed_; }
 
@@ -128,6 +135,7 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t live_ = 0;
     std::uint64_t processed_ = 0;
+    bool stopRequested_ = false;
 };
 
 } // namespace neo

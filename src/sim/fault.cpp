@@ -1,0 +1,119 @@
+#include "fault.hpp"
+
+namespace neo
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Drop:
+        return "drop";
+      case FaultKind::Duplicate:
+        return "dup";
+      case FaultKind::DelaySpike:
+        return "delay";
+      case FaultKind::BlackoutHold:
+        return "hold";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const FaultParams &params)
+    : params_(params), rng_(params.seed)
+{
+    neo_assert(params_.dropProb >= 0.0 && params_.dropProb <= 1.0,
+               "drop probability out of [0,1]");
+    neo_assert(params_.dupProb >= 0.0 && params_.dupProb <= 1.0,
+               "dup probability out of [0,1]");
+    neo_assert(params_.delayProb >= 0.0 && params_.delayProb <= 1.0,
+               "delay probability out of [0,1]");
+}
+
+void
+FaultInjector::record(std::uint64_t msg_id, Tick tick, FaultKind kind,
+                      NodeId src, NodeId dst, Tick extra)
+{
+    if (log_.size() < maxLogEntries)
+        log_.push_back(FaultRecord{msg_id, tick, kind, src, dst, extra});
+}
+
+FaultInjector::Decision
+FaultInjector::decide(std::uint64_t msg_id, Tick now, NodeId src,
+                      NodeId dst)
+{
+    Decision d;
+    // Fixed draw order so the schedule is a pure function of the send
+    // sequence: every message consumes exactly one draw per enabled
+    // fault class.
+    if (params_.dropProb > 0.0 && rng_.chance(params_.dropProb)) {
+        d.drop = true;
+        ++drops_;
+        record(msg_id, now, FaultKind::Drop, src, dst, 0);
+        return d; // a dropped message cannot also dup or stall
+    }
+    if (params_.dupProb > 0.0 && rng_.chance(params_.dupProb)) {
+        d.duplicate = true;
+        d.dupSkew = params_.dupSkewMax > 0
+                        ? 1 + rng_.below(params_.dupSkewMax)
+                        : 1;
+        ++dups_;
+        record(msg_id, now, FaultKind::Duplicate, src, dst, d.dupSkew);
+    }
+    if (params_.delayProb > 0.0 && rng_.chance(params_.delayProb)) {
+        Tick spike = rng_.geometric(static_cast<double>(
+            params_.delayMean));
+        if (spike < 1)
+            spike = 1;
+        if (spike > params_.delayCap)
+            spike = params_.delayCap;
+        d.delay = spike;
+        ++delays_;
+        record(msg_id, now, FaultKind::DelaySpike, src, dst, spike);
+    }
+    return d;
+}
+
+Tick
+FaultInjector::linkRelease(NodeId child_end, bool upward, Tick t) const
+{
+    // Windows may abut or nest; iterate until no window covers t.
+    Tick release = t;
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        for (const auto &b : params_.blackouts) {
+            if (b.childEnd != child_end || b.upward != upward)
+                continue;
+            if (release >= b.begin && release < b.end) {
+                if (b.end == maxTick)
+                    return maxTick;
+                release = b.end;
+                moved = true;
+            }
+        }
+    }
+    return release;
+}
+
+void
+FaultInjector::noteHold(std::uint64_t msg_id, Tick tick, NodeId src,
+                        NodeId dst, Tick release)
+{
+    ++holds_;
+    record(msg_id, tick, FaultKind::BlackoutHold, src, dst, release);
+}
+
+void
+FaultInjector::writeSchedule(std::ostream &os) const
+{
+    for (const auto &r : log_) {
+        os << r.tick << " " << faultKindName(r.kind) << " msg="
+           << r.msgId << " " << r.src << "->" << r.dst;
+        if (r.extra != 0)
+            os << " extra=" << r.extra;
+        os << "\n";
+    }
+}
+
+} // namespace neo

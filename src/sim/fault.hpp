@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Deterministic transport-fault injection and recovery knobs.
+ *
+ * A FaultInjector is consulted by the network once per message send.
+ * It draws from its own xoshiro stream (independent of the jitter
+ * stream, so enabling faults never perturbs the fault-free timing
+ * model) and decides whether the message is dropped, duplicated, or
+ * hit by a heavy-tail delay spike. Per-directed-link blackout windows
+ * [t0, t1) hold traffic until the window closes; an open-ended window
+ * (end == maxTick) models a permanently severed link.
+ *
+ * Every decision is appended to a replayable record, so the complete
+ * fault schedule of a run is reproducible from (params, seed) and can
+ * be diffed across runs bit for bit.
+ *
+ * RecoveryParams and DedupWindow live here too: they are the protocol
+ * layer's side of the bargain (timeout/backoff reissue and ingress
+ * duplicate suppression), configured from the same place as the
+ * faults they absorb.
+ */
+
+#ifndef NEO_SIM_FAULT_HPP
+#define NEO_SIM_FAULT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace neo
+{
+
+/** One directed link of the tree, identified by its child endpoint,
+ *  unavailable during [begin, end). end == maxTick is permanent. */
+struct LinkBlackout
+{
+    NodeId childEnd = invalidNode;
+    bool upward = true;
+    Tick begin = 0;
+    Tick end = maxTick;
+};
+
+struct FaultParams
+{
+    double dropProb = 0.0;
+    double dupProb = 0.0;
+    /** Probability of a heavy-tail delay spike on delivery. */
+    double delayProb = 0.0;
+    /** Mean of the geometric spike, in ticks. */
+    Tick delayMean = 256;
+    /** Hard cap on a single spike. */
+    Tick delayCap = 8192;
+    /** Max extra skew between a duplicate and its original. */
+    Tick dupSkewMax = 64;
+    std::uint64_t seed = 1;
+    std::vector<LinkBlackout> blackouts;
+
+    bool
+    enabled() const
+    {
+        return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0 ||
+               !blackouts.empty();
+    }
+};
+
+enum class FaultKind : std::uint8_t
+{
+    Drop,
+    Duplicate,
+    DelaySpike,
+    BlackoutHold,
+};
+
+const char *faultKindName(FaultKind k);
+
+/** One entry of the replayable fault schedule. */
+struct FaultRecord
+{
+    std::uint64_t msgId = 0;
+    Tick tick = 0;
+    FaultKind kind = FaultKind::Drop;
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    /** Kind-specific payload: spike/skew length, or blackout release
+     *  tick (maxTick when the link never comes back). */
+    Tick extra = 0;
+
+    bool
+    operator==(const FaultRecord &o) const
+    {
+        return msgId == o.msgId && tick == o.tick && kind == o.kind &&
+               src == o.src && dst == o.dst && extra == o.extra;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultParams &params);
+
+    /** Per-message verdict computed at send time. */
+    struct Decision
+    {
+        bool drop = false;
+        bool duplicate = false;
+        Tick dupSkew = 0; ///< extra delay of the duplicate copy
+        Tick delay = 0;   ///< delay spike added to the arrival
+    };
+
+    /**
+     * Draw the fate of message @p msgId offered at @p now. The draw
+     * order is fixed (drop, dup, delay) so the schedule depends only
+     * on the message send sequence, which the deterministic event
+     * kernel fixes for a given run seed.
+     */
+    Decision decide(std::uint64_t msgId, Tick now, NodeId src,
+                    NodeId dst);
+
+    /**
+     * Earliest tick >= @p t at which the directed link (childEnd,
+     * upward) can start serializing a flit. Returns maxTick when a
+     * permanent blackout covers @p t.
+     */
+    Tick linkRelease(NodeId child_end, bool upward, Tick t) const;
+
+    /** Log a message held (finite window) or parked (permanent). */
+    void noteHold(std::uint64_t msgId, Tick tick, NodeId src,
+                  NodeId dst, Tick release);
+
+    const FaultParams &params() const { return params_; }
+    const std::vector<FaultRecord> &schedule() const { return log_; }
+    void writeSchedule(std::ostream &os) const;
+
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t dups() const { return dups_; }
+    std::uint64_t delays() const { return delays_; }
+    std::uint64_t holds() const { return holds_; }
+
+  private:
+    void record(std::uint64_t msg_id, Tick tick, FaultKind kind,
+                NodeId src, NodeId dst, Tick extra);
+
+    /** Replay-log backstop for very long campaigns. */
+    static constexpr std::size_t maxLogEntries = 1u << 20;
+
+    FaultParams params_;
+    Random rng_;
+    std::vector<FaultRecord> log_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t dups_ = 0;
+    std::uint64_t delays_ = 0;
+    std::uint64_t holds_ = 0;
+};
+
+/**
+ * Protocol-side recovery knobs. timeout == 0 disables the reissue
+ * timers (stale/duplicate tolerance stays on whenever a controller is
+ * put in resilient mode at all).
+ */
+struct RecoveryParams
+{
+    /** Base reissue timeout for an outstanding L1 request, in ticks. */
+    Tick timeout = 0;
+    /** Reissue attempts before giving up and letting the watchdog or
+     *  the quiescent-deadlock path report the hang. */
+    unsigned maxRetries = 10;
+    /** Backoff cap; 0 means timeout << 5. */
+    Tick maxBackoff = 0;
+    /** Directory re-drive sweep period; 0 means 2 * timeout. */
+    Tick dirTimeout = 0;
+
+    bool enabled() const { return timeout > 0; }
+
+    Tick
+    backoff(unsigned attempts) const
+    {
+        // timeout, 2*timeout, 4*timeout, ... capped.
+        const Tick cap = maxBackoff != 0 ? maxBackoff : timeout << 5;
+        unsigned shift = attempts > 0 ? attempts - 1 : 0;
+        if (shift > 5)
+            shift = 5;
+        const Tick b = timeout << shift;
+        return b < cap ? b : cap;
+    }
+
+    Tick
+    dirSweepPeriod() const
+    {
+        return dirTimeout != 0 ? dirTimeout : 2 * timeout;
+    }
+};
+
+/**
+ * Bounded ingress filter over recently seen network message ids.
+ * Duplicated messages share the id the network assigned the original,
+ * so seen() returning true identifies a transport-level duplicate.
+ */
+class DedupWindow
+{
+  public:
+    explicit DedupWindow(std::size_t capacity = 4096)
+        : cap_(capacity)
+    {
+    }
+
+    /** Record @p id; @return true when it was already in the window. */
+    bool
+    seen(std::uint64_t id)
+    {
+        if (set_.count(id) != 0)
+            return true;
+        set_.insert(id);
+        order_.push_back(id);
+        if (order_.size() > cap_) {
+            set_.erase(order_.front());
+            order_.pop_front();
+        }
+        return false;
+    }
+
+    std::size_t size() const { return order_.size(); }
+
+  private:
+    std::size_t cap_;
+    std::deque<std::uint64_t> order_;
+    std::unordered_set<std::uint64_t> set_;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_FAULT_HPP

@@ -1,0 +1,83 @@
+#include "watchdog.hpp"
+
+namespace neo
+{
+
+ProgressWatchdog::ProgressWatchdog(std::string name, EventQueue &eventq,
+                                   Tick interval, StallFn on_stall)
+    : SimObject(std::move(name), eventq), interval_(interval),
+      onStall_(std::move(on_stall))
+{
+    neo_assert(interval_ > 0, "watchdog interval must be positive");
+}
+
+std::uint64_t
+ProgressWatchdog::sum(const std::vector<Probe> &probes) const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : probes)
+        total += p();
+    return total;
+}
+
+void
+ProgressWatchdog::start()
+{
+    ++epoch_;
+    running_ = true;
+    strikes_ = 0;
+    lastPrimary_ = sum(primary_);
+    lastSecondary_ = sum(secondary_);
+    armNext(epoch_);
+}
+
+void
+ProgressWatchdog::stop()
+{
+    // The pending one-shot check (if any) sees a stale epoch and
+    // no-ops; it drains from the queue at its scheduled tick.
+    ++epoch_;
+    running_ = false;
+}
+
+void
+ProgressWatchdog::armNext(std::uint64_t epoch)
+{
+    eventq().schedule(curTick() + interval_,
+                      [this, epoch]() { check(epoch); });
+}
+
+void
+ProgressWatchdog::check(std::uint64_t epoch)
+{
+    if (epoch != epoch_ || !running_ || fired_)
+        return;
+    ++checks_;
+    const std::uint64_t p = sum(primary_);
+    const std::uint64_t s = sum(secondary_);
+    bool stall = false;
+    if (p != lastPrimary_) {
+        strikes_ = 0;
+    } else if (s == lastSecondary_) {
+        // Nothing retired AND nothing delivered: frozen.
+        stall = true;
+    } else {
+        // Messages still flowing but no op retired in a whole window:
+        // likely a retry livelock; tolerate a bounded number.
+        if (++strikes_ >= strikeLimit_)
+            stall = true;
+    }
+    lastPrimary_ = p;
+    lastSecondary_ = s;
+    if (stall) {
+        fired_ = true;
+        firedAt_ = curTick();
+        running_ = false;
+        if (onStall_)
+            onStall_(curTick());
+        return;
+    }
+    armNext(epoch);
+}
+
+} // namespace neo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * No-progress watchdog for the simulation kernel.
+ *
+ * Samples registered progress probes every W ticks. Primary probes
+ * (retired ops) define real forward progress; secondary probes
+ * (delivered messages) distinguish "slow but moving" from "frozen".
+ * A window with no primary AND no secondary progress fires
+ * immediately; primary silence with the network still churning (a
+ * retry livelock) fires after a bounded number of strike windows.
+ *
+ * On firing, the installed stall handler runs (typically: collect a
+ * postmortem and EventQueue::requestStop()), so a genuine hang costs
+ * a few W of simulated time instead of the entire maxTick budget.
+ */
+
+#ifndef NEO_SIM_WATCHDOG_HPP
+#define NEO_SIM_WATCHDOG_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/sim_object.hpp"
+
+namespace neo
+{
+
+class ProgressWatchdog : public SimObject
+{
+  public:
+    using Probe = std::function<std::uint64_t()>;
+    using StallFn = std::function<void(Tick)>;
+
+    ProgressWatchdog(std::string name, EventQueue &eventq,
+                     Tick interval, StallFn on_stall);
+
+    /** Real work retired (e.g. completed core ops). */
+    void addPrimaryProbe(Probe p) { primary_.push_back(std::move(p)); }
+    /** Underlying activity (e.g. messages delivered). */
+    void
+    addSecondaryProbe(Probe p)
+    {
+        secondary_.push_back(std::move(p));
+    }
+
+    /** Primary-silent windows tolerated while secondaries still move. */
+    void setStrikeLimit(unsigned n) { strikeLimit_ = n; }
+
+    /** Begin sampling; the first check runs interval ticks from now. */
+    void start();
+
+    /** Stop sampling (all work finished; pending checks become no-ops). */
+    void stop();
+
+    bool fired() const { return fired_; }
+    Tick firedAt() const { return firedAt_; }
+    std::uint64_t checks() const { return checks_; }
+
+  private:
+    void check(std::uint64_t epoch);
+    void armNext(std::uint64_t epoch);
+    std::uint64_t sum(const std::vector<Probe> &probes) const;
+
+    Tick interval_;
+    StallFn onStall_;
+    std::vector<Probe> primary_;
+    std::vector<Probe> secondary_;
+    std::uint64_t lastPrimary_ = 0;
+    std::uint64_t lastSecondary_ = 0;
+    unsigned strikes_ = 0;
+    unsigned strikeLimit_ = 4;
+    bool fired_ = false;
+    Tick firedAt_ = 0;
+    std::uint64_t checks_ = 0;
+    /** Bumped by start()/stop(); in-flight check events from an older
+     *  epoch are no-ops (one-shot lambdas cannot be descheduled). */
+    std::uint64_t epoch_ = 0;
+    bool running_ = false;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_WATCHDOG_HPP

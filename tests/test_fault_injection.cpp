@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Fault-injection harness tests: schedule determinism, duplicate
+ * suppression, timeout/backoff recovery, blackout detection by the
+ * no-progress watchdog, and the idle-neutrality guarantee (arming the
+ * machinery without faults must not change a run at all).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sim_runner.hpp"
+#include "sim/fault.hpp"
+#include "sim/logging.hpp"
+#include "test_util.hpp"
+
+using namespace neo;
+using namespace neo::test;
+
+namespace
+{
+
+WorkloadParams
+smallSharedWorkload()
+{
+    WorkloadParams wl;
+    wl.privateBlocksPerCore = 16;
+    wl.sharedBlocks = 8;
+    wl.sharedFraction = 0.4;
+    return wl;
+}
+
+/** Fields that must agree for two runs to count as the same run. */
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.networkMessages, b.networkMessages);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.staleDrops, b.staleDrops);
+    EXPECT_EQ(a.dupDrops, b.dupDrops);
+    EXPECT_EQ(a.redrives, b.redrives);
+    EXPECT_EQ(a.faultDrops, b.faultDrops);
+    EXPECT_EQ(a.faultDups, b.faultDups);
+    EXPECT_EQ(a.faultDelays, b.faultDelays);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+} // namespace
+
+TEST(DedupWindow, FiltersRepeatsWithinCapacity)
+{
+    DedupWindow w(4);
+    EXPECT_FALSE(w.seen(1));
+    EXPECT_FALSE(w.seen(2));
+    EXPECT_TRUE(w.seen(1));
+    EXPECT_TRUE(w.seen(2));
+    // Push 1 out of the 4-entry window; it then reads as new again.
+    EXPECT_FALSE(w.seen(3));
+    EXPECT_FALSE(w.seen(4));
+    EXPECT_FALSE(w.seen(5));
+    EXPECT_FALSE(w.seen(1));
+    EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    FaultParams p;
+    p.dropProb = 0.1;
+    p.dupProb = 0.1;
+    p.delayProb = 0.1;
+    p.seed = 77;
+    FaultInjector a(p), b(p);
+    for (std::uint64_t id = 1; id <= 2000; ++id) {
+        a.decide(id, id * 3, 1, 2);
+        b.decide(id, id * 3, 1, 2);
+    }
+    ASSERT_EQ(a.schedule().size(), b.schedule().size());
+    EXPECT_GT(a.schedule().size(), 0u);
+    for (std::size_t i = 0; i < a.schedule().size(); ++i)
+        EXPECT_TRUE(a.schedule()[i] == b.schedule()[i]);
+    std::ostringstream sa, sb;
+    a.writeSchedule(sa);
+    b.writeSchedule(sb);
+    EXPECT_EQ(sa.str(), sb.str());
+
+    FaultParams q = p;
+    q.seed = 78;
+    FaultInjector c(q);
+    for (std::uint64_t id = 1; id <= 2000; ++id)
+        c.decide(id, id * 3, 1, 2);
+    EXPECT_NE(sa.str(), [&] {
+        std::ostringstream sc;
+        c.writeSchedule(sc);
+        return sc.str();
+    }());
+}
+
+TEST(FaultInjector, BlackoutWindowHoldsAndReleases)
+{
+    FaultParams p;
+    p.blackouts.push_back(LinkBlackout{3, true, 100, 200});
+    FaultInjector fi(p);
+    EXPECT_EQ(fi.linkRelease(3, true, 50), 50u);
+    EXPECT_EQ(fi.linkRelease(3, true, 100), 200u);
+    EXPECT_EQ(fi.linkRelease(3, true, 199), 200u);
+    EXPECT_EQ(fi.linkRelease(3, true, 200), 200u);
+    EXPECT_EQ(fi.linkRelease(3, false, 150), 150u); // other direction
+    EXPECT_EQ(fi.linkRelease(4, true, 150), 150u);  // other link
+
+    FaultParams perm;
+    perm.blackouts.push_back(LinkBlackout{3, true, 100, maxTick});
+    FaultInjector fp(perm);
+    EXPECT_EQ(fp.linkRelease(3, true, 100), maxTick);
+}
+
+TEST(FaultCampaign, SameFaultSeedSameRunResult)
+{
+    setQuiet(true);
+    HierarchySpec spec = tinyTree(ProtocolVariant::NeoMESI, 2, 2);
+    RunConfig cfg;
+    cfg.opsPerCore = 400;
+    cfg.faults.dropProb = 0.02;
+    cfg.faults.dupProb = 0.01;
+    cfg.faults.delayProb = 0.01;
+    cfg.faults.seed = 9;
+    const WorkloadParams wl = smallSharedWorkload();
+    const RunResult a = runOnce(spec, wl, cfg);
+    const RunResult b = runOnce(spec, wl, cfg);
+    expectSameRun(a, b);
+    EXPECT_GT(a.faultDrops, 0u);
+
+    RunConfig other = cfg;
+    other.faults.seed = 10;
+    const RunResult c = runOnce(spec, wl, other);
+    EXPECT_NE(a.runtime, c.runtime);
+}
+
+TEST(FaultCampaign, BenignFaultsCleanOnTable1Hierarchies)
+{
+    setQuiet(true);
+    const WorkloadParams wl = parsecProfile("canneal");
+    for (const char *org : {"skewed", "2perL2", "8perL2"}) {
+        HierarchySpec spec =
+            organizationByName(org, ProtocolVariant::NeoMESI);
+        spec.network.maxJitter = 3; // reordering on top of the faults
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            RunConfig cfg;
+            cfg.opsPerCore = 60;
+            cfg.faults.dupProb = 0.01;
+            cfg.faults.delayProb = 0.01;
+            cfg.faults.seed = seed;
+            const RunResult r = runOnce(spec, wl, cfg);
+            EXPECT_FALSE(r.deadlocked)
+                << org << " fault seed " << seed;
+            EXPECT_TRUE(r.violations.empty())
+                << org << " fault seed " << seed << ": "
+                << r.violations.front();
+        }
+    }
+}
+
+TEST(FaultCampaign, DropsRecoverViaTimeoutBackoff)
+{
+    setQuiet(true);
+    HierarchySpec spec =
+        organizationByName("2perL2", ProtocolVariant::TreeMSI);
+    RunConfig cfg;
+    cfg.opsPerCore = 150;
+    cfg.faults.dropProb = 0.02;
+    cfg.faults.dupProb = 0.01;
+    const RunResult r = runOnce(spec, parsecProfile("canneal"), cfg);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_GT(r.faultDrops, 0u);
+    EXPECT_GT(r.retries, 0u);       // losses actually re-issued
+    EXPECT_GT(r.recoveredTxns, 0u); // and measured
+    EXPECT_GT(r.recoveryLatencyMean, 0.0);
+    EXPECT_EQ(exitCodeFor(r), 0);
+}
+
+TEST(FaultCampaign, PermanentBlackoutCaughtByWatchdog)
+{
+    setQuiet(true);
+    HierarchySpec spec =
+        organizationByName("2perL2", ProtocolVariant::NeoMESI);
+    RunConfig cfg;
+    cfg.opsPerCore = 100;
+    // Sever the first L2's upward link from the start.
+    cfg.faults.blackouts.push_back(LinkBlackout{1, true, 0, maxTick});
+    cfg.recovery.timeout = 5000;
+    cfg.recovery.maxRetries = 3;
+    cfg.watchdogInterval = 50000;
+    const RunResult r = runOnce(spec, parsecProfile("canneal"), cfg);
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_TRUE(r.watchdogFired);
+    EXPECT_EQ(exitCodeFor(r), 4);
+    // Detection happens within the strike budget of sampling windows
+    // after the system stalls, long before a natural run would end.
+    EXPECT_GT(r.watchdogTick, 0u);
+    EXPECT_LE(r.watchdogTick,
+              (cfg.watchdogStrikes + 2) * cfg.watchdogInterval +
+                  2'000'000u);
+    EXPECT_FALSE(r.postmortem.empty());
+    EXPECT_NE(r.postmortem.find("parked"), std::string::npos);
+    EXPECT_GT(r.faultHolds, 0u);
+}
+
+TEST(FaultCampaign, PermanentBlackoutWithoutWatchdogDeadlocks)
+{
+    setQuiet(true);
+    HierarchySpec spec =
+        organizationByName("2perL2", ProtocolVariant::NeoMESI);
+    RunConfig cfg;
+    cfg.opsPerCore = 100;
+    cfg.faults.blackouts.push_back(LinkBlackout{1, true, 0, maxTick});
+    cfg.recovery.timeout = 5000;
+    cfg.recovery.maxRetries = 3;
+    const RunResult r = runOnce(spec, parsecProfile("canneal"), cfg);
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_FALSE(r.watchdogFired);
+    EXPECT_EQ(exitCodeFor(r), 3);
+    EXPECT_FALSE(r.postmortem.empty());
+}
+
+TEST(FaultCampaign, FiniteBlackoutRecovers)
+{
+    setQuiet(true);
+    HierarchySpec spec =
+        organizationByName("2perL2", ProtocolVariant::NeoMESI);
+    RunConfig cfg;
+    cfg.opsPerCore = 100;
+    cfg.faults.blackouts.push_back(LinkBlackout{1, true, 0, 30000});
+    const RunResult r = runOnce(spec, parsecProfile("canneal"), cfg);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_GT(r.faultHolds, 0u); // traffic was actually held
+    EXPECT_EQ(exitCodeFor(r), 0);
+}
+
+TEST(FaultCampaign, IdleMachineryIsNeutral)
+{
+    setQuiet(true);
+    HierarchySpec spec = tinyTree(ProtocolVariant::NeoMESI, 2, 2);
+    const WorkloadParams wl = smallSharedWorkload();
+    RunConfig plain;
+    plain.opsPerCore = 400;
+    const RunResult a = runOnce(spec, wl, plain);
+
+    // Arm recovery timers and the watchdog with no faults: the run
+    // must be indistinguishable (no spurious retries, same timing).
+    RunConfig armed = plain;
+    armed.recovery.timeout = 20000;
+    armed.watchdogInterval = 100000;
+    const RunResult b = runOnce(spec, wl, armed);
+    expectSameRun(a, b);
+    EXPECT_EQ(b.retries, 0u);
+    EXPECT_EQ(b.redrives, 0u);
+    EXPECT_FALSE(b.watchdogFired);
+}
+
+TEST(ExitCodes, DistinguishOutcomes)
+{
+    RunResult r;
+    EXPECT_EQ(exitCodeFor(r), 0);
+    r.deadlocked = true;
+    EXPECT_EQ(exitCodeFor(r), 3);
+    r.watchdogFired = true;
+    EXPECT_EQ(exitCodeFor(r), 4);
+    r.violations.push_back("boom");
+    EXPECT_EQ(exitCodeFor(r), 1); // violations dominate
+}

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/sim_runner.hpp"
 #include "sim/cli_parse.hpp"
@@ -36,7 +37,67 @@ usage()
         "  --trials N        perturbed trials          (default 1)\n"
         "  --no-check        skip the end-of-run coherence checker\n"
         "  --stats           dump every controller/network statistic\n"
-        "  --list            list organizations, protocols, benchmarks\n");
+        "  --list            list organizations, protocols, benchmarks\n"
+        "fault injection (see README, 'Fault injection'):\n"
+        "  --drop-prob P     per-message drop probability   (default 0)\n"
+        "  --dup-prob P      per-message duplicate probability\n"
+        "  --delay-prob P    heavy-tail delay-spike probability\n"
+        "  --delay-mean N    mean spike length in ticks     (default 256)\n"
+        "  --delay-cap N     max single spike in ticks      (default 8192)\n"
+        "  --fault-seed N    fault-schedule RNG seed        (default 1)\n"
+        "  --blackout SPEC   NODE,up|down,T0[,T1]; omit T1 for a\n"
+        "                    permanently severed link (repeatable)\n"
+        "  --timeout N       L1 reissue timeout in ticks (0 = default)\n"
+        "  --max-retries N   reissue attempts before giving up\n"
+        "  --watchdog W      no-progress watchdog window in ticks\n"
+        "  --campaign N      run N runs with fault seeds seed..seed+N-1\n"
+        "exit codes: 0 clean, 1 coherence violation, 2 usage error,\n"
+        "            3 quiescent deadlock, 4 watchdog fired\n");
+}
+
+double
+parseProbOrDie(const std::string &opt, const std::string &text)
+{
+    const double p = parseF64OrDie(opt, text);
+    if (p < 0.0 || p > 1.0)
+        neo_fatal(opt, ": probability must be in [0, 1], got ", text);
+    return p;
+}
+
+/** Parse "NODE,up|down,T0[,T1]"; T1 omitted means permanent. */
+LinkBlackout
+parseBlackoutOrDie(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : spec) {
+        if (c == ',') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    if (parts.size() < 3 || parts.size() > 4)
+        neo_fatal("--blackout: expected NODE,up|down,T0[,T1], got ",
+                  spec);
+    LinkBlackout b;
+    b.childEnd = static_cast<NodeId>(
+        parseU64OrDie("--blackout NODE", parts[0]));
+    if (parts[1] == "up")
+        b.upward = true;
+    else if (parts[1] == "down")
+        b.upward = false;
+    else
+        neo_fatal("--blackout: direction must be up or down, got ",
+                  parts[1]);
+    b.begin = parseU64OrDie("--blackout T0", parts[2]);
+    b.end = parts.size() == 4 ? parseU64OrDie("--blackout T1", parts[3])
+                              : maxTick;
+    if (b.end != maxTick && b.end <= b.begin)
+        neo_fatal("--blackout: T1 must be > T0 in ", spec);
+    return b;
 }
 
 ProtocolVariant
@@ -65,6 +126,7 @@ main(int argc, char **argv)
     cfg.opsPerCore = 5000;
     cfg.seed = 1;
     unsigned trials = 1;
+    std::uint64_t campaign = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -88,6 +150,29 @@ main(int argc, char **argv)
                 static_cast<unsigned>(parseU64OrDie(arg, next()));
         } else if (arg == "--no-check") {
             cfg.checkCoherence = false;
+        } else if (arg == "--drop-prob") {
+            cfg.faults.dropProb = parseProbOrDie(arg, next());
+        } else if (arg == "--dup-prob") {
+            cfg.faults.dupProb = parseProbOrDie(arg, next());
+        } else if (arg == "--delay-prob") {
+            cfg.faults.delayProb = parseProbOrDie(arg, next());
+        } else if (arg == "--delay-mean") {
+            cfg.faults.delayMean = parseU64OrDie(arg, next());
+        } else if (arg == "--delay-cap") {
+            cfg.faults.delayCap = parseU64OrDie(arg, next());
+        } else if (arg == "--fault-seed") {
+            cfg.faults.seed = parseU64OrDie(arg, next());
+        } else if (arg == "--blackout") {
+            cfg.faults.blackouts.push_back(parseBlackoutOrDie(next()));
+        } else if (arg == "--timeout") {
+            cfg.recovery.timeout = parseU64OrDie(arg, next());
+        } else if (arg == "--max-retries") {
+            cfg.recovery.maxRetries =
+                static_cast<unsigned>(parseU64OrDie(arg, next()));
+        } else if (arg == "--watchdog") {
+            cfg.watchdogInterval = parseU64OrDie(arg, next());
+        } else if (arg == "--campaign") {
+            campaign = parseU64OrDie(arg, next());
         } else if (arg == "--stats") {
             cfg.dumpStats = true;
         } else if (arg == "--list") {
@@ -119,6 +204,71 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.opsPerCore),
                 trials);
 
+    if (campaign > 0) {
+        // Fault campaign: same workload, fault seeds base..base+N-1.
+        std::uint64_t clean = 0, recovered = 0, deadlocked = 0,
+                      violated = 0, wd_fired = 0;
+        double latency_sum = 0.0;
+        std::uint64_t latency_n = 0;
+        int worst = 0;
+        const std::uint64_t base = cfg.faults.seed;
+        std::printf("%-6s %-10s %8s %8s %8s %8s\n", "run",
+                    "outcome", "retries", "stale", "dups", "drops");
+        for (std::uint64_t k = 0; k < campaign; ++k) {
+            RunConfig run_cfg = cfg;
+            run_cfg.faults.seed = base + k;
+            const RunResult r = runOnce(spec, wl, run_cfg);
+            const int code = exitCodeFor(r);
+            const char *outcome = "clean";
+            if (code == 1) {
+                ++violated;
+                outcome = "VIOLATED";
+            } else if (code == 4) {
+                ++wd_fired;
+                ++deadlocked;
+                outcome = "watchdog";
+            } else if (code == 3) {
+                ++deadlocked;
+                outcome = "deadlock";
+            } else if (r.retries > 0) {
+                ++recovered;
+                outcome = "recovered";
+            } else {
+                ++clean;
+            }
+            // Severity precedence: violation > watchdog > deadlock.
+            auto rank = [](int c) {
+                return c == 1 ? 3 : c == 4 ? 2 : c == 3 ? 1 : 0;
+            };
+            if (rank(code) > rank(worst))
+                worst = code;
+            latency_sum += r.recoveryLatencyMean *
+                           static_cast<double>(r.recoveredTxns);
+            latency_n += r.recoveredTxns;
+            std::printf("%-6llu %-10s %8llu %8llu %8llu %8llu\n",
+                        static_cast<unsigned long long>(k), outcome,
+                        static_cast<unsigned long long>(r.retries),
+                        static_cast<unsigned long long>(r.staleDrops),
+                        static_cast<unsigned long long>(r.faultDups),
+                        static_cast<unsigned long long>(r.faultDrops));
+        }
+        std::printf("campaign: %llu runs, %llu clean, %llu recovered, "
+                    "%llu deadlocked (%llu by watchdog), %llu violated\n",
+                    static_cast<unsigned long long>(campaign),
+                    static_cast<unsigned long long>(clean),
+                    static_cast<unsigned long long>(recovered),
+                    static_cast<unsigned long long>(deadlocked),
+                    static_cast<unsigned long long>(wd_fired),
+                    static_cast<unsigned long long>(violated));
+        if (latency_n > 0) {
+            std::printf("mean recovery latency %.0f ticks over %llu "
+                        "recovered transactions\n",
+                        latency_sum / static_cast<double>(latency_n),
+                        static_cast<unsigned long long>(latency_n));
+        }
+        return worst;
+    }
+
     if (trials == 1) {
         const RunResult r = runOnce(spec, wl, cfg);
         const auto total = r.l1Hits + r.l1Misses;
@@ -135,15 +285,37 @@ main(int argc, char **argv)
                     100.0 * r.blockedL3Fraction());
         std::printf("network messages     %llu\n",
                     static_cast<unsigned long long>(r.networkMessages));
+        if (r.retries + r.staleDrops + r.dupDrops + r.redrives > 0 ||
+            cfg.faults.enabled()) {
+            std::printf("fault recovery       %llu retries, %llu stale "
+                        "drops, %llu dup drops, %llu redrives\n",
+                        static_cast<unsigned long long>(r.retries),
+                        static_cast<unsigned long long>(r.staleDrops),
+                        static_cast<unsigned long long>(r.dupDrops),
+                        static_cast<unsigned long long>(r.redrives));
+            std::printf("faults injected      %llu drops, %llu dups, "
+                        "%llu delays, %llu holds\n",
+                        static_cast<unsigned long long>(r.faultDrops),
+                        static_cast<unsigned long long>(r.faultDups),
+                        static_cast<unsigned long long>(r.faultDelays),
+                        static_cast<unsigned long long>(r.faultHolds));
+        }
+        if (r.watchdogFired) {
+            std::printf("watchdog fired at tick %llu\n%s",
+                        static_cast<unsigned long long>(r.watchdogTick),
+                        r.postmortem.c_str());
+        } else if (r.deadlocked) {
+            std::printf("quiescent deadlock\n%s", r.postmortem.c_str());
+        }
         if (cfg.checkCoherence) {
             std::printf("coherence            %s\n",
-                        r.violations.empty() && !r.deadlocked
-                            ? "OK"
-                            : "VIOLATED");
+                        r.deadlocked ? "not checked (run hung)"
+                        : r.violations.empty() ? "OK"
+                                               : "VIOLATED");
             for (const auto &v : r.violations)
                 std::printf("  %s\n", v.c_str());
         }
-        return r.violations.empty() && !r.deadlocked ? 0 : 1;
+        return exitCodeFor(r);
     }
 
     const TrialSummary t = runTrials(spec, wl, cfg, trials);
