@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Checkpointing overhead: what does crash safety cost?
+ *
+ * Runs the german-protocol reachability fixpoint with checkpointing
+ * off, at a 10 s cadence, and at an aggressive 1 s cadence, and
+ * reports states/sec for each (overhead relative to the
+ * no-checkpoint baseline).  Then scales N and compares the
+ * serialized snapshot size against the live visited-set footprint —
+ * the snapshot stores canonical states plus predecessor links, so it
+ * should track the visited set roughly linearly and stay well under
+ * the in-memory footprint (no hash-table slack on disk).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "verif/checkpoint.hpp"
+#include "verif/explorer.hpp"
+#include "verif/models/german.hpp"
+
+using namespace neo;
+using neo::verif::buildGermanModel;
+
+namespace
+{
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/neo_ckpt_bench_XXXXXX";
+    if (!mkdtemp(tmpl)) {
+        std::perror("mkdtemp");
+        std::exit(1);
+    }
+    return tmpl;
+}
+
+ExploreResult
+runOnce(std::size_t n, const CheckpointConfig *ckpt)
+{
+    ModelShape shape;
+    const TransitionSystem ts = buildGermanModel(n, shape);
+    ExploreLimits lim;
+    lim.maxSeconds = 600.0;
+    lim.checkpoint = ckpt;
+    return explore(ts, lim);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string dir = makeTempDir();
+
+    std::printf("==== checkpoint overhead: german reachability "
+                "fixpoint ====\n\n");
+
+    // --- Part 1: throughput vs cadence (fixed N) --------------------
+    constexpr std::size_t kThroughputN = 6;
+    struct Cadence
+    {
+        const char *label;
+        double everySeconds; // < 0 = checkpointing off
+    };
+    const Cadence cadences[] = {
+        {"off", -1.0}, {"10s", 10.0}, {"1s", 1.0}};
+
+    std::printf("throughput, N=%zu (states/sec; overhead vs "
+                "checkpointing off)\n",
+                kThroughputN);
+    std::printf("%-8s %12s %9s %12s %6s %10s\n", "cadence", "states",
+                "seconds", "states/sec", "ckpts", "overhead");
+
+    double baseline_rate = 0.0;
+    for (const Cadence &c : cadences) {
+        CheckpointConfig ckpt;
+        ckpt.dir = dir;
+        ckpt.everySeconds = c.everySeconds;
+        const bool on = c.everySeconds >= 0.0;
+        const ExploreResult r =
+            runOnce(kThroughputN, on ? &ckpt : nullptr);
+        if (r.status != VerifStatus::Verified) {
+            std::printf("unexpected status: %s\n",
+                        verifStatusName(r.status));
+            return 1;
+        }
+        const double rate =
+            r.seconds > 0.0
+                ? static_cast<double>(r.statesExplored) / r.seconds
+                : 0.0;
+        if (!on)
+            baseline_rate = rate;
+        const double overhead =
+            baseline_rate > 0.0 ? 100.0 * (baseline_rate - rate) /
+                                      baseline_rate
+                                : 0.0;
+        std::printf("%-8s %12llu %9.3f %12.0f %6llu %9.1f%%\n",
+                    c.label,
+                    static_cast<unsigned long long>(r.statesExplored),
+                    r.seconds, rate,
+                    static_cast<unsigned long long>(
+                        r.checkpointsWritten),
+                    on ? overhead : 0.0);
+        removeSnapshot(exploreSnapshotPath(ckpt));
+    }
+
+    // --- Part 2: snapshot size vs visited-set size ------------------
+    std::printf("\nsnapshot size vs live visited-set footprint "
+                "(aggressive cadence so a\nperiodic snapshot lands "
+                "near the fixpoint)\n");
+    std::printf("%-4s %12s %14s %15s %9s\n", "N", "states",
+                "snapshot (B)", "visited (B)", "snap/mem");
+    for (std::size_t n = 4; n <= 6; ++n) {
+        CheckpointConfig ckpt;
+        ckpt.dir = dir;
+        ckpt.everySeconds = 0.02;
+        const ExploreResult r = runOnce(n, &ckpt);
+        if (r.status != VerifStatus::Verified) {
+            std::printf("unexpected status: %s\n",
+                        verifStatusName(r.status));
+            return 1;
+        }
+        std::printf("%-4zu %12llu %14llu %15llu %8.2f%%\n", n,
+                    static_cast<unsigned long long>(r.statesExplored),
+                    static_cast<unsigned long long>(
+                        r.lastSnapshotBytes),
+                    static_cast<unsigned long long>(r.memoryBytes),
+                    r.memoryBytes
+                        ? 100.0 *
+                              static_cast<double>(r.lastSnapshotBytes) /
+                              static_cast<double>(r.memoryBytes)
+                        : 0.0);
+        removeSnapshot(exploreSnapshotPath(ckpt));
+    }
+
+    std::printf("\nShape check: a 10 s cadence costs ~0%% on runs of "
+                "a few seconds (no\nperiodic snapshot fires; only the "
+                "estimate bookkeeping remains).  The 1 s\ncadence "
+                "pays one full snapshot+fsync per second, so on a "
+                "short run its\ncost is visible (tens of percent "
+                "here) — which is why 30 s is the CLI\ndefault.  The "
+                "snapshot should serialize to roughly a third of the "
+                "live\nvisited-set footprint and grow linearly with "
+                "it.\n");
+
+    std::remove((dir + "/explore.ckpt").c_str());
+    std::remove(dir.c_str());
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/core_model.hpp"
+#include "sim/exit_codes.hpp"
 #include "sim/watchdog.hpp"
 
 namespace neo
@@ -193,12 +194,12 @@ int
 exitCodeFor(const RunResult &result)
 {
     if (!result.violations.empty())
-        return 1;
+        return kExitViolation;
     if (result.watchdogFired)
-        return 4;
+        return kExitWatchdog;
     if (result.deadlocked)
-        return 3;
-    return 0;
+        return kExitDeadlock;
+    return kExitClean;
 }
 
 TrialSummary

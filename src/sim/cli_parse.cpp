@@ -80,6 +80,25 @@ parseF64(const std::string &text, double &out, std::string &err)
     return true;
 }
 
+bool
+parseSeconds(const std::string &text, double &out, std::string &err)
+{
+    std::string digits = text;
+    double scale = 1.0;
+    if (!digits.empty()) {
+        const char suffix = digits.back();
+        if (suffix == 's' || suffix == 'm' || suffix == 'h') {
+            scale = suffix == 's' ? 1.0 : suffix == 'm' ? 60.0 : 3600.0;
+            digits.pop_back();
+        }
+    }
+    double v = 0.0;
+    if (!parseF64(digits, v, err))
+        return false;
+    out = v * scale;
+    return true;
+}
+
 std::uint64_t
 parseU64OrDie(const std::string &opt, const std::string &text)
 {
@@ -96,6 +115,16 @@ parseF64OrDie(const std::string &opt, const std::string &text)
     double v = 0.0;
     std::string err;
     if (!parseF64(text, v, err))
+        neo_fatal(opt, ": ", err);
+    return v;
+}
+
+double
+parseSecondsOrDie(const std::string &opt, const std::string &text)
+{
+    double v = 0.0;
+    std::string err;
+    if (!parseSeconds(text, v, err))
         neo_fatal(opt, ": ", err);
     return v;
 }

@@ -30,12 +30,22 @@ bool parseU64(const std::string &text, std::uint64_t &out,
 bool parseF64(const std::string &text, double &out, std::string &err);
 
 /**
+ * Non-negative duration in seconds, optionally suffixed s/m/h
+ * ("90", "1.5m", "2h"); used by --max-seconds/--checkpoint-every.
+ */
+bool parseSeconds(const std::string &text, double &out,
+                  std::string &err);
+
+/**
  * Parse @p text for option @p opt or die with a clear message
- * (fatal exits with status 1, the tools' error convention).
+ * (fatal exits with the unified usage-error status 2; see
+ * exit_codes.hpp).
  */
 std::uint64_t parseU64OrDie(const std::string &opt,
                             const std::string &text);
 double parseF64OrDie(const std::string &opt, const std::string &text);
+double parseSecondsOrDie(const std::string &opt,
+                         const std::string &text);
 
 } // namespace neo
 

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Unified process exit-code conventions for the command-line tools.
+ *
+ * neoverify and neosim share one table (documented in README "Exit
+ * codes", asserted by the CLI tests in tests/CMakeLists.txt):
+ *
+ *   0  clean — verified / coherent run
+ *   1  property violation (invariant or coherence)
+ *   2  usage error (bad flags, malformed values, unusable checkpoint)
+ *   3  quiescent deadlock                          (neosim only)
+ *   4  no-progress watchdog fired                  (neosim only)
+ *   5  interrupted with a resumable checkpoint     (neoverify only)
+ *
+ * neo_fatal() exits with kExitUsage, so every "the user asked for
+ * something we cannot do" path lands on 2 in both tools.
+ */
+
+#ifndef NEO_SIM_EXIT_CODES_HPP
+#define NEO_SIM_EXIT_CODES_HPP
+
+namespace neo
+{
+
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitViolation = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitDeadlock = 3;
+inline constexpr int kExitWatchdog = 4;
+inline constexpr int kExitInterrupted = 5;
+
+} // namespace neo
+
+#endif // NEO_SIM_EXIT_CODES_HPP

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "sim/exit_codes.hpp"
+
 namespace neo
 {
 
@@ -39,7 +41,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
-    std::exit(1);
+    std::exit(kExitUsage);
 }
 
 void

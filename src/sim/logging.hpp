@@ -5,7 +5,8 @@
  * panic()  — an internal invariant of the simulator itself was violated;
  *            aborts so a debugger/core dump can inspect the state.
  * fatal()  — the user asked for something the simulator cannot do
- *            (bad configuration); exits with an error code.
+ *            (bad configuration); exits with the usage-error code
+ *            (exit_codes.hpp, kExitUsage = 2).
  * warn()/inform() — status messages that never stop the simulation.
  */
 

@@ -1,0 +1,502 @@
+#include "checkpoint.hpp"
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+namespace neo
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'N', 'E', 'O', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kVersion = 1;
+/** magic + version + kind + fingerprint + payloadSize + payloadCrc. */
+constexpr std::size_t kHeaderBody = 8 + 4 + 4 + 8 + 8 + 4;
+/** ... plus the header's own CRC. */
+constexpr std::size_t kHeaderSize = kHeaderBody + 4;
+
+void
+putLE32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void
+putLE64(std::uint8_t *p, std::uint64_t v)
+{
+    putLE32(p, static_cast<std::uint32_t>(v));
+    putLE32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+getLE32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+getLE64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(getLE32(p)) |
+           static_cast<std::uint64_t>(getLE32(p + 4)) << 32;
+}
+
+/** Parsed+verified header of a snapshot file. */
+struct Header
+{
+    std::uint32_t kind = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t payloadSize = 0;
+    std::uint32_t payloadCrc = 0;
+};
+
+bool
+readHeader(std::FILE *f, const std::string &path, Header &h,
+           std::string &err)
+{
+    std::uint8_t raw[kHeaderSize];
+    if (std::fread(raw, 1, kHeaderSize, f) != kHeaderSize) {
+        err = path + ": truncated snapshot header";
+        return false;
+    }
+    if (std::memcmp(raw, kMagic, 8) != 0) {
+        err = path + ": not a neo checkpoint (bad magic)";
+        return false;
+    }
+    if (crc32(raw, kHeaderBody) != getLE32(raw + kHeaderBody)) {
+        err = path + ": snapshot header CRC mismatch";
+        return false;
+    }
+    const std::uint32_t version = getLE32(raw + 8);
+    if (version != kVersion) {
+        err = path + ": unsupported snapshot version " +
+              std::to_string(version);
+        return false;
+    }
+    h.kind = getLE32(raw + 12);
+    h.fingerprint = getLE64(raw + 16);
+    h.payloadSize = getLE64(raw + 24);
+    h.payloadCrc = getLE32(raw + 32);
+    return true;
+}
+
+// Written by the signal handler AND polled across explorer worker
+// threads, so volatile sig_atomic_t is not enough (that is only
+// signal-safe, not thread-safe); a lock-free atomic is both.
+std::atomic<int> g_interrupted{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "interrupt flag must be async-signal-safe");
+
+extern "C" void
+interruptHandler(int)
+{
+    g_interrupted.store(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t n, std::uint32_t crc)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    crc = ~crc;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::uint64_t
+modelFingerprint(const TransitionSystem &ts)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&](const void *p, std::size_t n) {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ULL;
+        }
+    };
+    auto mixStr = [&](const std::string &s) {
+        mix(s.data(), s.size());
+        mix("\x1f", 1); // separator so {"ab","c"} != {"a","bc"}
+    };
+    const VState init = ts.initialState();
+    mix(init.data(), init.size());
+    for (std::size_t i = 0; i < ts.numVars(); ++i)
+        mixStr(ts.varName(i));
+    for (const auto &r : ts.rules()) {
+        mixStr(r.name);
+        const auto k = static_cast<std::uint8_t>(r.kind);
+        mix(&k, 1);
+    }
+    for (const auto &inv : ts.invariants())
+        mixStr(inv.name);
+    return h;
+}
+
+void
+SnapshotWriter::putU32(std::uint32_t v)
+{
+    const std::size_t at = buf_.size();
+    buf_.resize(at + 4);
+    putLE32(buf_.data() + at, v);
+}
+
+void
+SnapshotWriter::putU64(std::uint64_t v)
+{
+    const std::size_t at = buf_.size();
+    buf_.resize(at + 8);
+    putLE64(buf_.data() + at, v);
+}
+
+void
+SnapshotWriter::putF64(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    putU64(bits);
+}
+
+void
+SnapshotWriter::putBytes(const std::uint8_t *p, std::size_t n)
+{
+    buf_.insert(buf_.end(), p, p + n);
+}
+
+void
+SnapshotWriter::putState(const VState &s)
+{
+    putBytes(s.data(), s.size());
+}
+
+std::uint8_t
+SnapshotReader::getU8()
+{
+    std::uint8_t v = 0;
+    getBytes(&v, 1);
+    return v;
+}
+
+std::uint32_t
+SnapshotReader::getU32()
+{
+    std::uint8_t raw[4];
+    return getBytes(raw, 4) ? getLE32(raw) : 0;
+}
+
+std::uint64_t
+SnapshotReader::getU64()
+{
+    std::uint8_t raw[8];
+    return getBytes(raw, 8) ? getLE64(raw) : 0;
+}
+
+double
+SnapshotReader::getF64()
+{
+    const std::uint64_t bits = getU64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+bool
+SnapshotReader::getBytes(std::uint8_t *out, std::size_t n)
+{
+    if (!ok_ || size_ - pos_ < n) {
+        ok_ = false;
+        std::memset(out, 0, n);
+        return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+bool
+SnapshotReader::getState(std::size_t numVars, VState &out)
+{
+    out.assign(numVars, 0);
+    return getBytes(out.data(), numVars);
+}
+
+bool
+writeSnapshotFile(const std::string &path, SnapshotKind kind,
+                  std::uint64_t fingerprint,
+                  const std::vector<std::uint8_t> &payload,
+                  std::string &err)
+{
+    std::error_code ec;
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+
+    std::uint8_t header[kHeaderSize];
+    std::memcpy(header, kMagic, 8);
+    putLE32(header + 8, kVersion);
+    putLE32(header + 12, static_cast<std::uint32_t>(kind));
+    putLE64(header + 16, fingerprint);
+    putLE64(header + 24, payload.size());
+    putLE32(header + 32, crc32(payload.data(), payload.size()));
+    putLE32(header + kHeaderBody, crc32(header, kHeaderBody));
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        err = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    bool ok = std::fwrite(header, 1, kHeaderSize, f) == kHeaderSize &&
+              (payload.empty() ||
+               std::fwrite(payload.data(), 1, payload.size(), f) ==
+                   payload.size());
+    // Flush and fsync before the rename so the publish is atomic even
+    // across a power cut: either the old snapshot or the complete new
+    // one is visible, never a torn mix.
+    ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (!ok) {
+        err = tmp + ": write failed: " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        err = path + ": rename failed: " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readSnapshotFile(const std::string &path, SnapshotKind kind,
+                 std::uint64_t fingerprint,
+                 std::vector<std::uint8_t> &payload, std::string &err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        err = path + ": " + std::strerror(errno);
+        return false;
+    }
+    Header h;
+    if (!readHeader(f, path, h, err)) {
+        std::fclose(f);
+        return false;
+    }
+    if (h.kind != static_cast<std::uint32_t>(kind)) {
+        err = path + ": snapshot is from a different exploration mode";
+        std::fclose(f);
+        return false;
+    }
+    if (h.fingerprint != fingerprint) {
+        err = path + ": snapshot was taken for a different model "
+                     "(fingerprint mismatch)";
+        std::fclose(f);
+        return false;
+    }
+    std::vector<std::uint8_t> body(h.payloadSize);
+    const bool readOk =
+        std::fread(body.data(), 1, body.size(), f) == body.size() &&
+        std::fgetc(f) == EOF;
+    std::fclose(f);
+    if (!readOk) {
+        err = path + ": truncated snapshot payload";
+        return false;
+    }
+    if (crc32(body.data(), body.size()) != h.payloadCrc) {
+        err = path + ": snapshot payload CRC mismatch (corrupt file)";
+        return false;
+    }
+    payload = std::move(body);
+    return true;
+}
+
+std::uint64_t
+peekSnapshotFingerprint(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return 0;
+    Header h;
+    std::string err;
+    const bool ok = readHeader(f, path, h, err);
+    std::fclose(f);
+    return ok ? h.fingerprint : 0;
+}
+
+bool
+snapshotExists(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+}
+
+void
+removeSnapshot(const std::string &path)
+{
+    std::remove(path.c_str());
+}
+
+std::string
+exploreSnapshotPath(const CheckpointConfig &cfg)
+{
+    return cfg.dir + "/explore.ckpt";
+}
+
+std::string
+walkSnapshotPath(const CheckpointConfig &cfg)
+{
+    return cfg.dir + "/walk.ckpt";
+}
+
+std::string
+sweepSnapshotPath(const CheckpointConfig &cfg)
+{
+    return cfg.dir + "/sweep.ckpt";
+}
+
+std::vector<std::uint8_t>
+encodeExploreSnapshot(const ExploreSnapshot &snap, std::size_t numVars)
+{
+    SnapshotWriter w;
+    w.putU32(static_cast<std::uint32_t>(numVars));
+    w.putU32(static_cast<std::uint32_t>(snap.ruleFires.size()));
+    w.putF64(snap.elapsedSeconds);
+    w.putU64(snap.transitionsFired);
+    for (const std::uint64_t fires : snap.ruleFires)
+        w.putU64(fires);
+    w.putU8(snap.hasLinks ? 1 : 0);
+    w.putU64(snap.states.size());
+    for (const VState &s : snap.states)
+        w.putState(s);
+    if (snap.hasLinks) {
+        for (const auto &l : snap.links) {
+            w.putU64(l.parent);
+            w.putU32(l.rule);
+            w.putU32(l.depth);
+        }
+    }
+    w.putU64(snap.frontier.size());
+    for (const auto &fi : snap.frontier) {
+        w.putU64(fi.id);
+        w.putU32(fi.depth);
+        w.putState(fi.state);
+    }
+    return w.take();
+}
+
+bool
+decodeExploreSnapshot(const std::vector<std::uint8_t> &payload,
+                      std::size_t numVars, std::size_t numRules,
+                      ExploreSnapshot &out, std::string &err)
+{
+    SnapshotReader r(payload);
+    if (r.getU32() != numVars || r.getU32() != numRules) {
+        err = "snapshot variable/rule counts do not match the model";
+        return false;
+    }
+    out.elapsedSeconds = r.getF64();
+    out.transitionsFired = r.getU64();
+    out.ruleFires.assign(numRules, 0);
+    for (std::size_t i = 0; i < numRules; ++i)
+        out.ruleFires[i] = r.getU64();
+    out.hasLinks = r.getU8() != 0;
+    const std::uint64_t nStates = r.getU64();
+    if (!r.ok() || nStates > payload.size()) {
+        err = "snapshot state count is implausible";
+        return false;
+    }
+    out.states.assign(static_cast<std::size_t>(nStates), VState{});
+    for (auto &s : out.states)
+        r.getState(numVars, s);
+    if (out.hasLinks) {
+        out.links.assign(static_cast<std::size_t>(nStates),
+                         ExploreSnapshot::Link{});
+        for (auto &l : out.links) {
+            l.parent = r.getU64();
+            l.rule = r.getU32();
+            l.depth = r.getU32();
+            if (l.parent >= nStates || l.rule >= numRules) {
+                err = "snapshot predecessor link out of range";
+                return false;
+            }
+        }
+    }
+    const std::uint64_t nFrontier = r.getU64();
+    if (!r.ok() || nFrontier > payload.size()) {
+        err = "snapshot frontier count is implausible";
+        return false;
+    }
+    out.frontier.assign(static_cast<std::size_t>(nFrontier),
+                        ExploreSnapshot::FrontierItem{});
+    for (auto &fi : out.frontier) {
+        fi.id = r.getU64();
+        fi.depth = r.getU32();
+        r.getState(numVars, fi.state);
+        if (fi.id >= nStates) {
+            err = "snapshot frontier id out of range";
+            return false;
+        }
+    }
+    if (!r.atEnd()) {
+        err = "snapshot payload has trailing or missing bytes";
+        return false;
+    }
+    return true;
+}
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = interruptHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+requestInterrupt()
+{
+    g_interrupted.store(1, std::memory_order_relaxed);
+}
+
+void
+clearInterruptRequest()
+{
+    g_interrupted.store(0, std::memory_order_relaxed);
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupted.load(std::memory_order_relaxed) != 0;
+}
+
+} // namespace neo

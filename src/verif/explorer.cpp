@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "verif/checkpoint.hpp"
 #include "verif/parallel_explorer.hpp"
 
 namespace neo
@@ -21,6 +22,8 @@ verifStatusName(VerifStatus s)
         return "DEADLOCK";
       case VerifStatus::LimitExceeded:
         return "EXCEEDED BOUNDS";
+      case VerifStatus::Interrupted:
+        return "INTERRUPTED (resumable)";
     }
     return "?";
 }
@@ -45,12 +48,26 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     // are only kept when tracing.
     std::unordered_map<VState, std::uint64_t, VStateHash> visited;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> parent;
+    // Runtime copy of keep_trace: memory-pressure degradation (below)
+    // sheds the predecessor links and clears it mid-run.
+    bool tracing = keep_trace;
 
     const auto &canon = ts.canonicalizer();
     const auto &rules = ts.rules();
 
-    auto elapsed = [&t0]() {
-        return std::chrono::duration<double>(Clock::now() - t0).count();
+    const CheckpointConfig *ckpt = limits.checkpoint;
+    const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
+    const std::string ckptPath =
+        ckptActive ? exploreSnapshotPath(*ckpt) : std::string();
+    const std::uint64_t fingerprint =
+        ckptActive ? modelFingerprint(ts) : 0;
+    // Wall-clock already spent by the resumed run; maxSeconds bounds
+    // the cumulative time across resumes, like a real compute budget.
+    double baseSeconds = 0.0;
+
+    auto elapsed = [&]() {
+        return baseSeconds +
+               std::chrono::duration<double>(Clock::now() - t0).count();
     };
 
     std::deque<std::pair<std::uint64_t, VState>> work;
@@ -63,14 +80,22 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         // The predecessor map costs one (parent id, rule) link per
         // state when traces are kept.
         const std::uint64_t per_trace =
-            keep_trace
+            tracing
                 ? sizeof(std::pair<std::uint64_t, std::uint32_t>)
                 : 0;
         // Frontier entries each carry a full state copy.
         const std::uint64_t per_frontier =
             sizeof(std::pair<std::uint64_t, VState>) + ts.numVars();
-        return visited.size() * (per_visited + per_trace) +
-               work.size() * per_frontier;
+        // Serializing a snapshot buffers the whole image once more;
+        // the limit must cover that transient or the checkpoint that
+        // is meant to save the run OOMs it instead.
+        const std::uint64_t per_ckpt_state =
+            ckptActive ? ts.numVars() + (tracing ? 16 : 0) : 0;
+        const std::uint64_t per_ckpt_frontier =
+            ckptActive ? ts.numVars() + 12 : 0;
+        return visited.size() * (per_visited + per_trace +
+                                 per_ckpt_state) +
+               work.size() * (per_frontier + per_ckpt_frontier);
     };
 
     auto fail_invariants = [&](const VState &s) -> const char * {
@@ -92,34 +117,158 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         return names;
     };
 
-    VState init = ts.initialState();
-    if (canon)
-        canon(init);
-    visited.emplace(init, 0);
-    if (keep_trace)
-        parent.emplace_back(0, 0);
-    if (on_state)
-        on_state(init);
-    work.emplace_back(0, init);
+    // BFS depth of every visited state, derivable from the parent
+    // links because a parent's id always precedes its children's.
+    auto compute_depths = [&]() {
+        std::vector<std::uint32_t> depth(parent.size(), 0);
+        for (std::size_t i = 1; i < parent.size(); ++i)
+            depth[i] = depth[parent[i].first] + 1;
+        return depth;
+    };
 
-    if (const char *inv = fail_invariants(init)) {
-        result.status = VerifStatus::InvariantViolated;
-        result.violatedInvariant = inv;
-        result.badState = ts.describe(init);
-        result.statesExplored = 1;
-        result.seconds = elapsed();
-        return result;
+    auto write_snapshot = [&]() {
+        ExploreSnapshot snap;
+        snap.elapsedSeconds = elapsed();
+        snap.transitionsFired = result.transitionsFired;
+        snap.ruleFires = result.ruleFires;
+        snap.states.assign(visited.size(), VState{});
+        for (const auto &[state, id] : visited)
+            snap.states[id] = state;
+        std::vector<std::uint32_t> depth;
+        if (tracing) {
+            snap.hasLinks = true;
+            depth = compute_depths();
+            snap.links.resize(parent.size());
+            for (std::size_t i = 0; i < parent.size(); ++i)
+                snap.links[i] = ExploreSnapshot::Link{
+                    parent[i].first, parent[i].second, depth[i]};
+        }
+        snap.frontier.reserve(work.size());
+        for (const auto &[id, state] : work)
+            snap.frontier.push_back(ExploreSnapshot::FrontierItem{
+                id, tracing ? depth[id] : 0, state});
+        const std::vector<std::uint8_t> payload =
+            encodeExploreSnapshot(snap, ts.numVars());
+        std::string err;
+        if (!writeSnapshotFile(ckptPath, SnapshotKind::Explore,
+                               fingerprint, payload, err)) {
+            neo_warn("checkpoint not written: ", err);
+            return;
+        }
+        ++result.checkpointsWritten;
+        result.lastSnapshotBytes = payload.size();
+    };
+
+    bool fresh = true;
+    if (ckptActive && ckpt->resume && snapshotExists(ckptPath)) {
+        std::vector<std::uint8_t> payload;
+        std::string err;
+        if (!readSnapshotFile(ckptPath, SnapshotKind::Explore,
+                              fingerprint, payload, err))
+            neo_fatal("cannot resume: ", err);
+        ExploreSnapshot snap;
+        if (!decodeExploreSnapshot(payload, ts.numVars(),
+                                   rules.size(), snap, err))
+            neo_fatal("cannot resume: ", ckptPath, ": ", err);
+        baseSeconds = snap.elapsedSeconds;
+        result.transitionsFired = snap.transitionsFired;
+        result.ruleFires = snap.ruleFires;
+        visited.reserve(snap.states.size());
+        for (std::size_t i = 0; i < snap.states.size(); ++i)
+            visited.emplace(snap.states[i], i);
+        if (tracing && snap.hasLinks) {
+            parent.reserve(snap.links.size());
+            for (const auto &l : snap.links)
+                parent.emplace_back(
+                    l.parent, static_cast<std::uint32_t>(l.rule));
+        } else if (tracing) {
+            // The snapshot shed its links (memory-pressure degrade);
+            // older predecessors are unrecoverable, so the resumed
+            // run keeps exact counts but cannot build traces.
+            tracing = false;
+            result.degradedTrace = true;
+        }
+        for (const auto &fi : snap.frontier)
+            work.emplace_back(fi.id, fi.state);
+        if (on_state) {
+            for (const auto &s : snap.states)
+                on_state(s);
+        }
+        result.resumed = true;
+        result.restoredStates = snap.states.size();
+        fresh = false;
     }
+
+    if (fresh) {
+        VState init = ts.initialState();
+        if (canon)
+            canon(init);
+        visited.emplace(init, 0);
+        if (tracing)
+            parent.emplace_back(0, 0);
+        if (on_state)
+            on_state(init);
+        work.emplace_back(0, init);
+
+        if (const char *inv = fail_invariants(init)) {
+            result.status = VerifStatus::InvariantViolated;
+            result.violatedInvariant = inv;
+            result.badState = ts.describe(init);
+            result.statesExplored = 1;
+            result.seconds = elapsed();
+            return result;
+        }
+    }
+
+    double lastCkptSeconds = elapsed();
+    bool nearLimitSnapshotDone = false;
 
     // BFS; each work item carries its state so stateById is only
     // needed for trace rendering.
     while (!work.empty()) {
+        if (ckptActive && interruptRequested()) {
+            write_snapshot();
+            result.status = VerifStatus::Interrupted;
+            break;
+        }
         if (visited.size() >= limits.maxStates ||
-            elapsed() > limits.maxSeconds ||
-            (limits.maxMemoryBytes != 0 &&
-             estimate_memory() > limits.maxMemoryBytes)) {
+            elapsed() > limits.maxSeconds) {
+            if (ckptActive)
+                write_snapshot();
             result.status = VerifStatus::LimitExceeded;
             break;
+        }
+        if (limits.maxMemoryBytes != 0) {
+            std::uint64_t mem = estimate_memory();
+            if (mem > limits.maxMemoryBytes && ckptActive && tracing) {
+                // Memory pressure: snapshot what we have, then shed
+                // the predecessor links (the single largest optional
+                // structure) and keep exploring without traces.
+                write_snapshot();
+                parent.clear();
+                parent.shrink_to_fit();
+                tracing = false;
+                result.degradedTrace = true;
+                mem = estimate_memory();
+            }
+            if (mem > limits.maxMemoryBytes) {
+                if (ckptActive)
+                    write_snapshot();
+                result.status = VerifStatus::LimitExceeded;
+                break;
+            }
+            if (ckptActive && !nearLimitSnapshotDone &&
+                mem * 10 > limits.maxMemoryBytes * 9) {
+                // Nearing the budget: secure progress now in case the
+                // next growth step lands on a real OOM kill.
+                write_snapshot();
+                nearLimitSnapshotDone = true;
+            }
+        }
+        if (ckptActive && ckpt->everySeconds > 0.0 &&
+            elapsed() - lastCkptSeconds >= ckpt->everySeconds) {
+            write_snapshot();
+            lastCkptSeconds = elapsed();
         }
         const std::uint64_t id = work.front().first;
         VState s = std::move(work.front().second);
@@ -141,7 +290,7 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             if (!inserted)
                 continue;
             const std::uint64_t nid = it->second;
-            if (keep_trace)
+            if (tracing)
                 parent.emplace_back(id, static_cast<std::uint32_t>(r));
             if (on_state)
                 on_state(next);
@@ -149,11 +298,13 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                 result.status = VerifStatus::InvariantViolated;
                 result.violatedInvariant = inv;
                 result.badState = ts.describe(next);
-                if (keep_trace)
+                if (tracing)
                     result.trace = build_trace(nid);
                 result.statesExplored = visited.size();
                 result.seconds = elapsed();
                 result.memoryBytes = estimate_memory();
+                if (ckptActive)
+                    removeSnapshot(ckptPath);
                 return result;
             }
             work.emplace_back(nid, std::move(next));
@@ -165,6 +316,8 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             result.statesExplored = visited.size();
             result.seconds = elapsed();
             result.memoryBytes = estimate_memory();
+            if (ckptActive)
+                removeSnapshot(ckptPath);
             return result;
         }
     }
@@ -172,6 +325,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     result.statesExplored = visited.size();
     result.seconds = elapsed();
     result.memoryBytes = estimate_memory();
+    // A finished fixpoint has nothing left to resume; only
+    // interrupted and bound-exceeded runs keep their snapshot.
+    if (ckptActive && result.status == VerifStatus::Verified)
+        removeSnapshot(ckptPath);
     return result;
 }
 

@@ -22,12 +22,15 @@
 namespace neo
 {
 
+struct CheckpointConfig; // checkpoint.hpp
+
 struct ExploreLimits
 {
     std::uint64_t maxStates = 20'000'000;
     double maxSeconds = 120.0;
-    /** Live-memory bound over the visited set, trace structures and
-     *  frontier (the paper's 50 GB analogue); 0 = unbounded. */
+    /** Live-memory bound over the visited set, trace structures,
+     *  frontier and (when checkpointing) the snapshot write buffer
+     *  (the paper's 50 GB analogue); 0 = unbounded. */
     std::uint64_t maxMemoryBytes = 0;
     /** Worker threads. 1 runs the sequential BFS below; >1 runs the
      *  sharded parallel explorer (parallel_explorer.hpp), which
@@ -35,6 +38,12 @@ struct ExploreLimits
      *  counts but may report a different (equally valid)
      *  counterexample trace. */
     unsigned threads = 1;
+    /** Crash-safe checkpointing (checkpoint.hpp); nullptr disables.
+     *  With a config, the run writes periodic CRC-guarded snapshots,
+     *  drains to a final snapshot on SIGINT/SIGTERM (returning
+     *  Interrupted), degrades gracefully under memory pressure, and
+     *  can resume an earlier snapshot to the identical fixpoint. */
+    const CheckpointConfig *checkpoint = nullptr;
 };
 
 /** FNV-1a over the state bytes — shared by the sequential visited set
@@ -59,6 +68,8 @@ enum class VerifStatus
     InvariantViolated, ///< a reachable state breaks an invariant
     Deadlock,          ///< a non-final state with no enabled rule
     LimitExceeded,     ///< state/time bound hit before the fixpoint
+    Interrupted,       ///< stopped by SIGINT/SIGTERM; snapshot saved,
+                       ///< resumable (exit code 5 in neoverify)
 };
 
 const char *verifStatusName(VerifStatus s);
@@ -79,6 +90,17 @@ struct ExploreResult
     /** Per-rule firing counts (indexed like ts.rules()); a zero for a
      *  feature-enabled rule means dead logic in the model. */
     std::vector<std::uint64_t> ruleFires;
+    /** The run was restored from a snapshot before exploring. */
+    bool resumed = false;
+    /** States restored from the snapshot (when resumed). */
+    std::uint64_t restoredStates = 0;
+    /** Predecessor links were shed under memory pressure; counts stay
+     *  exact but no counterexample trace can be reconstructed. */
+    bool degradedTrace = false;
+    /** Snapshots written during this run (periodic + final). */
+    std::uint64_t checkpointsWritten = 0;
+    /** Serialized size of the most recent snapshot, bytes. */
+    std::uint64_t lastSnapshotBytes = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "parallel_explorer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -8,6 +9,8 @@
 #include <thread>
 #include <tuple>
 #include <unordered_map>
+
+#include "verif/checkpoint.hpp"
 
 namespace neo
 {
@@ -17,6 +20,11 @@ namespace
 
 /** Shard count; a power of two so the hash folds with a mask. */
 constexpr std::size_t kShardCount = 64;
+
+/** Deque block + bookkeeping slack charged per work queue in the
+ *  memory estimate, so N queues' standing overhead counts against
+ *  maxMemoryBytes even when nearly empty. */
+constexpr std::uint64_t kQueueSlackBytes = 4096;
 
 /** Predecessor link for one discovered state (trace rebuilding). */
 struct Record
@@ -78,6 +86,17 @@ class WorkQueue
         return true;
     }
 
+    /** Visit every queued item (checkpoint serialization; called only
+     *  while all workers are paused, so contention-free). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        for (const WorkItem &w : q_)
+            fn(w);
+    }
+
   private:
     std::mutex mu_;
     std::deque<WorkItem> q_;
@@ -105,6 +124,14 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     const auto &canon = ts.canonicalizer();
     const auto &invs = ts.invariants();
 
+    const CheckpointConfig *ckpt = limits.checkpoint;
+    const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
+    const std::string ckptPath =
+        ckptActive ? exploreSnapshotPath(*ckpt) : std::string();
+    const std::uint64_t fingerprint =
+        ckptActive ? modelFingerprint(ts) : 0;
+    double baseSeconds = 0.0;
+
     std::vector<Shard> shards(kShardCount);
     std::vector<WorkQueue> queues(nthreads);
 
@@ -114,6 +141,19 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     /** Queued + currently-expanding items; 0 means the fixpoint. */
     std::atomic<std::uint64_t> inFlight{0};
     std::atomic<bool> stop{false};
+    /** Runtime keep_trace; cleared when memory pressure sheds the
+     *  predecessor records mid-run. */
+    std::atomic<bool> traceOn{keep_trace};
+    bool degradedTrace = false; // mutated only at safe points
+
+    // Checkpoint rendezvous: worker 0 (the coordinator) raises
+    // pauseRequested; every other live worker parks at the top of its
+    // loop, which guarantees no expansion is in progress — every
+    // in-flight item sits in some queue, so shards + queues + the
+    // counters form a consistent cut to serialize.
+    std::atomic<bool> pauseRequested{false};
+    std::atomic<unsigned> pausedCount{0};
+    std::atomic<unsigned> alive{0};
 
     // Terminal outcome. A violation or deadlock beats a bound; among
     // violations discovered by different workers the smallest
@@ -129,22 +169,35 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
 
     std::mutex cbMu; // serializes the caller's on_state callback
 
-    auto elapsed = [&t0]() {
-        return std::chrono::duration<double>(Clock::now() - t0).count();
+    auto elapsed = [&]() {
+        return baseSeconds +
+               std::chrono::duration<double>(Clock::now() - t0).count();
     };
 
     // Same accounting as the sequential explorer, with the shard
-    // Record standing in for its predecessor pair.
+    // Record standing in for its predecessor pair, plus the standing
+    // shard/queue structures and — when checkpointing — the snapshot
+    // serialization buffer, so the bound holds on the robust path too.
     auto estimate_memory = [&]() -> std::uint64_t {
+        const bool tracing = traceOn.load(std::memory_order_relaxed);
         const std::uint64_t per_visited =
             sizeof(VState) + ts.numVars() + 8 + 32;
         const std::uint64_t per_trace =
-            keep_trace ? sizeof(Record) : 0;
+            tracing ? sizeof(Record) : 0;
         const std::uint64_t per_frontier =
             sizeof(WorkItem) + ts.numVars();
+        const std::uint64_t per_ckpt_state =
+            ckptActive ? ts.numVars() + (tracing ? 16 : 0) : 0;
+        const std::uint64_t per_ckpt_frontier =
+            ckptActive ? ts.numVars() + 12 : 0;
+        const std::uint64_t structural =
+            kShardCount * sizeof(Shard) +
+            static_cast<std::uint64_t>(nthreads) * kQueueSlackBytes;
         return statesTotal.load(std::memory_order_relaxed) *
-                   (per_visited + per_trace) +
-               inFlight.load(std::memory_order_relaxed) * per_frontier;
+                   (per_visited + per_trace + per_ckpt_state) +
+               inFlight.load(std::memory_order_relaxed) *
+                   (per_frontier + per_ckpt_frontier) +
+               structural;
     };
 
     auto failing_invariant = [&](const VState &s) -> int {
@@ -190,58 +243,271 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
         stop.store(true, std::memory_order_relaxed);
     };
 
-    // Seed with the canonical initial state (mirrors the sequential
-    // explorer's pre-loop block, including the early violation exit).
-    VState init = ts.initialState();
-    if (canon)
-        canon(init);
-    std::uint64_t initId;
-    {
-        const std::size_t sh = VStateHash{}(init) & (kShardCount - 1);
-        shards[sh].ids.emplace(init, 0);
-        if (keep_trace)
-            shards[sh].recs.push_back(Record{0, 0, 0});
-        initId = packId(sh, 0);
+    auto report_interrupted = [&]() {
+        std::lock_guard<std::mutex> g(termMu);
+        if (termStatus == VerifStatus::Verified)
+            termStatus = VerifStatus::Interrupted;
+        stop.store(true, std::memory_order_relaxed);
+    };
+
+    // Serialize the paused run into the canonical explore-snapshot
+    // layout: states shard-major in local-insertion order, packed ids
+    // remapped onto dense indices. Caller guarantees quiescence.
+    auto write_snapshot = [&]() {
+        const bool tracing = traceOn.load(std::memory_order_relaxed);
+        ExploreSnapshot snap;
+        snap.elapsedSeconds = elapsed();
+        snap.transitionsFired =
+            transitionsTotal.load(std::memory_order_relaxed);
+        snap.ruleFires.resize(rules.size());
+        for (std::size_t r = 0; r < rules.size(); ++r)
+            snap.ruleFires[r] =
+                ruleFires[r].load(std::memory_order_relaxed);
+
+        std::array<std::uint64_t, kShardCount> prefix{};
+        std::uint64_t total = 0;
+        for (std::size_t sh = 0; sh < kShardCount; ++sh) {
+            prefix[sh] = total;
+            std::lock_guard<std::mutex> g(shards[sh].mu);
+            total += shards[sh].ids.size();
+        }
+        auto dense = [&](std::uint64_t packed) {
+            return prefix[packed >> 32] + (packed & 0xffffffffULL);
+        };
+
+        snap.states.assign(static_cast<std::size_t>(total), VState{});
+        snap.hasLinks = tracing;
+        if (tracing)
+            snap.links.assign(static_cast<std::size_t>(total),
+                              ExploreSnapshot::Link{});
+        for (std::size_t sh = 0; sh < kShardCount; ++sh) {
+            std::lock_guard<std::mutex> g(shards[sh].mu);
+            for (const auto &[state, local] : shards[sh].ids)
+                snap.states[prefix[sh] + local] = state;
+            if (tracing) {
+                for (std::uint32_t local = 0;
+                     local < shards[sh].recs.size(); ++local) {
+                    const Record &rec = shards[sh].recs[local];
+                    snap.links[prefix[sh] + local] =
+                        ExploreSnapshot::Link{
+                            rec.depth == 0 ? 0 : dense(rec.parent),
+                            rec.rule, rec.depth};
+                }
+            }
+        }
+        for (auto &q : queues) {
+            q.forEach([&](const WorkItem &w) {
+                snap.frontier.push_back(ExploreSnapshot::FrontierItem{
+                    dense(w.id), w.depth, w.state});
+            });
+        }
+        const std::vector<std::uint8_t> payload =
+            encodeExploreSnapshot(snap, ts.numVars());
+        std::string err;
+        if (!writeSnapshotFile(ckptPath, SnapshotKind::Explore,
+                               fingerprint, payload, err)) {
+            neo_warn("checkpoint not written: ", err);
+            return;
+        }
+        ++result.checkpointsWritten;
+        result.lastSnapshotBytes = payload.size();
+    };
+
+    bool fresh = true;
+    if (ckptActive && ckpt->resume && snapshotExists(ckptPath)) {
+        std::vector<std::uint8_t> payload;
+        std::string err;
+        if (!readSnapshotFile(ckptPath, SnapshotKind::Explore,
+                              fingerprint, payload, err))
+            neo_fatal("cannot resume: ", err);
+        ExploreSnapshot snap;
+        if (!decodeExploreSnapshot(payload, ts.numVars(),
+                                   rules.size(), snap, err))
+            neo_fatal("cannot resume: ", ckptPath, ": ", err);
+        baseSeconds = snap.elapsedSeconds;
+        transitionsTotal.store(snap.transitionsFired,
+                               std::memory_order_relaxed);
+        for (std::size_t r = 0; r < rules.size(); ++r)
+            ruleFires[r].store(snap.ruleFires[r],
+                               std::memory_order_relaxed);
+
+        const bool tracing = keep_trace && snap.hasLinks;
+        if (keep_trace && !snap.hasLinks) {
+            traceOn.store(false, std::memory_order_relaxed);
+            degradedTrace = true;
+        }
+        // Pass 1: shard-major reinsertion; the shard of a state is a
+        // pure hash, so each lands where the writer had it, and file
+        // order preserves the per-shard local indices.
+        std::vector<std::uint64_t> denseToPacked(snap.states.size());
+        for (std::size_t i = 0; i < snap.states.size(); ++i) {
+            const std::size_t sh =
+                VStateHash{}(snap.states[i]) & (kShardCount - 1);
+            const auto local =
+                static_cast<std::uint32_t>(shards[sh].ids.size());
+            shards[sh].ids.emplace(snap.states[i], local);
+            denseToPacked[i] = packId(sh, local);
+        }
+        // Pass 2: predecessor records, parents remapped to packed ids
+        // (a parent's dense index may live in a later shard, hence
+        // the separate pass).
+        if (tracing) {
+            for (std::size_t i = 0; i < snap.states.size(); ++i) {
+                const auto &l = snap.links[i];
+                const std::size_t sh = denseToPacked[i] >> 32;
+                shards[sh].recs.push_back(Record{
+                    denseToPacked[l.parent], l.rule, l.depth});
+            }
+        }
+        std::uint64_t nq = 0;
+        for (const auto &fi : snap.frontier) {
+            queues[nq++ % nthreads].push(
+                WorkItem{denseToPacked[fi.id], fi.depth, fi.state});
+        }
+        statesTotal.store(snap.states.size(),
+                          std::memory_order_relaxed);
+        inFlight.store(snap.frontier.size(),
+                       std::memory_order_relaxed);
+        if (on_state) {
+            for (const auto &s : snap.states)
+                on_state(s);
+        }
+        result.resumed = true;
+        result.restoredStates = snap.states.size();
+        fresh = false;
     }
-    statesTotal.store(1, std::memory_order_relaxed);
-    if (on_state)
-        on_state(init);
-    if (const int inv = failing_invariant(init); inv >= 0) {
-        result.ruleFires.assign(rules.size(), 0);
-        result.status = VerifStatus::InvariantViolated;
-        result.violatedInvariant = invs[static_cast<std::size_t>(inv)].name;
-        result.badState = ts.describe(init);
-        result.statesExplored = 1;
-        result.seconds = elapsed();
-        return result;
+
+    if (fresh) {
+        // Seed with the canonical initial state (mirrors the
+        // sequential explorer's pre-loop block, including the early
+        // violation exit).
+        VState init = ts.initialState();
+        if (canon)
+            canon(init);
+        std::uint64_t initId;
+        {
+            const std::size_t sh =
+                VStateHash{}(init) & (kShardCount - 1);
+            shards[sh].ids.emplace(init, 0);
+            if (keep_trace)
+                shards[sh].recs.push_back(Record{0, 0, 0});
+            initId = packId(sh, 0);
+        }
+        statesTotal.store(1, std::memory_order_relaxed);
+        if (on_state)
+            on_state(init);
+        if (const int inv = failing_invariant(init); inv >= 0) {
+            result.ruleFires.assign(rules.size(), 0);
+            result.status = VerifStatus::InvariantViolated;
+            result.violatedInvariant =
+                invs[static_cast<std::size_t>(inv)].name;
+            result.badState = ts.describe(init);
+            result.statesExplored = 1;
+            result.seconds = elapsed();
+            return result;
+        }
+        queues[0].push(WorkItem{initId, 0, init});
+        inFlight.store(1, std::memory_order_relaxed);
     }
-    queues[0].push(WorkItem{initId, 0, init});
-    inFlight.store(1, std::memory_order_relaxed);
+
+    // Coordinator-only state (worker 0 is the only writer).
+    double lastCkptSeconds = elapsed();
+    bool nearLimitSnapshotDone = false;
+
+    // Decide/execute a checkpoint rendezvous; runs on worker 0 at the
+    // top of its loop, i.e. while it holds no work item itself.
+    auto coordinate = [&]() {
+        const bool wantInterrupt = interruptRequested();
+        const bool wantPeriodic =
+            ckpt->everySeconds > 0.0 &&
+            elapsed() - lastCkptSeconds >= ckpt->everySeconds;
+        const bool memBound = limits.maxMemoryBytes != 0;
+        std::uint64_t mem = memBound ? estimate_memory() : 0;
+        const bool wantMemory =
+            memBound && (mem > limits.maxMemoryBytes ||
+                         (!nearLimitSnapshotDone &&
+                          mem * 10 > limits.maxMemoryBytes * 9));
+        if (!wantInterrupt && !wantPeriodic && !wantMemory)
+            return;
+
+        pauseRequested.store(true, std::memory_order_release);
+        while (pausedCount.load(std::memory_order_acquire) + 1 <
+               alive.load(std::memory_order_acquire)) {
+            if (stop.load(std::memory_order_relaxed)) {
+                pauseRequested.store(false,
+                                     std::memory_order_release);
+                return; // a violation/limit beat us; nothing to save
+            }
+            std::this_thread::yield();
+        }
+
+        write_snapshot();
+        lastCkptSeconds = elapsed();
+        if (memBound)
+            nearLimitSnapshotDone = true;
+
+        if (wantInterrupt) {
+            report_interrupted();
+        } else if (memBound) {
+            mem = estimate_memory();
+            if (mem > limits.maxMemoryBytes &&
+                traceOn.load(std::memory_order_relaxed)) {
+                // Shed the predecessor records — exact counts
+                // survive, traces don't — and keep exploring.
+                for (auto &sh : shards) {
+                    std::lock_guard<std::mutex> g(sh.mu);
+                    sh.recs.clear();
+                    sh.recs.shrink_to_fit();
+                }
+                traceOn.store(false, std::memory_order_relaxed);
+                degradedTrace = true;
+                mem = estimate_memory();
+            }
+            if (mem > limits.maxMemoryBytes)
+                report_limit();
+        }
+        pauseRequested.store(false, std::memory_order_release);
+    };
 
     auto worker = [&](unsigned wid) {
+        alive.fetch_add(1, std::memory_order_acq_rel);
         WorkItem item;
         for (;;) {
             if (stop.load(std::memory_order_relaxed))
-                return;
+                break;
+            if (wid == 0 && ckptActive)
+                coordinate();
+            if (pauseRequested.load(std::memory_order_acquire) &&
+                wid != 0) {
+                pausedCount.fetch_add(1, std::memory_order_acq_rel);
+                while (pauseRequested.load(
+                           std::memory_order_acquire) &&
+                       !stop.load(std::memory_order_relaxed))
+                    std::this_thread::yield();
+                pausedCount.fetch_sub(1, std::memory_order_acq_rel);
+                continue;
+            }
             bool got = queues[wid].pop(item);
             for (unsigned k = 1; !got && k < nthreads; ++k)
                 got = queues[(wid + k) % nthreads].steal(item);
             if (!got) {
                 if (inFlight.load(std::memory_order_acquire) == 0)
-                    return;
+                    break;
                 std::this_thread::yield();
                 continue;
             }
             // Cooperative bound check, once per expansion like the
-            // sequential loop's check per pop.
+            // sequential loop's check per pop. With checkpointing on,
+            // the memory bound is the coordinator's job (it must
+            // snapshot and degrade before declaring defeat).
             if (statesTotal.load(std::memory_order_relaxed) >=
                     limits.maxStates ||
                 elapsed() > limits.maxSeconds ||
-                (limits.maxMemoryBytes != 0 &&
+                (!ckptActive && limits.maxMemoryBytes != 0 &&
                  estimate_memory() > limits.maxMemoryBytes)) {
                 report_limit();
                 inFlight.fetch_sub(1, std::memory_order_release);
-                return;
+                break;
             }
             bool any_enabled = false;
             for (std::size_t r = 0; r < rules.size(); ++r) {
@@ -267,7 +533,8 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                                   shards[sh].ids.size()));
                     inserted = ins;
                     local = it->second;
-                    if (ins && keep_trace)
+                    if (ins &&
+                        traceOn.load(std::memory_order_relaxed))
                         shards[sh].recs.push_back(
                             Record{item.id,
                                    static_cast<std::uint32_t>(r),
@@ -293,6 +560,7 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                 report_deadlock(item.state);
             inFlight.fetch_sub(1, std::memory_order_release);
         }
+        alive.fetch_sub(1, std::memory_order_acq_rel);
     };
 
     std::vector<std::thread> threads;
@@ -301,6 +569,18 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
         threads.emplace_back(worker, w);
     for (auto &t : threads)
         t.join();
+
+    // Interrupt racing the fixpoint: if the signal arrived but a
+    // worker had already drained the frontier, the run completed —
+    // termStatus stays whatever the workers decided.
+    if (ckptActive && interruptRequested() &&
+        termStatus == VerifStatus::Interrupted &&
+        result.checkpointsWritten == 0) {
+        // The coordinator marked us interrupted but never wrote (all
+        // other workers exited first); flush one final snapshot now
+        // that every thread has joined.
+        write_snapshot();
+    }
 
     result.ruleFires.assign(rules.size(), 0);
     for (std::size_t r = 0; r < rules.size(); ++r)
@@ -313,12 +593,13 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
         visited += s.ids.size();
     result.statesExplored = visited;
     result.memoryBytes = estimate_memory();
+    result.degradedTrace = degradedTrace;
 
     result.status = termStatus;
     if (termStatus == VerifStatus::InvariantViolated) {
         result.violatedInvariant = invs[vioInv].name;
         result.badState = ts.describe(vioState);
-        if (keep_trace) {
+        if (keep_trace && !degradedTrace) {
             std::vector<std::string> names;
             std::uint64_t id = vioId;
             for (;;) {
@@ -335,6 +616,14 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     } else if (termStatus == VerifStatus::Deadlock) {
         result.badState = ts.describe(deadState);
     }
+
+    // Completed runs (verified or with a definitive verdict) leave no
+    // stale snapshot behind; interrupted and bound-exceeded runs keep
+    // theirs for --resume.
+    if (ckptActive && (termStatus == VerifStatus::Verified ||
+                       termStatus == VerifStatus::InvariantViolated ||
+                       termStatus == VerifStatus::Deadlock))
+        removeSnapshot(ckptPath);
 
     result.seconds = elapsed();
     return result;

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "verif/checkpoint.hpp"
+
 namespace neo
 {
 
@@ -69,30 +71,188 @@ verifyParametric(const ModelFactory &factory, std::size_t from,
     const auto t0 = Clock::now();
     ParametricResult result;
     std::set<std::vector<std::uint8_t>> prevAbstract;
+    double baseSeconds = 0.0;
     const auto finish = [&]() -> ParametricResult & {
         result.seconds =
+            baseSeconds +
             std::chrono::duration<double>(Clock::now() - t0).count();
         return result;
     };
+    auto elapsed = [&]() {
+        return baseSeconds +
+               std::chrono::duration<double>(Clock::now() - t0).count();
+    };
 
-    for (std::size_t n = from; n <= to; ++n) {
+    const CheckpointConfig *ckpt = limits.checkpoint;
+    const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
+    const std::string sweepPath =
+        ckptActive ? sweepSnapshotPath(*ckpt) : std::string();
+    // The sweep snapshot is stamped with the SMALLEST instance's
+    // fingerprint: it identifies the factory (a different protocol or
+    // feature set changes rules/invariants and hence the fingerprint)
+    // without depending on how far the sweep got.
+    std::uint64_t fingerprint = 0;
+    if (ckptActive) {
+        ModelShape shape;
+        fingerprint = modelFingerprint(factory(from, shape));
+    }
+
+    // Serialize sweep progress: every completed (hence Verified)
+    // instance's counters plus the last instance's abstract view set,
+    // which the convergence test needs on resume.
+    auto write_sweep_snapshot = [&]() {
+        SnapshotWriter w;
+        w.putU32(saturation);
+        w.putU64(from);
+        w.putU64(to);
+        w.putF64(elapsed());
+        w.putU64(result.perInstance.size());
+        for (std::size_t i = 0; i < result.perInstance.size(); ++i) {
+            const ExploreResult &er = result.perInstance[i];
+            w.putU64(result.instanceSizes[i]);
+            w.putU64(result.abstractSetSizes[i]);
+            w.putU64(er.statesExplored);
+            w.putU64(er.transitionsFired);
+            w.putU64(er.memoryBytes);
+            w.putF64(er.seconds);
+            w.putU64(er.ruleFires.size());
+            for (const std::uint64_t f : er.ruleFires)
+                w.putU64(f);
+        }
+        w.putU64(prevAbstract.size());
+        for (const auto &view : prevAbstract) {
+            w.putU64(view.size());
+            w.putBytes(view.data(), view.size());
+        }
+        std::string err;
+        if (!writeSnapshotFile(sweepPath, SnapshotKind::Sweep,
+                               fingerprint, w.take(), err))
+            neo_warn("sweep checkpoint not written: ", err);
+    };
+
+    std::size_t startN = from;
+    if (ckptActive && ckpt->resume && snapshotExists(sweepPath)) {
+        std::vector<std::uint8_t> payload;
+        std::string err;
+        if (!readSnapshotFile(sweepPath, SnapshotKind::Sweep,
+                              fingerprint, payload, err))
+            neo_fatal("cannot resume: ", err);
+        SnapshotReader r(payload);
+        const std::uint32_t sat = r.getU32();
+        const std::uint64_t sFrom = r.getU64();
+        r.getU64(); // recorded `to`; the resumed bound is the CLI's
+        baseSeconds = r.getF64();
+        const std::uint64_t nInst = r.getU64();
+        for (std::uint64_t i = 0; r.ok() && i < nInst; ++i) {
+            ExploreResult er;
+            er.status = VerifStatus::Verified;
+            result.instanceSizes.push_back(
+                static_cast<std::size_t>(r.getU64()));
+            result.abstractSetSizes.push_back(
+                static_cast<std::size_t>(r.getU64()));
+            er.statesExplored = r.getU64();
+            er.transitionsFired = r.getU64();
+            er.memoryBytes = r.getU64();
+            er.seconds = r.getF64();
+            er.ruleFires.resize(
+                static_cast<std::size_t>(r.getU64()));
+            for (auto &f : er.ruleFires)
+                f = r.getU64();
+            result.perInstance.push_back(std::move(er));
+        }
+        const std::uint64_t nViews = r.getU64();
+        for (std::uint64_t i = 0; r.ok() && i < nViews; ++i) {
+            std::vector<std::uint8_t> view(
+                static_cast<std::size_t>(r.getU64()));
+            r.getBytes(view.data(), view.size());
+            prevAbstract.insert(std::move(view));
+        }
+        if (!r.atEnd())
+            neo_fatal("cannot resume: ", sweepPath,
+                      ": malformed sweep snapshot");
+        if (sat != saturation || sFrom != from)
+            neo_fatal("cannot resume: snapshot sweep starts at N=",
+                      sFrom, " with saturation ", sat,
+                      "; rerun with the same values");
+        startN = from + result.perInstance.size();
+        result.resumed = true;
+        result.restoredInstances = result.perInstance.size();
+    }
+
+    for (std::size_t n = startN; n <= to; ++n) {
+        if (ckptActive && interruptRequested()) {
+            // Signal landed between instances: everything completed
+            // so far is already consistent, persist and bow out.
+            write_sweep_snapshot();
+            result.status = VerifStatus::Interrupted;
+            std::ostringstream os;
+            os << "interrupted before instance N=" << n
+               << "; resume with --resume";
+            result.detail = os.str();
+            return finish();
+        }
+
         ModelShape shape;
         TransitionSystem ts = factory(n, shape);
         neo_assert(shape.numLeaves == n, "factory mis-reported shape");
 
+        // Per-instance inner checkpointing: resume the instance-level
+        // explore snapshot only if it belongs to THIS instance — a
+        // crash between "instance finished" and "sweep snapshot
+        // updated" can leave a stale explore.ckpt from a previous N,
+        // whose fingerprint will not match.
+        ExploreLimits instLimits = limits;
+        CheckpointConfig inner;
+        if (ckptActive) {
+            inner = *ckpt;
+            const std::string explorePath = exploreSnapshotPath(inner);
+            if (snapshotExists(explorePath)) {
+                const bool ours = peekSnapshotFingerprint(explorePath)
+                                  == modelFingerprint(ts);
+                if (ours) {
+                    inner.resume = ckpt->resume;
+                } else {
+                    removeSnapshot(explorePath);
+                    inner.resume = false;
+                }
+            } else {
+                inner.resume = false;
+            }
+            instLimits.checkpoint = &inner;
+        }
+
         // The callback is serialized by the explorer even in the
-        // parallel mode, and the view set is order-insensitive.
+        // parallel mode, and the view set is order-insensitive (and
+        // rebuilt idempotently on resume: the explorer re-invokes
+        // on_state for every restored state).
         std::set<std::vector<std::uint8_t>> abstractSet;
         const ExploreResult er =
-            explore(ts, limits, false, true,
+            explore(ts, instLimits, false, true,
                     [&](const VState &s) {
                         collectViews(s, shape, saturation,
                                      abstractSet);
                     });
 
+        if (er.status == VerifStatus::Interrupted) {
+            // The inner explorer saved its own snapshot; persist the
+            // sweep index so --resume lands back inside instance N.
+            result.status = VerifStatus::Interrupted;
+            if (er.resumed)
+                result.resumed = true;
+            write_sweep_snapshot();
+            std::ostringstream os;
+            os << "interrupted at instance N=" << n
+               << " (" << er.statesExplored
+               << " states checkpointed); resume with --resume";
+            result.detail = os.str();
+            return finish();
+        }
+
         result.perInstance.push_back(er);
         result.instanceSizes.push_back(n);
         result.abstractSetSizes.push_back(abstractSet.size());
+        if (er.resumed)
+            result.resumed = true;
 
         if (er.status != VerifStatus::Verified) {
             result.status = er.status;
@@ -102,6 +262,24 @@ verifyParametric(const ModelFactory &factory, std::size_t from,
             if (!er.violatedInvariant.empty())
                 os << " (" << er.violatedInvariant << ")";
             result.detail = os.str();
+            if (ckptActive) {
+                if (er.status == VerifStatus::LimitExceeded) {
+                    // Resumable with raised limits: the inner
+                    // explorer kept its snapshot; keep the sweep's
+                    // index pointing at this instance too.
+                    result.perInstance.pop_back();
+                    result.instanceSizes.pop_back();
+                    result.abstractSetSizes.pop_back();
+                    write_sweep_snapshot();
+                    result.perInstance.push_back(er);
+                    result.instanceSizes.push_back(n);
+                    result.abstractSetSizes.push_back(
+                        abstractSet.size());
+                } else {
+                    // Definitive verdict; nothing left to resume.
+                    removeSnapshot(sweepPath);
+                }
+            }
             return finish();
         }
 
@@ -113,12 +291,22 @@ verifyParametric(const ModelFactory &factory, std::size_t from,
                << " (" << abstractSet.size()
                << " views); invariants hold for all N";
             result.detail = os.str();
+            if (ckptActive)
+                removeSnapshot(sweepPath);
             return finish();
         }
         prevAbstract = std::move(abstractSet);
+
+        // Instance N is in the books: advance the sweep snapshot
+        // (the instance-level explore snapshot was deleted by the
+        // explorer when it reached the fixpoint).
+        if (ckptActive)
+            write_sweep_snapshot();
     }
 
     result.detail = "no convergence within the sweep";
+    if (ckptActive)
+        removeSnapshot(sweepPath);
     return finish();
 }
 

@@ -67,9 +67,14 @@ struct ParametricResult
     std::vector<ExploreResult> perInstance;
     std::vector<std::size_t> instanceSizes;
     std::vector<std::size_t> abstractSetSizes;
-    /** Wall-clock for the whole sweep (all instances). */
+    /** Wall-clock for the whole sweep (all instances), cumulative
+     *  across resumes. */
     double seconds = 0.0;
     std::string detail;
+    /** The sweep restored completed instances from a snapshot. */
+    bool resumed = false;
+    /** Instances restored from the snapshot (when resumed). */
+    std::size_t restoredInstances = 0;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "sim/random.hpp"
+#include "verif/checkpoint.hpp"
 
 namespace neo
 {
@@ -73,6 +74,19 @@ RandomWalkExplorer::run() const
     const auto &invs = ts_.invariants();
     const auto &canon = ts_.canonicalizer();
 
+    const CheckpointConfig *ckpt = opt_.checkpoint;
+    const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
+    const std::string ckptPath =
+        ckptActive ? walkSnapshotPath(*ckpt) : std::string();
+    const std::uint64_t fingerprint =
+        ckptActive ? modelFingerprint(ts_) : 0;
+    double baseSeconds = 0.0;
+
+    auto elapsed = [&]() {
+        return baseSeconds +
+               std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
     VState init = ts_.initialState();
     if (canon)
         canon(init);
@@ -83,9 +97,9 @@ RandomWalkExplorer::run() const
             result.status = VerifStatus::InvariantViolated;
             result.violatedInvariant = inv.name;
             result.badState = ts_.describe(init);
-            result.seconds =
-                std::chrono::duration<double>(Clock::now() - t0)
-                    .count();
+            result.seconds = elapsed();
+            if (ckptActive)
+                removeSnapshot(ckptPath);
             return result;
         }
     }
@@ -98,14 +112,139 @@ RandomWalkExplorer::run() const
     std::atomic<std::uint64_t> bestWalk{
         std::numeric_limits<std::uint64_t>::max()};
     std::atomic<std::uint64_t> nextWalk{0};
-    std::atomic<std::uint64_t> stepsTotal{0};
-    std::atomic<std::uint64_t> walksRun{0};
-    std::atomic<std::uint64_t> deadEnds{0};
+    // Whether any worker bailed out on an interrupt with walk budget
+    // still unclaimed (distinguishes "signal raced the finish line"
+    // from a genuinely partial run).
+    std::atomic<bool> interrupted{false};
 
-    std::mutex vioMu;
+    // Walk-granular progress, updated only when a walk COMPLETES
+    // (violation, dead end, or full depth). A walk in flight at a
+    // snapshot simply reruns on resume; since walk w's RNG stream is a
+    // pure function of (seed, w), the rerun contributes identically,
+    // so resumed totals match an uninterrupted run exactly.
+    // The completion bitmap grows lazily to the highest finished walk
+    // index (and is trimmed of trailing zeros when serialized), so a
+    // huge --walks budget costs memory/disk proportional to the work
+    // actually done, not the budget.
+    std::mutex progMu;
+    std::vector<std::uint8_t> done;
+    std::uint64_t stepsTotal = 0;
+    std::uint64_t walksRunN = 0;
+    std::uint64_t deadEndsN = 0;
     std::vector<WalkViolation> violations;
+    double lastCkptSeconds = 0.0;
 
-    auto run_walk = [&](std::uint64_t w) {
+    // Serialize progress; caller holds progMu.
+    auto snapshot_payload = [&]() {
+        SnapshotWriter w;
+        w.putU64(opt_.seed);
+        w.putU64(opt_.depth);
+        w.putU64(opt_.walks);
+        w.putF64(elapsed());
+        w.putU64(stepsTotal);
+        w.putU64(walksRunN);
+        w.putU64(deadEndsN);
+        std::size_t nDone = done.size();
+        while (nDone > 0 && done[nDone - 1] == 0)
+            --nDone;
+        w.putU64(nDone);
+        w.putBytes(done.data(), nDone);
+        w.putU64(violations.size());
+        for (const WalkViolation &v : violations) {
+            w.putU64(v.walk);
+            w.putU32(static_cast<std::uint32_t>(v.invariant));
+            w.putU64(v.trace.size());
+            for (const std::uint32_t r : v.trace)
+                w.putU32(r);
+            w.putState(v.state);
+        }
+        return w.take();
+    };
+
+    auto write_snapshot_locked = [&]() {
+        std::string err;
+        const std::vector<std::uint8_t> payload = snapshot_payload();
+        if (!writeSnapshotFile(ckptPath, SnapshotKind::Walk,
+                               fingerprint, payload, err)) {
+            neo_warn("checkpoint not written: ", err);
+            return;
+        }
+        ++result.checkpointsWritten;
+        result.lastSnapshotBytes = payload.size();
+    };
+
+    if (ckptActive && ckpt->resume && snapshotExists(ckptPath)) {
+        std::vector<std::uint8_t> payload;
+        std::string err;
+        if (!readSnapshotFile(ckptPath, SnapshotKind::Walk,
+                              fingerprint, payload, err))
+            neo_fatal("cannot resume: ", err);
+        SnapshotReader r(payload);
+        const std::uint64_t seed = r.getU64();
+        const std::uint64_t depth = r.getU64();
+        r.getU64(); // walk budget of the interrupted run; the resumed
+                    // budget comes from the CLI (it may be extended)
+        baseSeconds = r.getF64();
+        stepsTotal = r.getU64();
+        walksRunN = r.getU64();
+        deadEndsN = r.getU64();
+        const std::uint64_t nDone = r.getU64();
+        std::vector<std::uint8_t> savedDone(
+            static_cast<std::size_t>(nDone), 0);
+        r.getBytes(savedDone.data(), savedDone.size());
+        const std::uint64_t nVio = r.getU64();
+        for (std::uint64_t i = 0; r.ok() && i < nVio; ++i) {
+            WalkViolation v;
+            v.walk = r.getU64();
+            v.invariant = r.getU32();
+            const std::uint64_t len = r.getU64();
+            v.trace.resize(static_cast<std::size_t>(len));
+            for (auto &step : v.trace)
+                step = r.getU32();
+            r.getState(ts_.numVars(), v.state);
+            if (v.invariant >= invs.size())
+                neo_fatal("cannot resume: ", ckptPath,
+                          ": invariant index out of range");
+            for (const std::uint32_t step : v.trace) {
+                if (step >= rules.size())
+                    neo_fatal("cannot resume: ", ckptPath,
+                              ": rule index out of range");
+            }
+            violations.push_back(std::move(v));
+        }
+        if (!r.atEnd())
+            neo_fatal("cannot resume: ", ckptPath,
+                      ": malformed walk snapshot");
+        if (seed != opt_.seed || depth != opt_.depth)
+            neo_fatal("cannot resume: snapshot was taken with --seed ",
+                      seed, " --depth ", depth,
+                      "; rerun with the same values");
+        done = std::move(savedDone);
+        for (std::size_t w = 0; w < done.size() && w < opt_.walks;
+             ++w)
+            result.restoredWalks += done[w];
+        for (const WalkViolation &v : violations) {
+            std::uint64_t cur = bestWalk.load();
+            while (v.walk < cur &&
+                   !bestWalk.compare_exchange_weak(cur, v.walk)) {
+            }
+        }
+        result.resumed = true;
+    }
+
+    // Returns the walk's outcome so the caller can commit it to the
+    // progress block in one locked step; Abandoned = interrupt
+    // mid-walk, nothing recorded.
+    enum class WalkOutcome
+    {
+        Completed,
+        DeadEnd,
+        Violated,
+        Abandoned
+    };
+
+    auto run_walk = [&](std::uint64_t w, std::uint64_t &steps,
+                        WalkViolation &vio) {
         Random rng(opt_.seed + w * kWalkSeedStride);
         VState s = init;
         std::vector<std::uint32_t> fired;
@@ -114,14 +253,17 @@ RandomWalkExplorer::run() const
         enabled.reserve(rules.size());
 
         for (std::uint64_t step = 0; step < opt_.depth; ++step) {
+            if (ckptActive && (step & 0xfff) == 0 &&
+                interruptRequested())
+                return WalkOutcome::Abandoned;
             enabled.clear();
             for (std::size_t r = 0; r < rules.size(); ++r) {
                 if (rules[r].guard(s))
                     enabled.push_back(static_cast<std::uint32_t>(r));
             }
             if (enabled.empty()) {
-                deadEnds.fetch_add(1, std::memory_order_relaxed);
-                return;
+                steps = step;
+                return WalkOutcome::DeadEnd;
             }
             const std::uint32_t pick = enabled[static_cast<std::size_t>(
                 rng.below(enabled.size()))];
@@ -129,21 +271,17 @@ RandomWalkExplorer::run() const
             if (canon)
                 canon(s);
             fired.push_back(pick);
-            stepsTotal.fetch_add(1, std::memory_order_relaxed);
             for (std::size_t i = 0; i < invs.size(); ++i) {
                 if (!invs[i].check(s)) {
-                    std::lock_guard<std::mutex> g(vioMu);
-                    violations.push_back(
-                        WalkViolation{w, i, fired, s});
-                    // Lower bestWalk monotonically.
-                    std::uint64_t cur = bestWalk.load();
-                    while (w < cur &&
-                           !bestWalk.compare_exchange_weak(cur, w)) {
-                    }
-                    return;
+                    steps = step + 1;
+                    vio = WalkViolation{w, i, std::move(fired),
+                                        std::move(s)};
+                    return WalkOutcome::Violated;
                 }
             }
         }
+        steps = opt_.depth;
+        return WalkOutcome::Completed;
     };
 
     const unsigned nthreads = opt_.threads > 0 ? opt_.threads : 1;
@@ -153,10 +291,47 @@ RandomWalkExplorer::run() const
                 nextWalk.fetch_add(1, std::memory_order_relaxed);
             if (w >= opt_.walks)
                 return;
+            if (ckptActive && interruptRequested()) {
+                interrupted.store(true, std::memory_order_relaxed);
+                return;
+            }
+            bool alreadyDone;
+            {
+                // Must lock: the bitmap reallocates as it grows.
+                std::lock_guard<std::mutex> g(progMu);
+                alreadyDone = w < done.size() && done[w] != 0;
+            }
+            if (alreadyDone)
+                continue; // restored from the snapshot
             if (w > bestWalk.load(std::memory_order_relaxed))
                 continue; // cannot beat the current best violation
-            run_walk(w);
-            walksRun.fetch_add(1, std::memory_order_relaxed);
+            std::uint64_t steps = 0;
+            WalkViolation vio;
+            const WalkOutcome out = run_walk(w, steps, vio);
+            if (out == WalkOutcome::Abandoned) {
+                interrupted.store(true, std::memory_order_relaxed);
+                return;
+            }
+            std::lock_guard<std::mutex> g(progMu);
+            if (w >= done.size())
+                done.resize(static_cast<std::size_t>(w) + 1, 0);
+            done[w] = 1;
+            stepsTotal += steps;
+            ++walksRunN;
+            if (out == WalkOutcome::DeadEnd)
+                ++deadEndsN;
+            if (out == WalkOutcome::Violated) {
+                violations.push_back(std::move(vio));
+                std::uint64_t cur = bestWalk.load();
+                while (w < cur &&
+                       !bestWalk.compare_exchange_weak(cur, w)) {
+                }
+            }
+            if (ckptActive && ckpt->everySeconds > 0.0 &&
+                elapsed() - lastCkptSeconds >= ckpt->everySeconds) {
+                write_snapshot_locked();
+                lastCkptSeconds = elapsed();
+            }
         }
     };
 
@@ -171,9 +346,20 @@ RandomWalkExplorer::run() const
             t.join();
     }
 
-    result.stepsTaken = stepsTotal.load();
-    result.walksRun = walksRun.load();
-    result.deadEnds = deadEnds.load();
+    result.stepsTaken = stepsTotal;
+    result.walksRun = walksRunN;
+    result.deadEnds = deadEndsN;
+
+    if (interrupted.load(std::memory_order_relaxed)) {
+        // Partial run: flush a final snapshot (walks completed so far
+        // plus any violations, which the resumed run will report once
+        // every lower-numbered walk has had its say) and surface the
+        // resumable status instead of a premature verdict.
+        write_snapshot_locked(); // single-threaded now; lock not needed
+        result.status = VerifStatus::Interrupted;
+        result.seconds = elapsed();
+        return result;
+    }
 
     const std::uint64_t best = bestWalk.load();
     if (best != std::numeric_limits<std::uint64_t>::max()) {
@@ -192,8 +378,11 @@ RandomWalkExplorer::run() const
             result.traceNames.push_back(rules[r].name);
     }
 
-    result.seconds =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    // The budget ran to its verdict; nothing is left to resume.
+    if (ckptActive)
+        removeSnapshot(ckptPath);
+
+    result.seconds = elapsed();
     return result;
 }
 

@@ -43,6 +43,13 @@ struct WalkOptions
     /** Worker threads over the walk indices; the reported violation
      *  is thread-count independent (lowest violating walk wins). */
     unsigned threads = 1;
+    /** Crash-safe checkpointing (checkpoint.hpp); nullptr disables.
+     *  Walks are the checkpoint unit: a snapshot records which walk
+     *  indices completed (plus their counters and any violations), so
+     *  a resumed run reruns only the walks that were in flight — the
+     *  per-walk RNG streams are pure functions of (seed, index), which
+     *  makes the resumed totals identical to an uninterrupted run. */
+    const CheckpointConfig *checkpoint = nullptr;
 };
 
 struct WalkResult
@@ -67,6 +74,14 @@ struct WalkResult
     /** Walks that ran out of enabled rules before the depth bound. */
     std::uint64_t deadEnds = 0;
     double seconds = 0.0;
+    /** The run restored a snapshot before walking. */
+    bool resumed = false;
+    /** Completed walks restored from the snapshot (when resumed). */
+    std::uint64_t restoredWalks = 0;
+    /** Snapshots written during this run (periodic + final). */
+    std::uint64_t checkpointsWritten = 0;
+    /** Serialized size of the most recent snapshot, bytes. */
+    std::uint64_t lastSnapshotBytes = 0;
 };
 
 /** Outcome of replaying a rule-index trace from the initial state. */

@@ -44,8 +44,10 @@ TEST(Organizations, Figure7Shapes)
 
 TEST(Organizations, UnknownNameIsFatal)
 {
+    // neo_fatal exits with the unified usage-error code
+    // (exit_codes.hpp: kExitUsage = 2).
     EXPECT_EXIT(organizationByName("bogus", ProtocolVariant::NeoMESI),
-                ::testing::ExitedWithCode(1), "unknown organization");
+                ::testing::ExitedWithCode(2), "unknown organization");
 }
 
 TEST(Organizations, SkewedIsActuallySkewed)

@@ -16,6 +16,7 @@
 
 #include "core/sim_runner.hpp"
 #include "sim/cli_parse.hpp"
+#include "sim/exit_codes.hpp"
 #include "workload/workload.hpp"
 
 using namespace neo;
@@ -52,7 +53,9 @@ usage()
         "  --watchdog W      no-progress watchdog window in ticks\n"
         "  --campaign N      run N runs with fault seeds seed..seed+N-1\n"
         "exit codes: 0 clean, 1 coherence violation, 2 usage error,\n"
-        "            3 quiescent deadlock, 4 watchdog fired\n");
+        "            3 quiescent deadlock, 4 watchdog fired\n"
+        "            (unified across tools; see exit_codes.hpp —\n"
+        "             neoverify adds 5 = interrupted, resumable)\n");
 }
 
 double
@@ -238,7 +241,10 @@ main(int argc, char **argv)
             }
             // Severity precedence: violation > watchdog > deadlock.
             auto rank = [](int c) {
-                return c == 1 ? 3 : c == 4 ? 2 : c == 3 ? 1 : 0;
+                return c == kExitViolation  ? 3
+                       : c == kExitWatchdog ? 2
+                       : c == kExitDeadlock ? 1
+                                            : 0;
             };
             if (rank(code) > rank(worst))
                 worst = code;

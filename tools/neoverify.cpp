@@ -18,6 +18,8 @@
 #include <string>
 
 #include "sim/cli_parse.hpp"
+#include "sim/exit_codes.hpp"
+#include "verif/checkpoint.hpp"
 #include "verif/explorer.hpp"
 #include "verif/models/flat_closed.hpp"
 #include "verif/models/flat_open.hpp"
@@ -59,7 +61,17 @@ usage()
         "  --shrink          delta-debug the counterexample trace\n"
         "  --mutant NAME     verify a corpus mutant instead of a\n"
         "                    bundled model (see --list-mutants)\n"
-        "  --list-mutants    print the mutation corpus and exit\n");
+        "  --list-mutants    print the mutation corpus and exit\n"
+        "crash safety (periodic snapshots + graceful shutdown):\n"
+        "  --checkpoint-dir DIR   write CRC-guarded snapshots into DIR;\n"
+        "                    SIGINT/SIGTERM drains to a final snapshot\n"
+        "                    and exits 5 (interrupted, resumable)\n"
+        "  --checkpoint-every S   snapshot interval; accepts s/m/h\n"
+        "                    suffixes (default 30s when DIR is set)\n"
+        "  --resume          restore the snapshot in DIR and continue\n"
+        "                    to the identical fixpoint\n"
+        "exit codes: 0 verified/no violation, 1 violation or bound\n"
+        "exceeded, 2 usage error, 5 interrupted (resumable)\n");
 }
 
 void
@@ -104,6 +116,8 @@ main(int argc, char **argv)
     WalkOptions wopt;
     ExploreLimits lim{8'000'000, 600.0};
     bool seed_given = false, walks_given = false, depth_given = false;
+    CheckpointConfig ckpt;
+    bool every_given = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -148,6 +162,13 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             wopt.seed = parseU64OrDie(arg, next());
             seed_given = true;
+        } else if (arg == "--checkpoint-dir") {
+            ckpt.dir = next();
+        } else if (arg == "--checkpoint-every") {
+            ckpt.everySeconds = parseSecondsOrDie(arg, next());
+            every_given = true;
+        } else if (arg == "--resume") {
+            ckpt.resume = true;
         } else if (arg == "--shrink") {
             shrink = true;
         } else if (arg == "--mutant") {
@@ -165,6 +186,18 @@ main(int argc, char **argv)
             usage();
             return 2;
         }
+    }
+
+    // ---- crash-safe checkpointing setup ----
+    if (ckpt.dir.empty() && (ckpt.resume || every_given))
+        neo_fatal("--resume/--checkpoint-every require "
+                  "--checkpoint-dir");
+    if (!ckpt.dir.empty()) {
+        if (!every_given)
+            ckpt.everySeconds = 30.0;
+        lim.checkpoint = &ckpt;
+        wopt.checkpoint = &ckpt;
+        installInterruptHandlers();
     }
 
     // ---- model selection: a corpus mutant or a bundled model ----
@@ -231,6 +264,11 @@ main(int argc, char **argv)
             std::printf("parametric sweep (%u thread%s): %s\n",
                         lim.threads, lim.threads == 1 ? "" : "s",
                         verifStatusName(r.status));
+            if (r.resumed)
+                std::printf("  resumed from checkpoint "
+                            "(%zu instance%s restored)\n",
+                            r.restoredInstances,
+                            r.restoredInstances == 1 ? "" : "s");
             for (std::size_t k = 0; k < r.instanceSizes.size(); ++k) {
                 std::printf(
                     "  N=%zu: %-10s %9llu states  %zu views\n",
@@ -241,9 +279,15 @@ main(int argc, char **argv)
                     r.abstractSetSizes[k]);
             }
             std::printf("%s (%.2fs)\n", r.detail.c_str(), r.seconds);
+            if (r.status == VerifStatus::Interrupted) {
+                std::printf("snapshot saved to %s; rerun with "
+                            "--resume to continue\n",
+                            ckpt.dir.c_str());
+                std::exit(kExitInterrupted);
+            }
             std::exit(r.converged && r.status == VerifStatus::Verified
-                          ? 0
-                          : 1);
+                          ? kExitClean
+                          : kExitViolation);
         }
 
         model_desc = features + " (" + system + ", " + method + ")";
@@ -257,6 +301,12 @@ main(int argc, char **argv)
     if (walk) {
         wopt.threads = lim.threads;
         const WalkResult w = walkExplore(ts, wopt);
+        if (w.resumed)
+            std::printf("resumed from checkpoint (%llu walk%s "
+                        "already complete)\n",
+                        static_cast<unsigned long long>(
+                            w.restoredWalks),
+                        w.restoredWalks == 1 ? "" : "s");
         std::printf(
             "%s, N=%zu: random walk (%llu x %llu @ seed %llu, "
             "%u thread%s): %s\n",
@@ -297,10 +347,20 @@ main(int argc, char **argv)
                 printTrace(w.traceNames, w.badState);
             }
         }
-        return w.status == VerifStatus::Verified ? 0 : 1;
+        if (w.status == VerifStatus::Interrupted) {
+            std::printf("snapshot saved to %s; rerun with --resume "
+                        "to continue\n",
+                        ckpt.dir.c_str());
+            return kExitInterrupted;
+        }
+        return w.status == VerifStatus::Verified ? kExitClean
+                                                 : kExitViolation;
     }
 
     const ExploreResult r = explore(ts, lim, false, true);
+    if (r.resumed)
+        std::printf("resumed from checkpoint (%llu states restored)\n",
+                    static_cast<unsigned long long>(r.restoredStates));
     std::printf("%s, N=%zu, %u thread%s: %s\n", model_desc.c_str(), n,
                 lim.threads, lim.threads == 1 ? "" : "s",
                 verifStatusName(r.status));
@@ -309,11 +369,27 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.transitionsFired),
                 r.seconds,
                 static_cast<double>(r.memoryBytes) / (1024.0 * 1024.0));
+    if (r.degradedTrace)
+        std::printf("  memory pressure shed predecessor links: counts "
+                    "are exact, no counterexample trace\n");
     if (r.status == VerifStatus::InvariantViolated) {
         std::printf("  violated invariant: %s\n",
                     r.violatedInvariant.c_str());
         if (want_trace)
             printTrace(r.trace, r.badState);
     }
-    return r.status == VerifStatus::Verified ? 0 : 1;
+    if (r.status == VerifStatus::Interrupted ||
+        (r.status == VerifStatus::LimitExceeded &&
+         lim.checkpoint != nullptr)) {
+        std::printf("snapshot saved to %s; rerun with --resume to "
+                    "continue%s\n",
+                    ckpt.dir.c_str(),
+                    r.status == VerifStatus::LimitExceeded
+                        ? " (raise the exceeded bound)"
+                        : "");
+        if (r.status == VerifStatus::Interrupted)
+            return kExitInterrupted;
+    }
+    return r.status == VerifStatus::Verified ? kExitClean
+                                             : kExitViolation;
 }
