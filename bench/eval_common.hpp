@@ -21,6 +21,123 @@
 namespace neo::bench
 {
 
+/**
+ * Minimal JSON emitter for benchmark artifacts (bench/state_store
+ * uploads its numbers from CI so every PR leaves a perf trajectory).
+ * Scalars only — strings, numbers, booleans — plus nested objects and
+ * flat arrays of the same; that covers a metrics document without
+ * dragging in a JSON dependency.
+ */
+class JsonWriter
+{
+  public:
+    void
+    beginObject(const std::string &key = "")
+    {
+        comma();
+        tag(key);
+        out_ += '{';
+        first_ = true;
+    }
+    void
+    endObject()
+    {
+        out_ += '}';
+        first_ = false;
+    }
+    void
+    beginArray(const std::string &key)
+    {
+        comma();
+        tag(key);
+        out_ += '[';
+        first_ = true;
+    }
+    void
+    endArray()
+    {
+        out_ += ']';
+        first_ = false;
+    }
+    void
+    field(const std::string &key, const std::string &v)
+    {
+        comma();
+        tag(key);
+        out_ += '"';
+        escape(v);
+        out_ += '"';
+    }
+    void
+    field(const std::string &key, const char *v)
+    {
+        field(key, std::string(v));
+    }
+    void
+    field(const std::string &key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        comma();
+        tag(key);
+        out_ += buf;
+    }
+    void
+    field(const std::string &key, std::uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        comma();
+        tag(key);
+        out_ += buf;
+    }
+    void
+    field(const std::string &key, bool v)
+    {
+        comma();
+        tag(key);
+        out_ += v ? "true" : "false";
+    }
+    void
+    element(std::uint64_t v)
+    {
+        field("", v);
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void
+    comma()
+    {
+        if (!first_)
+            out_ += ',';
+        first_ = false;
+    }
+    void
+    tag(const std::string &key)
+    {
+        if (key.empty())
+            return;
+        out_ += '"';
+        escape(key);
+        out_ += "\":";
+    }
+    void
+    escape(const std::string &s)
+    {
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out_ += '\\';
+            out_ += c;
+        }
+    }
+
+    std::string out_;
+    bool first_ = true;
+};
+
 struct EvalOptions
 {
     std::uint64_t opsPerCore = 4000;

@@ -244,6 +244,18 @@ SnapshotReader::getState(std::size_t numVars, VState &out)
     return getBytes(out.data(), numVars);
 }
 
+const std::uint8_t *
+SnapshotReader::viewBytes(std::size_t n)
+{
+    if (!ok_ || size_ - pos_ < n) {
+        ok_ = false;
+        return nullptr;
+    }
+    const std::uint8_t *p = data_ + pos_;
+    pos_ += n;
+    return p;
+}
+
 bool
 writeSnapshotFile(const std::string &path, SnapshotKind kind,
                   std::uint64_t fingerprint,
@@ -383,29 +395,65 @@ sweepSnapshotPath(const CheckpointConfig &cfg)
 std::vector<std::uint8_t>
 encodeExploreSnapshot(const ExploreSnapshot &snap, std::size_t numVars)
 {
+    ExploreSnapshotMeta meta;
+    meta.elapsedSeconds = snap.elapsedSeconds;
+    meta.transitionsFired = snap.transitionsFired;
+    meta.ruleFires = snap.ruleFires;
+    meta.hasLinks = snap.hasLinks;
+    meta.numStates = snap.states.size();
+    // The struct form stores frontier states by value; the streamed
+    // encoder pulls frontier bytes from stateAt(id), which is the
+    // same bytes because every frontier state is a visited state.
+    return encodeExploreSnapshotStreamed(
+        meta, numVars,
+        [&](std::uint64_t i) {
+            return snap.states[static_cast<std::size_t>(i)].data();
+        },
+        [&](std::uint64_t i) {
+            return snap.links[static_cast<std::size_t>(i)];
+        },
+        snap.frontier.size(),
+        [&](std::uint64_t n) {
+            const auto &fi = snap.frontier[static_cast<std::size_t>(n)];
+            return std::pair<std::uint64_t, std::uint32_t>{fi.id,
+                                                           fi.depth};
+        });
+}
+
+std::vector<std::uint8_t>
+encodeExploreSnapshotStreamed(
+    const ExploreSnapshotMeta &meta, std::size_t numVars,
+    const std::function<const std::uint8_t *(std::uint64_t)> &stateAt,
+    const std::function<ExploreSnapshot::Link(std::uint64_t)> &linkAt,
+    std::uint64_t numFrontier,
+    const std::function<std::pair<std::uint64_t, std::uint32_t>(
+        std::uint64_t)> &frontierAt)
+{
     SnapshotWriter w;
     w.putU32(static_cast<std::uint32_t>(numVars));
-    w.putU32(static_cast<std::uint32_t>(snap.ruleFires.size()));
-    w.putF64(snap.elapsedSeconds);
-    w.putU64(snap.transitionsFired);
-    for (const std::uint64_t fires : snap.ruleFires)
+    w.putU32(static_cast<std::uint32_t>(meta.ruleFires.size()));
+    w.putF64(meta.elapsedSeconds);
+    w.putU64(meta.transitionsFired);
+    for (const std::uint64_t fires : meta.ruleFires)
         w.putU64(fires);
-    w.putU8(snap.hasLinks ? 1 : 0);
-    w.putU64(snap.states.size());
-    for (const VState &s : snap.states)
-        w.putState(s);
-    if (snap.hasLinks) {
-        for (const auto &l : snap.links) {
+    w.putU8(meta.hasLinks ? 1 : 0);
+    w.putU64(meta.numStates);
+    for (std::uint64_t i = 0; i < meta.numStates; ++i)
+        w.putBytes(stateAt(i), numVars);
+    if (meta.hasLinks) {
+        for (std::uint64_t i = 0; i < meta.numStates; ++i) {
+            const ExploreSnapshot::Link l = linkAt(i);
             w.putU64(l.parent);
             w.putU32(l.rule);
             w.putU32(l.depth);
         }
     }
-    w.putU64(snap.frontier.size());
-    for (const auto &fi : snap.frontier) {
-        w.putU64(fi.id);
-        w.putU32(fi.depth);
-        w.putState(fi.state);
+    w.putU64(numFrontier);
+    for (std::uint64_t n = 0; n < numFrontier; ++n) {
+        const auto [id, depth] = frontierAt(n);
+        w.putU64(id);
+        w.putU32(depth);
+        w.putBytes(stateAt(id), numVars);
     }
     return w.take();
 }
@@ -415,29 +463,82 @@ decodeExploreSnapshot(const std::vector<std::uint8_t> &payload,
                       std::size_t numVars, std::size_t numRules,
                       ExploreSnapshot &out, std::string &err)
 {
+    ExploreSnapshotMeta meta;
+    const bool okDecode = decodeExploreSnapshotStreamed(
+        payload, numVars, numRules, meta,
+        [&](std::uint64_t nStates) {
+            out.states.assign(static_cast<std::size_t>(nStates),
+                              VState{});
+        },
+        [&](std::uint64_t id, const std::uint8_t *state) {
+            out.states[static_cast<std::size_t>(id)].assign(
+                state, state + numVars);
+        },
+        [&](std::uint64_t id, const ExploreSnapshot::Link &l) {
+            if (out.links.empty())
+                out.links.assign(out.states.size(),
+                                 ExploreSnapshot::Link{});
+            out.links[static_cast<std::size_t>(id)] = l;
+        },
+        [&](std::uint64_t id, std::uint32_t depth,
+            const std::uint8_t *state) {
+            ExploreSnapshot::FrontierItem fi;
+            fi.id = id;
+            fi.depth = depth;
+            fi.state.assign(state, state + numVars);
+            out.frontier.push_back(std::move(fi));
+        },
+        err);
+    if (!okDecode)
+        return false;
+    out.elapsedSeconds = meta.elapsedSeconds;
+    out.transitionsFired = meta.transitionsFired;
+    out.ruleFires = meta.ruleFires;
+    out.hasLinks = meta.hasLinks;
+    return true;
+}
+
+bool
+decodeExploreSnapshotStreamed(
+    const std::vector<std::uint8_t> &payload, std::size_t numVars,
+    std::size_t numRules, ExploreSnapshotMeta &meta,
+    const std::function<void(std::uint64_t numStates)> &beginStates,
+    const std::function<void(std::uint64_t id,
+                             const std::uint8_t *state)> &onState,
+    const std::function<void(std::uint64_t id,
+                             const ExploreSnapshot::Link &link)>
+        &onLink,
+    const std::function<void(std::uint64_t id, std::uint32_t depth,
+                             const std::uint8_t *state)> &onFrontier,
+    std::string &err)
+{
     SnapshotReader r(payload);
     if (r.getU32() != numVars || r.getU32() != numRules) {
         err = "snapshot variable/rule counts do not match the model";
         return false;
     }
-    out.elapsedSeconds = r.getF64();
-    out.transitionsFired = r.getU64();
-    out.ruleFires.assign(numRules, 0);
+    meta.elapsedSeconds = r.getF64();
+    meta.transitionsFired = r.getU64();
+    meta.ruleFires.assign(numRules, 0);
     for (std::size_t i = 0; i < numRules; ++i)
-        out.ruleFires[i] = r.getU64();
-    out.hasLinks = r.getU8() != 0;
+        meta.ruleFires[i] = r.getU64();
+    meta.hasLinks = r.getU8() != 0;
     const std::uint64_t nStates = r.getU64();
     if (!r.ok() || nStates > payload.size()) {
         err = "snapshot state count is implausible";
         return false;
     }
-    out.states.assign(static_cast<std::size_t>(nStates), VState{});
-    for (auto &s : out.states)
-        r.getState(numVars, s);
-    if (out.hasLinks) {
-        out.links.assign(static_cast<std::size_t>(nStates),
-                         ExploreSnapshot::Link{});
-        for (auto &l : out.links) {
+    meta.numStates = nStates;
+    beginStates(nStates);
+    for (std::uint64_t id = 0; id < nStates; ++id) {
+        const std::uint8_t *state = r.viewBytes(numVars);
+        if (state == nullptr)
+            break;
+        onState(id, state);
+    }
+    if (meta.hasLinks) {
+        for (std::uint64_t id = 0; id < nStates; ++id) {
+            ExploreSnapshot::Link l;
             l.parent = r.getU64();
             l.rule = r.getU32();
             l.depth = r.getU32();
@@ -445,6 +546,8 @@ decodeExploreSnapshot(const std::vector<std::uint8_t> &payload,
                 err = "snapshot predecessor link out of range";
                 return false;
             }
+            if (r.ok())
+                onLink(id, l);
         }
     }
     const std::uint64_t nFrontier = r.getU64();
@@ -452,16 +555,16 @@ decodeExploreSnapshot(const std::vector<std::uint8_t> &payload,
         err = "snapshot frontier count is implausible";
         return false;
     }
-    out.frontier.assign(static_cast<std::size_t>(nFrontier),
-                        ExploreSnapshot::FrontierItem{});
-    for (auto &fi : out.frontier) {
-        fi.id = r.getU64();
-        fi.depth = r.getU32();
-        r.getState(numVars, fi.state);
-        if (fi.id >= nStates) {
+    for (std::uint64_t n = 0; n < nFrontier; ++n) {
+        const std::uint64_t id = r.getU64();
+        const std::uint32_t depth = r.getU32();
+        const std::uint8_t *state = r.viewBytes(numVars);
+        if (id >= nStates) {
             err = "snapshot frontier id out of range";
             return false;
         }
+        if (state != nullptr)
+            onFrontier(id, depth, state);
     }
     if (!r.atEnd()) {
         err = "snapshot payload has trailing or missing bytes";

@@ -107,6 +107,9 @@ class SnapshotReader
     double getF64();
     bool getBytes(std::uint8_t *out, std::size_t n);
     bool getState(std::size_t numVars, VState &out);
+    /** Zero-copy view of the next @p n bytes (streamed state decode);
+     *  nullptr on over-read, which latches ok() false. */
+    const std::uint8_t *viewBytes(std::size_t n);
 
     bool ok() const { return ok_; }
     /** True when the payload was consumed exactly. */
@@ -201,6 +204,57 @@ std::vector<std::uint8_t> encodeExploreSnapshot(const ExploreSnapshot &snap,
 bool decodeExploreSnapshot(const std::vector<std::uint8_t> &payload,
                            std::size_t numVars, std::size_t numRules,
                            ExploreSnapshot &out, std::string &err);
+
+/**
+ * Streamed explore-snapshot codec: byte-for-byte the same layout as
+ * encodeExploreSnapshot/decodeExploreSnapshot (which are thin wrappers
+ * over these), but states flow through callbacks instead of a
+ * materialized `std::vector<VState>` image — the explorers read and
+ * write their arena-interned storage directly, so snapshotting never
+ * doubles the live state footprint.
+ */
+struct ExploreSnapshotMeta
+{
+    double elapsedSeconds = 0.0;
+    std::uint64_t transitionsFired = 0;
+    std::vector<std::uint64_t> ruleFires;
+    bool hasLinks = false;
+    std::uint64_t numStates = 0;
+};
+
+/**
+ * @param stateAt bytes of the state with dense id i (numVars long)
+ * @param linkAt predecessor link of state i; only called when
+ *        meta.hasLinks
+ * @param frontierAt (dense id, depth) of the n-th unexpanded frontier
+ *        entry; its state bytes are taken from stateAt(id)
+ */
+std::vector<std::uint8_t> encodeExploreSnapshotStreamed(
+    const ExploreSnapshotMeta &meta, std::size_t numVars,
+    const std::function<const std::uint8_t *(std::uint64_t)> &stateAt,
+    const std::function<ExploreSnapshot::Link(std::uint64_t)> &linkAt,
+    std::uint64_t numFrontier,
+    const std::function<std::pair<std::uint64_t, std::uint32_t>(
+        std::uint64_t)> &frontierAt);
+
+/**
+ * Decode with the same validation as decodeExploreSnapshot. @p meta is
+ * fully populated before the first callback runs; states, links and
+ * frontier items then arrive in dense-id order. State pointers are
+ * views into @p payload, valid only for the duration of the call.
+ */
+bool decodeExploreSnapshotStreamed(
+    const std::vector<std::uint8_t> &payload, std::size_t numVars,
+    std::size_t numRules, ExploreSnapshotMeta &meta,
+    const std::function<void(std::uint64_t numStates)> &beginStates,
+    const std::function<void(std::uint64_t id,
+                             const std::uint8_t *state)> &onState,
+    const std::function<void(std::uint64_t id,
+                             const ExploreSnapshot::Link &link)>
+        &onLink,
+    const std::function<void(std::uint64_t id, std::uint32_t depth,
+                             const std::uint8_t *state)> &onFrontier,
+    std::string &err);
 
 // ---------------------------------------------------------------
 // Interrupt plumbing (SIGINT/SIGTERM -> graceful drain + snapshot)

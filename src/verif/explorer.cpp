@@ -1,11 +1,11 @@
 #include "explorer.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <deque>
-#include <unordered_map>
 
 #include "verif/checkpoint.hpp"
 #include "verif/parallel_explorer.hpp"
+#include "verif/state_store.hpp"
 
 namespace neo
 {
@@ -28,6 +28,19 @@ verifStatusName(VerifStatus s)
     return "?";
 }
 
+std::uint64_t
+explorePresizeHint(const ExploreLimits &limits)
+{
+    // Only a non-default bound signals the expected scale; the cap
+    // keeps a generous bound on a small model from ballooning the
+    // up-front table (growth past the hint stays amortized).
+    constexpr std::uint64_t kPresizeCapStates = 1ULL << 18;
+    if (limits.maxStates == 0 ||
+        limits.maxStates >= kDefaultMaxStates)
+        return 0;
+    return std::min(limits.maxStates, kPresizeCapStates);
+}
+
 ExploreResult
 explore(const TransitionSystem &ts, const ExploreLimits &limits,
         bool detect_deadlock, bool keep_trace,
@@ -43,11 +56,12 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     ExploreResult result;
     result.ruleFires.assign(ts.rules().size(), 0);
 
-    // Visited set maps each canonical state to its id; parent edges
-    // (state id -> (parent id, rule index)) reconstruct traces and
-    // are only kept when tracing.
-    std::unordered_map<VState, std::uint64_t, VStateHash> visited;
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> parent;
+    // Visited set and state payloads live in the arena-interned
+    // store; the arena id IS the state id, and the parent edges
+    // (trace reconstruction) are flat arrays indexed by it.
+    StateStore store(ts.numVars(), explorePresizeHint(limits));
+    std::vector<std::uint32_t> parentIds;
+    std::vector<std::uint32_t> parentRules;
     // Runtime copy of keep_trace: memory-pressure degradation (below)
     // sheds the predecessor links and clears it mid-run.
     bool tracing = keep_trace;
@@ -70,32 +84,36 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                std::chrono::duration<double>(Clock::now() - t0).count();
     };
 
-    std::deque<std::pair<std::uint64_t, VState>> work;
+    // Frontier of unexpanded state ids (states stay in the arena; a
+    // work item is 4 bytes, not a VState copy). head is the BFS read
+    // cursor; the consumed prefix is compacted away periodically.
+    std::vector<std::uint32_t> work;
+    std::size_t workHead = 0;
+    if (const std::uint64_t hint = explorePresizeHint(limits))
+        work.reserve(static_cast<std::size_t>(hint));
+    auto frontierSize = [&]() { return work.size() - workHead; };
+
+    // Reusable successor scratch: one canonicalization buffer per
+    // worker instead of a fresh VState per rule firing.
+    VState cur;
+    VState next;
 
     auto estimate_memory = [&]() -> std::uint64_t {
-        // Per visited state: the vector header + payload bytes of the
-        // map key, the id value, and hash-node overhead.
-        const std::uint64_t per_visited =
-            sizeof(VState) + ts.numVars() + 8 + 32;
-        // The predecessor map costs one (parent id, rule) link per
-        // state when traces are kept.
-        const std::uint64_t per_trace =
-            tracing
-                ? sizeof(std::pair<std::uint64_t, std::uint32_t>)
-                : 0;
-        // Frontier entries each carry a full state copy.
-        const std::uint64_t per_frontier =
-            sizeof(std::pair<std::uint64_t, VState>) + ts.numVars();
+        // Arena payload + open-addressing table, measured not modeled.
+        std::uint64_t bytes = store.memoryBytes();
+        if (tracing)
+            bytes += parentIds.size() * sizeof(std::uint32_t) +
+                     parentRules.size() * sizeof(std::uint32_t);
+        bytes += frontierSize() * sizeof(std::uint32_t);
         // Serializing a snapshot buffers the whole image once more;
         // the limit must cover that transient or the checkpoint that
         // is meant to save the run OOMs it instead.
-        const std::uint64_t per_ckpt_state =
-            ckptActive ? ts.numVars() + (tracing ? 16 : 0) : 0;
-        const std::uint64_t per_ckpt_frontier =
-            ckptActive ? ts.numVars() + 12 : 0;
-        return visited.size() * (per_visited + per_trace +
-                                 per_ckpt_state) +
-               work.size() * (per_frontier + per_ckpt_frontier);
+        if (ckptActive) {
+            bytes += store.size() *
+                     (ts.numVars() + (tracing ? 16 : 0));
+            bytes += frontierSize() * (ts.numVars() + 12);
+        }
+        return bytes;
     };
 
     auto fail_invariants = [&](const VState &s) -> const char * {
@@ -106,12 +124,11 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         return nullptr;
     };
 
-    auto build_trace = [&](std::uint64_t id) {
+    auto build_trace = [&](std::uint32_t id) {
         std::vector<std::string> names;
         while (id != 0) {
-            const auto [pid, rule] = parent[id];
-            names.push_back(rules[rule].name);
-            id = pid;
+            names.push_back(rules[parentRules[id]].name);
+            id = parentIds[id];
         }
         std::reverse(names.begin(), names.end());
         return names;
@@ -120,35 +137,41 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     // BFS depth of every visited state, derivable from the parent
     // links because a parent's id always precedes its children's.
     auto compute_depths = [&]() {
-        std::vector<std::uint32_t> depth(parent.size(), 0);
-        for (std::size_t i = 1; i < parent.size(); ++i)
-            depth[i] = depth[parent[i].first] + 1;
+        std::vector<std::uint32_t> depth(parentIds.size(), 0);
+        for (std::size_t i = 1; i < parentIds.size(); ++i)
+            depth[i] = depth[parentIds[i]] + 1;
         return depth;
     };
 
     auto write_snapshot = [&]() {
-        ExploreSnapshot snap;
-        snap.elapsedSeconds = elapsed();
-        snap.transitionsFired = result.transitionsFired;
-        snap.ruleFires = result.ruleFires;
-        snap.states.assign(visited.size(), VState{});
-        for (const auto &[state, id] : visited)
-            snap.states[id] = state;
+        ExploreSnapshotMeta meta;
+        meta.elapsedSeconds = elapsed();
+        meta.transitionsFired = result.transitionsFired;
+        meta.ruleFires = result.ruleFires;
+        meta.hasLinks = tracing;
+        meta.numStates = store.size();
         std::vector<std::uint32_t> depth;
-        if (tracing) {
-            snap.hasLinks = true;
+        if (tracing)
             depth = compute_depths();
-            snap.links.resize(parent.size());
-            for (std::size_t i = 0; i < parent.size(); ++i)
-                snap.links[i] = ExploreSnapshot::Link{
-                    parent[i].first, parent[i].second, depth[i]};
-        }
-        snap.frontier.reserve(work.size());
-        for (const auto &[id, state] : work)
-            snap.frontier.push_back(ExploreSnapshot::FrontierItem{
-                id, tracing ? depth[id] : 0, state});
         const std::vector<std::uint8_t> payload =
-            encodeExploreSnapshot(snap, ts.numVars());
+            encodeExploreSnapshotStreamed(
+                meta, ts.numVars(),
+                [&](std::uint64_t i) {
+                    return store.at(static_cast<std::uint32_t>(i));
+                },
+                [&](std::uint64_t i) {
+                    return ExploreSnapshot::Link{
+                        parentIds[static_cast<std::size_t>(i)],
+                        parentRules[static_cast<std::size_t>(i)],
+                        depth[static_cast<std::size_t>(i)]};
+                },
+                frontierSize(),
+                [&](std::uint64_t n) {
+                    const std::uint32_t id =
+                        work[workHead + static_cast<std::size_t>(n)];
+                    return std::pair<std::uint64_t, std::uint32_t>{
+                        id, tracing ? depth[id] : 0};
+                });
         std::string err;
         if (!writeSnapshotFile(ckptPath, SnapshotKind::Explore,
                                fingerprint, payload, err)) {
@@ -166,36 +189,50 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         if (!readSnapshotFile(ckptPath, SnapshotKind::Explore,
                               fingerprint, payload, err))
             neo_fatal("cannot resume: ", err);
-        ExploreSnapshot snap;
-        if (!decodeExploreSnapshot(payload, ts.numVars(),
-                                   rules.size(), snap, err))
+        ExploreSnapshotMeta meta;
+        if (!decodeExploreSnapshotStreamed(
+                payload, ts.numVars(), rules.size(), meta,
+                [&](std::uint64_t nStates) {
+                    store.reserve(nStates);
+                    if (tracing && meta.hasLinks) {
+                        parentIds.reserve(
+                            static_cast<std::size_t>(nStates));
+                        parentRules.reserve(
+                            static_cast<std::size_t>(nStates));
+                    }
+                },
+                [&](std::uint64_t, const std::uint8_t *state) {
+                    store.intern(state);
+                    if (on_state) {
+                        cur.assign(state, state + ts.numVars());
+                        on_state(cur);
+                    }
+                },
+                [&](std::uint64_t, const ExploreSnapshot::Link &l) {
+                    if (tracing && meta.hasLinks) {
+                        parentIds.push_back(
+                            static_cast<std::uint32_t>(l.parent));
+                        parentRules.push_back(l.rule);
+                    }
+                },
+                [&](std::uint64_t id, std::uint32_t,
+                    const std::uint8_t *) {
+                    work.push_back(static_cast<std::uint32_t>(id));
+                },
+                err))
             neo_fatal("cannot resume: ", ckptPath, ": ", err);
-        baseSeconds = snap.elapsedSeconds;
-        result.transitionsFired = snap.transitionsFired;
-        result.ruleFires = snap.ruleFires;
-        visited.reserve(snap.states.size());
-        for (std::size_t i = 0; i < snap.states.size(); ++i)
-            visited.emplace(snap.states[i], i);
-        if (tracing && snap.hasLinks) {
-            parent.reserve(snap.links.size());
-            for (const auto &l : snap.links)
-                parent.emplace_back(
-                    l.parent, static_cast<std::uint32_t>(l.rule));
-        } else if (tracing) {
+        baseSeconds = meta.elapsedSeconds;
+        result.transitionsFired = meta.transitionsFired;
+        result.ruleFires = meta.ruleFires;
+        if (tracing && !meta.hasLinks) {
             // The snapshot shed its links (memory-pressure degrade);
             // older predecessors are unrecoverable, so the resumed
             // run keeps exact counts but cannot build traces.
             tracing = false;
             result.degradedTrace = true;
         }
-        for (const auto &fi : snap.frontier)
-            work.emplace_back(fi.id, fi.state);
-        if (on_state) {
-            for (const auto &s : snap.states)
-                on_state(s);
-        }
         result.resumed = true;
-        result.restoredStates = snap.states.size();
+        result.restoredStates = meta.numStates;
         fresh = false;
     }
 
@@ -203,12 +240,14 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         VState init = ts.initialState();
         if (canon)
             canon(init);
-        visited.emplace(init, 0);
-        if (tracing)
-            parent.emplace_back(0, 0);
+        store.intern(init);
+        if (tracing) {
+            parentIds.push_back(0);
+            parentRules.push_back(0);
+        }
         if (on_state)
             on_state(init);
-        work.emplace_back(0, init);
+        work.push_back(0);
 
         if (const char *inv = fail_invariants(init)) {
             result.status = VerifStatus::InvariantViolated;
@@ -223,15 +262,13 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     double lastCkptSeconds = elapsed();
     bool nearLimitSnapshotDone = false;
 
-    // BFS; each work item carries its state so stateById is only
-    // needed for trace rendering.
-    while (!work.empty()) {
+    while (workHead < work.size()) {
         if (ckptActive && interruptRequested()) {
             write_snapshot();
             result.status = VerifStatus::Interrupted;
             break;
         }
-        if (visited.size() >= limits.maxStates ||
+        if (store.size() >= limits.maxStates ||
             elapsed() > limits.maxSeconds) {
             if (ckptActive)
                 write_snapshot();
@@ -245,8 +282,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                 // the predecessor links (the single largest optional
                 // structure) and keep exploring without traces.
                 write_snapshot();
-                parent.clear();
-                parent.shrink_to_fit();
+                parentIds.clear();
+                parentIds.shrink_to_fit();
+                parentRules.clear();
+                parentRules.shrink_to_fit();
                 tracing = false;
                 result.degradedTrace = true;
                 mem = estimate_memory();
@@ -270,28 +309,34 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             write_snapshot();
             lastCkptSeconds = elapsed();
         }
-        const std::uint64_t id = work.front().first;
-        VState s = std::move(work.front().second);
-        work.pop_front();
+        const std::uint32_t id = work[workHead++];
+        if (workHead >= 4096 && workHead * 2 >= work.size()) {
+            work.erase(work.begin(),
+                       work.begin() +
+                           static_cast<std::ptrdiff_t>(workHead));
+            workHead = 0;
+        }
+        store.copyTo(id, cur);
 
         bool any_enabled = false;
         for (std::size_t r = 0; r < rules.size(); ++r) {
-            if (!rules[r].guard(s))
+            if (!rules[r].guard(cur))
                 continue;
             any_enabled = true;
-            VState next = s;
+            next = cur;
             rules[r].effect(next);
             ++result.transitionsFired;
             ++result.ruleFires[r];
             if (canon)
                 canon(next);
-            auto [it, inserted] =
-                visited.emplace(next, visited.size());
+            const auto [nid, inserted] = store.intern(next);
             if (!inserted)
                 continue;
-            const std::uint64_t nid = it->second;
-            if (tracing)
-                parent.emplace_back(id, static_cast<std::uint32_t>(r));
+            if (tracing) {
+                parentIds.push_back(id);
+                parentRules.push_back(
+                    static_cast<std::uint32_t>(r));
+            }
             if (on_state)
                 on_state(next);
             if (const char *inv = fail_invariants(next)) {
@@ -300,20 +345,20 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                 result.badState = ts.describe(next);
                 if (tracing)
                     result.trace = build_trace(nid);
-                result.statesExplored = visited.size();
+                result.statesExplored = store.size();
                 result.seconds = elapsed();
                 result.memoryBytes = estimate_memory();
                 if (ckptActive)
                     removeSnapshot(ckptPath);
                 return result;
             }
-            work.emplace_back(nid, std::move(next));
+            work.push_back(nid);
         }
 
         if (detect_deadlock && !any_enabled) {
             result.status = VerifStatus::Deadlock;
-            result.badState = ts.describe(s);
-            result.statesExplored = visited.size();
+            result.badState = ts.describe(cur);
+            result.statesExplored = store.size();
             result.seconds = elapsed();
             result.memoryBytes = estimate_memory();
             if (ckptActive)
@@ -322,7 +367,7 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         }
     }
 
-    result.statesExplored = visited.size();
+    result.statesExplored = store.size();
     result.seconds = elapsed();
     result.memoryBytes = estimate_memory();
     // A finished fixpoint has nothing left to resume; only

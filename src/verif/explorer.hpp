@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "verif/state_store.hpp"
 #include "verif/transition_system.hpp"
 
 namespace neo
@@ -24,9 +25,14 @@ namespace neo
 
 struct CheckpointConfig; // checkpoint.hpp
 
+/** Default state bound. ExploreLimits::maxStates values below this
+ *  count as "the caller told us the expected scale" and pre-size the
+ *  visited tables and work queues accordingly. */
+inline constexpr std::uint64_t kDefaultMaxStates = 20'000'000;
+
 struct ExploreLimits
 {
-    std::uint64_t maxStates = 20'000'000;
+    std::uint64_t maxStates = kDefaultMaxStates;
     double maxSeconds = 120.0;
     /** Live-memory bound over the visited set, trace structures,
      *  frontier and (when checkpointing) the snapshot write buffer
@@ -46,21 +52,22 @@ struct ExploreLimits
     const CheckpointConfig *checkpoint = nullptr;
 };
 
-/** FNV-1a over the state bytes — shared by the sequential visited set
- *  and the parallel explorer's shard selection. */
+/** Hash functor over state bytes, delegating to stateHash()
+ *  (state_store.hpp) so `unordered_*<VState, …>` containers agree
+ *  with the StateStore fingerprints and shard selection. */
 struct VStateHash
 {
     std::size_t
     operator()(const VState &s) const
     {
-        std::size_t h = 1469598103934665603ULL;
-        for (std::uint8_t b : s) {
-            h ^= b;
-            h *= 1099511628211ULL;
-        }
-        return h;
+        return stateHash(s.data(), s.size());
     }
 };
+
+/** Visited-table pre-size hint: states to reserve up-front when the
+ *  caller set an explicit maxStates bound (capped so a huge bound on
+ *  a small model does not balloon the footprint); 0 = grow lazily. */
+std::uint64_t explorePresizeHint(const ExploreLimits &limits);
 
 enum class VerifStatus
 {

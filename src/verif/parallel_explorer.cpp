@@ -4,13 +4,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <tuple>
-#include <unordered_map>
+#include <vector>
 
 #include "verif/checkpoint.hpp"
+#include "verif/state_store.hpp"
 
 namespace neo
 {
@@ -21,57 +22,70 @@ namespace
 /** Shard count; a power of two so the hash folds with a mask. */
 constexpr std::size_t kShardCount = 64;
 
-/** Deque block + bookkeeping slack charged per work queue in the
+/** Vector block + bookkeeping slack charged per work queue in the
  *  memory estimate, so N queues' standing overhead counts against
  *  maxMemoryBytes even when nearly empty. */
 constexpr std::uint64_t kQueueSlackBytes = 4096;
 
-/** Predecessor link for one discovered state (trace rebuilding). */
-struct Record
-{
-    std::uint64_t parent; ///< packed (shard, index) of the parent
-    std::uint32_t rule;
-    std::uint32_t depth;
-};
-
-/** One slice of the visited set: states whose canonical hash folds to
- *  this shard, each mapped to its shard-local index. */
+/**
+ * One slice of the visited set: states whose canonical hash folds to
+ * this shard, arena-interned with shard-local ids. The predecessor
+ * links (trace rebuilding; keep_trace only) are parallel flat arrays
+ * indexed by that local id — what used to be a per-state Record node
+ * behind an unordered_map.
+ */
 struct Shard
 {
     std::mutex mu;
-    std::unordered_map<VState, std::uint32_t, VStateHash> ids;
-    std::vector<Record> recs; ///< indexed like ids' values; keep_trace only
+    std::unique_ptr<StateStore> store;
+    std::vector<std::uint64_t> parents; ///< packed (shard, index)
+    std::vector<std::uint32_t> ruleOf;
+    std::vector<std::uint32_t> depthOf;
 };
 
+/** A frontier entry is just the packed id + BFS depth; the state
+ *  bytes stay in the owning shard's arena and are re-read at
+ *  expansion time (see the store's lock-free at() contract). */
 struct WorkItem
 {
     std::uint64_t id = 0;
     std::uint32_t depth = 0;
-    VState state;
 };
 
-/** Mutex-guarded deque. The owner consumes from the front (oldest
- *  first, keeping expansion approximately breadth-first, hence short
- *  counterexamples); thieves take from the back so they don't contend
- *  with the owner's end. */
+/** Mutex-guarded queue over a flat vector (items are 16-byte PODs
+ *  now, so the deque's block machinery bought nothing). The owner
+ *  consumes from the front (oldest first, keeping expansion
+ *  approximately breadth-first, hence short counterexamples);
+ *  thieves take from the back so they don't contend with the owner's
+ *  end. */
 class WorkQueue
 {
   public:
     void
-    push(WorkItem &&w)
+    reserve(std::size_t n)
+    {
+        q_.reserve(n);
+    }
+
+    void
+    push(WorkItem w)
     {
         std::lock_guard<std::mutex> g(mu_);
-        q_.push_back(std::move(w));
+        q_.push_back(w);
     }
 
     bool
     pop(WorkItem &out)
     {
         std::lock_guard<std::mutex> g(mu_);
-        if (q_.empty())
+        if (head_ == q_.size())
             return false;
-        out = std::move(q_.front());
-        q_.pop_front();
+        out = q_[head_++];
+        if (head_ >= 4096 && head_ * 2 >= q_.size()) {
+            q_.erase(q_.begin(),
+                     q_.begin() + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
         return true;
     }
 
@@ -79,9 +93,9 @@ class WorkQueue
     steal(WorkItem &out)
     {
         std::lock_guard<std::mutex> g(mu_);
-        if (q_.empty())
+        if (head_ == q_.size())
             return false;
-        out = std::move(q_.back());
+        out = q_.back();
         q_.pop_back();
         return true;
     }
@@ -93,13 +107,14 @@ class WorkQueue
     forEach(Fn &&fn)
     {
         std::lock_guard<std::mutex> g(mu_);
-        for (const WorkItem &w : q_)
-            fn(w);
+        for (std::size_t i = head_; i < q_.size(); ++i)
+            fn(q_[i]);
     }
 
   private:
     std::mutex mu_;
-    std::deque<WorkItem> q_;
+    std::vector<WorkItem> q_;
+    std::size_t head_ = 0;
 };
 
 inline std::uint64_t
@@ -118,6 +133,7 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     using Clock = std::chrono::steady_clock;
     const auto t0 = Clock::now();
     const unsigned nthreads = limits.threads > 1 ? limits.threads : 2;
+    const std::size_t numVars = ts.numVars();
 
     ExploreResult result;
     const auto &rules = ts.rules();
@@ -132,17 +148,29 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
         ckptActive ? modelFingerprint(ts) : 0;
     double baseSeconds = 0.0;
 
+    const std::uint64_t presize = explorePresizeHint(limits);
     std::vector<Shard> shards(kShardCount);
+    for (auto &sh : shards)
+        sh.store = std::make_unique<StateStore>(
+            numVars, presize / kShardCount);
     std::vector<WorkQueue> queues(nthreads);
+    if (presize != 0) {
+        for (auto &q : queues)
+            q.reserve(static_cast<std::size_t>(presize / nthreads));
+    }
 
     std::atomic<std::uint64_t> statesTotal{0};
     std::atomic<std::uint64_t> transitionsTotal{0};
     std::vector<std::atomic<std::uint64_t>> ruleFires(rules.size());
+    /** Aggregate arena + table footprint across shards, maintained by
+     *  delta under each shard's mutex so the memory-bound check reads
+     *  one atomic instead of locking 64 shards. */
+    std::atomic<std::uint64_t> storeBytes{0};
     /** Queued + currently-expanding items; 0 means the fixpoint. */
     std::atomic<std::uint64_t> inFlight{0};
     std::atomic<bool> stop{false};
     /** Runtime keep_trace; cleared when memory pressure sheds the
-     *  predecessor records mid-run. */
+     *  predecessor links mid-run. */
     std::atomic<bool> traceOn{keep_trace};
     bool degradedTrace = false; // mutated only at safe points
 
@@ -174,27 +202,25 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                std::chrono::duration<double>(Clock::now() - t0).count();
     };
 
-    // Same accounting as the sequential explorer, with the shard
-    // Record standing in for its predecessor pair, plus the standing
-    // shard/queue structures and — when checkpointing — the snapshot
-    // serialization buffer, so the bound holds on the robust path too.
+    // Same accounting as the sequential explorer: the measured arena
+    // + table aggregate, the flat predecessor arrays, the frontier,
+    // the standing shard/queue structures and — when checkpointing —
+    // the snapshot serialization buffer, so the bound holds on the
+    // robust path too.
     auto estimate_memory = [&]() -> std::uint64_t {
         const bool tracing = traceOn.load(std::memory_order_relaxed);
-        const std::uint64_t per_visited =
-            sizeof(VState) + ts.numVars() + 8 + 32;
-        const std::uint64_t per_trace =
-            tracing ? sizeof(Record) : 0;
-        const std::uint64_t per_frontier =
-            sizeof(WorkItem) + ts.numVars();
+        const std::uint64_t per_trace = tracing ? 16 : 0;
+        const std::uint64_t per_frontier = sizeof(WorkItem);
         const std::uint64_t per_ckpt_state =
-            ckptActive ? ts.numVars() + (tracing ? 16 : 0) : 0;
+            ckptActive ? numVars + (tracing ? 16 : 0) : 0;
         const std::uint64_t per_ckpt_frontier =
-            ckptActive ? ts.numVars() + 12 : 0;
+            ckptActive ? numVars + 12 : 0;
         const std::uint64_t structural =
-            kShardCount * sizeof(Shard) +
+            kShardCount * (sizeof(Shard) + sizeof(StateStore)) +
             static_cast<std::uint64_t>(nthreads) * kQueueSlackBytes;
-        return statesTotal.load(std::memory_order_relaxed) *
-                   (per_visited + per_trace + per_ckpt_state) +
+        return storeBytes.load(std::memory_order_relaxed) +
+               statesTotal.load(std::memory_order_relaxed) *
+                   (per_trace + per_ckpt_state) +
                inFlight.load(std::memory_order_relaxed) *
                    (per_frontier + per_ckpt_frontier) +
                structural;
@@ -252,57 +278,70 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
 
     // Serialize the paused run into the canonical explore-snapshot
     // layout: states shard-major in local-insertion order, packed ids
-    // remapped onto dense indices. Caller guarantees quiescence.
+    // remapped onto dense indices, streamed straight out of the
+    // arenas. Caller guarantees quiescence; the per-shard lock/unlock
+    // while sizing the prefix table establishes the happens-before
+    // edge with every past writer of that shard.
     auto write_snapshot = [&]() {
         const bool tracing = traceOn.load(std::memory_order_relaxed);
-        ExploreSnapshot snap;
-        snap.elapsedSeconds = elapsed();
-        snap.transitionsFired =
+        ExploreSnapshotMeta meta;
+        meta.elapsedSeconds = elapsed();
+        meta.transitionsFired =
             transitionsTotal.load(std::memory_order_relaxed);
-        snap.ruleFires.resize(rules.size());
+        meta.ruleFires.resize(rules.size());
         for (std::size_t r = 0; r < rules.size(); ++r)
-            snap.ruleFires[r] =
+            meta.ruleFires[r] =
                 ruleFires[r].load(std::memory_order_relaxed);
+        meta.hasLinks = tracing;
 
         std::array<std::uint64_t, kShardCount> prefix{};
         std::uint64_t total = 0;
         for (std::size_t sh = 0; sh < kShardCount; ++sh) {
             prefix[sh] = total;
             std::lock_guard<std::mutex> g(shards[sh].mu);
-            total += shards[sh].ids.size();
+            total += shards[sh].store->size();
         }
+        meta.numStates = total;
         auto dense = [&](std::uint64_t packed) {
             return prefix[packed >> 32] + (packed & 0xffffffffULL);
         };
+        auto shardOf = [&](std::uint64_t denseId) {
+            std::size_t sh = kShardCount - 1;
+            while (prefix[sh] > denseId)
+                --sh;
+            return sh;
+        };
 
-        snap.states.assign(static_cast<std::size_t>(total), VState{});
-        snap.hasLinks = tracing;
-        if (tracing)
-            snap.links.assign(static_cast<std::size_t>(total),
-                              ExploreSnapshot::Link{});
-        for (std::size_t sh = 0; sh < kShardCount; ++sh) {
-            std::lock_guard<std::mutex> g(shards[sh].mu);
-            for (const auto &[state, local] : shards[sh].ids)
-                snap.states[prefix[sh] + local] = state;
-            if (tracing) {
-                for (std::uint32_t local = 0;
-                     local < shards[sh].recs.size(); ++local) {
-                    const Record &rec = shards[sh].recs[local];
-                    snap.links[prefix[sh] + local] =
-                        ExploreSnapshot::Link{
-                            rec.depth == 0 ? 0 : dense(rec.parent),
-                            rec.rule, rec.depth};
-                }
-            }
-        }
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> frontier;
         for (auto &q : queues) {
             q.forEach([&](const WorkItem &w) {
-                snap.frontier.push_back(ExploreSnapshot::FrontierItem{
-                    dense(w.id), w.depth, w.state});
+                frontier.emplace_back(dense(w.id), w.depth);
             });
         }
+
         const std::vector<std::uint8_t> payload =
-            encodeExploreSnapshot(snap, ts.numVars());
+            encodeExploreSnapshotStreamed(
+                meta, numVars,
+                [&](std::uint64_t i) {
+                    const std::size_t sh = shardOf(i);
+                    return shards[sh].store->at(
+                        static_cast<std::uint32_t>(i - prefix[sh]));
+                },
+                [&](std::uint64_t i) {
+                    const std::size_t sh = shardOf(i);
+                    const auto local =
+                        static_cast<std::size_t>(i - prefix[sh]);
+                    const std::uint32_t depth =
+                        shards[sh].depthOf[local];
+                    return ExploreSnapshot::Link{
+                        depth == 0 ? 0
+                                   : dense(shards[sh].parents[local]),
+                        shards[sh].ruleOf[local], depth};
+                },
+                frontier.size(),
+                [&](std::uint64_t n) {
+                    return frontier[static_cast<std::size_t>(n)];
+                });
         std::string err;
         if (!writeSnapshotFile(ckptPath, SnapshotKind::Explore,
                                fingerprint, payload, err)) {
@@ -320,60 +359,73 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
         if (!readSnapshotFile(ckptPath, SnapshotKind::Explore,
                               fingerprint, payload, err))
             neo_fatal("cannot resume: ", err);
-        ExploreSnapshot snap;
-        if (!decodeExploreSnapshot(payload, ts.numVars(),
-                                   rules.size(), snap, err))
+        ExploreSnapshotMeta meta;
+        // Pass 1 (onState): shard-major reinsertion; the shard of a
+        // state is a pure hash, so each lands where the writer had
+        // it, and file order preserves the per-shard local indices.
+        // Pass 2 (onLink): predecessor links, parents remapped to
+        // packed ids (a parent's dense index may live in a later
+        // shard, hence the separate pass — the codec streams links
+        // only after every state).
+        std::vector<std::uint64_t> denseToPacked;
+        bool tracing = false;
+        std::uint64_t nq = 0;
+        VState scratch;
+        if (!decodeExploreSnapshotStreamed(
+                payload, numVars, rules.size(), meta,
+                [&](std::uint64_t nStates) {
+                    tracing = keep_trace && meta.hasLinks;
+                    denseToPacked.resize(
+                        static_cast<std::size_t>(nStates));
+                    for (auto &sh : shards)
+                        sh.store->reserve(nStates / kShardCount);
+                },
+                [&](std::uint64_t id, const std::uint8_t *state) {
+                    const std::uint64_t h = stateHash(state, numVars);
+                    const std::size_t sh = h & (kShardCount - 1);
+                    const std::uint32_t local =
+                        shards[sh].store->internHashed(state, h).first;
+                    denseToPacked[static_cast<std::size_t>(id)] =
+                        packId(sh, local);
+                    if (on_state) {
+                        scratch.assign(state, state + numVars);
+                        on_state(scratch);
+                    }
+                },
+                [&](std::uint64_t id, const ExploreSnapshot::Link &l) {
+                    if (!tracing)
+                        return;
+                    const std::size_t sh =
+                        denseToPacked[static_cast<std::size_t>(id)] >>
+                        32;
+                    shards[sh].parents.push_back(
+                        denseToPacked[static_cast<std::size_t>(
+                            l.parent)]);
+                    shards[sh].ruleOf.push_back(l.rule);
+                    shards[sh].depthOf.push_back(l.depth);
+                },
+                [&](std::uint64_t id, std::uint32_t depth,
+                    const std::uint8_t *) {
+                    queues[nq++ % nthreads].push(WorkItem{
+                        denseToPacked[static_cast<std::size_t>(id)],
+                        depth});
+                },
+                err))
             neo_fatal("cannot resume: ", ckptPath, ": ", err);
-        baseSeconds = snap.elapsedSeconds;
-        transitionsTotal.store(snap.transitionsFired,
+        baseSeconds = meta.elapsedSeconds;
+        transitionsTotal.store(meta.transitionsFired,
                                std::memory_order_relaxed);
         for (std::size_t r = 0; r < rules.size(); ++r)
-            ruleFires[r].store(snap.ruleFires[r],
+            ruleFires[r].store(meta.ruleFires[r],
                                std::memory_order_relaxed);
-
-        const bool tracing = keep_trace && snap.hasLinks;
-        if (keep_trace && !snap.hasLinks) {
+        if (keep_trace && !meta.hasLinks) {
             traceOn.store(false, std::memory_order_relaxed);
             degradedTrace = true;
         }
-        // Pass 1: shard-major reinsertion; the shard of a state is a
-        // pure hash, so each lands where the writer had it, and file
-        // order preserves the per-shard local indices.
-        std::vector<std::uint64_t> denseToPacked(snap.states.size());
-        for (std::size_t i = 0; i < snap.states.size(); ++i) {
-            const std::size_t sh =
-                VStateHash{}(snap.states[i]) & (kShardCount - 1);
-            const auto local =
-                static_cast<std::uint32_t>(shards[sh].ids.size());
-            shards[sh].ids.emplace(snap.states[i], local);
-            denseToPacked[i] = packId(sh, local);
-        }
-        // Pass 2: predecessor records, parents remapped to packed ids
-        // (a parent's dense index may live in a later shard, hence
-        // the separate pass).
-        if (tracing) {
-            for (std::size_t i = 0; i < snap.states.size(); ++i) {
-                const auto &l = snap.links[i];
-                const std::size_t sh = denseToPacked[i] >> 32;
-                shards[sh].recs.push_back(Record{
-                    denseToPacked[l.parent], l.rule, l.depth});
-            }
-        }
-        std::uint64_t nq = 0;
-        for (const auto &fi : snap.frontier) {
-            queues[nq++ % nthreads].push(
-                WorkItem{denseToPacked[fi.id], fi.depth, fi.state});
-        }
-        statesTotal.store(snap.states.size(),
-                          std::memory_order_relaxed);
-        inFlight.store(snap.frontier.size(),
-                       std::memory_order_relaxed);
-        if (on_state) {
-            for (const auto &s : snap.states)
-                on_state(s);
-        }
+        statesTotal.store(meta.numStates, std::memory_order_relaxed);
+        inFlight.store(nq, std::memory_order_relaxed);
         result.resumed = true;
-        result.restoredStates = snap.states.size();
+        result.restoredStates = meta.numStates;
         fresh = false;
     }
 
@@ -386,11 +438,14 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             canon(init);
         std::uint64_t initId;
         {
-            const std::size_t sh =
-                VStateHash{}(init) & (kShardCount - 1);
-            shards[sh].ids.emplace(init, 0);
-            if (keep_trace)
-                shards[sh].recs.push_back(Record{0, 0, 0});
+            const std::uint64_t h = stateHash(init.data(), numVars);
+            const std::size_t sh = h & (kShardCount - 1);
+            shards[sh].store->internHashed(init.data(), h);
+            if (keep_trace) {
+                shards[sh].parents.push_back(0);
+                shards[sh].ruleOf.push_back(0);
+                shards[sh].depthOf.push_back(0);
+            }
             initId = packId(sh, 0);
         }
         statesTotal.store(1, std::memory_order_relaxed);
@@ -406,8 +461,17 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             result.seconds = elapsed();
             return result;
         }
-        queues[0].push(WorkItem{initId, 0, init});
+        queues[0].push(WorkItem{initId, 0});
         inFlight.store(1, std::memory_order_relaxed);
+    }
+
+    // Baseline footprint (presized tables + whatever resume/seeding
+    // interned); workers maintain it by delta from here on.
+    {
+        std::uint64_t bytes = 0;
+        for (const auto &sh : shards)
+            bytes += sh.store->memoryBytes();
+        storeBytes.store(bytes, std::memory_order_relaxed);
     }
 
     // Coordinator-only state (worker 0 is the only writer).
@@ -452,12 +516,16 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             mem = estimate_memory();
             if (mem > limits.maxMemoryBytes &&
                 traceOn.load(std::memory_order_relaxed)) {
-                // Shed the predecessor records — exact counts
-                // survive, traces don't — and keep exploring.
+                // Shed the predecessor links — exact counts survive,
+                // traces don't — and keep exploring.
                 for (auto &sh : shards) {
                     std::lock_guard<std::mutex> g(sh.mu);
-                    sh.recs.clear();
-                    sh.recs.shrink_to_fit();
+                    sh.parents.clear();
+                    sh.parents.shrink_to_fit();
+                    sh.ruleOf.clear();
+                    sh.ruleOf.shrink_to_fit();
+                    sh.depthOf.clear();
+                    sh.depthOf.shrink_to_fit();
                 }
                 traceOn.store(false, std::memory_order_relaxed);
                 degradedTrace = true;
@@ -472,6 +540,11 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     auto worker = [&](unsigned wid) {
         alive.fetch_add(1, std::memory_order_acq_rel);
         WorkItem item;
+        // Reusable expansion scratch: the popped state is copied out
+        // of its arena once, and each rule firing reuses one
+        // successor buffer instead of allocating a fresh VState.
+        VState cur;
+        VState next;
         for (;;) {
             if (stop.load(std::memory_order_relaxed))
                 break;
@@ -509,39 +582,54 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                 inFlight.fetch_sub(1, std::memory_order_release);
                 break;
             }
+            // The popped id was published through a queue mutex after
+            // its bytes were interned under the owning shard's mutex,
+            // so this lock-free arena read is happens-after the write.
+            shards[item.id >> 32].store->copyTo(
+                static_cast<std::uint32_t>(item.id & 0xffffffffULL),
+                cur);
             bool any_enabled = false;
             for (std::size_t r = 0; r < rules.size(); ++r) {
                 if (stop.load(std::memory_order_relaxed))
                     break;
-                if (!rules[r].guard(item.state))
+                if (!rules[r].guard(cur))
                     continue;
                 any_enabled = true;
-                VState next = item.state;
+                next = cur;
                 rules[r].effect(next);
                 transitionsTotal.fetch_add(1, std::memory_order_relaxed);
                 ruleFires[r].fetch_add(1, std::memory_order_relaxed);
                 if (canon)
                     canon(next);
-                const std::size_t sh =
-                    VStateHash{}(next) & (kShardCount - 1);
+                const std::uint64_t h =
+                    stateHash(next.data(), numVars);
+                const std::size_t sh = h & (kShardCount - 1);
                 std::uint32_t local;
                 bool inserted;
+                std::uint64_t grewBy;
                 {
                     std::lock_guard<std::mutex> g(shards[sh].mu);
-                    auto [it, ins] = shards[sh].ids.emplace(
-                        next, static_cast<std::uint32_t>(
-                                  shards[sh].ids.size()));
+                    const std::uint64_t before =
+                        shards[sh].store->memoryBytes();
+                    const auto [lid, ins] =
+                        shards[sh].store->internHashed(next.data(),
+                                                       h);
                     inserted = ins;
-                    local = it->second;
+                    local = lid;
                     if (ins &&
-                        traceOn.load(std::memory_order_relaxed))
-                        shards[sh].recs.push_back(
-                            Record{item.id,
-                                   static_cast<std::uint32_t>(r),
-                                   item.depth + 1});
+                        traceOn.load(std::memory_order_relaxed)) {
+                        shards[sh].parents.push_back(item.id);
+                        shards[sh].ruleOf.push_back(
+                            static_cast<std::uint32_t>(r));
+                        shards[sh].depthOf.push_back(item.depth + 1);
+                    }
+                    grewBy = shards[sh].store->memoryBytes() - before;
                 }
                 if (!inserted)
                     continue;
+                if (grewBy != 0)
+                    storeBytes.fetch_add(grewBy,
+                                         std::memory_order_relaxed);
                 statesTotal.fetch_add(1, std::memory_order_relaxed);
                 const std::uint64_t nid = packId(sh, local);
                 if (on_state) {
@@ -553,11 +641,10 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                     continue; // bad states are not expanded
                 }
                 inFlight.fetch_add(1, std::memory_order_relaxed);
-                queues[wid].push(
-                    WorkItem{nid, item.depth + 1, std::move(next)});
+                queues[wid].push(WorkItem{nid, item.depth + 1});
             }
             if (detect_deadlock && !any_enabled)
-                report_deadlock(item.state);
+                report_deadlock(cur);
             inFlight.fetch_sub(1, std::memory_order_release);
         }
         alive.fetch_sub(1, std::memory_order_acq_rel);
@@ -590,7 +677,7 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
         transitionsTotal.load(std::memory_order_relaxed);
     std::uint64_t visited = 0;
     for (const Shard &s : shards)
-        visited += s.ids.size();
+        visited += s.store->size();
     result.statesExplored = visited;
     result.memoryBytes = estimate_memory();
     result.degradedTrace = degradedTrace;
@@ -603,12 +690,13 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             std::vector<std::string> names;
             std::uint64_t id = vioId;
             for (;;) {
-                const Record &rec =
-                    shards[id >> 32].recs[id & 0xffffffffULL];
-                if (rec.depth == 0)
+                const Shard &sh = shards[id >> 32];
+                const auto local =
+                    static_cast<std::size_t>(id & 0xffffffffULL);
+                if (sh.depthOf[local] == 0)
                     break;
-                names.push_back(rules[rec.rule].name);
-                id = rec.parent;
+                names.push_back(rules[sh.ruleOf[local]].name);
+                id = sh.parents[local];
             }
             std::reverse(names.begin(), names.end());
             result.trace = std::move(names);

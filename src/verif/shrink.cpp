@@ -1,9 +1,9 @@
 #include "shrink.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "verif/explorer.hpp"
+#include "verif/state_store.hpp"
 
 namespace neo
 {
@@ -82,22 +82,24 @@ shrinkTrace(const TransitionSystem &ts,
             ++result.replays;
             const auto &rules = ts.rules();
             const auto &canon = ts.canonicalizer();
-            std::unordered_map<VState, std::size_t, VStateHash> seen;
+            // Interned dedup: states are appended once per step, so
+            // an arena id IS the trace position of its first visit.
+            StateStore seen(ts.numVars());
             VState s = ts.initialState();
             if (canon)
                 canon(s);
-            seen.emplace(s, 0); // state index k = state after step k-1
+            seen.intern(s); // state index k = state after step k-1
             bool spliced = false;
             for (std::size_t k = 0; k < cur.size(); ++k) {
                 rules[cur[k]].effect(s);
                 if (canon)
                     canon(s);
-                const auto [it, fresh] = seen.emplace(s, k + 1);
+                const auto [firstVisit, fresh] = seen.intern(s);
                 if (!fresh) {
-                    // States it->second and k+1 coincide: drop the
+                    // States firstVisit and k+1 coincide: drop the
                     // firings between them and rescan.
                     cur.erase(cur.begin() +
-                                  static_cast<long>(it->second),
+                                  static_cast<long>(firstVisit),
                               cur.begin() + static_cast<long>(k + 1));
                     spliced = true;
                     break;
@@ -135,30 +137,34 @@ shrinkTrace(const TransitionSystem &ts,
             return out;
         const auto &rules = ts.rules();
         const auto &canon = ts.canonicalizer();
-        std::vector<VState> states{start};
+        // States live in the interning store; a violating state
+        // returns before anything else is interned, so arena ids and
+        // the parent/depth flat arrays stay aligned.
+        StateStore seen(ts.numVars());
+        seen.intern(start);
         std::vector<long> parentOf{-1};
         std::vector<std::uint32_t> ruleInto{0};
         std::vector<std::uint32_t> depthOf{0};
-        std::unordered_map<VState, std::size_t, VStateHash> seen;
-        seen.emplace(start, 0);
-        for (std::size_t head = 0; head < states.size(); ++head) {
+        VState base;
+        VState nxt;
+        for (std::size_t head = 0; head < parentOf.size(); ++head) {
             if (depthOf[head] >= maxDepth)
                 continue;
             if (result.searchStates >= searchBudget) {
                 out.exhausted = true;
                 return out;
             }
-            const VState base = states[head]; // expansion may realloc
+            seen.copyTo(static_cast<std::uint32_t>(head), base);
             for (std::uint32_t r = 0;
                  r < static_cast<std::uint32_t>(rules.size()); ++r) {
                 if (!rules[r].guard(base))
                     continue;
-                VState nxt = base;
+                nxt = base;
                 rules[r].effect(nxt);
                 if (canon)
                     canon(nxt);
                 ++result.searchStates;
-                if (!seen.emplace(nxt, states.size()).second)
+                if (!seen.intern(nxt).second)
                     continue;
                 if (!(*inv)(nxt)) {
                     out.found = true;
@@ -169,7 +175,6 @@ shrinkTrace(const TransitionSystem &ts,
                     std::reverse(out.path.begin(), out.path.end());
                     return out;
                 }
-                states.push_back(std::move(nxt));
                 parentOf.push_back(static_cast<long>(head));
                 ruleInto.push_back(r);
                 depthOf.push_back(depthOf[head] + 1);

@@ -1,0 +1,152 @@
+#include "verif/state_store.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <new>
+
+namespace neo
+{
+
+namespace
+{
+
+unsigned
+log2Ceil(std::uint64_t n)
+{
+    unsigned lg = 0;
+    while ((1ULL << lg) < n)
+        ++lg;
+    return lg;
+}
+
+} // namespace
+
+StateStore::StateStore(std::size_t stride,
+                       std::uint64_t expectedStates, HashFn hash)
+    : stride_(stride == 0 ? 1 : stride),
+      hash_(hash != nullptr ? hash : &stateHash)
+{
+    // First slab sized so the common small-model case fits in one
+    // slab; reserve() below may bump it before first use.
+    firstSlabLog2_ = 10;
+    std::uint64_t cap = kMinCapacity;
+    if (expectedStates > 0) {
+        // 0.75 load factor: capacity > expected * 4/3.
+        while (cap * 3 / 4 <= expectedStates)
+            cap <<= 1;
+        firstSlabLog2_ = log2Ceil(expectedStates);
+        if (firstSlabLog2_ < 10)
+            firstSlabLog2_ = 10;
+    }
+    lgCapacity_ = log2Ceil(cap);
+    capacity_ = cap;
+    table_.assign(capacity_, Slot{0, kNoId});
+}
+
+StateStore::~StateStore()
+{
+    for (unsigned k = 0; k < slabsAllocated_; ++k)
+        ::operator delete(slabs_[k]);
+}
+
+void
+StateStore::reserve(std::uint64_t expectedStates)
+{
+    if (expectedStates == 0)
+        return;
+    if (slabsAllocated_ == 0) {
+        unsigned lg = log2Ceil(expectedStates);
+        if (lg > firstSlabLog2_)
+            firstSlabLog2_ = lg;
+    }
+    std::uint64_t cap = capacity_;
+    while (cap * 3 / 4 <= expectedStates)
+        cap <<= 1;
+    while (capacity_ < cap)
+        growTable();
+}
+
+std::uint32_t
+StateStore::pushState(const std::uint8_t *state)
+{
+    if (size_ == arenaCapacity_) {
+        const unsigned k = slabsAllocated_;
+        const std::uint64_t slabStates = 1ULL
+                                         << (firstSlabLog2_ + k);
+        slabs_[k] = static_cast<std::uint8_t *>(
+            ::operator new(slabStates * stride_));
+        ++slabsAllocated_;
+        arenaCapacity_ += slabStates;
+    }
+    const std::uint32_t id = static_cast<std::uint32_t>(size_);
+    std::memcpy(const_cast<std::uint8_t *>(at(id)), state, stride_);
+    ++size_;
+    return id;
+}
+
+std::pair<std::uint32_t, bool>
+StateStore::internHashed(const std::uint8_t *state,
+                         std::uint64_t hash)
+{
+    const std::uint32_t fp = static_cast<std::uint32_t>(hash >> 32);
+    const std::size_t mask =
+        static_cast<std::size_t>(capacity_) - 1;
+    std::size_t i = probeStart(fp);
+    std::size_t probes = 0;
+    for (;;) {
+        Slot &slot = table_[i];
+        if (slot.id == kNoId)
+            break;
+        if (slot.fp == fp &&
+            std::memcmp(at(slot.id), state, stride_) == 0) {
+            return {slot.id, false};
+        }
+        i = (i + 1) & mask;
+        ++probes;
+    }
+    const std::uint32_t id = pushState(state);
+    table_[i] = Slot{fp, id};
+
+    unsigned bucket =
+        probes == 0
+            ? 0
+            : static_cast<unsigned>(std::bit_width(probes));
+    if (bucket >= kProbeBuckets)
+        bucket = kProbeBuckets - 1;
+    ++probeHist_[bucket];
+
+    if (size_ * 4 >= capacity_ * 3)
+        growTable();
+    return {id, true};
+}
+
+void
+StateStore::growTable()
+{
+    const std::uint64_t newCap = capacity_ << 1;
+    std::vector<Slot> fresh(newCap, Slot{0, kNoId});
+    const std::size_t mask = static_cast<std::size_t>(newCap) - 1;
+    ++lgCapacity_;
+    for (const Slot &slot : table_) {
+        if (slot.id == kNoId)
+            continue;
+        std::size_t i = probeStart(slot.fp);
+        while (fresh[i].id != kNoId)
+            i = (i + 1) & mask;
+        fresh[i] = slot;
+    }
+    table_.swap(fresh);
+    capacity_ = newCap;
+}
+
+std::uint64_t
+StateStore::memoryBytes() const
+{
+    std::uint64_t bytes = sizeof(StateStore);
+    bytes += size_ * stride_;                // touched arena bytes
+    bytes += std::uint64_t(slabsAllocated_) * 32; // allocator headers
+    bytes += capacity_ * sizeof(Slot);       // full table allocation
+    return bytes;
+}
+
+} // namespace neo

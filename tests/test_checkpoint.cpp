@@ -509,21 +509,36 @@ chainSystem(std::uint8_t len)
 TEST_F(CheckpointTest, MemoryPressureShedsTraceAndCompletes)
 {
     const TransitionSystem ts = chainSystem(200);
-    const ExploreLimits ref_lim{1'000'000, 60.0};
-    const ExploreResult ref = explore(ts, ref_lim, false, true);
+    // Small maxStates keeps the pre-sized tables small, so the
+    // budgets below are dominated by per-state growth, not the
+    // standing table allocation.
+    const ExploreLimits ref_lim{1'024, 60.0};
+
+    // The budget is derived from two reference fixpoints rather than
+    // a magic byte count: halfway between the traced and untraced
+    // footprints, so the traced estimate must overflow the bound
+    // mid-run while the degraded (no predecessor links) estimate of
+    // the full fixpoint fits. The run must shed links, keep going,
+    // and verify with exact counts.
+    TempDir refDir;
+    CheckpointConfig refCfg;
+    refCfg.dir = refDir.path();
+    ExploreLimits refCk = ref_lim;
+    refCk.checkpoint = &refCfg;
+    const ExploreResult ref = explore(ts, refCk, false, true);
     ASSERT_EQ(ref.status, VerifStatus::Verified);
     ASSERT_EQ(ref.statesExplored, 201u);
+    const ExploreResult refBare = explore(ts, refCk, false, false);
+    ASSERT_EQ(refBare.status, VerifStatus::Verified);
+    ASSERT_LT(refBare.memoryBytes, ref.memoryBytes);
 
-    // Sized so the traced estimate overflows the bound mid-run but
-    // the degraded (no predecessor links) estimate of the full
-    // fixpoint fits: the run must shed links, keep going, and verify
-    // with exact counts.
     TempDir dir;
     CheckpointConfig cfg;
     cfg.dir = dir.path();
     ExploreLimits lim = ref_lim;
     lim.checkpoint = &cfg;
-    lim.maxMemoryBytes = 16'000;
+    lim.maxMemoryBytes =
+        (ref.memoryBytes + refBare.memoryBytes) / 2;
     const ExploreResult r = explore(ts, lim, false, true);
     EXPECT_EQ(r.status, VerifStatus::Verified);
     EXPECT_TRUE(r.degradedTrace);
@@ -534,19 +549,24 @@ TEST_F(CheckpointTest, MemoryPressureShedsTraceAndCompletes)
 TEST_F(CheckpointTest, MemoryExhaustionKeepsSnapshotForResume)
 {
     const TransitionSystem ts = chainSystem(200);
-    const ExploreLimits ref_lim{1'000'000, 60.0};
+    const ExploreLimits ref_lim{1'024, 60.0};
     const ExploreResult ref = explore(ts, ref_lim, false, true);
+    ASSERT_EQ(ref.status, VerifStatus::Verified);
 
-    // Bound below even the degraded footprint: the run checkpoints,
-    // degrades, checkpoints again and reports LimitExceeded — and the
-    // snapshot survives so a retry with a bigger budget resumes
-    // instead of starting over.
+    // Bound below even the degraded footprint (half the untraced
+    // fixpoint's estimate): the run checkpoints, degrades,
+    // checkpoints again and reports LimitExceeded — and the snapshot
+    // survives so a retry with a bigger budget resumes instead of
+    // starting over.
+    const ExploreResult refBare = explore(ts, ref_lim, false, false);
+    ASSERT_EQ(refBare.status, VerifStatus::Verified);
     TempDir dir;
     CheckpointConfig cfg;
     cfg.dir = dir.path();
     ExploreLimits lim = ref_lim;
     lim.checkpoint = &cfg;
-    lim.maxMemoryBytes = 8'000;
+    lim.maxMemoryBytes = refBare.memoryBytes / 2;
+    ASSERT_GT(lim.maxMemoryBytes, 0u);
     const ExploreResult r = explore(ts, lim, false, true);
     EXPECT_EQ(r.status, VerifStatus::LimitExceeded);
     EXPECT_TRUE(r.degradedTrace);
@@ -564,14 +584,17 @@ TEST_F(CheckpointTest, MemoryBoundHonoredWithinFivePercent)
 {
     // With tracing off (so no degrade step blurs the boundary), the
     // estimate at the fixpoint defines the budget exactly: 5% above
-    // it verifies, 5% below trips the bound — in both modes.
+    // it verifies, 5% below trips the bound — in both modes. The
+    // small maxStates keeps the pre-sized tables a minority of the
+    // footprint, so the ±5% band genuinely exercises the per-state
+    // accounting.
     const TransitionSystem ts = chainSystem(200);
     for (unsigned threads : {1u, 2u, 4u}) {
         SCOPED_TRACE("threads=" + std::to_string(threads));
         TempDir dir;
         CheckpointConfig cfg;
         cfg.dir = dir.path();
-        ExploreLimits lim{1'000'000, 60.0};
+        ExploreLimits lim{1'024, 60.0};
         lim.threads = threads;
         lim.checkpoint = &cfg;
         const ExploreResult free = explore(ts, lim, false, false);

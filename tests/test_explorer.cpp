@@ -84,10 +84,10 @@ TEST(Explorer, StateBoundReported)
 
 TEST(Explorer, MemoryEstimateCountsTraceStructures)
 {
-    // Regression: the estimate must include the predecessor map kept
-    // for counterexamples — at the fixpoint (empty frontier) the
-    // keep_trace run costs exactly one (parent id, rule) link per
-    // state more than the traceless run.
+    // Regression: the estimate must include the predecessor arrays
+    // kept for counterexamples — at the fixpoint (empty frontier) the
+    // keep_trace run costs exactly one (parent id, rule) entry in the
+    // flat link arrays per state more than the traceless run.
     TransitionSystem ts = counterSystem(99);
     const auto with_trace =
         explore(ts, ExploreLimits{1000, 10.0}, false, true);
@@ -95,8 +95,7 @@ TEST(Explorer, MemoryEstimateCountsTraceStructures)
         explore(ts, ExploreLimits{1000, 10.0}, false, false);
     EXPECT_EQ(with_trace.statesExplored, without_trace.statesExplored);
     EXPECT_GT(with_trace.memoryBytes, without_trace.memoryBytes);
-    const std::uint64_t per_link =
-        sizeof(std::pair<std::uint64_t, std::uint32_t>);
+    const std::uint64_t per_link = 2 * sizeof(std::uint32_t);
     EXPECT_EQ(with_trace.memoryBytes - without_trace.memoryBytes,
               with_trace.statesExplored * per_link);
 }
