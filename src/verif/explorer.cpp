@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 
 #include "verif/checkpoint.hpp"
 #include "verif/parallel_explorer.hpp"
@@ -59,7 +60,9 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     // Visited set and state payloads live in the arena-interned
     // store; the arena id IS the state id, and the parent edges
     // (trace reconstruction) are flat arrays indexed by it.
-    StateStore store(ts.numVars(), explorePresizeHint(limits));
+    StateStore store(ts.numVars(), explorePresizeHint(limits),
+                     nullptr, limits.store);
+    const bool compact = store.tier() == StoreTier::Compact;
     std::vector<std::uint32_t> parentIds;
     std::vector<std::uint32_t> parentRules;
     // Runtime copy of keep_trace: memory-pressure degradation (below)
@@ -92,6 +95,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     if (const std::uint64_t hint = explorePresizeHint(limits))
         work.reserve(static_cast<std::size_t>(hint));
     auto frontierSize = [&]() { return work.size() - workHead; };
+    // Compact tier: the visited set holds no bytes, so the frontier
+    // must carry full states until expansion. pending[n] is the
+    // state of work[workHead + n] — pushed and popped in lockstep.
+    std::deque<VState> pending;
 
     // Reusable successor scratch: one canonicalization buffer per
     // worker instead of a fresh VState per rule firing.
@@ -99,21 +106,35 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     VState next;
 
     auto estimate_memory = [&]() -> std::uint64_t {
-        // Arena payload + open-addressing table, measured not modeled.
+        // Arena payload + open-addressing table, measured not
+        // modeled — memoryBytes() counts exactly the hot regions
+        // (mmap'd slabs shed to the spill tier charge nothing) plus
+        // the delta tier's anchor index.
         std::uint64_t bytes = store.memoryBytes();
         if (tracing)
             bytes += parentIds.size() * sizeof(std::uint32_t) +
                      parentRules.size() * sizeof(std::uint32_t);
         bytes += frontierSize() * sizeof(std::uint32_t);
+        bytes += pending.size() * (ts.numVars() + sizeof(VState));
         // Serializing a snapshot buffers the whole image once more;
         // the limit must cover that transient or the checkpoint that
         // is meant to save the run OOMs it instead.
         if (ckptActive) {
             bytes += store.size() *
-                     (ts.numVars() + (tracing ? 16 : 0));
+                     ((compact ? store.compactBits() / 8
+                               : ts.numVars()) +
+                      (tracing ? 16 : 0));
             bytes += frontierSize() * (ts.numVars() + 12);
         }
         return bytes;
+    };
+
+    auto note_store = [&]() {
+        result.compactHashes = compact;
+        if (compact)
+            result.omissionProbability = compactOmissionProbability(
+                store.size(), store.compactBits());
+        result.spillSheds = store.spillSheds();
     };
 
     auto fail_invariants = [&](const VState &s) -> const char * {
@@ -153,28 +174,57 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         std::vector<std::uint32_t> depth;
         if (tracing)
             depth = compute_depths();
-        const std::vector<std::uint8_t> payload =
-            encodeExploreSnapshotStreamed(
+        auto linkAt = [&](std::uint64_t i) {
+            return ExploreSnapshot::Link{
+                parentIds[static_cast<std::size_t>(i)],
+                parentRules[static_cast<std::size_t>(i)],
+                depth[static_cast<std::size_t>(i)]};
+        };
+        std::vector<std::uint8_t> payload;
+        if (compact) {
+            // Version-2 layout: visited fingerprints + a frontier
+            // that carries its own bytes (only `pending` has them).
+            payload = encodeCompactExploreSnapshotStreamed(
+                meta, ts.numVars(), store.compactBits(),
+                [&](std::uint64_t i) {
+                    return store.hashAt(
+                        static_cast<std::uint32_t>(i));
+                },
+                linkAt, frontierSize(),
+                [&](std::uint64_t n) {
+                    const std::uint32_t id =
+                        work[workHead + static_cast<std::size_t>(n)];
+                    return std::tuple<std::uint64_t, std::uint32_t,
+                                      const std::uint8_t *>{
+                        id, tracing ? depth[id] : 0,
+                        pending[static_cast<std::size_t>(n)].data()};
+                });
+        } else {
+            // Version-1 full-state layout, whatever the tier: delta
+            // records are reconstructed on the way out, which is
+            // exactly what lets a snapshot taken under one tier
+            // resume under any other.
+            VState scratch;
+            payload = encodeExploreSnapshotStreamed(
                 meta, ts.numVars(),
-                [&](std::uint64_t i) {
-                    return store.at(static_cast<std::uint32_t>(i));
+                [&](std::uint64_t i) -> const std::uint8_t * {
+                    store.copyTo(static_cast<std::uint32_t>(i),
+                                 scratch);
+                    return scratch.data();
                 },
-                [&](std::uint64_t i) {
-                    return ExploreSnapshot::Link{
-                        parentIds[static_cast<std::size_t>(i)],
-                        parentRules[static_cast<std::size_t>(i)],
-                        depth[static_cast<std::size_t>(i)]};
-                },
-                frontierSize(),
+                linkAt, frontierSize(),
                 [&](std::uint64_t n) {
                     const std::uint32_t id =
                         work[workHead + static_cast<std::size_t>(n)];
                     return std::pair<std::uint64_t, std::uint32_t>{
                         id, tracing ? depth[id] : 0};
                 });
+        }
         std::string err;
         if (!writeSnapshotFile(ckptPath, SnapshotKind::Explore,
-                               fingerprint, payload, err)) {
+                               fingerprint, payload, err,
+                               compact ? kSnapshotVersionCompact
+                                       : kSnapshotVersionFull)) {
             neo_warn("checkpoint not written: ", err);
             return;
         }
@@ -186,21 +236,61 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     if (ckptActive && ckpt->resume && snapshotExists(ckptPath)) {
         std::vector<std::uint8_t> payload;
         std::string err;
+        unsigned version = kSnapshotVersionFull;
         if (!readSnapshotFile(ckptPath, SnapshotKind::Explore,
-                              fingerprint, payload, err))
+                              fingerprint, payload, err, &version))
             neo_fatal("cannot resume: ", err);
+        if (version == kSnapshotVersionCompact && !compact)
+            neo_fatal("cannot resume: ", ckptPath,
+                      ": snapshot was written by --compact-hashes "
+                      "(visited states are fingerprints only); "
+                      "resume with --compact-hashes");
         ExploreSnapshotMeta meta;
-        if (!decodeExploreSnapshotStreamed(
+        auto beginStates = [&](std::uint64_t nStates) {
+            store.reserve(nStates);
+            if (tracing && meta.hasLinks) {
+                parentIds.reserve(
+                    static_cast<std::size_t>(nStates));
+                parentRules.reserve(
+                    static_cast<std::size_t>(nStates));
+            }
+        };
+        auto onLink = [&](std::uint64_t,
+                          const ExploreSnapshot::Link &l) {
+            if (tracing && meta.hasLinks) {
+                parentIds.push_back(
+                    static_cast<std::uint32_t>(l.parent));
+                parentRules.push_back(l.rule);
+            }
+        };
+        auto onFrontier = [&](std::uint64_t id, std::uint32_t,
+                              const std::uint8_t *state) {
+            work.push_back(static_cast<std::uint32_t>(id));
+            if (compact)
+                pending.emplace_back(state, state + ts.numVars());
+        };
+        bool okDecode;
+        if (version == kSnapshotVersionCompact) {
+            unsigned hashBits = 0;
+            okDecode = decodeCompactExploreSnapshotStreamed(
+                payload, ts.numVars(), rules.size(), meta, hashBits,
+                beginStates,
+                [&](std::uint64_t, std::uint64_t lo,
+                    std::uint64_t hi) { store.insertHash(lo, hi); },
+                onLink, onFrontier, err);
+            if (okDecode && hashBits != store.compactBits())
+                neo_fatal("cannot resume: ", ckptPath, ": snapshot "
+                          "uses ",
+                          hashBits, "-bit fingerprints, this run ",
+                          store.compactBits(), "-bit");
+        } else {
+            // Full-state snapshot: re-interning encodes into
+            // WHATEVER tier this run uses — plain, delta and spill
+            // runs resume each other's snapshots freely (and a
+            // compact run can downgrade a full snapshot to hashes).
+            okDecode = decodeExploreSnapshotStreamed(
                 payload, ts.numVars(), rules.size(), meta,
-                [&](std::uint64_t nStates) {
-                    store.reserve(nStates);
-                    if (tracing && meta.hasLinks) {
-                        parentIds.reserve(
-                            static_cast<std::size_t>(nStates));
-                        parentRules.reserve(
-                            static_cast<std::size_t>(nStates));
-                    }
-                },
+                beginStates,
                 [&](std::uint64_t, const std::uint8_t *state) {
                     store.intern(state);
                     if (on_state) {
@@ -208,18 +298,9 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                         on_state(cur);
                     }
                 },
-                [&](std::uint64_t, const ExploreSnapshot::Link &l) {
-                    if (tracing && meta.hasLinks) {
-                        parentIds.push_back(
-                            static_cast<std::uint32_t>(l.parent));
-                        parentRules.push_back(l.rule);
-                    }
-                },
-                [&](std::uint64_t id, std::uint32_t,
-                    const std::uint8_t *) {
-                    work.push_back(static_cast<std::uint32_t>(id));
-                },
-                err))
+                onLink, onFrontier, err);
+        }
+        if (!okDecode)
             neo_fatal("cannot resume: ", ckptPath, ": ", err);
         baseSeconds = meta.elapsedSeconds;
         result.transitionsFired = meta.transitionsFired;
@@ -248,6 +329,8 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         if (on_state)
             on_state(init);
         work.push_back(0);
+        if (compact)
+            pending.push_back(init);
 
         if (const char *inv = fail_invariants(init)) {
             result.status = VerifStatus::InvariantViolated;
@@ -255,6 +338,7 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             result.badState = ts.describe(init);
             result.statesExplored = 1;
             result.seconds = elapsed();
+            note_store();
             return result;
         }
     }
@@ -277,9 +361,19 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
         }
         if (limits.maxMemoryBytes != 0) {
             std::uint64_t mem = estimate_memory();
+            if (mem > limits.maxMemoryBytes &&
+                store.spillEnabled()) {
+                // Memory-pressure ladder, first rung: shed the
+                // store's cold regions to disk. Data survives (it
+                // faults back on demand), so this happens BEFORE
+                // anything lossy — links are only shed, and EXCEEDED
+                // only returned, if disk alone cannot get us under.
+                store.shedCold();
+                mem = estimate_memory();
+            }
             if (mem > limits.maxMemoryBytes && ckptActive && tracing) {
-                // Memory pressure: snapshot what we have, then shed
-                // the predecessor links (the single largest optional
+                // Second rung: snapshot what we have, then shed the
+                // predecessor links (the single largest optional
                 // structure) and keep exploring without traces.
                 write_snapshot();
                 parentIds.clear();
@@ -316,7 +410,12 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                            static_cast<std::ptrdiff_t>(workHead));
             workHead = 0;
         }
-        store.copyTo(id, cur);
+        if (compact) {
+            cur = std::move(pending.front());
+            pending.pop_front();
+        } else {
+            store.copyTo(id, cur);
+        }
 
         bool any_enabled = false;
         for (std::size_t r = 0; r < rules.size(); ++r) {
@@ -329,7 +428,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             ++result.ruleFires[r];
             if (canon)
                 canon(next);
-            const auto [nid, inserted] = store.intern(next);
+            // The BFS parent is in hand — the delta tier encodes
+            // `next` as a diff against `cur` with zero extra reads.
+            const auto [nid, inserted] =
+                store.intern(next.data(), id, cur.data());
             if (!inserted)
                 continue;
             if (tracing) {
@@ -348,11 +450,14 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                 result.statesExplored = store.size();
                 result.seconds = elapsed();
                 result.memoryBytes = estimate_memory();
+                note_store();
                 if (ckptActive)
                     removeSnapshot(ckptPath);
                 return result;
             }
             work.push_back(nid);
+            if (compact)
+                pending.push_back(next);
         }
 
         if (detect_deadlock && !any_enabled) {
@@ -361,6 +466,7 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             result.statesExplored = store.size();
             result.seconds = elapsed();
             result.memoryBytes = estimate_memory();
+            note_store();
             if (ckptActive)
                 removeSnapshot(ckptPath);
             return result;
@@ -370,6 +476,7 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     result.statesExplored = store.size();
     result.seconds = elapsed();
     result.memoryBytes = estimate_memory();
+    note_store();
     // A finished fixpoint has nothing left to resume; only
     // interrupted and bound-exceeded runs keep their snapshot.
     if (ckptActive && result.status == VerifStatus::Verified)

@@ -50,6 +50,11 @@ struct ExploreLimits
      *  Interrupted), degrades gracefully under memory pressure, and
      *  can resume an earlier snapshot to the identical fixpoint. */
     const CheckpointConfig *checkpoint = nullptr;
+    /** State-store capacity tier (plain/delta/compact) and spill
+     *  configuration (state_store.hpp). With a spill dir set, the
+     *  memory-pressure ladder becomes: snapshot, shed cold store
+     *  regions to disk, shed trace links, and only then EXCEEDED. */
+    StoreTierOptions store = {};
 };
 
 /** Hash functor over state bytes, delegating to stateHash()
@@ -108,6 +113,16 @@ struct ExploreResult
     std::uint64_t checkpointsWritten = 0;
     /** Serialized size of the most recent snapshot, bytes. */
     std::uint64_t lastSnapshotBytes = 0;
+    /** The run used hash compaction: statesExplored counts DISTINCT
+     *  FINGERPRINTS, and a Verified verdict is only sound up to
+     *  omissionProbability. Callers must surface both. */
+    bool compactHashes = false;
+    /** Stern–Dill omission probability for this run's state count
+     *  and fingerprint width (0 outside compact mode). */
+    double omissionProbability = 0.0;
+    /** Store regions shed to the mmap cold tier (LRU evictions plus
+     *  memory-pressure sheds); 0 without --spill-dir. */
+    std::uint64_t spillSheds = 0;
 };
 
 /**

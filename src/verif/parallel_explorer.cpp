@@ -43,13 +43,16 @@ struct Shard
     std::vector<std::uint32_t> depthOf;
 };
 
-/** A frontier entry is just the packed id + BFS depth; the state
- *  bytes stay in the owning shard's arena and are re-read at
- *  expansion time (see the store's lock-free at() contract). */
+/** A frontier entry is the packed id + BFS depth; the state bytes
+ *  stay in the owning shard's arena and are re-read at expansion
+ *  time (see the store's lock-free copyTo() contract) — EXCEPT under
+ *  hash compaction, where the arena has no bytes and the item must
+ *  carry the full state until it is expanded. */
 struct WorkItem
 {
     std::uint64_t id = 0;
     std::uint32_t depth = 0;
+    VState state; ///< populated only in compact mode
 };
 
 /** Mutex-guarded queue over a flat vector (items are 16-byte PODs
@@ -149,10 +152,22 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     double baseSeconds = 0.0;
 
     const std::uint64_t presize = explorePresizeHint(limits);
+    // Per-shard tier options: the spill hot budget is a PROCESS
+    // budget, so each of the 64 shard stores gets its slice.
+    StoreTierOptions shardOpts = limits.store;
+    if (!shardOpts.spillDir.empty()) {
+        const std::uint64_t totalHot = shardOpts.hotBytes != 0
+                                           ? shardOpts.hotBytes
+                                           : (256ULL << 20);
+        shardOpts.hotBytes =
+            std::max<std::uint64_t>(totalHot / kShardCount, 1 << 16);
+    }
+    const bool compact =
+        shardOpts.tier == StoreTier::Compact;
     std::vector<Shard> shards(kShardCount);
     for (auto &sh : shards)
         sh.store = std::make_unique<StateStore>(
-            numVars, presize / kShardCount);
+            numVars, presize / kShardCount, nullptr, shardOpts);
     std::vector<WorkQueue> queues(nthreads);
     if (presize != 0) {
         for (auto &q : queues)
@@ -210,9 +225,13 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     auto estimate_memory = [&]() -> std::uint64_t {
         const bool tracing = traceOn.load(std::memory_order_relaxed);
         const std::uint64_t per_trace = tracing ? 16 : 0;
-        const std::uint64_t per_frontier = sizeof(WorkItem);
+        const std::uint64_t per_frontier =
+            sizeof(WorkItem) + (compact ? numVars : 0);
         const std::uint64_t per_ckpt_state =
-            ckptActive ? numVars + (tracing ? 16 : 0) : 0;
+            ckptActive ? (compact ? shardOpts.compactBits / 8
+                                  : numVars) +
+                             (tracing ? 16 : 0)
+                       : 0;
         const std::uint64_t per_ckpt_frontier =
             ckptActive ? numVars + 12 : 0;
         const std::uint64_t structural =
@@ -224,6 +243,46 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                inFlight.load(std::memory_order_relaxed) *
                    (per_frontier + per_ckpt_frontier) +
                structural;
+    };
+
+    // Memory-pressure rung 1 (lossless): shed every shard store's
+    // cold mmap regions to disk and re-measure. Serialized by shedMu
+    // so racing workers don't stampede the 64 shard locks; the
+    // re-check under the lock turns followers into no-ops. @return
+    // true when the estimate is back under the budget.
+    std::mutex shedMu;
+    auto try_shed = [&]() -> bool {
+        if (limits.store.spillDir.empty())
+            return false;
+        std::lock_guard<std::mutex> sg(shedMu);
+        if (estimate_memory() <= limits.maxMemoryBytes)
+            return true; // another worker already shed
+        std::uint64_t total = 0;
+        for (auto &sh : shards) {
+            std::lock_guard<std::mutex> g(sh.mu);
+            sh.store->shedCold();
+            total += sh.store->memoryBytes();
+        }
+        storeBytes.store(total, std::memory_order_relaxed);
+        return estimate_memory() <= limits.maxMemoryBytes;
+    };
+
+    // Stamp the tier-dependent result fields; every return path
+    // funnels through this so compact verdicts always carry their
+    // omission probability and spill runs their shed count.
+    auto note_store = [&]() {
+        std::uint64_t visited = 0;
+        std::uint64_t sheds = 0;
+        for (const Shard &s : shards) {
+            visited += s.store->size();
+            sheds += s.store->spillSheds();
+        }
+        result.spillSheds = sheds;
+        if (compact) {
+            result.compactHashes = true;
+            result.omissionProbability = compactOmissionProbability(
+                visited, shardOpts.compactBits);
+        }
     };
 
     auto failing_invariant = [&](const VState &s) -> int {
@@ -312,39 +371,74 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             return sh;
         };
 
-        std::vector<std::pair<std::uint64_t, std::uint32_t>> frontier;
-        for (auto &q : queues) {
-            q.forEach([&](const WorkItem &w) {
-                frontier.emplace_back(dense(w.id), w.depth);
-            });
-        }
+        auto linkAt = [&](std::uint64_t i) {
+            const std::size_t sh = shardOf(i);
+            const auto local =
+                static_cast<std::size_t>(i - prefix[sh]);
+            const std::uint32_t depth = shards[sh].depthOf[local];
+            return ExploreSnapshot::Link{
+                depth == 0 ? 0 : dense(shards[sh].parents[local]),
+                shards[sh].ruleOf[local], depth};
+        };
 
-        const std::vector<std::uint8_t> payload =
-            encodeExploreSnapshotStreamed(
-                meta, numVars,
+        std::vector<std::uint8_t> payload;
+        if (compact) {
+            // Compact frontier items carry their own bytes (the
+            // arenas have none); copy them out while forEach holds
+            // each queue's lock.
+            std::vector<ExploreSnapshot::FrontierItem> frontier;
+            for (auto &q : queues) {
+                q.forEach([&](const WorkItem &w) {
+                    ExploreSnapshot::FrontierItem fi;
+                    fi.id = dense(w.id);
+                    fi.depth = w.depth;
+                    fi.state = w.state;
+                    frontier.push_back(std::move(fi));
+                });
+            }
+            payload = encodeCompactExploreSnapshotStreamed(
+                meta, numVars, shardOpts.compactBits,
                 [&](std::uint64_t i) {
                     const std::size_t sh = shardOf(i);
-                    return shards[sh].store->at(
+                    return shards[sh].store->hashAt(
                         static_cast<std::uint32_t>(i - prefix[sh]));
                 },
-                [&](std::uint64_t i) {
+                linkAt, frontier.size(),
+                [&](std::uint64_t n) {
+                    const auto &fi =
+                        frontier[static_cast<std::size_t>(n)];
+                    return std::tuple<std::uint64_t, std::uint32_t,
+                                      const std::uint8_t *>{
+                        fi.id, fi.depth, fi.state.data()};
+                });
+        } else {
+            std::vector<std::pair<std::uint64_t, std::uint32_t>>
+                frontier;
+            for (auto &q : queues) {
+                q.forEach([&](const WorkItem &w) {
+                    frontier.emplace_back(dense(w.id), w.depth);
+                });
+            }
+            VState scratch;
+            payload = encodeExploreSnapshotStreamed(
+                meta, numVars,
+                [&](std::uint64_t i) -> const std::uint8_t * {
                     const std::size_t sh = shardOf(i);
-                    const auto local =
-                        static_cast<std::size_t>(i - prefix[sh]);
-                    const std::uint32_t depth =
-                        shards[sh].depthOf[local];
-                    return ExploreSnapshot::Link{
-                        depth == 0 ? 0
-                                   : dense(shards[sh].parents[local]),
-                        shards[sh].ruleOf[local], depth};
+                    shards[sh].store->copyTo(
+                        static_cast<std::uint32_t>(i - prefix[sh]),
+                        scratch);
+                    return scratch.data();
                 },
-                frontier.size(),
+                linkAt, frontier.size(),
                 [&](std::uint64_t n) {
                     return frontier[static_cast<std::size_t>(n)];
                 });
+        }
         std::string err;
         if (!writeSnapshotFile(ckptPath, SnapshotKind::Explore,
-                               fingerprint, payload, err)) {
+                               fingerprint, payload, err,
+                               compact ? kSnapshotVersionCompact
+                                       : kSnapshotVersionFull)) {
             neo_warn("checkpoint not written: ", err);
             return;
         }
@@ -356,9 +450,15 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     if (ckptActive && ckpt->resume && snapshotExists(ckptPath)) {
         std::vector<std::uint8_t> payload;
         std::string err;
+        unsigned version = kSnapshotVersionFull;
         if (!readSnapshotFile(ckptPath, SnapshotKind::Explore,
-                              fingerprint, payload, err))
+                              fingerprint, payload, err, &version))
             neo_fatal("cannot resume: ", err);
+        if (version == kSnapshotVersionCompact && !compact)
+            neo_fatal("cannot resume: ", ckptPath,
+                      ": snapshot was written by --compact-hashes "
+                      "(visited states are fingerprints only); "
+                      "resume with --compact-hashes");
         ExploreSnapshotMeta meta;
         // Pass 1 (onState): shard-major reinsertion; the shard of a
         // state is a pure hash, so each lands where the writer had
@@ -371,20 +471,65 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
         bool tracing = false;
         std::uint64_t nq = 0;
         VState scratch;
-        if (!decodeExploreSnapshotStreamed(
-                payload, numVars, rules.size(), meta,
-                [&](std::uint64_t nStates) {
-                    tracing = keep_trace && meta.hasLinks;
-                    denseToPacked.resize(
-                        static_cast<std::size_t>(nStates));
-                    for (auto &sh : shards)
-                        sh.store->reserve(nStates / kShardCount);
+        auto beginStates = [&](std::uint64_t nStates) {
+            tracing = keep_trace && meta.hasLinks;
+            denseToPacked.resize(static_cast<std::size_t>(nStates));
+            for (auto &sh : shards)
+                sh.store->reserve(nStates / kShardCount);
+        };
+        auto onLink = [&](std::uint64_t id,
+                          const ExploreSnapshot::Link &l) {
+            if (!tracing)
+                return;
+            const std::size_t sh =
+                denseToPacked[static_cast<std::size_t>(id)] >> 32;
+            shards[sh].parents.push_back(
+                denseToPacked[static_cast<std::size_t>(l.parent)]);
+            shards[sh].ruleOf.push_back(l.rule);
+            shards[sh].depthOf.push_back(l.depth);
+        };
+        auto onFrontier = [&](std::uint64_t id, std::uint32_t depth,
+                              const std::uint8_t *state) {
+            WorkItem w;
+            w.id = denseToPacked[static_cast<std::size_t>(id)];
+            w.depth = depth;
+            if (compact)
+                w.state.assign(state, state + numVars);
+            queues[nq++ % nthreads].push(std::move(w));
+        };
+        bool okDecode;
+        if (version == kSnapshotVersionCompact) {
+            unsigned hashBits = 0;
+            okDecode = decodeCompactExploreSnapshotStreamed(
+                payload, numVars, rules.size(), meta, hashBits,
+                beginStates,
+                [&](std::uint64_t id, std::uint64_t lo,
+                    std::uint64_t hi) {
+                    // Shard selection must match the worker loop's
+                    // (low hash bits), so the fingerprint re-lands
+                    // in the shard that owned it.
+                    const std::size_t sh = lo & (kShardCount - 1);
+                    const std::uint32_t local =
+                        shards[sh].store->insertHash(lo, hi).first;
+                    denseToPacked[static_cast<std::size_t>(id)] =
+                        packId(sh, local);
                 },
+                onLink, onFrontier, err);
+            if (okDecode && hashBits != shardOpts.compactBits)
+                neo_fatal("cannot resume: ", ckptPath, ": snapshot "
+                          "uses ",
+                          hashBits, "-bit fingerprints, this run ",
+                          shardOpts.compactBits, "-bit");
+        } else {
+            okDecode = decodeExploreSnapshotStreamed(
+                payload, numVars, rules.size(), meta, beginStates,
                 [&](std::uint64_t id, const std::uint8_t *state) {
                     const std::uint64_t h = stateHash(state, numVars);
                     const std::size_t sh = h & (kShardCount - 1);
                     const std::uint32_t local =
-                        shards[sh].store->internHashed(state, h).first;
+                        shards[sh]
+                            .store->internHashed(state, h)
+                            .first;
                     denseToPacked[static_cast<std::size_t>(id)] =
                         packId(sh, local);
                     if (on_state) {
@@ -392,25 +537,9 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                         on_state(scratch);
                     }
                 },
-                [&](std::uint64_t id, const ExploreSnapshot::Link &l) {
-                    if (!tracing)
-                        return;
-                    const std::size_t sh =
-                        denseToPacked[static_cast<std::size_t>(id)] >>
-                        32;
-                    shards[sh].parents.push_back(
-                        denseToPacked[static_cast<std::size_t>(
-                            l.parent)]);
-                    shards[sh].ruleOf.push_back(l.rule);
-                    shards[sh].depthOf.push_back(l.depth);
-                },
-                [&](std::uint64_t id, std::uint32_t depth,
-                    const std::uint8_t *) {
-                    queues[nq++ % nthreads].push(WorkItem{
-                        denseToPacked[static_cast<std::size_t>(id)],
-                        depth});
-                },
-                err))
+                onLink, onFrontier, err);
+        }
+        if (!okDecode)
             neo_fatal("cannot resume: ", ckptPath, ": ", err);
         baseSeconds = meta.elapsedSeconds;
         transitionsTotal.store(meta.transitionsFired,
@@ -458,10 +587,14 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                 invs[static_cast<std::size_t>(inv)].name;
             result.badState = ts.describe(init);
             result.statesExplored = 1;
+            note_store();
             result.seconds = elapsed();
             return result;
         }
-        queues[0].push(WorkItem{initId, 0});
+        WorkItem seed{initId, 0, {}};
+        if (compact)
+            seed.state = init;
+        queues[0].push(std::move(seed));
         inFlight.store(1, std::memory_order_relaxed);
     }
 
@@ -487,6 +620,10 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             elapsed() - lastCkptSeconds >= ckpt->everySeconds;
         const bool memBound = limits.maxMemoryBytes != 0;
         std::uint64_t mem = memBound ? estimate_memory() : 0;
+        // Ladder rung 1 (lossless, no snapshot needed): shed cold
+        // store regions to disk before escalating to a rendezvous.
+        if (memBound && mem > limits.maxMemoryBytes && try_shed())
+            mem = estimate_memory();
         const bool wantMemory =
             memBound && (mem > limits.maxMemoryBytes ||
                          (!nearLimitSnapshotDone &&
@@ -514,6 +651,10 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             report_interrupted();
         } else if (memBound) {
             mem = estimate_memory();
+            // Rung 1 again post-snapshot (the snapshot buffer may
+            // have paged regions back in), then the lossy rung.
+            if (mem > limits.maxMemoryBytes && try_shed())
+                mem = estimate_memory();
             if (mem > limits.maxMemoryBytes &&
                 traceOn.load(std::memory_order_relaxed)) {
                 // Shed the predecessor links — exact counts survive,
@@ -577,7 +718,8 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                     limits.maxStates ||
                 elapsed() > limits.maxSeconds ||
                 (!ckptActive && limits.maxMemoryBytes != 0 &&
-                 estimate_memory() > limits.maxMemoryBytes)) {
+                 estimate_memory() > limits.maxMemoryBytes &&
+                 !try_shed())) {
                 report_limit();
                 inFlight.fetch_sub(1, std::memory_order_release);
                 break;
@@ -585,9 +727,15 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             // The popped id was published through a queue mutex after
             // its bytes were interned under the owning shard's mutex,
             // so this lock-free arena read is happens-after the write.
-            shards[item.id >> 32].store->copyTo(
-                static_cast<std::uint32_t>(item.id & 0xffffffffULL),
-                cur);
+            // Compact stores hold fingerprints only; the bytes ride
+            // in the work item instead.
+            if (compact)
+                cur = std::move(item.state);
+            else
+                shards[item.id >> 32].store->copyTo(
+                    static_cast<std::uint32_t>(item.id &
+                                               0xffffffffULL),
+                    cur);
             bool any_enabled = false;
             for (std::size_t r = 0; r < rules.size(); ++r) {
                 if (stop.load(std::memory_order_relaxed))
@@ -611,9 +759,19 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                     std::lock_guard<std::mutex> g(shards[sh].mu);
                     const std::uint64_t before =
                         shards[sh].store->memoryBytes();
+                    // The BFS parent is only a valid delta base when
+                    // it lives in this shard (delta records reference
+                    // a local arena id); cross-shard successors fall
+                    // back to the store's own last-interned base.
                     const auto [lid, ins] =
-                        shards[sh].store->internHashed(next.data(),
-                                                       h);
+                        (item.id >> 32) == sh
+                            ? shards[sh].store->internHashed(
+                                  next.data(), h,
+                                  static_cast<std::uint32_t>(
+                                      item.id & 0xffffffffULL),
+                                  cur.data())
+                            : shards[sh].store->internHashed(
+                                  next.data(), h);
                     inserted = ins;
                     local = lid;
                     if (ins &&
@@ -641,7 +799,10 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                     continue; // bad states are not expanded
                 }
                 inFlight.fetch_add(1, std::memory_order_relaxed);
-                queues[wid].push(WorkItem{nid, item.depth + 1});
+                WorkItem w{nid, item.depth + 1, {}};
+                if (compact)
+                    w.state = next;
+                queues[wid].push(std::move(w));
             }
             if (detect_deadlock && !any_enabled)
                 report_deadlock(cur);
@@ -681,6 +842,7 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     result.statesExplored = visited;
     result.memoryBytes = estimate_memory();
     result.degradedTrace = degradedTrace;
+    note_store();
 
     result.status = termStatus;
     if (termStatus == VerifStatus::InvariantViolated) {

@@ -74,6 +74,11 @@ RandomWalkExplorer::run() const
     const auto &invs = ts_.invariants();
     const auto &canon = ts_.canonicalizer();
 
+    if (opt_.store.tier != StoreTier::Plain ||
+        !opt_.store.spillDir.empty())
+        neo_warn("random walk keeps no visited set; --store-tier/"
+                 "--compact-hashes/--spill-dir have no effect here");
+
     const CheckpointConfig *ckpt = opt_.checkpoint;
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
     const std::string ckptPath =

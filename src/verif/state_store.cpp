@@ -1,8 +1,17 @@
 #include "verif/state_store.hpp"
 
 #include <bit>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sim/logging.hpp"
 
 namespace neo
 {
@@ -19,34 +28,349 @@ log2Ceil(std::uint64_t n)
     return lg;
 }
 
+/** LEB128. Delta records are tiny (a few diffs against the BFS
+ *  parent), so byte-granular varints are where the tier's 10x+ comes
+ *  from; the decoder is branch-light because >1-byte values are rare
+ *  in practice (ids under 2^28 and gaps under 128). */
+std::size_t
+encodeVarint(std::uint64_t v, std::uint8_t *out)
+{
+    std::size_t n = 0;
+    while (v >= 0x80) {
+        out[n++] = static_cast<std::uint8_t>(v) | 0x80;
+        v >>= 7;
+    }
+    out[n++] = static_cast<std::uint8_t>(v);
+    return n;
+}
+
+std::uint64_t
+decodeVarint(const std::uint8_t *&p)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const std::uint8_t b = *p++;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if ((b & 0x80) == 0)
+            return v;
+        shift += 7;
+    }
+}
+
+/** Monotone file id for spill slabs: unique within the process even
+ *  when 64 parallel shards allocate concurrently-created stores. */
+std::uint64_t
+nextSpillSeq()
+{
+    static std::uint64_t seq = 0;
+    // Callers hold their shard lock, but two DIFFERENT stores may
+    // allocate at once; a relaxed atomic would do, yet plain
+    // __atomic keeps this header-free.
+    return __atomic_fetch_add(&seq, 1, __ATOMIC_RELAXED);
+}
+
 } // namespace
 
-StateStore::StateStore(std::size_t stride,
-                       std::uint64_t expectedStates, HashFn hash)
-    : stride_(stride == 0 ? 1 : stride),
-      hash_(hash != nullptr ? hash : &stateHash)
+const char *
+storeTierName(StoreTier t)
 {
-    // First slab sized so the common small-model case fits in one
-    // slab; reserve() below may bump it before first use.
-    firstSlabLog2_ = 10;
+    switch (t) {
+    case StoreTier::Plain:
+        return "plain";
+    case StoreTier::Delta:
+        return "delta";
+    case StoreTier::Compact:
+        return "compact";
+    }
+    return "?";
+}
+
+double
+compactOmissionProbability(std::uint64_t states, unsigned bits)
+{
+    if (states < 2)
+        return 0.0;
+    // P(omission) = 1 - exp(-n(n-1) / 2^(bits+1)); long double keeps
+    // n^2 exact to 2^64 and expm1 keeps the tiny-p regime honest
+    // (1e-12 must not round to 0 in a report about unsoundness).
+    const long double n = static_cast<long double>(states);
+    const long double expected =
+        n * (n - 1.0L) * std::pow(0.5L, static_cast<int>(bits) + 1);
+    const long double p = -std::expm1(-expected);
+    return static_cast<double>(p);
+}
+
+StateStore::StateStore(std::size_t stride,
+                       std::uint64_t expectedStates, HashFn hash,
+                       const StoreTierOptions &opts)
+    : stride_(stride == 0 ? 1 : stride),
+      hash_(opts.hash != nullptr
+                ? opts.hash
+                : (hash != nullptr ? hash : &stateHash)),
+      tier_(opts.tier), compactBits_(opts.compactBits),
+      anchorEvery_(opts.anchorEvery), spill_(!opts.spillDir.empty()),
+      spillDir_(opts.spillDir),
+      hotBudget_(opts.hotBytes != 0 ? opts.hotBytes
+                                    : (256ULL << 20))
+{
+    if (compactBits_ != 64 && compactBits_ != 128)
+        neo_fatal("hash compaction supports 64 or 128 bit "
+                  "fingerprints, not ",
+                  compactBits_);
+    if (anchorEvery_ < 1)
+        anchorEvery_ = 1;
+    if (anchorEvery_ > 255)
+        anchorEvery_ = 255; // hop field is 8 bits
+
+    states_.elemSize = stride_;
+    index_.elemSize = 8;
+    hashes_.elemSize = compactBits_ == 128 ? 16 : 8;
+    bytes_.elemSize = 1;
+    // A delta record never exceeds stride_ + 16 bytes (bigger diffs
+    // fall back to an anchor), so the first byte slab must fit one.
+    bytes_.firstLog2 = 16;
+    if ((1ULL << bytes_.firstLog2) < stride_ + 16)
+        bytes_.firstLog2 = log2Ceil(stride_ + 16);
+
+    unsigned firstLog2 = 10;
     std::uint64_t cap = kMinCapacity;
     if (expectedStates > 0) {
         // 0.75 load factor: capacity > expected * 4/3.
         while (cap * 3 / 4 <= expectedStates)
             cap <<= 1;
-        firstSlabLog2_ = log2Ceil(expectedStates);
-        if (firstSlabLog2_ < 10)
-            firstSlabLog2_ = 10;
+        firstLog2 = log2Ceil(expectedStates);
+        if (firstLog2 < 10)
+            firstLog2 = 10;
     }
+    states_.firstLog2 = firstLog2;
+    index_.firstLog2 = firstLog2;
+    hashes_.firstLog2 = firstLog2;
+
+    // Create the spill dir BEFORE the first allocation (the probe
+    // table below is itself spillable) — one level, like mkdir(1)
+    // without -p, so "--spill-dir /tmp/spill" just works; a deeper
+    // missing path still falls back to heap with a warning at the
+    // first slab.
+    if (spill_)
+        ::mkdir(spillDir_.c_str(), 0700);
+
     lgCapacity_ = log2Ceil(cap);
-    capacity_ = cap;
-    table_.assign(capacity_, Slot{0, kNoId});
+    allocTable(cap);
+
+    if (tier_ == StoreTier::Delta) {
+        lastState_.reserve(stride_);
+        cmpBuf_.resize(stride_);
+    }
 }
 
 StateStore::~StateStore()
 {
-    for (unsigned k = 0; k < slabsAllocated_; ++k)
-        ::operator delete(slabs_[k]);
+    for (int r = 0; r < static_cast<int>(regions_.size()); ++r)
+        freeRegion(r);
+}
+
+// ---------------------------------------------------------------- //
+// Spill regions                                                    //
+// ---------------------------------------------------------------- //
+
+int
+StateStore::allocRegion(std::uint64_t bytes, bool spillable)
+{
+    Region reg;
+    reg.bytes = bytes;
+    if (spill_ && spillable) {
+        char name[64];
+        std::snprintf(name, sizeof name, "/neo-spill-%ld-%llu.slab",
+                      static_cast<long>(::getpid()),
+                      static_cast<unsigned long long>(
+                          nextSpillSeq()));
+        const std::string path = spillDir_ + name;
+        const int fd = ::open(path.c_str(),
+                              O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC,
+                              0600);
+        if (fd >= 0) {
+            void *p = MAP_FAILED;
+            if (::ftruncate(fd, static_cast<off_t>(bytes)) == 0)
+                p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                           MAP_SHARED, fd, 0);
+            // Unlink BEFORE first use: the kernel keeps the inode
+            // alive while mapped, and any death — SIGKILL mid-spill
+            // included — reclaims it. The spill dir can never
+            // accumulate partial slabs.
+            ::unlink(path.c_str());
+            ::close(fd);
+            if (p != MAP_FAILED) {
+                reg.ptr = static_cast<std::uint8_t *>(p);
+                reg.fileBacked = true;
+                hotSpillBytes_ += bytes;
+            }
+        }
+        if (!reg.fileBacked) {
+            static bool warned = false;
+            if (!warned) {
+                warned = true;
+                neo_warn("--spill-dir ", spillDir_,
+                         ": cannot create mmap slab; falling back "
+                         "to heap for this and further slabs");
+            }
+        }
+    }
+    if (reg.ptr == nullptr)
+        reg.ptr = static_cast<std::uint8_t *>(
+            ::operator new(static_cast<std::size_t>(bytes)));
+    const int id = static_cast<int>(regions_.size());
+    regions_.push_back(reg);
+    return id;
+}
+
+void
+StateStore::freeRegion(int r)
+{
+    Region &reg = regions_[static_cast<std::size_t>(r)];
+    if (reg.freed || reg.ptr == nullptr)
+        return;
+    if (reg.fileBacked) {
+        if (reg.hot)
+            hotSpillBytes_ -= reg.bytes;
+        ::munmap(reg.ptr, reg.bytes);
+    } else {
+        ::operator delete(reg.ptr);
+    }
+    reg.ptr = nullptr;
+    reg.freed = true;
+}
+
+void
+StateStore::shedRegion(int r)
+{
+    Region &reg = regions_[static_cast<std::size_t>(r)];
+    if (reg.freed || !reg.fileBacked || !reg.hot)
+        return;
+    // MADV_DONTNEED on a MAP_SHARED file mapping only drops this
+    // process's page-table entries: the data stays intact in the
+    // page cache (and the backing file) and faults back on the next
+    // read — which is why shedding is safe against the lock-free
+    // at()/copyTo() readers that may be touching the slab right now.
+    ::madvise(reg.ptr, reg.bytes, MADV_DONTNEED);
+    reg.hot = false;
+    hotSpillBytes_ -= reg.bytes;
+    ++spillSheds_;
+}
+
+void
+StateStore::maintainHotBudget(int keep)
+{
+    // Shed oldest-allocated first: geometric slabs mean the oldest
+    // regions are both the smallest and — under BFS locality — the
+    // least likely to be read again soon.
+    for (int r = 0;
+         hotSpillBytes_ > hotBudget_ &&
+         r < static_cast<int>(regions_.size());
+         ++r) {
+        if (r == keep)
+            continue;
+        shedRegion(r);
+    }
+}
+
+std::uint64_t
+StateStore::shedCold()
+{
+    if (!spill_)
+        return 0;
+    std::uint64_t shed = 0;
+    for (int r = 0; r < static_cast<int>(regions_.size()); ++r) {
+        const Region &reg = regions_[static_cast<std::size_t>(r)];
+        if (!reg.freed && reg.fileBacked && reg.hot) {
+            shedRegion(r);
+            ++shed;
+        }
+    }
+    return shed;
+}
+
+// ---------------------------------------------------------------- //
+// Arenas                                                           //
+// ---------------------------------------------------------------- //
+
+void
+StateStore::arenaGrow(Arena &a, bool spillable)
+{
+    const unsigned k = a.nSlabs;
+    if (k >= kMaxSlabs)
+        neo_fatal("state arena exhausted: 2^40+ elements");
+    const std::uint64_t elems = 1ULL << (a.firstLog2 + k);
+    const int r = allocRegion(elems * a.elemSize, spillable);
+    a.slabs[k] = regions_[static_cast<std::size_t>(r)].ptr;
+    a.regionOf[k] = r;
+    a.nSlabs = k + 1;
+    a.capacity += elems;
+    if (spill_)
+        maintainHotBudget(r);
+}
+
+std::uint64_t
+StateStore::arenaTouchedBytes(const Arena &a,
+                              std::uint64_t usedElems,
+                              bool hotOnly) const
+{
+    std::uint64_t bytes = 0;
+    for (unsigned k = 0; k < a.nSlabs; ++k) {
+        const std::uint64_t base = ((1ULL << k) - 1) << a.firstLog2;
+        if (base >= usedElems)
+            break;
+        const std::uint64_t elems = 1ULL << (a.firstLog2 + k);
+        const std::uint64_t touched =
+            usedElems - base < elems ? usedElems - base : elems;
+        const Region &reg =
+            regions_[static_cast<std::size_t>(a.regionOf[k])];
+        if (!hotOnly || !reg.fileBacked || reg.hot)
+            bytes += touched * a.elemSize;
+    }
+    return bytes;
+}
+
+// ---------------------------------------------------------------- //
+// Table                                                            //
+// ---------------------------------------------------------------- //
+
+void
+StateStore::allocTable(std::uint64_t capacity)
+{
+    const int r =
+        allocRegion(capacity * sizeof(Slot), /*spillable=*/true);
+    table_ = reinterpret_cast<Slot *>(
+        regions_[static_cast<std::size_t>(r)].ptr);
+    tableRegion_ = r;
+    capacity_ = capacity;
+    // All-ones bytes ⇒ every slot's id is kNoId (empty); fp is only
+    // read behind a non-empty id, so its garbage value is dead.
+    std::memset(table_, 0xff,
+                static_cast<std::size_t>(capacity * sizeof(Slot)));
+}
+
+void
+StateStore::growTable()
+{
+    const int oldRegion = tableRegion_;
+    const Slot *old = table_;
+    const std::uint64_t oldCap = capacity_;
+    ++lgCapacity_;
+    allocTable(oldCap << 1);
+    const std::size_t mask = static_cast<std::size_t>(capacity_) - 1;
+    for (std::uint64_t s = 0; s < oldCap; ++s) {
+        const Slot slot = old[s];
+        if (slot.id == kNoId)
+            continue;
+        std::size_t i = probeStart(slot.fp);
+        while (table_[i].id != kNoId)
+            i = (i + 1) & mask;
+        table_[i] = slot;
+    }
+    freeRegion(oldRegion);
+    if (spill_)
+        maintainHotBudget(tableRegion_);
 }
 
 void
@@ -54,11 +378,13 @@ StateStore::reserve(std::uint64_t expectedStates)
 {
     if (expectedStates == 0)
         return;
-    if (slabsAllocated_ == 0) {
-        unsigned lg = log2Ceil(expectedStates);
-        if (lg > firstSlabLog2_)
-            firstSlabLog2_ = lg;
-    }
+    const unsigned lg = log2Ceil(expectedStates);
+    if (states_.nSlabs == 0 && lg > states_.firstLog2)
+        states_.firstLog2 = lg;
+    if (index_.nSlabs == 0 && lg > index_.firstLog2)
+        index_.firstLog2 = lg;
+    if (hashes_.nSlabs == 0 && lg > hashes_.firstLog2)
+        hashes_.firstLog2 = lg;
     std::uint64_t cap = capacity_;
     while (cap * 3 / 4 <= expectedStates)
         cap <<= 1;
@@ -66,45 +392,298 @@ StateStore::reserve(std::uint64_t expectedStates)
         growTable();
 }
 
-std::uint32_t
-StateStore::pushState(const std::uint8_t *state)
+// ---------------------------------------------------------------- //
+// Tier payloads                                                    //
+// ---------------------------------------------------------------- //
+
+[[noreturn]] void
+StateStore::badTierAt() const
 {
-    if (size_ == arenaCapacity_) {
-        const unsigned k = slabsAllocated_;
-        const std::uint64_t slabStates = 1ULL
-                                         << (firstSlabLog2_ + k);
-        slabs_[k] = static_cast<std::uint8_t *>(
-            ::operator new(slabStates * stride_));
-        ++slabsAllocated_;
-        arenaCapacity_ += slabStates;
-    }
+    neo_fatal(tier_ == StoreTier::Compact
+                  ? "hash-compaction store holds no state bytes "
+                    "(at/copyTo unavailable)"
+                  : "delta-tier states must be read through "
+                    "copyTo(), not at()");
+}
+
+std::uint32_t
+StateStore::pushPlain(const std::uint8_t *state)
+{
+    if (size_ == states_.capacity)
+        arenaGrow(states_, /*spillable=*/true);
     const std::uint32_t id = static_cast<std::uint32_t>(size_);
-    std::memcpy(const_cast<std::uint8_t *>(at(id)), state, stride_);
+    std::memcpy(arenaPtr(states_, id), state, stride_);
     ++size_;
     return id;
 }
 
+std::uint32_t
+StateStore::pushDelta(const std::uint8_t *state,
+                      std::uint32_t baseId,
+                      const std::uint8_t *baseBytes)
+{
+    // Resolve the delta base: the caller's BFS parent when provided,
+    // else the previously interned state (the parallel explorer's
+    // cross-shard fallback — BFS locality makes consecutive interns
+    // near-neighbours too).
+    const std::uint8_t *bb = nullptr;
+    std::uint32_t bid = kNoId;
+    if (baseId != kNoId && baseBytes != nullptr && baseId < size_) {
+        bid = baseId;
+        bb = baseBytes;
+    } else if (lastId_ != kNoId) {
+        bid = lastId_;
+        bb = lastState_.data();
+    }
+
+    std::uint8_t enc[5 + 3 + 3 * 256];
+    static_assert(sizeof(enc) >= 5 + 3,
+                  "room for base id + diff count");
+    std::size_t encLen = 0;
+    unsigned hop = 0;
+    if (bb != nullptr) {
+        const unsigned baseHop = hopOf(bid);
+        if (baseHop < anchorEvery_) {
+            // Trial-encode; abandon for an anchor the moment the
+            // record stops paying for itself.
+            std::uint8_t diffs[3 * 256];
+            std::size_t dn = 0;
+            std::uint32_t nDiffs = 0;
+            std::size_t prev = 0;
+            bool fits = stride_ > 8; // tiny strides: anchors only
+            if (fits) {
+                for (std::size_t i = 0; i < stride_; ++i) {
+                    if (state[i] == bb[i])
+                        continue;
+                    if (dn + 4 > sizeof(diffs) ||
+                        dn + 12 >= stride_) {
+                        fits = false;
+                        break;
+                    }
+                    const std::uint64_t gap =
+                        nDiffs == 0 ? i : i - prev - 1;
+                    dn += encodeVarint(gap, diffs + dn);
+                    diffs[dn++] = state[i];
+                    prev = i;
+                    ++nDiffs;
+                }
+            }
+            if (fits) {
+                encLen = encodeVarint(bid, enc);
+                encLen += encodeVarint(nDiffs, enc + encLen);
+                std::memcpy(enc + encLen, diffs, dn);
+                encLen += dn;
+                if (encLen < stride_)
+                    hop = baseHop + 1;
+                else
+                    encLen = 0; // anchor wins after all
+            }
+        }
+    }
+
+    const std::uint64_t rec = hop != 0 ? encLen : stride_;
+    // Records never straddle a slab: pad to the next slab when the
+    // current one cannot fit this record (offsets stay monotone and
+    // a record is always contiguous for the lock-free readers).
+    for (;;) {
+        if (byteTail_ == bytes_.capacity) {
+            arenaGrow(bytes_, /*spillable=*/true);
+            continue;
+        }
+        const std::uint64_t q = (byteTail_ >> bytes_.firstLog2) + 1;
+        const unsigned k =
+            static_cast<unsigned>(std::bit_width(q)) - 1;
+        const std::uint64_t slabEnd =
+            (((1ULL << k) - 1) << bytes_.firstLog2) +
+            (1ULL << (bytes_.firstLog2 + k));
+        if (byteTail_ + rec <= slabEnd)
+            break;
+        byteTail_ = slabEnd;
+    }
+    std::uint8_t *dst = arenaPtr(bytes_, byteTail_);
+    std::memcpy(dst, hop != 0 ? enc : state,
+                static_cast<std::size_t>(rec));
+    const std::uint64_t offset = byteTail_;
+    byteTail_ += rec;
+
+    const std::uint32_t id = static_cast<std::uint32_t>(size_);
+    if (size_ == index_.capacity)
+        arenaGrow(index_, /*spillable=*/true);
+    const std::uint64_t entry = (offset << 8) | hop;
+    std::memcpy(arenaPtr(index_, id), &entry, 8);
+    ++size_;
+
+    lastState_.assign(state, state + stride_);
+    lastId_ = id;
+    return id;
+}
+
+unsigned
+StateStore::hopOf(std::uint32_t id) const
+{
+    if (tier_ != StoreTier::Delta || id >= size_)
+        return 0;
+    std::uint64_t entry;
+    std::memcpy(&entry, arenaPtr(index_, id), 8);
+    return static_cast<unsigned>(entry & 0xff);
+}
+
+void
+StateStore::reconstruct(std::uint32_t id, std::uint8_t *out) const
+{
+    // Walk the chain to the anchor (≤ anchorEvery_ hops), then apply
+    // the diffs newest-last. Every record on the chain was fully
+    // written before `id` was published, so lock-free reads see
+    // complete bytes.
+    std::uint64_t offs[256];
+    unsigned n = 0;
+    std::uint32_t cur = id;
+    for (;;) {
+        std::uint64_t entry;
+        std::memcpy(&entry, arenaPtr(index_, cur), 8);
+        offs[n++] = entry >> 8;
+        if ((entry & 0xff) == 0)
+            break;
+        const std::uint8_t *r = arenaPtr(bytes_, entry >> 8);
+        cur = static_cast<std::uint32_t>(decodeVarint(r));
+    }
+    std::memcpy(out, arenaPtr(bytes_, offs[n - 1]), stride_);
+    for (unsigned i = n - 1; i-- > 0;) {
+        const std::uint8_t *r = arenaPtr(bytes_, offs[i]);
+        decodeVarint(r); // base id, already consumed via the chain
+        const std::uint64_t nDiffs = decodeVarint(r);
+        std::size_t pos = 0;
+        for (std::uint64_t d = 0; d < nDiffs; ++d) {
+            const std::uint64_t gap = decodeVarint(r);
+            pos = d == 0 ? static_cast<std::size_t>(gap)
+                         : pos + static_cast<std::size_t>(gap) + 1;
+            out[pos] = *r++;
+        }
+    }
+}
+
+void
+StateStore::copyTo(std::uint32_t id, VState &out) const
+{
+    out.resize(stride_);
+    if (tier_ == StoreTier::Plain)
+        std::memcpy(out.data(), arenaPtr(states_, id), stride_);
+    else if (tier_ == StoreTier::Delta)
+        reconstruct(id, out.data());
+    else
+        badTierAt();
+}
+
+bool
+StateStore::equalsStored(std::uint32_t id,
+                         const std::uint8_t *state) const
+{
+    if (tier_ == StoreTier::Plain)
+        return std::memcmp(arenaPtr(states_, id), state, stride_) ==
+               0;
+    reconstruct(id, cmpBuf_.data());
+    return std::memcmp(cmpBuf_.data(), state, stride_) == 0;
+}
+
+std::uint32_t
+StateStore::pushCompact(std::uint64_t lo, std::uint64_t hi)
+{
+    if (size_ == hashes_.capacity)
+        arenaGrow(hashes_, /*spillable=*/true);
+    const std::uint32_t id = static_cast<std::uint32_t>(size_);
+    std::uint8_t *p = arenaPtr(hashes_, id);
+    std::memcpy(p, &lo, 8);
+    if (compactBits_ == 128)
+        std::memcpy(p + 8, &hi, 8);
+    ++size_;
+    return id;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+StateStore::hashAt(std::uint32_t id) const
+{
+    if (tier_ != StoreTier::Compact)
+        neo_fatal("hashAt() is a compact-tier accessor");
+    std::uint64_t lo = 0, hi = 0;
+    const std::uint8_t *p = arenaPtr(hashes_, id);
+    std::memcpy(&lo, p, 8);
+    if (compactBits_ == 128)
+        std::memcpy(&hi, p + 8, 8);
+    return {lo, hi};
+}
+
+// ---------------------------------------------------------------- //
+// Interning                                                        //
+// ---------------------------------------------------------------- //
+
+std::pair<std::uint32_t, bool>
+StateStore::insertHash(std::uint64_t lo, std::uint64_t hi)
+{
+    if (tier_ != StoreTier::Compact)
+        neo_fatal("insertHash() is a compact-tier entry point");
+    const std::uint32_t fp = static_cast<std::uint32_t>(lo >> 32);
+    const std::size_t mask =
+        static_cast<std::size_t>(capacity_) - 1;
+    std::size_t i = probeStart(fp);
+    std::size_t probes = 0;
+    for (;;) {
+        const Slot slot = table_[i];
+        if (slot.id == kNoId)
+            break;
+        if (slot.fp == fp) {
+            const auto [slo, shi] = hashAt(slot.id);
+            if (slo == lo && (compactBits_ == 64 || shi == hi))
+                return {slot.id, false};
+        }
+        i = (i + 1) & mask;
+        ++probes;
+    }
+    const std::uint32_t id = pushCompact(lo, hi);
+    table_[i] = Slot{fp, id};
+    unsigned bucket =
+        probes == 0
+            ? 0
+            : static_cast<unsigned>(std::bit_width(probes));
+    if (bucket >= kProbeBuckets)
+        bucket = kProbeBuckets - 1;
+    ++probeHist_[bucket];
+    if (size_ * 4 >= capacity_ * 3)
+        growTable();
+    return {id, true};
+}
+
 std::pair<std::uint32_t, bool>
 StateStore::internHashed(const std::uint8_t *state,
-                         std::uint64_t hash)
+                         std::uint64_t hash, std::uint32_t baseId,
+                         const std::uint8_t *baseBytes)
 {
+    if (tier_ == StoreTier::Compact) {
+        // Identity IS the fingerprint: two distinct states sharing
+        // 64/128 hash bits conflate here, by design. The caller owns
+        // reporting compactOmissionProbability().
+        const std::uint64_t hi = compactBits_ == 128
+                                     ? stateHash2(state, stride_)
+                                     : 0;
+        return insertHash(hash, hi);
+    }
     const std::uint32_t fp = static_cast<std::uint32_t>(hash >> 32);
     const std::size_t mask =
         static_cast<std::size_t>(capacity_) - 1;
     std::size_t i = probeStart(fp);
     std::size_t probes = 0;
     for (;;) {
-        Slot &slot = table_[i];
+        const Slot slot = table_[i];
         if (slot.id == kNoId)
             break;
-        if (slot.fp == fp &&
-            std::memcmp(at(slot.id), state, stride_) == 0) {
+        if (slot.fp == fp && equalsStored(slot.id, state))
             return {slot.id, false};
-        }
         i = (i + 1) & mask;
         ++probes;
     }
-    const std::uint32_t id = pushState(state);
+    const std::uint32_t id =
+        tier_ == StoreTier::Delta
+            ? pushDelta(state, baseId, baseBytes)
+            : pushPlain(state);
     table_[i] = Slot{fp, id};
 
     unsigned bucket =
@@ -120,32 +699,36 @@ StateStore::internHashed(const std::uint8_t *state,
     return {id, true};
 }
 
-void
-StateStore::growTable()
-{
-    const std::uint64_t newCap = capacity_ << 1;
-    std::vector<Slot> fresh(newCap, Slot{0, kNoId});
-    const std::size_t mask = static_cast<std::size_t>(newCap) - 1;
-    ++lgCapacity_;
-    for (const Slot &slot : table_) {
-        if (slot.id == kNoId)
-            continue;
-        std::size_t i = probeStart(slot.fp);
-        while (fresh[i].id != kNoId)
-            i = (i + 1) & mask;
-        fresh[i] = slot;
-    }
-    table_.swap(fresh);
-    capacity_ = newCap;
-}
-
 std::uint64_t
 StateStore::memoryBytes() const
 {
     std::uint64_t bytes = sizeof(StateStore);
-    bytes += size_ * stride_;                // touched arena bytes
-    bytes += std::uint64_t(slabsAllocated_) * 32; // allocator headers
-    bytes += capacity_ * sizeof(Slot);       // full table allocation
+    switch (tier_) {
+    case StoreTier::Plain:
+        bytes += arenaTouchedBytes(states_, size_, true);
+        break;
+    case StoreTier::Delta:
+        // Both the varint records AND the anchor index are charged —
+        // the index is 8 bytes/state, often bigger than the records
+        // themselves, and forgetting it once broke the ±5% bound.
+        bytes += arenaTouchedBytes(bytes_, byteTail_, true);
+        bytes += arenaTouchedBytes(index_, size_, true);
+        bytes += lastState_.capacity() + cmpBuf_.capacity();
+        break;
+    case StoreTier::Compact:
+        bytes += arenaTouchedBytes(hashes_, size_, true);
+        break;
+    }
+    const std::uint64_t nSlabs = states_.nSlabs + bytes_.nSlabs +
+                                 index_.nSlabs + hashes_.nSlabs;
+    bytes += nSlabs * 32; // allocator/bookkeeping headers
+    if (tableRegion_ >= 0) {
+        const Region &reg =
+            regions_[static_cast<std::size_t>(tableRegion_)];
+        if (!reg.fileBacked || reg.hot)
+            bytes += capacity_ * sizeof(Slot);
+    }
+    bytes += regions_.capacity() * sizeof(Region);
     return bytes;
 }
 

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +32,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "verif/checkpoint.hpp"
 #include "verif/explorer.hpp"
@@ -610,6 +614,295 @@ TEST_F(CheckpointTest, MemoryBoundHonoredWithinFivePercent)
         under.maxMemoryBytes = free.memoryBytes * 95 / 100;
         EXPECT_EQ(explore(ts, under, false, false).status,
                   VerifStatus::LimitExceeded);
+    }
+}
+
+// ----------------------------------------------------------------
+// Capacity tiers x checkpointing: the snapshot layout is canonical,
+// so the tier — like the thread count — is a per-run choice.
+// ----------------------------------------------------------------
+
+namespace
+{
+
+StoreTierOptions
+spillTier(const std::string &dir,
+          std::uint64_t hotBytes = 1ULL << 30)
+{
+    StoreTierOptions o;
+    o.tier = StoreTier::Delta;
+    o.spillDir = dir;
+    o.hotBytes = hotBytes;
+    return o;
+}
+
+/** Regular files left in @p dir (spill slabs are unlinked the moment
+ *  they are mapped, so a correct spill tier leaves zero). */
+std::size_t
+regularFilesIn(const std::string &dir)
+{
+    std::size_t n = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        n += e.is_regular_file() ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+TEST_F(CheckpointTest, SigkillMidSpillLeavesResumableState)
+{
+    // The crash story must hold while slabs live on disk: a child
+    // process exploring with periodic snapshots AND an active spill
+    // tier SIGKILLs itself mid-run (no destructors, no cleanup). The
+    // parent must find (a) a valid snapshot to resume from and (b) a
+    // spill dir with no stranded slab files — slabs are unlinked at
+    // map time, so the kernel reclaims them on any death.
+    ModelShape shape;
+    const TransitionSystem ts = buildGermanModel(4, shape);
+    const ExploreLimits ref_lim{2'000'000, 120.0};
+    const ExploreResult ref = explore(ts, ref_lim, false, true);
+    ASSERT_EQ(ref.status, VerifStatus::Verified);
+
+    TempDir ckptDir;
+    TempDir spillDir;
+    CheckpointConfig cfg;
+    cfg.dir = ckptDir.path();
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: spill eagerly (64 KB hot budget), snapshot every
+        // millisecond, pace the walk so the kill lands mid-run, and
+        // die WITHOUT unwinding once enough work is on disk.
+        CheckpointConfig childCfg = cfg;
+        childCfg.everySeconds = 0.001;
+        ExploreLimits lim = ref_lim;
+        lim.checkpoint = &childCfg;
+        lim.store = spillTier(spillDir.path(), 1ULL << 16);
+        std::uint64_t seen = 0;
+        explore(ts, lim, false, true, [&](const VState &) {
+            ::usleep(50);
+            if (++seen == 800)
+                ::raise(SIGKILL);
+        });
+        ::_exit(0); // not reached; the raise above is fatal
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    EXPECT_EQ(regularFilesIn(spillDir.path()), 0u)
+        << "SIGKILL stranded spill slabs on disk";
+    ASSERT_TRUE(snapshotExists(exploreSnapshotPath(cfg)))
+        << "no periodic snapshot survived the kill";
+
+    cfg.resume = true;
+    ExploreLimits lim = ref_lim;
+    lim.checkpoint = &cfg;
+    lim.store = spillTier(spillDir.path(), 1ULL << 16);
+    const ExploreResult r = explore(ts, lim, false, true);
+    EXPECT_TRUE(r.resumed);
+    EXPECT_GT(r.restoredStates, 0u);
+    expectSameFixpoint(r, ref);
+}
+
+TEST_F(CheckpointTest, CrossTierResume)
+{
+    // Full-state snapshots re-intern on resume, so the tier that
+    // WRITES a snapshot places no constraint on the tier that READS
+    // it: plain -> delta+spill, delta -> plain, spill -> delta, with
+    // a thread-count change thrown in (tier and mode are orthogonal).
+    ModelShape shape;
+    const TransitionSystem ts = buildGermanModel(4, shape);
+    const ExploreLimits lim{2'000'000, 120.0};
+    const ExploreResult ref = explore(ts, lim, false, true);
+    ASSERT_EQ(ref.status, VerifStatus::Verified);
+    const std::uint64_t s = ref.statesExplored;
+
+    TempDir spillDir;
+    const StoreTierOptions plain;
+    StoreTierOptions delta;
+    delta.tier = StoreTier::Delta;
+    const StoreTierOptions spill = spillTier(spillDir.path());
+
+    struct Leg
+    {
+        StoreTierOptions store;
+        unsigned threads;
+        std::uint64_t interruptAfter; // 0 = run to completion
+    };
+    const std::vector<std::vector<Leg>> schedules = {
+        {{plain, 1, s / 3}, {spill, 1, 0}},
+        {{delta, 1, s / 3}, {plain, 1, 0}},
+        {{spill, 1, s / 4}, {delta, 4, 0}}, // tier AND mode change
+        {{plain, 4, s / 3}, {delta, 1, 0}},
+    };
+    for (std::size_t k = 0; k < schedules.size(); ++k) {
+        SCOPED_TRACE("schedule " + std::to_string(k));
+        TempDir dir;
+        CheckpointConfig cfg;
+        cfg.dir = dir.path();
+        ExploreResult r;
+        for (std::size_t leg = 0; leg < schedules[k].size(); ++leg) {
+            clearInterruptRequest();
+            const Leg &L = schedules[k][leg];
+            cfg.resume = leg > 0;
+            ExploreLimits l = lim;
+            l.threads = L.threads;
+            l.checkpoint = &cfg;
+            l.store = L.store;
+            std::atomic<std::uint64_t> seen{0};
+            const std::uint64_t thresh =
+                L.interruptAfter == 0
+                    ? std::numeric_limits<std::uint64_t>::max()
+                    : L.interruptAfter;
+            r = explore(ts, l, false, true, [&](const VState &) {
+                if (seen.fetch_add(1, std::memory_order_relaxed) +
+                        1 >=
+                    thresh)
+                    requestInterrupt();
+            });
+            if (L.interruptAfter == 0)
+                break;
+            ASSERT_EQ(r.status, VerifStatus::Interrupted);
+        }
+        clearInterruptRequest();
+        expectSameFixpoint(r, ref);
+    }
+}
+
+TEST_F(CheckpointTest, CompactSnapshotRoundTripAndRefusals)
+{
+    // Hash-compacted runs checkpoint fingerprints plus a frontier
+    // that carries its own state bytes (fingerprints alone cannot
+    // regenerate successors). Such a snapshot resumes ONLY into a
+    // compact run with the same fingerprint width — anything else is
+    // a usage error, refused before any state is decoded.
+    ModelShape shape;
+    const TransitionSystem ts = buildGermanModel(4, shape);
+    StoreTierOptions compact;
+    compact.tier = StoreTier::Compact;
+    ExploreLimits lim{2'000'000, 120.0};
+    lim.store = compact;
+    const ExploreResult ref = explore(ts, lim, false, true);
+    ASSERT_EQ(ref.status, VerifStatus::Verified);
+    ASSERT_TRUE(ref.compactHashes);
+
+    TempDir dir;
+    CheckpointConfig cfg;
+    cfg.dir = dir.path();
+    ExploreLimits interrupted = lim;
+    interrupted.checkpoint = &cfg;
+    std::atomic<std::uint64_t> seen{0};
+    const ExploreResult mid =
+        explore(ts, interrupted, false, true, [&](const VState &) {
+            if (seen.fetch_add(1, std::memory_order_relaxed) + 1 >=
+                ref.statesExplored / 2)
+                requestInterrupt();
+        });
+    clearInterruptRequest();
+    ASSERT_EQ(mid.status, VerifStatus::Interrupted);
+    ASSERT_TRUE(snapshotExists(exploreSnapshotPath(cfg)));
+
+    // Refusal 1: resuming without --compact-hashes must die with a
+    // usage error naming the flag (EXPECT_EXIT forks, so the
+    // snapshot survives for the real resume below).
+    {
+        CheckpointConfig r = cfg;
+        r.resume = true;
+        ExploreLimits l{2'000'000, 120.0};
+        l.checkpoint = &r;
+        EXPECT_EXIT(explore(ts, l, false, true),
+                    ::testing::ExitedWithCode(2),
+                    "cannot resume.*--compact-hashes");
+    }
+    // Refusal 2: resuming with a different fingerprint width.
+    {
+        CheckpointConfig r = cfg;
+        r.resume = true;
+        ExploreLimits l = lim;
+        l.store.compactBits = 128;
+        l.checkpoint = &r;
+        EXPECT_EXIT(explore(ts, l, false, true),
+                    ::testing::ExitedWithCode(2),
+                    "cannot resume.*64-bit fingerprints");
+    }
+
+    // The genuine resume matches the uninterrupted compact run,
+    // including the reported omission probability.
+    cfg.resume = true;
+    ExploreLimits resumeLim = lim;
+    resumeLim.checkpoint = &cfg;
+    const ExploreResult r = explore(ts, resumeLim, false, true);
+    EXPECT_TRUE(r.resumed);
+    expectSameFixpoint(r, ref);
+    EXPECT_TRUE(r.compactHashes);
+    EXPECT_EQ(r.omissionProbability, ref.omissionProbability);
+}
+
+TEST_F(CheckpointTest, MemoryBoundHonoredWithinFivePercentDeltaTier)
+{
+    // The ±5% contract of MemoryBoundHonoredWithinFivePercent must
+    // survive the delta tier: the accounting counts the anchor/diff
+    // byte arena and the (offset|hop) index — not the plain arena —
+    // so the boundary sits at the DELTA footprint.
+    const TransitionSystem ts = chainSystem(200);
+    for (unsigned threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        TempDir dir;
+        CheckpointConfig cfg;
+        cfg.dir = dir.path();
+        ExploreLimits lim{1'024, 60.0};
+        lim.threads = threads;
+        lim.checkpoint = &cfg;
+        lim.store.tier = StoreTier::Delta;
+        const ExploreResult free = explore(ts, lim, false, false);
+        ASSERT_EQ(free.status, VerifStatus::Verified);
+        ASSERT_GT(free.memoryBytes, 0u);
+
+        ExploreLimits over = lim;
+        over.maxMemoryBytes = free.memoryBytes * 105 / 100;
+        EXPECT_EQ(explore(ts, over, false, false).status,
+                  VerifStatus::Verified);
+
+        ExploreLimits under = lim;
+        under.maxMemoryBytes = free.memoryBytes * 95 / 100;
+        EXPECT_EQ(explore(ts, under, false, false).status,
+                  VerifStatus::LimitExceeded);
+    }
+}
+
+TEST_F(CheckpointTest, SpillTierAbsorbsUnderBudgetPressure)
+{
+    // Same under-budget squeeze, but with a spill dir: the ladder's
+    // first rung (shed cold regions — lossless) must absorb the
+    // pressure that the delta test above shows is otherwise fatal.
+    // mmap'd hot regions ARE charged (the free-run footprint is
+    // nonzero and comparable to delta's); shedding un-charges them.
+    ModelShape shape;
+    const TransitionSystem ts = buildGermanModel(3, shape);
+    const ExploreResult ref = explore(ts, {2'000'000, 60.0});
+    ASSERT_EQ(ref.status, VerifStatus::Verified);
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        TempDir spillDir;
+        ExploreLimits lim{2'000'000, 60.0};
+        lim.threads = threads;
+        lim.store = spillTier(spillDir.path());
+        const ExploreResult free = explore(ts, lim, false, false);
+        ASSERT_EQ(free.status, VerifStatus::Verified);
+        ASSERT_GT(free.memoryBytes, 0u);
+        ASSERT_EQ(free.spillSheds, 0u);
+
+        ExploreLimits under = lim;
+        under.maxMemoryBytes = free.memoryBytes * 95 / 100;
+        const ExploreResult r = explore(ts, under, false, false);
+        EXPECT_EQ(r.status, VerifStatus::Verified);
+        EXPECT_GE(r.spillSheds, 1u);
+        EXPECT_EQ(r.statesExplored, ref.statesExplored);
+        EXPECT_EQ(r.transitionsFired, ref.transitionsFired);
     }
 }
 

@@ -10,12 +10,17 @@
  * immediately, and a limit-exceeded run must NEVER report a spurious
  * violation — its violatedInvariant and trace stay empty even on
  * models that do contain a reachable violation past the bound.
+ *
+ * Every boundary is checked under all three capacity tiers (plain,
+ * delta, compact): the tier changes how visited states are STORED,
+ * never where a bound trips or what a verdict says.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
+#include <tuple>
 
 #include "verif/explorer.hpp"
 #include "verif/models/mutants.hpp"
@@ -48,14 +53,18 @@ counterSystem(std::uint8_t max)
 
 constexpr std::uint64_t kReach = 10; // counterSystem(9)
 
+/** (worker threads, state-store tier). */
+using BoundaryParam = std::tuple<unsigned, StoreTier>;
+
 ExploreLimits
-limitsWith(unsigned threads)
+limitsWith(const BoundaryParam &p)
 {
     ExploreLimits lim;
-    lim.threads = threads;
+    lim.threads = std::get<0>(p);
     lim.maxStates = 1'000'000;
     lim.maxSeconds = 60.0;
     lim.maxMemoryBytes = 0;
+    lim.store.tier = std::get<1>(p);
     return lim;
 }
 
@@ -77,7 +86,8 @@ expectNoSpuriousViolation(const ExploreResult &r)
     EXPECT_TRUE(r.badState.empty());
 }
 
-class ExploreLimitsBoundary : public ::testing::TestWithParam<unsigned>
+class ExploreLimitsBoundary
+    : public ::testing::TestWithParam<BoundaryParam>
 {
 };
 
@@ -175,9 +185,13 @@ TEST_P(ExploreLimitsBoundary, ViolationBeatsSimultaneousLimit)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(SequentialAndParallel, ExploreLimitsBoundary,
-                         ::testing::Values(1u, 2u, 4u),
-                         [](const auto &info) {
-                             return "threads" +
-                                    std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    SequentialAndParallelAllTiers, ExploreLimitsBoundary,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(StoreTier::Plain,
+                                         StoreTier::Delta,
+                                         StoreTier::Compact)),
+    [](const auto &info) {
+        return "threads" + std::to_string(std::get<0>(info.param)) +
+               "_" + storeTierName(std::get<1>(info.param));
+    });

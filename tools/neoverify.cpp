@@ -53,6 +53,21 @@ usage()
         "  --threads N       exploration workers; >1 uses the sharded\n"
         "                    parallel explorer    (default 1)\n"
         "  --trace           print the counterexample, if any\n"
+        "capacity tiers (state-store scaling; see README):\n"
+        "  --store-tier T    plain | delta; delta stores each state as\n"
+        "                    a varint diff against its BFS parent with\n"
+        "                    periodic anchors    (default plain)\n"
+        "  --anchor-every K  delta anchor stride: any state rebuilds\n"
+        "                    in <= K chained diffs (default 8)\n"
+        "  --compact-hashes  store 64/128-bit fingerprints ONLY; a\n"
+        "                    verified verdict is probabilistic (the\n"
+        "                    omission probability is reported) and\n"
+        "                    --shrink/--parametric are refused\n"
+        "  --compact-bits B  fingerprint width, 64 or 128 (default 64)\n"
+        "  --spill-dir DIR   mmap cold store slabs under DIR; memory\n"
+        "                    pressure sheds them to disk before trace\n"
+        "                    links and long before EXCEEDED\n"
+        "  --spill-hot-bytes B  hot-slab LRU budget (default 256M)\n"
         "falsification (random walks instead of exhaustive search):\n"
         "  --walk            run seeded random walks, not reachability\n"
         "  --walks K         independent walks    (default 64)\n"
@@ -113,8 +128,11 @@ main(int argc, char **argv)
     bool want_trace = false;
     bool walk = false;
     bool shrink = false;
+    bool compact = false;
     WalkOptions wopt;
-    ExploreLimits lim{8'000'000, 600.0};
+    ExploreLimits lim;
+    lim.maxStates = 8'000'000;
+    lim.maxSeconds = 600.0;
     bool seed_given = false, walks_given = false, depth_given = false;
     CheckpointConfig ckpt;
     bool every_given = false;
@@ -162,6 +180,32 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             wopt.seed = parseU64OrDie(arg, next());
             seed_given = true;
+        } else if (arg == "--store-tier") {
+            const std::string t = next();
+            if (t == "plain")
+                lim.store.tier = StoreTier::Plain;
+            else if (t == "delta")
+                lim.store.tier = StoreTier::Delta;
+            else
+                neo_fatal("--store-tier must be plain or delta "
+                          "(hash compaction is --compact-hashes)");
+        } else if (arg == "--anchor-every") {
+            lim.store.anchorEvery =
+                static_cast<unsigned>(parseU64OrDie(arg, next()));
+            if (lim.store.anchorEvery == 0)
+                neo_fatal("--anchor-every needs a value >= 1");
+        } else if (arg == "--compact-hashes") {
+            compact = true;
+        } else if (arg == "--compact-bits") {
+            lim.store.compactBits =
+                static_cast<unsigned>(parseU64OrDie(arg, next()));
+            if (lim.store.compactBits != 64 &&
+                lim.store.compactBits != 128)
+                neo_fatal("--compact-bits must be 64 or 128");
+        } else if (arg == "--spill-dir") {
+            lim.store.spillDir = next();
+        } else if (arg == "--spill-hot-bytes") {
+            lim.store.hotBytes = parseU64OrDie(arg, next());
         } else if (arg == "--checkpoint-dir") {
             ckpt.dir = next();
         } else if (arg == "--checkpoint-every") {
@@ -186,6 +230,22 @@ main(int argc, char **argv)
             usage();
             return 2;
         }
+    }
+
+    // ---- capacity-tier setup ----
+    if (compact) {
+        lim.store.tier = StoreTier::Compact;
+        // Both refusals are soundness, not convenience: a shrink
+        // needs exact state identity, and a parametric cutoff proof
+        // built on probabilistic per-instance verdicts is no proof.
+        if (shrink)
+            neo_fatal("--shrink is incompatible with "
+                      "--compact-hashes: fingerprints cannot replay "
+                      "or minimize a trace soundly");
+        if (parametric)
+            neo_fatal("--parametric is incompatible with "
+                      "--compact-hashes: the cutoff argument needs "
+                      "exact (non-probabilistic) instance verdicts");
     }
 
     // ---- crash-safe checkpointing setup ----
@@ -300,6 +360,7 @@ main(int argc, char **argv)
 
     if (walk) {
         wopt.threads = lim.threads;
+        wopt.store = lim.store;
         const WalkResult w = walkExplore(ts, wopt);
         if (w.resumed)
             std::printf("resumed from checkpoint (%llu walk%s "
@@ -335,7 +396,8 @@ main(int argc, char **argv)
                         w.trace.size());
             if (shrink) {
                 const ShrinkResult sr = shrinkTrace(
-                    ts, w.trace, w.violatedInvariant);
+                    ts, w.trace, w.violatedInvariant, 50'000,
+                    lim.store);
                 std::printf("  shrunk: %zu -> %zu steps "
                             "(%llu replays)\n",
                             sr.rawLength, sr.shrunkLength,
@@ -369,6 +431,19 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.transitionsFired),
                 r.seconds,
                 static_cast<double>(r.memoryBytes) / (1024.0 * 1024.0));
+    if (lim.store.tier != StoreTier::Plain ||
+        !lim.store.spillDir.empty())
+        std::printf("  store tier: %s%s, %llu region sheds to disk\n",
+                    storeTierName(lim.store.tier),
+                    lim.store.spillDir.empty() ? "" : "+spill",
+                    static_cast<unsigned long long>(r.spillSheds));
+    if (r.compactHashes)
+        std::printf("  hash compaction (%u-bit): states counted by "
+                    "fingerprint; P(missed state) <= %.3g%s\n",
+                    lim.store.compactBits, r.omissionProbability,
+                    r.status == VerifStatus::Verified
+                        ? " — verified only up to that probability"
+                        : "");
     if (r.degradedTrace)
         std::printf("  memory pressure shed predecessor links: counts "
                     "are exact, no counterexample trace\n");
