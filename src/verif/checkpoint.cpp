@@ -1,3 +1,21 @@
+/**
+ * @file
+ * Snapshot file I/O, model fingerprinting and signal plumbing.
+ *
+ * Consistency contract with the parallel explorer's frontiers: a
+ * snapshot is only serialized at a pause rendezvous, when every
+ * worker is parked at the top of its loop holding no work item — so
+ * all in-flight work sits in the per-worker queues, and draining them
+ * (WorkQueue::forEach / SpillFrontier::forEach, which walks the
+ * lock-free ring AND its spill deque) together with the shard stores
+ * yields a consistent cut. The ring's forEach is only legal at such
+ * quiescent points (mpmc_ring.hpp); the rendezvous is what grants it.
+ *
+ * Model fingerprints cover the initial state bytes, variable names,
+ * rule names/kinds and invariant names — NOT the guard/effect
+ * representation — so declaring a rule in flat term form
+ * (transition_system.hpp) does not invalidate old snapshots.
+ */
 #include "checkpoint.hpp"
 
 #include <array>

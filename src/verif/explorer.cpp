@@ -71,6 +71,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
 
     const auto &canon = ts.canonicalizer();
     const auto &rules = ts.rules();
+    // Flat guard/effect tables: term-form rules fire as contiguous
+    // table scans, fallback rules through one raw function pointer —
+    // either way no per-firing std::function dispatch.
+    const CompiledRules comp(ts);
 
     const CheckpointConfig *ckpt = limits.checkpoint;
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
@@ -103,7 +107,16 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     // Reusable successor scratch: one canonicalization buffer per
     // worker instead of a fresh VState per rule firing.
     VState cur;
-    VState next;
+    // Batched firing scratch (shared shape with the parallel
+    // workers): all enabled rules fire into these reusable slots
+    // first, then one in-order process pass counts, interns and
+    // checks each successor. Counting in the PROCESS pass — not at
+    // generation — is what keeps every count bit-identical to the
+    // pre-batching engine: a violation at successor k leaves rules
+    // after k uncounted, exactly as when each rule was fired and
+    // checked inline.
+    std::vector<VState> batchBuf;
+    std::vector<std::uint32_t> batchRule;
 
     auto estimate_memory = [&]() -> std::uint64_t {
         // Arena payload + open-addressing table, measured not
@@ -139,6 +152,7 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
 
     auto fail_invariants = [&](const VState &s) -> const char * {
         for (const auto &inv : ts.invariants()) {
+            ++result.invariantChecks;
             if (!inv.check(s))
                 return inv.name.c_str();
         }
@@ -417,17 +431,58 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
             store.copyTo(id, cur);
         }
 
+        // Generate phase: fire every enabled rule into the batch
+        // scratch (guard, effect, canonicalize — no bookkeeping).
         bool any_enabled = false;
+        std::size_t batchN = 0;
         for (std::size_t r = 0; r < rules.size(); ++r) {
-            if (!rules[r].guard(cur))
+            if (!comp.guard(r, cur))
                 continue;
             any_enabled = true;
+            if (batchBuf.size() <= batchN) {
+                batchBuf.emplace_back();
+                batchRule.push_back(0);
+            }
+            VState &next = batchBuf[batchN];
             next = cur;
-            rules[r].effect(next);
-            ++result.transitionsFired;
-            ++result.ruleFires[r];
+            comp.effect(r, next);
             if (canon)
                 canon(next);
+            batchRule[batchN] = static_cast<std::uint32_t>(r);
+            ++batchN;
+        }
+
+        // Process phase, in rule order: count, intern, check.
+        for (std::size_t k = 0; k < batchN; ++k) {
+            if (store.size() >= limits.maxStates) {
+                // The bound holds mid-batch: stop at EXACTLY
+                // maxStates instead of letting this batch overshoot.
+                // Treat the item as never expanded — un-count the
+                // partial batch's firings and put the item back at
+                // the frontier head — so a resumed run re-expands it
+                // and reaches the uninterrupted run's exact counts
+                // (its already-interned successors just dedup).
+                result.transitionsFired -= k;
+                for (std::size_t j = 0; j < k; ++j)
+                    --result.ruleFires[batchRule[j]];
+                work.insert(work.begin() +
+                                static_cast<std::ptrdiff_t>(workHead),
+                            id);
+                if (compact)
+                    pending.push_front(cur);
+                if (ckptActive)
+                    write_snapshot();
+                result.status = VerifStatus::LimitExceeded;
+                result.statesExplored = store.size();
+                result.seconds = elapsed();
+                result.memoryBytes = estimate_memory();
+                note_store();
+                return result;
+            }
+            const std::uint32_t r = batchRule[k];
+            VState &next = batchBuf[k];
+            ++result.transitionsFired;
+            ++result.ruleFires[r];
             // The BFS parent is in hand — the delta tier encodes
             // `next` as a diff against `cur` with zero extra reads.
             const auto [nid, inserted] =
@@ -436,8 +491,7 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
                 continue;
             if (tracing) {
                 parentIds.push_back(id);
-                parentRules.push_back(
-                    static_cast<std::uint32_t>(r));
+                parentRules.push_back(r);
             }
             if (on_state)
                 on_state(next);

@@ -30,6 +30,19 @@ struct CheckpointConfig; // checkpoint.hpp
  *  visited tables and work queues accordingly. */
 inline constexpr std::uint64_t kDefaultMaxStates = 20'000'000;
 
+/** Parallel frontier implementation. Ring is the production path
+ *  (bounded lock-free MPMC rings + per-worker spill deques,
+ *  mpmc_ring.hpp); Mutex keeps the pre-ring mutex-guarded vector
+ *  queue alive as the A/B baseline BM_CheckerParallelScaling and the
+ *  CI ring-vs-mutex artifact compare against. Both reach the same
+ *  fixpoint (the differential suites run the contract; the frontier
+ *  only changes expansion order, which was already unordered). */
+enum class FrontierKind : std::uint8_t
+{
+    Ring = 0,
+    Mutex = 1,
+};
+
 struct ExploreLimits
 {
     std::uint64_t maxStates = kDefaultMaxStates;
@@ -55,6 +68,8 @@ struct ExploreLimits
      *  memory-pressure ladder becomes: snapshot, shed cold store
      *  regions to disk, shed trace links, and only then EXCEEDED. */
     StoreTierOptions store = {};
+    /** Parallel frontier implementation (ignored when threads <= 1). */
+    FrontierKind frontier = FrontierKind::Ring;
 };
 
 /** Hash functor over state bytes, delegating to stateHash()
@@ -102,6 +117,12 @@ struct ExploreResult
     /** Per-rule firing counts (indexed like ts.rules()); a zero for a
      *  feature-enabled rule means dead logic in the model. */
     std::vector<std::uint64_t> ruleFires;
+    /** Invariant predicate evaluations (a state checked against k
+     *  invariants before the first failure counts k). Deterministic
+     *  for the sequential engine — part of the golden fixtures — and
+     *  equal to statesExplored * |invariants| for any Verified run,
+     *  which the parallel differential suite asserts too. */
+    std::uint64_t invariantChecks = 0;
     /** The run was restored from a snapshot before exploring. */
     bool resumed = false;
     /** States restored from the snapshot (when resumed). */

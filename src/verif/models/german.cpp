@@ -78,129 +78,125 @@ buildGermanModel(std::size_t n, ModelShape &shape)
         }
     });
 
+    // Rules are declared in flat term form (transition_system.hpp)
+    // wherever the condition is a pure conjunction and the effect a
+    // plain assignment sequence, so the engines' CompiledRules tables
+    // fire them without std::function dispatch. Only sendInv keeps a
+    // lambda guard: its condition is a genuine disjunction.
+    using GOp = GuardTerm::Op;
+    auto v16 = [](std::size_t x) {
+        return static_cast<std::uint16_t>(x);
+    };
+    auto geq = [&](std::size_t var, std::uint8_t imm) {
+        return GuardTerm{v16(var), GOp::Eq, imm};
+    };
+    auto gne = [&](std::size_t var, std::uint8_t imm) {
+        return GuardTerm{v16(var), GOp::Ne, imm};
+    };
+    auto gle = [&](std::size_t var, std::uint8_t imm) {
+        return GuardTerm{v16(var), GOp::Le, imm};
+    };
+    auto eset = [&](std::size_t dst, std::uint8_t imm) {
+        return EffectTerm{v16(dst), EffectTerm::Op::Set, 0, imm};
+    };
+    auto ecopy = [&](std::size_t dst, std::size_t src) {
+        return EffectTerm{v16(dst), EffectTerm::Op::CopyVar, v16(src),
+                          0};
+    };
+
     for (std::size_t i = 0; i < n; ++i) {
         const LV me = L[i];
 
-        // Client requests.
-        ts.addRule(
-            "sendReqS_" + std::to_string(i), ActionKind::Internal,
-            [me](const VState &s) {
-                return s[me.st] == G_I && s[me.ch1] == GR_None;
-            },
-            [me](VState &s) { s[me.ch1] = GR_ReqS; });
-        ts.addRule(
-            "sendReqE_" + std::to_string(i), ActionKind::Internal,
-            [me](const VState &s) {
-                return (s[me.st] == G_I || s[me.st] == G_S) &&
-                       s[me.ch1] == GR_None;
-            },
-            [me](VState &s) { s[me.ch1] = GR_ReqE; });
+        // Client requests. I-or-S collapses to st <= G_S (the enum is
+        // ordered I < S < E), so sendReqE stays flat too.
+        ts.addRule("sendReqS_" + std::to_string(i),
+                   ActionKind::Internal,
+                   {geq(me.st, G_I), geq(me.ch1, GR_None)},
+                   {eset(me.ch1, GR_ReqS)});
+        ts.addRule("sendReqE_" + std::to_string(i),
+                   ActionKind::Internal,
+                   {gle(me.st, G_S), geq(me.ch1, GR_None)},
+                   {eset(me.ch1, GR_ReqE)});
 
-        // Home picks a request when idle.
-        ts.addRule(
-            "recvReq_" + std::to_string(i), ActionKind::Internal,
-            [me, curCmd](const VState &s) {
-                return s[curCmd] == GR_None && s[me.ch1] != GR_None;
-            },
-            [me, curCmd, curPtrValid, L, n](VState &s) {
-                s[curCmd] = s[me.ch1];
-                s[me.ch1] = GR_None;
-                for (std::size_t j = 0; j < n; ++j) {
-                    s[L[j].curPtr] = 0;
-                    // Snapshot the sharer set: only these clients are
-                    // invalidated for THIS command (real German's
-                    // InvSet; without it stale acks poison Exgntd).
-                    s[L[j].invSet] = s[L[j].shrSet];
-                }
-                s[me.curPtr] = 1;
-                s[curPtrValid] = 1;
-            });
+        // Home picks a request when idle. The effect sequence mirrors
+        // the statement order the lambda form had: latch the command
+        // BEFORE clearing the channel (CopyVar reads the current,
+        // partially updated state), clear every curPtr and snapshot
+        // the sharer set into the invalidate set — only those clients
+        // are invalidated for THIS command (real German's InvSet;
+        // without it stale acks poison Exgntd) — then point at me.
+        {
+            std::vector<EffectTerm> eff;
+            eff.push_back(ecopy(curCmd, me.ch1));
+            eff.push_back(eset(me.ch1, GR_None));
+            for (std::size_t j = 0; j < n; ++j) {
+                eff.push_back(eset(L[j].curPtr, 0));
+                eff.push_back(ecopy(L[j].invSet, L[j].shrSet));
+            }
+            eff.push_back(eset(me.curPtr, 1));
+            eff.push_back(eset(curPtrValid, 1));
+            ts.addRule("recvReq_" + std::to_string(i),
+                       ActionKind::Internal,
+                       {geq(curCmd, GR_None), gne(me.ch1, GR_None)},
+                       std::move(eff));
+        }
 
-        // Home sends invalidates to sharers when needed.
+        // Home sends invalidates to sharers when needed. The guard is
+        // a disjunction, so it stays a lambda; the effect is flat.
         ts.addRule(
             "sendInv_" + std::to_string(i), ActionKind::Internal,
-            [me, curCmd, exGntd](const VState &s) {
-                if (s[me.ch2] != GG_None || !s[me.invSet])
-                    return false;
-                return s[curCmd] == GR_ReqE ||
-                       (s[curCmd] == GR_ReqS && s[exGntd] == 1);
-            },
-            [me](VState &s) {
-                s[me.ch2] = GG_Inv;
-                s[me.invSet] = 0;
-            });
+            TransitionSystem::Guard(
+                [me, curCmd, exGntd](const VState &s) {
+                    if (s[me.ch2] != GG_None || !s[me.invSet])
+                        return false;
+                    return s[curCmd] == GR_ReqE ||
+                           (s[curCmd] == GR_ReqS && s[exGntd] == 1);
+                }),
+            {eset(me.ch2, GG_Inv), eset(me.invSet, 0)});
 
         // Client acknowledges the invalidate.
-        ts.addRule(
-            "recvInv_" + std::to_string(i), ActionKind::Internal,
-            [me](const VState &s) {
-                return s[me.ch2] == GG_Inv && s[me.ch3] == GA_None;
-            },
-            [me](VState &s) {
-                s[me.ch2] = GG_None;
-                s[me.st] = G_I;
-                s[me.ch3] = GA_InvAck;
-            });
+        ts.addRule("recvInv_" + std::to_string(i),
+                   ActionKind::Internal,
+                   {geq(me.ch2, GG_Inv), geq(me.ch3, GA_None)},
+                   {eset(me.ch2, GG_None), eset(me.st, G_I),
+                    eset(me.ch3, GA_InvAck)});
 
         // Home collects the ack.
-        ts.addRule(
-            "recvInvAck_" + std::to_string(i), ActionKind::Internal,
-            [me, curCmd](const VState &s) {
-                return s[me.ch3] == GA_InvAck && s[curCmd] != GR_None;
-            },
-            [me, exGntd](VState &s) {
-                s[me.ch3] = GA_None;
-                s[me.shrSet] = 0;
-                s[exGntd] = 0;
-            });
+        ts.addRule("recvInvAck_" + std::to_string(i),
+                   ActionKind::Internal,
+                   {geq(me.ch3, GA_InvAck), gne(curCmd, GR_None)},
+                   {eset(me.ch3, GA_None), eset(me.shrSet, 0),
+                    eset(exGntd, 0)});
 
-        // Home grants.
-        ts.addRule(
-            "sendGntS_" + std::to_string(i), ActionKind::Internal,
-            [me, curCmd, exGntd](const VState &s) {
-                return s[curCmd] == GR_ReqS && s[me.curPtr] &&
-                       s[exGntd] == 0 && s[me.ch2] == GG_None;
-            },
-            [me, curCmd, curPtrValid](VState &s) {
-                s[me.ch2] = GG_GntS;
-                s[me.shrSet] = 1;
-                s[curCmd] = GR_None;
-                s[curPtrValid] = 0;
-            });
-        ts.addRule(
-            "sendGntE_" + std::to_string(i), ActionKind::Internal,
-            [me, curCmd, exGntd, L, n](const VState &s) {
-                if (s[curCmd] != GR_ReqE || !s[me.curPtr] ||
-                    s[exGntd] != 0 || s[me.ch2] != GG_None)
-                    return false;
-                for (std::size_t j = 0; j < n; ++j)
-                    if (s[L[j].shrSet])
-                        return false;
-                return true;
-            },
-            [me, curCmd, curPtrValid, exGntd](VState &s) {
-                s[me.ch2] = GG_GntE;
-                s[me.shrSet] = 1;
-                s[exGntd] = 1;
-                s[curCmd] = GR_None;
-                s[curPtrValid] = 0;
-            });
+        // Home grants. sendGntE's "no sharers anywhere" quantifier
+        // unrolls into one Eq-zero term per leaf (n is fixed at build
+        // time), keeping the guard flat.
+        ts.addRule("sendGntS_" + std::to_string(i),
+                   ActionKind::Internal,
+                   {geq(curCmd, GR_ReqS), gne(me.curPtr, 0),
+                    geq(exGntd, 0), geq(me.ch2, GG_None)},
+                   {eset(me.ch2, GG_GntS), eset(me.shrSet, 1),
+                    eset(curCmd, GR_None), eset(curPtrValid, 0)});
+        {
+            std::vector<GuardTerm> g{
+                geq(curCmd, GR_ReqE), gne(me.curPtr, 0),
+                geq(exGntd, 0), geq(me.ch2, GG_None)};
+            for (std::size_t j = 0; j < n; ++j)
+                g.push_back(geq(L[j].shrSet, 0));
+            ts.addRule("sendGntE_" + std::to_string(i),
+                       ActionKind::Internal, std::move(g),
+                       {eset(me.ch2, GG_GntE), eset(me.shrSet, 1),
+                        eset(exGntd, 1), eset(curCmd, GR_None),
+                        eset(curPtrValid, 0)});
+        }
 
         // Client receives grants.
-        ts.addRule(
-            "recvGntS_" + std::to_string(i), ActionKind::Internal,
-            [me](const VState &s) { return s[me.ch2] == GG_GntS; },
-            [me](VState &s) {
-                s[me.ch2] = GG_None;
-                s[me.st] = G_S;
-            });
-        ts.addRule(
-            "recvGntE_" + std::to_string(i), ActionKind::Internal,
-            [me](const VState &s) { return s[me.ch2] == GG_GntE; },
-            [me](VState &s) {
-                s[me.ch2] = GG_None;
-                s[me.st] = G_E;
-            });
+        ts.addRule("recvGntS_" + std::to_string(i),
+                   ActionKind::Internal, {geq(me.ch2, GG_GntS)},
+                   {eset(me.ch2, GG_None), eset(me.st, G_S)});
+        ts.addRule("recvGntE_" + std::to_string(i),
+                   ActionKind::Internal, {geq(me.ch2, GG_GntE)},
+                   {eset(me.ch2, GG_None), eset(me.st, G_E)});
     }
 
     // The canonical German control property.

@@ -33,11 +33,13 @@ weakenGuard(TransitionSystem &ts, const std::string &rule,
 {
     auto &r = ruleOf(ts, rule);
     auto orig = std::move(r.guard);
-    r.guard = [orig, var, val](const VState &s) {
+    // overrideGuard (not plain assignment) so a rule declared in flat
+    // term form sheds its terms — CompiledRules must see the mutation.
+    r.overrideGuard([orig, var, val](const VState &s) {
         VState t = s;
         t[var] = val;
         return orig(t);
-    };
+    });
 }
 
 /** Effect mutation: run the original effect, then clear @p vars. */
@@ -47,11 +49,11 @@ clearAfterEffect(TransitionSystem &ts, const std::string &rule,
 {
     auto &r = ruleOf(ts, rule);
     auto orig = std::move(r.effect);
-    r.effect = [orig, vars](VState &s) {
+    r.overrideEffect([orig, vars](VState &s) {
         orig(s);
         for (const std::size_t v : vars)
             s[v] = 0;
-    };
+    });
 }
 
 /** Effect mutation: run the original effect as if @p vars were 0
@@ -62,7 +64,7 @@ blindEffectTo(TransitionSystem &ts, const std::string &rule,
 {
     auto &r = ruleOf(ts, rule);
     auto orig = std::move(r.effect);
-    r.effect = [orig, vars](VState &s) {
+    r.overrideEffect([orig, vars](VState &s) {
         std::vector<std::uint8_t> saved(vars.size());
         for (std::size_t k = 0; k < vars.size(); ++k) {
             saved[k] = s[vars[k]];
@@ -71,7 +73,7 @@ blindEffectTo(TransitionSystem &ts, const std::string &rule,
         orig(s);
         for (std::size_t k = 0; k < vars.size(); ++k)
             s[vars[k]] = saved[k];
-    };
+    });
 }
 
 /** Effect mutation: run the original effect, then restore @p var to
@@ -82,12 +84,12 @@ keepVarAcrossEffect(TransitionSystem &ts, const std::string &rule,
 {
     auto &r = ruleOf(ts, rule);
     auto orig = std::move(r.effect);
-    r.effect = [orig, var, when](VState &s) {
+    r.overrideEffect([orig, var, when](VState &s) {
         const std::uint8_t pre = s[var];
         orig(s);
         if (pre == when)
             s[var] = pre;
-    };
+    });
 }
 
 std::string
@@ -205,11 +207,11 @@ makeRegistry()
                     const std::size_t c =
                         ts.varIndex(leafVar(i, "c"));
                     auto orig = std::move(r.effect);
-                    r.effect = [orig, c](VState &s) {
+                    r.overrideEffect([orig, c](VState &s) {
                         const std::uint8_t pre = s[c];
                         orig(s);
                         s[c] = pre; // supplier keeps its copy
-                    };
+                    });
                 }
             }
             return ts;
@@ -283,8 +285,8 @@ makeRegistry()
             for (std::size_t i = 0; i < 3; ++i) {
                 auto &r = ruleOf(ts, "d_getM_" + std::to_string(i));
                 auto orig = std::move(r.effect);
-                r.effect = [orig, fwdPend, fw, ow, sh,
-                            rqst](VState &s) {
+                r.overrideEffect([orig, fwdPend, fw, ow, sh,
+                                  rqst](VState &s) {
                     orig(s);
                     if (!s[fwdPend])
                         return;
@@ -298,7 +300,7 @@ makeRegistry()
                             break;
                         }
                     }
-                };
+                });
             }
             return ts;
         }});

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "verif/checkpoint.hpp"
+#include "verif/mpmc_ring.hpp"
 #include "verif/state_store.hpp"
 
 namespace neo
@@ -26,6 +27,12 @@ constexpr std::size_t kShardCount = 64;
  *  memory estimate, so N queues' standing overhead counts against
  *  maxMemoryBytes even when nearly empty. */
 constexpr std::uint64_t kQueueSlackBytes = 4096;
+
+/** Per-worker MPMC ring capacity (cells). Sized so steady-state
+ *  frontier traffic stays inside the lock-free ring; bursts beyond it
+ *  overflow into the worker's mutex-guarded spill deque instead of
+ *  blocking the producer (mpmc_ring.hpp). */
+constexpr std::size_t kRingCapacity = 8192;
 
 /**
  * One slice of the visited set: states whose canonical hash folds to
@@ -55,12 +62,12 @@ struct WorkItem
     VState state; ///< populated only in compact mode
 };
 
-/** Mutex-guarded queue over a flat vector (items are 16-byte PODs
- *  now, so the deque's block machinery bought nothing). The owner
- *  consumes from the front (oldest first, keeping expansion
- *  approximately breadth-first, hence short counterexamples);
- *  thieves take from the back so they don't contend with the owner's
- *  end. */
+/** Mutex-guarded queue over a flat vector. The owner consumes from
+ *  the front (oldest first, keeping expansion approximately
+ *  breadth-first, hence short counterexamples); thieves take from the
+ *  back so they don't contend with the owner's end. This is the
+ *  pre-ring frontier, kept alive as FrontierKind::Mutex — the A/B
+ *  baseline the ring-vs-mutex bench artifact compares against. */
 class WorkQueue
 {
   public:
@@ -69,6 +76,10 @@ class WorkQueue
     {
         q_.reserve(n);
     }
+
+    /** Standing footprint beyond kQueueSlackBytes (none: the vector's
+     *  live items are charged per-frontier-item by the engine). */
+    std::uint64_t memoryBytes() const { return 0; }
 
     void
     push(WorkItem w)
@@ -120,18 +131,34 @@ class WorkQueue
     std::size_t head_ = 0;
 };
 
+/** The production frontier: a bounded lock-free MPMC ring with a
+ *  spill deque for overflow (default-constructible so the queue array
+ *  builds like WorkQueue's). Owner pops and thieves steal from the
+ *  same ring — the ring is FIFO, so expansion order stays
+ *  approximately breadth-first. */
+struct RingQueue : SpillFrontier<WorkItem>
+{
+    RingQueue() : SpillFrontier<WorkItem>(kRingCapacity) {}
+};
+
 inline std::uint64_t
 packId(std::size_t shard, std::uint32_t local)
 {
     return (static_cast<std::uint64_t>(shard) << 32) | local;
 }
 
-} // namespace
-
+/**
+ * The engine body, templated over the frontier queue so the ring and
+ * mutex frontiers compile to separate specializations with zero
+ * dispatch inside the worker loop (exploreParallel() below selects
+ * one from ExploreLimits::frontier).
+ */
+template <class Queue>
 ExploreResult
-exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
-                bool detect_deadlock, bool keep_trace,
-                const std::function<void(const VState &)> &on_state)
+exploreParallelImpl(const TransitionSystem &ts,
+                    const ExploreLimits &limits, bool detect_deadlock,
+                    bool keep_trace,
+                    const std::function<void(const VState &)> &on_state)
 {
     using Clock = std::chrono::steady_clock;
     const auto t0 = Clock::now();
@@ -142,6 +169,11 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     const auto &rules = ts.rules();
     const auto &canon = ts.canonicalizer();
     const auto &invs = ts.invariants();
+    // Flat guard/effect tables (transition_system.hpp): rule firing
+    // below goes through this instead of the per-rule std::function
+    // objects, eliminating virtual dispatch on the hot path. Built
+    // once here, shared read-only by every worker.
+    const CompiledRules comp(ts);
 
     const CheckpointConfig *ckpt = limits.checkpoint;
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
@@ -168,14 +200,20 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     for (auto &sh : shards)
         sh.store = std::make_unique<StateStore>(
             numVars, presize / kShardCount, nullptr, shardOpts);
-    std::vector<WorkQueue> queues(nthreads);
+    std::vector<Queue> queues(nthreads);
     if (presize != 0) {
         for (auto &q : queues)
             q.reserve(static_cast<std::size_t>(presize / nthreads));
     }
+    // Standing queue footprint (ring cell arrays + slack), fixed for
+    // the run, charged once in the memory estimate below.
+    std::uint64_t queueFixedBytes = 0;
+    for (const auto &q : queues)
+        queueFixedBytes += kQueueSlackBytes + q.memoryBytes();
 
     std::atomic<std::uint64_t> statesTotal{0};
     std::atomic<std::uint64_t> transitionsTotal{0};
+    std::atomic<std::uint64_t> invChecksTotal{0};
     std::vector<std::atomic<std::uint64_t>> ruleFires(rules.size());
     /** Aggregate arena + table footprint across shards, maintained by
      *  delta under each shard's mutex so the memory-bound check reads
@@ -236,7 +274,7 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             ckptActive ? numVars + 12 : 0;
         const std::uint64_t structural =
             kShardCount * (sizeof(Shard) + sizeof(StateStore)) +
-            static_cast<std::uint64_t>(nthreads) * kQueueSlackBytes;
+            queueFixedBytes;
         return storeBytes.load(std::memory_order_relaxed) +
                statesTotal.load(std::memory_order_relaxed) *
                    (per_trace + per_ckpt_state) +
@@ -286,11 +324,17 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     };
 
     auto failing_invariant = [&](const VState &s) -> int {
+        std::uint64_t n = 0;
+        int bad = -1;
         for (std::size_t i = 0; i < invs.size(); ++i) {
-            if (!invs[i].check(s))
-                return static_cast<int>(i);
+            ++n;
+            if (!invs[i].check(s)) {
+                bad = static_cast<int>(i);
+                break;
+            }
         }
-        return -1;
+        invChecksTotal.fetch_add(n, std::memory_order_relaxed);
+        return bad;
     };
 
     auto report_violation = [&](int inv, const VState &s,
@@ -587,6 +631,8 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                 invs[static_cast<std::size_t>(inv)].name;
             result.badState = ts.describe(init);
             result.statesExplored = 1;
+            result.invariantChecks =
+                invChecksTotal.load(std::memory_order_relaxed);
             note_store();
             result.seconds = elapsed();
             return result;
@@ -606,6 +652,40 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             bytes += sh.store->memoryBytes();
         storeBytes.store(bytes, std::memory_order_relaxed);
     }
+
+    // maxStates token budget: interning a FRESH state consumes a
+    // token, so the bound holds exactly even when a worker interns a
+    // whole successor batch at once — the run stops at maxStates, not
+    // maxStates + batch size. Reservations are all-or-nothing (no
+    // partial takes, so the balance never dips to zero while work is
+    // still admissible), and a batch that reserved more than it
+    // inserted (duplicates) returns the surplus. The invariant
+    //   statesTotal + tokens + (tokens held by in-lock batches)
+    //     == maxStates
+    // is what lets an exhausted taker distinguish "genuinely at the
+    // bound" (statesTotal == maxStates) from "transiently held":
+    // holders reserve and return entirely inside one shard critical
+    // section and never block on a second lock, so waiting for them
+    // always terminates.
+    std::atomic<std::int64_t> tokens{
+        limits.maxStates > statesTotal.load(std::memory_order_relaxed)
+            ? static_cast<std::int64_t>(
+                  limits.maxStates -
+                  statesTotal.load(std::memory_order_relaxed))
+            : 0};
+    auto takeTokens = [&](std::int64_t want) -> bool {
+        std::int64_t cur = tokens.load(std::memory_order_relaxed);
+        while (cur >= want) {
+            if (tokens.compare_exchange_weak(
+                    cur, cur - want, std::memory_order_relaxed))
+                return true;
+        }
+        return false;
+    };
+    auto returnTokens = [&](std::int64_t n) {
+        if (n > 0)
+            tokens.fetch_add(n, std::memory_order_relaxed);
+    };
 
     // Coordinator-only state (worker 0 is the only writer).
     double lastCkptSeconds = elapsed();
@@ -681,11 +761,21 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
     auto worker = [&](unsigned wid) {
         alive.fetch_add(1, std::memory_order_acq_rel);
         WorkItem item;
-        // Reusable expansion scratch: the popped state is copied out
-        // of its arena once, and each rule firing reuses one
-        // successor buffer instead of allocating a fresh VState.
+        // Reusable expansion scratch. Each dequeued state is expanded
+        // in two phases: GENERATE fires every enabled rule through the
+        // flat tables into batchBuf (buffers recycled across
+        // expansions, no per-firing allocation), then PROCESS groups
+        // the successors by owning shard and interns each group under
+        // ONE lock acquisition instead of one per successor.
         VState cur;
-        VState next;
+        std::vector<VState> batchBuf;
+        std::vector<std::uint32_t> batchRule;
+        std::vector<std::uint64_t> batchHash;
+        std::vector<std::uint32_t> order; // batch indices, shard-sorted
+        std::vector<const std::uint8_t *> ptrs;
+        std::vector<std::uint64_t> hashes;
+        std::vector<std::pair<std::uint32_t, bool>> ids;
+        std::vector<WorkItem> pushList;
         for (;;) {
             if (stop.load(std::memory_order_relaxed))
                 break;
@@ -724,11 +814,13 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                 inFlight.fetch_sub(1, std::memory_order_release);
                 break;
             }
-            // The popped id was published through a queue mutex after
-            // its bytes were interned under the owning shard's mutex,
-            // so this lock-free arena read is happens-after the write.
-            // Compact stores hold fingerprints only; the bytes ride
-            // in the work item instead.
+            // The popped id was published through the frontier (the
+            // push's release store / the queue mutex) after its bytes
+            // were interned under the owning shard's mutex, so this
+            // lock-free arena read is happens-after the write (see
+            // mpmc_ring.hpp's happens-before contract). Compact
+            // stores hold fingerprints only; the bytes ride in the
+            // work item instead.
             if (compact)
                 cur = std::move(item.state);
             else
@@ -736,76 +828,231 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
                     static_cast<std::uint32_t>(item.id &
                                                0xffffffffULL),
                     cur);
+
+            // GENERATE: fire every enabled rule into the batch.
             bool any_enabled = false;
+            bool stopped = false;
+            std::size_t batchN = 0;
             for (std::size_t r = 0; r < rules.size(); ++r) {
-                if (stop.load(std::memory_order_relaxed))
+                if (stop.load(std::memory_order_relaxed)) {
+                    stopped = true;
                     break;
-                if (!rules[r].guard(cur))
+                }
+                if (!comp.guard(r, cur))
                     continue;
                 any_enabled = true;
-                next = cur;
-                rules[r].effect(next);
-                transitionsTotal.fetch_add(1, std::memory_order_relaxed);
-                ruleFires[r].fetch_add(1, std::memory_order_relaxed);
+                if (batchN == batchBuf.size()) {
+                    batchBuf.emplace_back();
+                    batchRule.push_back(0);
+                    batchHash.push_back(0);
+                }
+                VState &nx = batchBuf[batchN];
+                nx = cur;
+                comp.effect(r, nx);
                 if (canon)
-                    canon(next);
-                const std::uint64_t h =
-                    stateHash(next.data(), numVars);
-                const std::size_t sh = h & (kShardCount - 1);
-                std::uint32_t local;
-                bool inserted;
+                    canon(nx);
+                batchRule[batchN] = static_cast<std::uint32_t>(r);
+                batchHash[batchN] = stateHash(nx.data(), numVars);
+                transitionsTotal.fetch_add(1,
+                                           std::memory_order_relaxed);
+                ruleFires[r].fetch_add(1, std::memory_order_relaxed);
+                ++batchN;
+            }
+            if (detect_deadlock && !any_enabled && !stopped)
+                report_deadlock(cur);
+
+            // PROCESS: shard-group the successors (stable sort keeps
+            // rule order within a group, so trace links and local ids
+            // stay aligned), then one canonicalize+intern pass per
+            // group under its shard lock, publishing to the frontier
+            // once at the end.
+            order.resize(batchN);
+            for (std::size_t i = 0; i < batchN; ++i)
+                order[i] = static_cast<std::uint32_t>(i);
+            std::stable_sort(
+                order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                    return (batchHash[a] & (kShardCount - 1)) <
+                           (batchHash[b] & (kShardCount - 1));
+                });
+            pushList.clear();
+            bool limitHit = false;
+            std::size_t gi = 0;
+            while (gi < batchN && !limitHit) {
+                const std::size_t sh =
+                    batchHash[order[gi]] & (kShardCount - 1);
+                std::size_t ge = gi;
+                while (ge < batchN &&
+                       (batchHash[order[ge]] & (kShardCount - 1)) ==
+                           sh)
+                    ++ge;
+                const std::size_t groupSize = ge - gi;
+                ptrs.resize(groupSize);
+                hashes.resize(groupSize);
+                ids.resize(groupSize);
+                for (std::size_t k = 0; k < groupSize; ++k) {
+                    const std::uint32_t bi = order[gi + k];
+                    ptrs[k] = batchBuf[bi].data();
+                    hashes[k] = batchHash[bi];
+                }
+                // The BFS parent is only a valid delta base when it
+                // lives in this shard (delta records reference a
+                // local arena id); cross-shard groups fall back to
+                // the store's own last-interned base.
+                const bool sameShard = (item.id >> 32) == sh;
+                const std::uint32_t baseId =
+                    sameShard ? static_cast<std::uint32_t>(
+                                    item.id & 0xffffffffULL)
+                              : StateStore::kNoId;
+                const std::uint8_t *baseBytes =
+                    sameShard && !compact ? cur.data() : nullptr;
+                std::size_t processed = groupSize;
+                std::int64_t freshCount = 0;
                 std::uint64_t grewBy;
                 {
                     std::lock_guard<std::mutex> g(shards[sh].mu);
-                    const std::uint64_t before =
-                        shards[sh].store->memoryBytes();
-                    // The BFS parent is only a valid delta base when
-                    // it lives in this shard (delta records reference
-                    // a local arena id); cross-shard successors fall
-                    // back to the store's own last-interned base.
-                    const auto [lid, ins] =
-                        (item.id >> 32) == sh
-                            ? shards[sh].store->internHashed(
-                                  next.data(), h,
-                                  static_cast<std::uint32_t>(
-                                      item.id & 0xffffffffULL),
-                                  cur.data())
-                            : shards[sh].store->internHashed(
-                                  next.data(), h);
-                    inserted = ins;
-                    local = lid;
-                    if (ins &&
-                        traceOn.load(std::memory_order_relaxed)) {
-                        shards[sh].parents.push_back(item.id);
-                        shards[sh].ruleOf.push_back(
-                            static_cast<std::uint32_t>(r));
-                        shards[sh].depthOf.push_back(item.depth + 1);
+                    StateStore &store = *shards[sh].store;
+                    const std::uint64_t before = store.memoryBytes();
+                    const bool tracing =
+                        traceOn.load(std::memory_order_relaxed);
+                    if (takeTokens(static_cast<std::int64_t>(
+                            groupSize))) {
+                        // Fast path: the whole group is admitted up
+                        // front, so intern it blind (no lookups) and
+                        // return the tokens duplicates didn't use.
+                        store.internBatchHashed(
+                            ptrs.data(), hashes.data(), groupSize,
+                            baseId, baseBytes, ids.data());
+                        for (std::size_t k = 0; k < groupSize; ++k) {
+                            if (!ids[k].second)
+                                continue;
+                            ++freshCount;
+                            if (tracing) {
+                                shards[sh].parents.push_back(item.id);
+                                shards[sh].ruleOf.push_back(
+                                    batchRule[order[gi + k]]);
+                                shards[sh].depthOf.push_back(
+                                    item.depth + 1);
+                            }
+                        }
+                        returnTokens(
+                            static_cast<std::int64_t>(groupSize) -
+                            freshCount);
+                    } else {
+                        // Near the bound: probe first so duplicates
+                        // never consume tokens, and admit fresh
+                        // states one token at a time until the budget
+                        // is truly dry.
+                        for (std::size_t k = 0; k < groupSize; ++k) {
+                            const std::uint32_t found =
+                                store.lookupHashed(ptrs[k],
+                                                   hashes[k]);
+                            if (found != StateStore::kNoId) {
+                                ids[k] = {found, false};
+                                continue;
+                            }
+                            bool admitted = false;
+                            for (;;) {
+                                if (takeTokens(1)) {
+                                    admitted = true;
+                                    break;
+                                }
+                                if (statesTotal.load(
+                                        std::memory_order_relaxed) >=
+                                    limits.maxStates)
+                                    break; // dry, not just held
+                                std::this_thread::yield();
+                            }
+                            if (!admitted) {
+                                processed = k;
+                                limitHit = true;
+                                break;
+                            }
+                            ids[k] = store.internHashed(
+                                ptrs[k], hashes[k], baseId,
+                                baseBytes);
+                            if (ids[k].second) {
+                                // Publish immediately, NOT via the
+                                // deferred freshCount flush: the next
+                                // spin in this very loop must be able
+                                // to observe this admission, or a
+                                // worker holding the last token as an
+                                // unflushed count would wait on
+                                // itself forever.
+                                statesTotal.fetch_add(
+                                    1, std::memory_order_relaxed);
+                                if (tracing) {
+                                    shards[sh].parents.push_back(
+                                        item.id);
+                                    shards[sh].ruleOf.push_back(
+                                        batchRule[order[gi + k]]);
+                                    shards[sh].depthOf.push_back(
+                                        item.depth + 1);
+                                }
+                            } else {
+                                // An in-batch duplicate the probe
+                                // missed is impossible (the probe
+                                // sees earlier interns), but a dup
+                                // would hand its token back here.
+                                returnTokens(1);
+                            }
+                        }
                     }
-                    grewBy = shards[sh].store->memoryBytes() - before;
+                    // Fast-path flush, inside the critical section so
+                    // the budget invariant (tokens consumed <=>
+                    // statesTotal advanced) is restored before the
+                    // lock drops. A fast-path holder never spins, so
+                    // deferring its flush cannot deadlock a slow-path
+                    // spinner — it only makes the spinner wait for
+                    // this store pass to finish.
+                    if (freshCount != 0)
+                        statesTotal.fetch_add(
+                            static_cast<std::uint64_t>(freshCount),
+                            std::memory_order_relaxed);
+                    grewBy = store.memoryBytes() - before;
                 }
-                if (!inserted)
-                    continue;
                 if (grewBy != 0)
                     storeBytes.fetch_add(grewBy,
                                          std::memory_order_relaxed);
-                statesTotal.fetch_add(1, std::memory_order_relaxed);
-                const std::uint64_t nid = packId(sh, local);
-                if (on_state) {
-                    std::lock_guard<std::mutex> g(cbMu);
-                    on_state(next);
+                for (std::size_t k = 0; k < processed; ++k) {
+                    if (!ids[k].second)
+                        continue;
+                    const std::uint32_t bi = order[gi + k];
+                    const VState &nx = batchBuf[bi];
+                    const std::uint64_t nid = packId(sh, ids[k].first);
+                    if (on_state) {
+                        std::lock_guard<std::mutex> g(cbMu);
+                        on_state(nx);
+                    }
+                    if (const int inv = failing_invariant(nx);
+                        inv >= 0) {
+                        report_violation(inv, nx, nid,
+                                         item.depth + 1);
+                        continue; // bad states are not expanded
+                    }
+                    WorkItem w{nid, item.depth + 1, {}};
+                    if (compact)
+                        w.state = nx;
+                    pushList.push_back(std::move(w));
                 }
-                if (const int inv = failing_invariant(next); inv >= 0) {
-                    report_violation(inv, next, nid, item.depth + 1);
-                    continue; // bad states are not expanded
-                }
-                inFlight.fetch_add(1, std::memory_order_relaxed);
-                WorkItem w{nid, item.depth + 1, {}};
-                if (compact)
-                    w.state = next;
-                queues[wid].push(std::move(w));
+                gi = ge;
             }
-            if (detect_deadlock && !any_enabled)
-                report_deadlock(cur);
+            if (limitHit) {
+                // Interned successors above are already counted and
+                // checked; nothing new gets expanded past the bound.
+                report_limit();
+                inFlight.fetch_sub(1, std::memory_order_release);
+                break;
+            }
+            // Publish once: count the new work in before any of it
+            // becomes poppable so in-flight never transiently reads
+            // zero while items exist.
+            if (!pushList.empty()) {
+                inFlight.fetch_add(pushList.size(),
+                                   std::memory_order_relaxed);
+                for (auto &w : pushList)
+                    queues[wid].push(std::move(w));
+            }
             inFlight.fetch_sub(1, std::memory_order_release);
         }
         alive.fetch_sub(1, std::memory_order_acq_rel);
@@ -836,6 +1083,8 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
             ruleFires[r].load(std::memory_order_relaxed);
     result.transitionsFired =
         transitionsTotal.load(std::memory_order_relaxed);
+    result.invariantChecks =
+        invChecksTotal.load(std::memory_order_relaxed);
     std::uint64_t visited = 0;
     for (const Shard &s : shards)
         visited += s.store->size();
@@ -877,6 +1126,20 @@ exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
 
     result.seconds = elapsed();
     return result;
+}
+
+} // namespace
+
+ExploreResult
+exploreParallel(const TransitionSystem &ts, const ExploreLimits &limits,
+                bool detect_deadlock, bool keep_trace,
+                const std::function<void(const VState &)> &on_state)
+{
+    if (limits.frontier == FrontierKind::Mutex)
+        return exploreParallelImpl<WorkQueue>(
+            ts, limits, detect_deadlock, keep_trace, on_state);
+    return exploreParallelImpl<RingQueue>(
+        ts, limits, detect_deadlock, keep_trace, on_state);
 }
 
 } // namespace neo

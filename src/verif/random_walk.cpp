@@ -73,6 +73,10 @@ RandomWalkExplorer::run() const
     const auto &rules = ts_.rules();
     const auto &invs = ts_.invariants();
     const auto &canon = ts_.canonicalizer();
+    // Flat guard/effect tables for the walk loop (replayTrace stays
+    // on rules[] — it is not hot). Built before the workers spawn;
+    // immutable, so shared read-only across them.
+    const CompiledRules comp(ts_);
 
     if (opt_.store.tier != StoreTier::Plain ||
         !opt_.store.spillDir.empty())
@@ -263,7 +267,7 @@ RandomWalkExplorer::run() const
                 return WalkOutcome::Abandoned;
             enabled.clear();
             for (std::size_t r = 0; r < rules.size(); ++r) {
-                if (rules[r].guard(s))
+                if (comp.guard(r, s))
                     enabled.push_back(static_cast<std::uint32_t>(r));
             }
             if (enabled.empty()) {
@@ -272,7 +276,7 @@ RandomWalkExplorer::run() const
             }
             const std::uint32_t pick = enabled[static_cast<std::size_t>(
                 rng.below(enabled.size()))];
-            rules[pick].effect(s);
+            comp.effect(pick, s);
             if (canon)
                 canon(s);
             fired.push_back(pick);

@@ -699,6 +699,56 @@ StateStore::internHashed(const std::uint8_t *state,
     return {id, true};
 }
 
+std::uint32_t
+StateStore::lookupHashed(const std::uint8_t *state,
+                         std::uint64_t hash) const
+{
+    const std::uint32_t fp = static_cast<std::uint32_t>(hash >> 32);
+    const std::size_t mask =
+        static_cast<std::size_t>(capacity_) - 1;
+    std::size_t i = probeStart(fp);
+    if (tier_ == StoreTier::Compact) {
+        const std::uint64_t hi = compactBits_ == 128
+                                     ? stateHash2(state, stride_)
+                                     : 0;
+        for (;;) {
+            const Slot slot = table_[i];
+            if (slot.id == kNoId)
+                return kNoId;
+            if (slot.fp == fp) {
+                const auto [slo, shi] = hashAt(slot.id);
+                if (slo == hash &&
+                    (compactBits_ == 64 || shi == hi))
+                    return slot.id;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+    for (;;) {
+        const Slot slot = table_[i];
+        if (slot.id == kNoId)
+            return kNoId;
+        if (slot.fp == fp && equalsStored(slot.id, state))
+            return slot.id;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+StateStore::internBatchHashed(const std::uint8_t *const *states,
+                              const std::uint64_t *hashes,
+                              std::size_t n, std::uint32_t baseId,
+                              const std::uint8_t *baseBytes,
+                              std::pair<std::uint32_t, bool> *out)
+{
+    // One pass of ordinary interns: each element sees every earlier
+    // element's insertion (in-batch dedup), delta records chain off
+    // the shared base exactly as the single-intern path would, and
+    // table growth mid-batch is handled by the intern itself.
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = internHashed(states[k], hashes[k], baseId, baseBytes);
+}
+
 std::uint64_t
 StateStore::memoryBytes() const
 {

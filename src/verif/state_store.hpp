@@ -277,6 +277,36 @@ class StateStore
                                               std::uint64_t hi);
 
     /**
+     * Probe-only lookup: the id @p state would dedup to, or kNoId if
+     * it has never been interned. Never inserts, never grows the
+     * table, leaves the probe histogram untouched. Same external-
+     * synchronization contract as intern() (it reads the table the
+     * interns mutate) — the parallel explorer calls it under the
+     * shard mutex to decide whether a successor needs one of the
+     * maxStates insertion tokens before committing to an intern.
+     */
+    std::uint32_t lookupHashed(const std::uint8_t *state,
+                               std::uint64_t hash) const;
+
+    /**
+     * Batch intern under ONE external lock acquisition: interns
+     * @p states[0..n) (hashes precomputed in @p hashes) in order and
+     * writes (id, inserted) per element to @p out. All elements share
+     * one delta base — @p baseId/@p baseBytes exactly as in
+     * internHashed(); the parallel explorer groups a dequeued state's
+     * successors by shard and passes the parent once per group.
+     * Duplicates WITHIN the batch dedup exactly like repeated
+     * intern() calls (the second occurrence returns the first's id),
+     * so batch-of-N is id-for-id identical to N single interns — the
+     * property tests/test_state_store.cpp pins.
+     */
+    void internBatchHashed(const std::uint8_t *const *states,
+                           const std::uint64_t *hashes, std::size_t n,
+                           std::uint32_t baseId,
+                           const std::uint8_t *baseBytes,
+                           std::pair<std::uint32_t, bool> *out);
+
+    /**
      * Bytes of an interned state; stable for the store's lifetime.
      * Plain tier only — Delta records must be reconstructed through
      * copyTo(), and Compact stores no bytes at all (both fatal).

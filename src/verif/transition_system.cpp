@@ -5,6 +5,106 @@
 namespace neo
 {
 
+namespace
+{
+
+/** Synthesized function forms of flat terms — the single semantic
+ *  definition both the lambdas-by-synthesis and CompiledRules' table
+ *  scan share (CompiledRules inlines the identical switch). */
+bool
+evalGuardTerms(const std::vector<GuardTerm> &terms, const VState &s)
+{
+    for (const GuardTerm &t : terms) {
+        const std::uint8_t v = s[t.var];
+        bool ok = false;
+        switch (t.op) {
+          case GuardTerm::Op::Eq: ok = v == t.imm; break;
+          case GuardTerm::Op::Ne: ok = v != t.imm; break;
+          case GuardTerm::Op::Lt: ok = v < t.imm; break;
+          case GuardTerm::Op::Le: ok = v <= t.imm; break;
+          case GuardTerm::Op::Gt: ok = v > t.imm; break;
+          case GuardTerm::Op::Ge: ok = v >= t.imm; break;
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+void
+applyEffectTerms(const std::vector<EffectTerm> &terms, VState &s)
+{
+    for (const EffectTerm &t : terms)
+        s[t.dst] = t.op == EffectTerm::Op::Set ? t.imm : s[t.src];
+}
+
+} // namespace
+
+void
+TransitionSystem::addRule(std::string name, ActionKind kind,
+                          std::vector<GuardTerm> guard,
+                          std::vector<EffectTerm> effect)
+{
+    Rule r;
+    r.name = std::move(name);
+    r.kind = kind;
+    r.guardTerms = std::move(guard);
+    r.effectTerms = std::move(effect);
+    r.guardFlat = true;
+    r.effectFlat = true;
+    r.guard = [terms = r.guardTerms](const VState &s) {
+        return evalGuardTerms(terms, s);
+    };
+    r.effect = [terms = r.effectTerms](VState &s) {
+        applyEffectTerms(terms, s);
+    };
+    rules_.push_back(std::move(r));
+}
+
+void
+TransitionSystem::addRule(std::string name, ActionKind kind,
+                          Guard guard, std::vector<EffectTerm> effect)
+{
+    Rule r;
+    r.name = std::move(name);
+    r.kind = kind;
+    r.guard = std::move(guard);
+    r.effectTerms = std::move(effect);
+    r.effectFlat = true;
+    r.effect = [terms = r.effectTerms](VState &s) {
+        applyEffectTerms(terms, s);
+    };
+    rules_.push_back(std::move(r));
+}
+
+CompiledRules::CompiledRules(const TransitionSystem &ts)
+{
+    const auto &rules = ts.rules();
+    rules_.reserve(rules.size());
+    for (const auto &r : rules) {
+        Entry e;
+        e.guardFlat = r.guardFlat;
+        e.effectFlat = r.effectFlat;
+        if (r.guardFlat) {
+            e.gBegin = static_cast<std::uint32_t>(gterms_.size());
+            gterms_.insert(gterms_.end(), r.guardTerms.begin(),
+                           r.guardTerms.end());
+            e.gEnd = static_cast<std::uint32_t>(gterms_.size());
+        } else {
+            e.guardFn = &r.guard;
+        }
+        if (r.effectFlat) {
+            e.eBegin = static_cast<std::uint32_t>(eterms_.size());
+            eterms_.insert(eterms_.end(), r.effectTerms.begin(),
+                           r.effectTerms.end());
+            e.eEnd = static_cast<std::uint32_t>(eterms_.size());
+        } else {
+            e.effectFn = &r.effect;
+        }
+        rules_.push_back(e);
+    }
+}
+
 std::size_t
 TransitionSystem::varIndex(const std::string &name) const
 {

@@ -27,6 +27,47 @@ namespace neo
 using VState = std::vector<std::uint8_t>;
 
 /**
+ * One conjunct of a flat (declarative) guard: `s[var] OP imm`. A
+ * guard expressed as a vector of these is a pure conjunction the
+ * engines can evaluate as a tight table scan — no std::function
+ * indirect call, no captured-lambda heap hop. Disjunctions and
+ * quantified conditions stay as std::function fallbacks.
+ */
+struct GuardTerm
+{
+    enum class Op : std::uint8_t
+    {
+        Eq, ///< s[var] == imm
+        Ne, ///< s[var] != imm
+        Lt, ///< s[var] <  imm
+        Le, ///< s[var] <= imm
+        Gt, ///< s[var] >  imm
+        Ge, ///< s[var] >= imm
+    };
+    std::uint16_t var = 0;
+    Op op = Op::Eq;
+    std::uint8_t imm = 0;
+};
+
+/**
+ * One step of a flat effect, applied in sequence: `s[dst] = imm`
+ * (Set) or `s[dst] = s[src]` (CopyVar, reading the CURRENT, partially
+ * updated state — exactly like the statement sequence in a lambda).
+ */
+struct EffectTerm
+{
+    enum class Op : std::uint8_t
+    {
+        Set,     ///< s[dst] = imm
+        CopyVar, ///< s[dst] = s[src]
+    };
+    std::uint16_t dst = 0;
+    Op op = Op::Set;
+    std::uint16_t src = 0;
+    std::uint8_t imm = 0;
+};
+
+/**
  * Declarative finite transition system.
  */
 class TransitionSystem
@@ -46,6 +87,35 @@ class TransitionSystem
         ActionKind kind = ActionKind::Internal;
         Guard guard;
         Effect effect;
+        /** Flat term forms, when the model declared them (guardFlat /
+         *  effectFlat distinguish "flat with zero terms" from "not
+         *  expressible"). The `guard`/`effect` functions above are
+         *  ALWAYS valid — synthesized from the terms when the rule
+         *  was declared flat — so replay, fingerprinting and the
+         *  mutant registry never care which form a rule uses. */
+        std::vector<GuardTerm> guardTerms;
+        std::vector<EffectTerm> effectTerms;
+        bool guardFlat = false;
+        bool effectFlat = false;
+
+        /** Rewrite the guard/effect with an opaque function (the
+         *  mutant registry's surgical rewrites). MUST be used instead
+         *  of assigning the member directly: a stale flat form would
+         *  make CompiledRules fire the pre-mutation behavior. */
+        void
+        overrideGuard(Guard g)
+        {
+            guard = std::move(g);
+            guardTerms.clear();
+            guardFlat = false;
+        }
+        void
+        overrideEffect(Effect e)
+        {
+            effect = std::move(e);
+            effectTerms.clear();
+            effectFlat = false;
+        }
     };
 
     struct Invariant
@@ -66,10 +136,29 @@ class TransitionSystem
     void
     addRule(std::string name, ActionKind kind, Guard guard, Effect effect)
     {
-        rules_.push_back(
-            Rule{std::move(name), kind, std::move(guard),
-                 std::move(effect)});
+        Rule r;
+        r.name = std::move(name);
+        r.kind = kind;
+        r.guard = std::move(guard);
+        r.effect = std::move(effect);
+        rules_.push_back(std::move(r));
     }
+
+    /** Declare a rule in flat term form. The function forms are
+     *  synthesized from the terms, so every consumer that only knows
+     *  `Rule::guard`/`Rule::effect` (trace replay, fingerprints,
+     *  mutants) behaves identically; the engines' CompiledRules
+     *  evaluates the terms directly, skipping the std::function
+     *  dispatch on the hot path. */
+    void addRule(std::string name, ActionKind kind,
+                 std::vector<GuardTerm> guard,
+                 std::vector<EffectTerm> effect);
+
+    /** Flat rule with a fallback (non-flat) guard — for rules whose
+     *  condition needs a disjunction or quantifier but whose effect
+     *  is a plain assignment sequence. */
+    void addRule(std::string name, ActionKind kind, Guard guard,
+                 std::vector<EffectTerm> effect);
 
     void
     addInvariant(std::string name, Check check)
@@ -120,6 +209,85 @@ class TransitionSystem
     std::vector<Invariant> invariants_;
     Canonicalizer canon_;
     Summarizer sum_;
+};
+
+/**
+ * Flat guard/effect tables compiled from a TransitionSystem's rules.
+ *
+ * Rules declared in term form evaluate as scans over two contiguous
+ * term arrays (one branch-predictable loop, no virtual or indirect
+ * dispatch); rules that only have function forms fall back to calling
+ * them through a raw pointer. Every engine hot loop (sequential BFS,
+ * the parallel workers, the random-walk falsifier) fires rules
+ * through this table, so the two forms are behaviorally
+ * indistinguishable by construction — addRule's synthesized functions
+ * and the term evaluation here implement the same semantics, and the
+ * golden-count suite pins it.
+ *
+ * Lifetime: holds pointers into @p ts; the system must outlive the
+ * table. Immutable after construction, so one instance is safe to
+ * share across worker threads. Rules must not be mutated (e.g. by the
+ * mutant registry) after compilation — compile after mutation.
+ */
+class CompiledRules
+{
+  public:
+    explicit CompiledRules(const TransitionSystem &ts);
+
+    std::size_t size() const { return rules_.size(); }
+
+    bool
+    guard(std::size_t r, const VState &s) const
+    {
+        const Entry &e = rules_[r];
+        if (!e.guardFlat)
+            return (*e.guardFn)(s);
+        for (std::uint32_t i = e.gBegin; i != e.gEnd; ++i) {
+            const GuardTerm &t = gterms_[i];
+            const std::uint8_t v = s[t.var];
+            bool ok = false;
+            switch (t.op) {
+              case GuardTerm::Op::Eq: ok = v == t.imm; break;
+              case GuardTerm::Op::Ne: ok = v != t.imm; break;
+              case GuardTerm::Op::Lt: ok = v < t.imm; break;
+              case GuardTerm::Op::Le: ok = v <= t.imm; break;
+              case GuardTerm::Op::Gt: ok = v > t.imm; break;
+              case GuardTerm::Op::Ge: ok = v >= t.imm; break;
+            }
+            if (!ok)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    effect(std::size_t r, VState &s) const
+    {
+        const Entry &e = rules_[r];
+        if (!e.effectFlat) {
+            (*e.effectFn)(s);
+            return;
+        }
+        for (std::uint32_t i = e.eBegin; i != e.eEnd; ++i) {
+            const EffectTerm &t = eterms_[i];
+            s[t.dst] = t.op == EffectTerm::Op::Set ? t.imm : s[t.src];
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t gBegin = 0, gEnd = 0;
+        std::uint32_t eBegin = 0, eEnd = 0;
+        bool guardFlat = false;
+        bool effectFlat = false;
+        const TransitionSystem::Guard *guardFn = nullptr;
+        const TransitionSystem::Effect *effectFn = nullptr;
+    };
+
+    std::vector<Entry> rules_;
+    std::vector<GuardTerm> gterms_;
+    std::vector<EffectTerm> eterms_;
 };
 
 } // namespace neo

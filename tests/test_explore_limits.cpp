@@ -113,6 +113,38 @@ TEST_P(ExploreLimitsBoundary, MaxStatesOnePastReachableVerifies)
     EXPECT_EQ(r.statesExplored, kReach);
 }
 
+/** Regression for the batched-firing engines: one expansion of the
+ *  initial state fires a 16-wide fan of successors in a single batch,
+ *  and a budget smaller than the fan must cut the batch mid-way —
+ *  exactly maxStates states explored, never maxStates + batch size.
+ *  (Sequentially the partial batch is rolled back and the item
+ *  re-queued; in parallel a token budget admits fresh states one
+ *  insertion at a time.) */
+TEST_P(ExploreLimitsBoundary, MaxStatesBoundaryHoldsMidBatch)
+{
+    constexpr int kWidth = 16;
+    TransitionSystem ts;
+    const auto x = ts.addVar("x", 0);
+    for (int k = 1; k <= kWidth; ++k) {
+        ts.addRule(
+            "fan" + std::to_string(k), ActionKind::Internal,
+            [x](const VState &s) { return s[x] == 0; },
+            [x, k](VState &s) {
+                s[x] = static_cast<std::uint8_t>(k);
+            });
+    }
+    ts.addInvariant("True", [](const VState &) { return true; });
+
+    for (const std::uint64_t cap : {2u, 5u, 9u, 16u}) {
+        ExploreLimits lim = limitsWith(GetParam());
+        lim.maxStates = cap;
+        const ExploreResult r = run(ts, lim);
+        expectNoSpuriousViolation(r);
+        EXPECT_EQ(r.statesExplored, cap)
+            << "budget " << cap << " not exact mid-batch";
+    }
+}
+
 TEST_P(ExploreLimitsBoundary, ZeroSecondsStopsImmediately)
 {
     TransitionSystem ts = counterSystem(9);

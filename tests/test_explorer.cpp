@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "verif/explorer.hpp"
+#include "verif/models/german.hpp"
+#include "verif/models/mutants.hpp"
 #include "verif/parametric.hpp"
 
 using namespace neo;
@@ -229,5 +232,134 @@ TEST(Parametric, ViewSetSizesAreBoundedAcrossN)
     const auto k = r.abstractSetSizes.size();
     EXPECT_EQ(r.abstractSetSizes[k - 1], r.abstractSetSizes[k - 2]);
 }
+
+// ---------------------------------------------------------------------
+// Golden fixpoint-count regression fixtures.
+//
+// One row per bundled model, german N=3..5 and every corpus mutant,
+// pinning the EXACT sequential-BFS state / transition / rule-fire /
+// invariant-check counts (plus an FNV-1a digest of the full per-rule
+// fire vector, so a shifted distribution fails even when the total
+// matches). These were captured from the pre-batching engine and must
+// never drift: any frontier, batching, interning or rule-compilation
+// change that alters a single count is a semantic regression, not a
+// perf tweak. Regenerate only for deliberate MODEL changes.
+// ---------------------------------------------------------------------
+
+struct GoldenRow
+{
+    const char *model;
+    VerifStatus status;
+    std::uint64_t states;
+    std::uint64_t transitions;
+    std::uint64_t firesSum;
+    std::uint64_t firesFnv;
+    const char *violatedInvariant;
+    std::uint64_t traceLen;
+    std::uint64_t invariantChecks;
+};
+
+constexpr GoldenRow kGoldenRows[] = {
+    {"german_n3", VerifStatus::Verified, 5107u, 20497u, 20497u, 0x200acc64d40cd6a1ull, "", 0u, 5107u},
+    {"german_n4", VerifStatus::Verified, 28499u, 153376u, 153376u, 0x7e220c86a6cb462dull, "", 0u, 28499u},
+    {"german_n5", VerifStatus::Verified, 134331u, 903815u, 903815u, 0x7929d224a789ef5dull, "", 0u, 134331u},
+    {"closed_msi_n2", VerifStatus::Verified, 66u, 123u, 123u, 0x6ca40f965b0b2234ull, "", 0u, 132u},
+    {"closed_msi_incl_n2", VerifStatus::Verified, 432u, 988u, 988u, 0xd7b0ea0477ec6c75ull, "", 0u, 864u},
+    {"closed_neomesi_n3", VerifStatus::Verified, 4735u, 14433u, 14433u, 0x612fb476879e58f9ull, "", 0u, 9470u},
+    {"closed_moesi_n3", VerifStatus::Verified, 10074u, 32030u, 32030u, 0x34e740df6780ec63ull, "", 0u, 20148u},
+    {"mutant:dir_forgets_sharer_on_read", VerifStatus::InvariantViolated, 64u, 109u, 109u, 0xafdea3cddaadc2e6ull, "DirTracksHolders", 7u, 128u},
+    {"mutant:dir_forgets_sharers_on_evict_ack", VerifStatus::InvariantViolated, 156u, 304u, 304u, 0x71a912d1fcb701cfull, "DirTracksHolders", 10u, 312u},
+    {"mutant:dir_nonblocking_read", VerifStatus::InvariantViolated, 126u, 222u, 222u, 0x12ec5b5c4c245e25ull, "NeoSafety_leafCompat", 8u, 126u},
+    {"mutant:dir_nonblocking_write", VerifStatus::InvariantViolated, 1445u, 2881u, 2881u, 0xc4b5a22b597d34c6ull, "NeoSafety_leafCompat", 16u, 1445u},
+    {"mutant:owner_supplies_without_transfer", VerifStatus::InvariantViolated, 72u, 122u, 122u, 0x06e564bef1d6c707ull, "DirTracksHolders", 7u, 144u},
+    {"mutant:sharer_ignores_inv", VerifStatus::InvariantViolated, 42u, 69u, 69u, 0xacac523d9b339fe2ull, "DirTracksHolders", 7u, 84u},
+    {"mutant:dir_grants_E_with_sharers", VerifStatus::InvariantViolated, 482u, 971u, 971u, 0x7388522227e0a98aull, "NeoSafety_leafCompat", 15u, 963u},
+    {"mutant:dir_skips_invalidation", VerifStatus::InvariantViolated, 52u, 83u, 83u, 0x19542ee596cb690cull, "NeoSafety_leafCompat", 8u, 103u},
+    {"mutant:dir_early_owner_fwd", VerifStatus::InvariantViolated, 894u, 2050u, 2050u, 0x17b42f48c0834db3ull, "NeoSafety_leafCompat", 13u, 1787u},
+    {"mutant:leaf_silent_upgrade", VerifStatus::InvariantViolated, 58u, 97u, 97u, 0x0e06e48c94a3c608ull, "NeoSafety_leafCompat", 8u, 115u},
+    {"mutant:german_grant_E_with_sharers", VerifStatus::InvariantViolated, 248u, 450u, 450u, 0xac9a94c188f70fdfull, "CtrlProp", 8u, 248u},
+};
+
+/** FNV-1a over the per-rule fire counts, 8 LE bytes per count. */
+std::uint64_t
+firesDigest(const std::vector<std::uint64_t> &fires)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint64_t x : fires) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (x >> (8 * b)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+/** Resolve a golden-row model name to a built system. */
+TransitionSystem
+buildGoldenModel(const std::string &name)
+{
+    ModelShape shape;
+    if (name.rfind("german_n", 0) == 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::stoul(name.substr(std::string("german_n").size())));
+        return verif::buildGermanModel(n, shape);
+    }
+    if (name.rfind("mutant:", 0) == 0) {
+        const auto *m = verif::findMutant(
+            name.substr(std::string("mutant:").size()));
+        if (m == nullptr)
+            ADD_FAILURE() << "unknown mutant in golden table: "
+                          << name;
+        return m->build(shape);
+    }
+    for (const verif::BundledModel &m : verif::bundledModels()) {
+        if (m.name == name)
+            return m.build(shape);
+    }
+    ADD_FAILURE() << "unknown model in golden table: " << name;
+    return TransitionSystem{};
+}
+
+class GoldenCounts : public ::testing::TestWithParam<GoldenRow>
+{
+};
+
+TEST_P(GoldenCounts, SequentialBfsMatchesPinnedCounts)
+{
+    const GoldenRow &row = GetParam();
+    const TransitionSystem ts = buildGoldenModel(row.model);
+    const ExploreResult r =
+        explore(ts, ExploreLimits{20'000'000, 300.0}, false, true);
+
+    EXPECT_EQ(r.status, row.status) << row.model;
+    EXPECT_EQ(r.statesExplored, row.states) << row.model;
+    EXPECT_EQ(r.transitionsFired, row.transitions) << row.model;
+    std::uint64_t firesSum = 0;
+    for (const std::uint64_t f : r.ruleFires)
+        firesSum += f;
+    EXPECT_EQ(firesSum, row.firesSum) << row.model;
+    EXPECT_EQ(firesDigest(r.ruleFires), row.firesFnv) << row.model;
+    EXPECT_EQ(r.violatedInvariant, row.violatedInvariant)
+        << row.model;
+    EXPECT_EQ(r.trace.size(), row.traceLen) << row.model;
+    EXPECT_EQ(r.invariantChecks, row.invariantChecks) << row.model;
+    if (row.status == VerifStatus::Verified) {
+        // A verified fixpoint checks every invariant on every state.
+        EXPECT_EQ(r.invariantChecks,
+                  r.statesExplored * ts.invariants().size())
+            << row.model;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, GoldenCounts, ::testing::ValuesIn(kGoldenRows),
+    [](const ::testing::TestParamInfo<GoldenRow> &info) {
+        std::string n = info.param.model;
+        for (char &c : n) {
+            if (c == ':' || c == '.')
+                c = '_';
+        }
+        return n;
+    });
 
 } // namespace

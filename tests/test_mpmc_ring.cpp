@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit + torture suite for the lock-free frontier (mpmc_ring.hpp):
+ * FIFO order and wraparound at tiny capacities, full-ring rejection,
+ * SpillFrontier's overflow-to-spill fallback (push never fails),
+ * quiescent iteration exactness, and TSan-vetted multi-producer/
+ * multi-consumer torture loops asserting that a million concurrent
+ * push/pop cycles lose and duplicate nothing. Runs under the `queue`
+ * ctest label, which CI executes under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "verif/mpmc_ring.hpp"
+
+using namespace neo;
+
+namespace
+{
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwoMinimumFour)
+{
+    EXPECT_EQ(MpmcRing<int>(0).capacity(), 4u);
+    EXPECT_EQ(MpmcRing<int>(1).capacity(), 4u);
+    EXPECT_EQ(MpmcRing<int>(4).capacity(), 4u);
+    EXPECT_EQ(MpmcRing<int>(5).capacity(), 8u);
+    EXPECT_EQ(MpmcRing<int>(8192).capacity(), 8192u);
+}
+
+TEST(MpmcRing, SingleThreadFifoOrder)
+{
+    MpmcRing<int> ring(128);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    int v = -1;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ring.tryPop(v));
+}
+
+TEST(MpmcRing, FullRingRejectsPushUntilPopped)
+{
+    MpmcRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(99));
+    int v = -1;
+    ASSERT_TRUE(ring.tryPop(v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(ring.tryPush(99));
+    EXPECT_FALSE(ring.tryPush(100));
+}
+
+TEST(MpmcRing, WrapsAroundTinyCapacityManyLaps)
+{
+    // 10k elements through a 4-cell ring: every sequence number laps
+    // the capacity thousands of times, exercising the seq arithmetic
+    // far past the first wrap.
+    MpmcRing<std::uint64_t> ring(4);
+    std::uint64_t expect = 0;
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+        ASSERT_TRUE(ring.tryPush(i));
+        if ((i & 1) != 0) { // keep 1-2 elements resident
+            std::uint64_t v = 0;
+            ASSERT_TRUE(ring.tryPop(v));
+            EXPECT_EQ(v, expect++);
+            ASSERT_TRUE(ring.tryPop(v));
+            EXPECT_EQ(v, expect++);
+        }
+    }
+    std::uint64_t v = 0;
+    while (ring.tryPop(v))
+        EXPECT_EQ(v, expect++);
+    EXPECT_EQ(expect, 10'000u);
+}
+
+TEST(MpmcRing, QuiescentIterationSeesExactlyTheLiveElements)
+{
+    MpmcRing<int> ring(8);
+    int v = -1;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    ASSERT_TRUE(ring.tryPop(v)); // live: 1 2 3 4
+    std::vector<int> seen;
+    ring.forEachQuiescent([&](const int &x) { seen.push_back(x); });
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SpillFrontier, OverflowSpillsInsteadOfFailingAndNothingIsLost)
+{
+    SpillFrontier<int> q(4); // 4-cell ring
+    for (int i = 0; i < 100; ++i)
+        q.push(i);
+    EXPECT_EQ(q.spillPushes(), 96u);
+    EXPECT_EQ(q.spillDepth(), 96u);
+    // Ring first (0..3), then the spill deque oldest-first (4..99):
+    // global FIFO order happens to be preserved when nothing was
+    // popped mid-burst.
+    std::vector<int> got;
+    int v = -1;
+    while (q.pop(v))
+        got.push_back(v);
+    ASSERT_EQ(got.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(q.spillDepth(), 0u);
+    EXPECT_EQ(q.spillPushes(), 96u); // cumulative, not reset by pops
+}
+
+TEST(SpillFrontier, ForEachCoversRingAndSpill)
+{
+    SpillFrontier<int> q(4);
+    for (int i = 0; i < 10; ++i)
+        q.push(i); // 0..3 in the ring, 4..9 spilled
+    std::vector<int> seen;
+    q.forEach([&](const int &x) { seen.push_back(x); });
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(SpillFrontier, StealIsPopFromTheSameRing)
+{
+    SpillFrontier<int> q(8);
+    q.push(7);
+    int v = -1;
+    ASSERT_TRUE(q.steal(v)); // same operation as pop
+    EXPECT_EQ(v, 7);
+    EXPECT_FALSE(q.steal(v));
+}
+
+/** Join-and-verify tail shared by the torture tests: merge the
+ *  per-consumer logs and assert every payload 0..n-1 arrived exactly
+ *  once — nothing lost, nothing duplicated. */
+void
+verifyExactlyOnce(const std::vector<std::vector<std::uint64_t>> &logs,
+                  std::uint64_t n)
+{
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    std::uint64_t total = 0;
+    for (const auto &log : logs) {
+        for (const std::uint64_t v : log) {
+            ASSERT_LT(v, n) << "payload out of range";
+            ASSERT_EQ(seen[static_cast<std::size_t>(v)], 0)
+                << "payload " << v << " popped twice";
+            seen[static_cast<std::size_t>(v)] = 1;
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, n) << "payloads lost";
+}
+
+TEST(MpmcRingTorture, EightThreadsMillionCyclesExactlyOnce)
+{
+    // 4 producers x 4 consumers through a 1024-cell ring, 1M unique
+    // payloads. Producers spin on a full ring (backpressure), so the
+    // ring wraps thousands of laps under contention. TSan-clean by
+    // construction of the seq handshake; this pins it.
+    constexpr std::uint64_t kTotal = 1'000'000;
+    constexpr unsigned kProducers = 4;
+    constexpr unsigned kConsumers = 4;
+    constexpr std::uint64_t kPerProducer = kTotal / kProducers;
+
+    MpmcRing<std::uint64_t> ring(1024);
+    std::atomic<std::uint64_t> popped{0};
+    std::vector<std::vector<std::uint64_t>> logs(kConsumers);
+
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&ring, p] {
+            const std::uint64_t base = p * kPerProducer;
+            for (std::uint64_t k = 0; k < kPerProducer; ++k) {
+                while (!ring.tryPush(base + k))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (unsigned c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&ring, &popped, &logs, c] {
+            auto &log = logs[c];
+            log.reserve(kTotal / kConsumers);
+            std::uint64_t v = 0;
+            while (popped.load(std::memory_order_relaxed) < kTotal) {
+                if (ring.tryPop(v)) {
+                    log.push_back(v);
+                    popped.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    verifyExactlyOnce(logs, kTotal);
+}
+
+TEST(SpillFrontierTorture, OverflowingProducersLoseNothing)
+{
+    // A deliberately tiny ring (16 cells) under 4 producers that
+    // never wait: pushes constantly overflow into the spill deque
+    // while 4 consumers drain both tiers concurrently.
+    constexpr std::uint64_t kTotal = 200'000;
+    constexpr unsigned kProducers = 4;
+    constexpr unsigned kConsumers = 4;
+    constexpr std::uint64_t kPerProducer = kTotal / kProducers;
+
+    SpillFrontier<std::uint64_t> q(16);
+    std::atomic<std::uint64_t> popped{0};
+    std::vector<std::vector<std::uint64_t>> logs(kConsumers);
+
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&q, p] {
+            const std::uint64_t base = p * kPerProducer;
+            for (std::uint64_t k = 0; k < kPerProducer; ++k)
+                q.push(base + k); // never fails
+        });
+    }
+    for (unsigned c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&q, &popped, &logs, c] {
+            auto &log = logs[c];
+            std::uint64_t v = 0;
+            while (popped.load(std::memory_order_relaxed) < kTotal) {
+                if (q.pop(v)) {
+                    log.push_back(v);
+                    popped.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    verifyExactlyOnce(logs, kTotal);
+    EXPECT_GT(q.spillPushes(), 0u)
+        << "torture never exercised the spill tier";
+    EXPECT_EQ(q.spillDepth(), 0u);
+}
+
+} // namespace

@@ -88,6 +88,11 @@ expectDifferentialMatch(const TransitionSystem &ts)
             EXPECT_EQ(par.statesExplored, seq.statesExplored);
             EXPECT_EQ(par.transitionsFired, seq.transitionsFired);
             EXPECT_EQ(par.ruleFires, seq.ruleFires);
+            // A Verified run checked every invariant on every state,
+            // exactly once, in both engines.
+            EXPECT_EQ(par.invariantChecks, seq.invariantChecks);
+            EXPECT_EQ(seq.invariantChecks,
+                      seq.statesExplored * ts.invariants().size());
         } else if (seq.status == VerifStatus::InvariantViolated) {
             replayTrace(ts, par.trace);
         }

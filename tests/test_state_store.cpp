@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <mutex>
 #include <set>
@@ -237,4 +238,113 @@ TEST(StateStore, ConcurrentShardedInterningIsRaceFree)
         total += sh.store.size();
     EXPECT_EQ(total, published.size());
     EXPECT_EQ(total, values.size());
+}
+
+// ---------------------------------------------------------------------
+// Batch interning (internBatchHashed) — the parallel explorer's
+// shard-group path. Property: interning N states as one batch is
+// id-for-id and inserted-for-inserted IDENTICAL to N single
+// internHashed calls, including duplicates within a batch, batches
+// that straddle arena-slab boundaries, and the Delta tier's
+// base-relative records.
+// ---------------------------------------------------------------------
+
+TEST(StateStore, BatchInternMatchesSinglesIdForId)
+{
+    const std::size_t stride = 16;
+    for (const StoreTier tier : {StoreTier::Plain, StoreTier::Delta}) {
+        StoreTierOptions opts;
+        opts.tier = tier;
+        StateStore batched(stride, 0, nullptr, opts);
+        StateStore singly(stride, 0, nullptr, opts);
+
+        // A shared delta base, interned first in both stores.
+        const auto base = counterState(stride, 0xb00f);
+        const std::uint64_t baseHash = stateHash(base.data(), stride);
+        ASSERT_EQ(batched.internHashed(base.data(), baseHash),
+                  singly.internHashed(base.data(), baseHash));
+
+        // ~1500 distinct states (well past the first slab) with
+        // deliberate repeats: i%7==3 duplicates its predecessor
+        // (in-batch dup), and the second half replays the first
+        // (cross-batch dup).
+        constexpr std::size_t kTotal = 3000;
+        std::vector<std::vector<std::uint8_t>> states;
+        states.reserve(kTotal);
+        for (std::size_t i = 0; i < kTotal; ++i) {
+            const std::uint64_t v =
+                (i % 7 == 3 && i > 0) ? (i - 1) % 1500 : i % 1500;
+            states.push_back(counterState(stride, 0x1000 + v));
+        }
+
+        // Varying group sizes (1..37) so batches land on every slab
+        // boundary alignment; alternate between the explicit base and
+        // the kNoId fallback like cross-shard groups do.
+        std::size_t i = 0;
+        std::size_t gsz = 1;
+        bool useBase = true;
+        std::vector<const std::uint8_t *> ptrs;
+        std::vector<std::uint64_t> hashes;
+        std::vector<std::pair<std::uint32_t, bool>> out;
+        while (i < kTotal) {
+            const std::size_t n = std::min(gsz, kTotal - i);
+            ptrs.resize(n);
+            hashes.resize(n);
+            out.resize(n);
+            for (std::size_t k = 0; k < n; ++k) {
+                ptrs[k] = states[i + k].data();
+                hashes[k] = stateHash(ptrs[k], stride);
+            }
+            const std::uint32_t baseId =
+                useBase ? 0 : StateStore::kNoId;
+            const std::uint8_t *baseBytes =
+                useBase ? base.data() : nullptr;
+            batched.internBatchHashed(ptrs.data(), hashes.data(), n,
+                                      baseId, baseBytes, out.data());
+            for (std::size_t k = 0; k < n; ++k) {
+                const auto single = singly.internHashed(
+                    ptrs[k], hashes[k], baseId, baseBytes);
+                ASSERT_EQ(out[k].first, single.first)
+                    << storeTierName(tier) << " id diverged at state "
+                    << (i + k);
+                ASSERT_EQ(out[k].second, single.second)
+                    << storeTierName(tier)
+                    << " inserted flag diverged at state " << (i + k);
+            }
+            i += n;
+            gsz = gsz % 37 + 1;
+            useBase = !useBase;
+        }
+        ASSERT_EQ(batched.size(), singly.size());
+        ASSERT_GT(batched.size(), 1024u)
+            << "fixture no longer crosses the first slab boundary";
+
+        // Byte-exact reconstruction through both stores (the Delta
+        // tier decodes base-relative records here).
+        VState a, b;
+        for (std::uint32_t id = 0; id < batched.size(); id += 97) {
+            batched.copyTo(id, a);
+            singly.copyTo(id, b);
+            ASSERT_EQ(a, b) << storeTierName(tier) << " id " << id;
+        }
+    }
+}
+
+TEST(StateStore, LookupHashedProbesWithoutInserting)
+{
+    const std::size_t stride = 8;
+    StateStore store(stride);
+    const auto s1 = counterState(stride, 41);
+    const auto s2 = counterState(stride, 42);
+    const std::uint64_t h1 = stateHash(s1.data(), stride);
+    const std::uint64_t h2 = stateHash(s2.data(), stride);
+
+    EXPECT_EQ(store.lookupHashed(s1.data(), h1), StateStore::kNoId);
+    EXPECT_EQ(store.size(), 0u) << "lookup must not insert";
+
+    const auto [id1, fresh] = store.internHashed(s1.data(), h1);
+    EXPECT_TRUE(fresh);
+    EXPECT_EQ(store.lookupHashed(s1.data(), h1), id1);
+    EXPECT_EQ(store.lookupHashed(s2.data(), h2), StateStore::kNoId);
+    EXPECT_EQ(store.size(), 1u);
 }
