@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Service-substrate throughput: what do the crash-only building
+ * blocks cost per job and per routed state?
+ *
+ * Three measurements, all on the hot paths the distributed service
+ * adds around the explorer:
+ *
+ *  1. Journal append rate — every queue transition is written in full
+ *     and fsync'd before it is acknowledged, so submissions are
+ *     bounded by the fsync rate of the state directory's filesystem.
+ *     Measured with realistic SUBMIT/START/DONE record sizes.
+ *
+ *  2. Frame codec throughput — every state routed between shard
+ *     owners crosses the wire protocol (CRC per frame), so encode +
+ *     feed + decode throughput bounds the mesh; measured at the
+ *     actual batched-States frame size the workers use.
+ *
+ *  3. Shard balance — the partition is fp mod W over stateHash; the
+ *     whole recovery story (reshard to survivors) assumes the hash
+ *     spreads real protocol states evenly. Explores german and
+ *     reports the min/max shard occupancy for W in {2,4,8}.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "verif/checkpoint.hpp"
+#include "verif/explorer.hpp"
+#include "verif/models/german.hpp"
+#include "verif/service/job_queue.hpp"
+#include "verif/service/wire.hpp"
+#include "verif/state_store.hpp"
+
+using namespace neo;
+using neo::verif::buildGermanModel;
+
+namespace
+{
+
+double
+nowSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/neo_service_bench_XXXXXX";
+    if (!mkdtemp(tmpl)) {
+        std::perror("mkdtemp");
+        std::exit(1);
+    }
+    return tmpl;
+}
+
+void
+benchJournal(const std::string &dir)
+{
+    std::printf("journal append (write-all + fsync per record)\n");
+    std::printf("%-10s %10s %9s %14s\n", "record", "appends",
+                "seconds", "appends/sec");
+
+    JobSpec spec;
+    spec.features = "german";
+    spec.n = 6;
+    struct Case
+    {
+        const char *label;
+        std::vector<std::uint8_t> body;
+    };
+    std::vector<Case> cases;
+    {
+        SnapshotWriter w;
+        w.putU64(1);
+        spec.encode(w);
+        cases.push_back({"SUBMIT", w.take()});
+    }
+    {
+        SnapshotWriter w;
+        w.putU64(1);
+        w.putU32(1);
+        w.putU32(4);
+        cases.push_back({"START", w.take()});
+    }
+    {
+        SnapshotWriter w;
+        w.putU64(1);
+        JobResult res;
+        res.states = 549880;
+        res.transitions = 4433198;
+        res.invariantChecks = 549880;
+        res.seconds = 42.0;
+        res.encode(w);
+        cases.push_back({"DONE", w.take()});
+    }
+
+    constexpr int kAppends = 2000;
+    for (const Case &c : cases) {
+        JobJournal j;
+        std::string err;
+        const std::string path =
+            dir + "/bench_" + c.label + ".neoj";
+        if (!j.open(path, err)) {
+            std::fprintf(stderr, "journal open: %s\n", err.c_str());
+            std::exit(1);
+        }
+        const double t0 = nowSec();
+        for (int i = 0; i < kAppends; ++i)
+            j.append(kRecSubmit, c.body);
+        const double dt = nowSec() - t0;
+        std::printf("%-10s %10d %9.3f %14.0f\n", c.label, kAppends,
+                    dt, kAppends / dt);
+        std::remove(path.c_str());
+    }
+    std::printf("\n");
+}
+
+void
+benchFrameCodec()
+{
+    std::printf("frame codec (encode + CRC + incremental decode)\n");
+    std::printf("%-14s %10s %9s %12s %10s\n", "frame", "frames",
+                "seconds", "frames/sec", "MB/sec");
+
+    // The worker mesh ships states in batches of up to 128; german
+    // N=6 states are 26 variables. Model that payload exactly:
+    // [u32 count][count * (u64 hash + 26 bytes)].
+    struct Case
+    {
+        const char *label;
+        std::size_t statesPerFrame;
+    };
+    const Case cases[] = {{"States[1]", 1},
+                          {"States[32]", 32},
+                          {"States[128]", 128}};
+    constexpr std::size_t kVars = 26;
+    constexpr int kFrames = 200000;
+
+    for (const Case &c : cases) {
+        SnapshotWriter w;
+        w.putU32(static_cast<std::uint32_t>(c.statesPerFrame));
+        for (std::size_t s = 0; s < c.statesPerFrame; ++s) {
+            w.putU64(0x9e3779b97f4a7c15ull * (s + 1));
+            for (std::size_t v = 0; v < kVars; ++v)
+                w.putU8(static_cast<std::uint8_t>(v));
+        }
+        const std::vector<std::uint8_t> body = w.take();
+
+        const double t0 = nowSec();
+        std::uint64_t bytes = 0;
+        FrameReader reader;
+        MsgType type;
+        std::vector<std::uint8_t> out;
+        for (int i = 0; i < kFrames; ++i) {
+            const auto frame = encodeFrame(MsgType::States, body);
+            bytes += frame.size();
+            reader.feed(frame.data(), frame.size());
+            if (!reader.next(type, out) || out.size() != body.size()) {
+                std::fprintf(stderr, "codec roundtrip broke\n");
+                std::exit(1);
+            }
+        }
+        const double dt = nowSec() - t0;
+        std::printf("%-14s %10d %9.3f %12.0f %10.1f\n", c.label,
+                    kFrames, dt, kFrames / dt,
+                    static_cast<double>(bytes) / dt / 1e6);
+    }
+    std::printf("\n");
+}
+
+void
+benchShardBalance()
+{
+    std::printf("shard balance (german N=5, fp mod W occupancy)\n");
+    std::printf("%-4s %10s %10s %10s %8s\n", "W", "states", "min",
+                "max", "skew");
+
+    ModelShape shape;
+    const TransitionSystem ts = buildGermanModel(5, shape);
+    const std::size_t numVars = ts.numVars();
+    std::vector<std::uint64_t> hashes;
+    ExploreLimits lim;
+    explore(ts, lim, false, false, [&](const VState &s) {
+        hashes.push_back(stateHash(s.data(), numVars));
+    });
+
+    for (const unsigned W : {2u, 4u, 8u}) {
+        std::vector<std::size_t> shard(W, 0);
+        for (const std::uint64_t h : hashes)
+            ++shard[h % W];
+        std::size_t mn = hashes.size(), mx = 0;
+        for (const std::size_t s : shard) {
+            mn = std::min(mn, s);
+            mx = std::max(mx, s);
+        }
+        const double ideal =
+            static_cast<double>(hashes.size()) / W;
+        std::printf("%-4u %10zu %10zu %10zu %7.3fx\n", W,
+                    hashes.size(), mn, mx, mx / ideal);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string dir = makeTempDir();
+    std::printf("==== service substrate: journal, codec, shards "
+                "====\n\n");
+    benchJournal(dir);
+    benchFrameCodec();
+    benchShardBalance();
+    std::string cleanup = "rm -rf " + dir;
+    if (std::system(cleanup.c_str()) != 0)
+        std::fprintf(stderr, "cleanup failed for %s\n", dir.c_str());
+    return 0;
+}

@@ -85,7 +85,13 @@ parseSeconds(const std::string &text, double &out, std::string &err)
 {
     std::string digits = text;
     double scale = 1.0;
-    if (!digits.empty()) {
+    // "ms" must be peeled before the single-letter suffixes or
+    // "200ms" would parse as "200m" + trailing junk.
+    if (digits.size() >= 2 &&
+        digits.compare(digits.size() - 2, 2, "ms") == 0) {
+        scale = 1e-3;
+        digits.erase(digits.size() - 2);
+    } else if (!digits.empty()) {
         const char suffix = digits.back();
         if (suffix == 's' || suffix == 'm' || suffix == 'h') {
             scale = suffix == 's' ? 1.0 : suffix == 'm' ? 60.0 : 3600.0;

@@ -30,8 +30,12 @@ bool parseU64(const std::string &text, std::uint64_t &out,
 bool parseF64(const std::string &text, double &out, std::string &err);
 
 /**
- * Non-negative duration in seconds, optionally suffixed s/m/h
- * ("90", "1.5m", "2h"); used by --max-seconds/--checkpoint-every.
+ * Non-negative duration in seconds, optionally suffixed ms/s/m/h
+ * ("90", "200ms", "1.5m", "2h"); used by --max-seconds,
+ * --checkpoint-every and the service supervision flags
+ * (--heartbeat/--job-timeout/--backoff). Rejection is as strict as
+ * the numeric parser: a bare suffix, doubled suffix or any trailing
+ * junk fails with a precise message.
  */
 bool parseSeconds(const std::string &text, double &out,
                   std::string &err);

@@ -11,6 +11,10 @@
  *   3  quiescent deadlock                          (neosim only)
  *   4  no-progress watchdog fired                  (neosim only)
  *   5  interrupted with a resumable checkpoint     (neoverify only)
+ *   6  job quarantined as poison after K failed
+ *      attempts                                    (neoverify --serve)
+ *   7  verification service unreachable or could
+ *      not start (socket bind/connect failure)     (neoverify --serve)
  *
  * neo_fatal() exits with kExitUsage, so every "the user asked for
  * something we cannot do" path lands on 2 in both tools.
@@ -28,6 +32,8 @@ inline constexpr int kExitUsage = 2;
 inline constexpr int kExitDeadlock = 3;
 inline constexpr int kExitWatchdog = 4;
 inline constexpr int kExitInterrupted = 5;
+inline constexpr int kExitQuarantined = 6;
+inline constexpr int kExitServiceUnavailable = 7;
 
 } // namespace neo
 

@@ -1,0 +1,104 @@
+#include "io_retry.hpp"
+
+#include <cerrno>
+#include <csignal>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace neo
+{
+
+bool
+writeFull(int fd, const void *buf, std::size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+readFull(int fd, void *buf, std::size_t n)
+{
+    char *p = static_cast<char *>(buf);
+    while (n > 0) {
+        const ssize_t r = ::read(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0) {
+            errno = 0; // clean EOF, not an error
+            return false;
+        }
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+ssize_t
+writeRetry(int fd, const void *buf, std::size_t n)
+{
+    for (;;) {
+        const ssize_t w = ::write(fd, buf, n);
+        if (w < 0 && errno == EINTR)
+            continue;
+        return w;
+    }
+}
+
+ssize_t
+readRetry(int fd, void *buf, std::size_t n)
+{
+    for (;;) {
+        const ssize_t r = ::read(fd, buf, n);
+        if (r < 0 && errno == EINTR)
+            continue;
+        return r;
+    }
+}
+
+bool
+fsyncRetry(int fd)
+{
+    for (;;) {
+        if (::fsync(fd) == 0)
+            return true;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+bool
+msyncRetry(void *addr, std::size_t len, int flags)
+{
+    for (;;) {
+        if (::msync(addr, len, flags) == 0)
+            return true;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+void
+ignoreSigpipe()
+{
+    struct sigaction sa;
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGPIPE, &sa, nullptr);
+}
+
+} // namespace neo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * EINTR-hardened I/O primitives and SIGPIPE hygiene.
+ *
+ * A long-running daemon takes signals as a matter of course —
+ * supervision timers, SIGCHLD from reaped workers, operators poking
+ * it — and every one of them can interrupt a blocking write() or
+ * fsync() mid-call. The bare syscalls then return short counts or
+ * EINTR, which turns "checkpoint written" into "checkpoint torn" on
+ * exactly the runs that need it most. These helpers loop until the
+ * full transfer completes or a real error occurs, so the checkpoint,
+ * journal and spill paths never mistake an interruption for a failure.
+ *
+ * SIGPIPE is the other classic daemon killer: a client or peer worker
+ * that dies mid-conversation turns the next write into process death
+ * by default. ignoreSigpipe() downgrades that to an EPIPE error the
+ * caller handles like any other disconnect; both tools call it at
+ * startup.
+ */
+
+#ifndef NEO_SIM_IO_RETRY_HPP
+#define NEO_SIM_IO_RETRY_HPP
+
+#include <cstddef>
+#include <sys/types.h>
+
+namespace neo
+{
+
+/**
+ * Write all @p n bytes to @p fd, retrying on EINTR and short writes.
+ * @return true when every byte was written; false on a real error
+ * (errno is preserved). Intended for blocking fds — on a non-blocking
+ * fd EAGAIN is surfaced as failure, use writeRetry instead.
+ */
+bool writeFull(int fd, const void *buf, std::size_t n);
+
+/** Read exactly @p n bytes; false on EOF or error (errno holds the
+ *  reason; errno == 0 after a clean EOF). */
+bool readFull(int fd, void *buf, std::size_t n);
+
+/** One write() retried only on EINTR: passes EAGAIN/EWOULDBLOCK and
+ *  every other error through as -1, so non-blocking event loops keep
+ *  their semantics while losing the EINTR failure mode. */
+ssize_t writeRetry(int fd, const void *buf, std::size_t n);
+
+/** One read() retried only on EINTR (see writeRetry). */
+ssize_t readRetry(int fd, void *buf, std::size_t n);
+
+/** fsync() retried on EINTR. */
+bool fsyncRetry(int fd);
+
+/** msync() retried on EINTR. */
+bool msyncRetry(void *addr, std::size_t len, int flags);
+
+/** Ignore SIGPIPE process-wide: writes to a dead peer return EPIPE
+ *  instead of killing the process. Idempotent. */
+void ignoreSigpipe();
+
+} // namespace neo
+
+#endif // NEO_SIM_IO_RETRY_HPP

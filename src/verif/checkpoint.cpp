@@ -25,8 +25,12 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <string_view>
 
+#include <fcntl.h>
 #include <unistd.h>
+
+#include "sim/io_retry.hpp"
 
 namespace neo
 {
@@ -297,20 +301,23 @@ writeSnapshotFile(const std::string &path, SnapshotKind kind,
     putLE32(header + kHeaderBody, crc32(header, kHeaderBody));
 
     const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
         err = tmp + ": " + std::strerror(errno);
         return false;
     }
-    bool ok = std::fwrite(header, 1, kHeaderSize, f) == kHeaderSize &&
+    // EINTR-hardened writes + fsync before the rename so the publish
+    // is atomic even across a power cut or a signal storm: either the
+    // old snapshot or the complete new one is visible, never a torn
+    // mix — and a supervision signal landing mid-write cannot fake a
+    // short write into a "failure" that throws the snapshot away.
+    bool ok = writeFull(fd, header, kHeaderSize) &&
               (payload.empty() ||
-               std::fwrite(payload.data(), 1, payload.size(), f) ==
-                   payload.size());
-    // Flush and fsync before the rename so the publish is atomic even
-    // across a power cut: either the old snapshot or the complete new
-    // one is visible, never a torn mix.
-    ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-    if (std::fclose(f) != 0)
+               writeFull(fd, payload.data(), payload.size()));
+    ok = ok && fsyncRetry(fd);
+    if (::close(fd) != 0)
         ok = false;
     if (!ok) {
         err = tmp + ": write failed: " + std::strerror(errno);
@@ -395,6 +402,39 @@ void
 removeSnapshot(const std::string &path)
 {
     std::remove(path.c_str());
+}
+
+std::size_t
+reapStaleCheckpointTmps(const std::string &dir)
+{
+    std::error_code ec;
+    std::size_t reaped = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        constexpr std::string_view suffix = ".tmp";
+        if (name.size() <= suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        std::error_code rmEc;
+        if (std::filesystem::remove(entry.path(), rmEc))
+            ++reaped;
+    }
+    return reaped;
+}
+
+std::string
+partitionSnapshotPath(const std::string &dir, std::uint64_t epoch,
+                      unsigned part, unsigned count)
+{
+    return dir + "/epoch-" + std::to_string(epoch) + "-part-" +
+           std::to_string(part) + "-of-" + std::to_string(count) +
+           ".ckpt";
 }
 
 std::string

@@ -164,10 +164,32 @@ std::uint64_t peekSnapshotFingerprint(const std::string &path);
 bool snapshotExists(const std::string &path);
 void removeSnapshot(const std::string &path);
 
+/**
+ * Startup hygiene: remove orphaned "*.tmp" files under @p dir (one
+ * level, non-recursive). A crash between serializing "<path>.tmp" and
+ * the atomic rename leaves the tmp behind; it is never a valid
+ * snapshot (resume only ever reads the renamed path) and only wastes
+ * disk, so every engine reaps the directory before its first write.
+ * @return files removed; 0 for a missing or clean directory.
+ */
+std::size_t reapStaleCheckpointTmps(const std::string &dir);
+
 /** Snapshot file locations inside a checkpoint directory. */
 std::string exploreSnapshotPath(const CheckpointConfig &cfg);
 std::string walkSnapshotPath(const CheckpointConfig &cfg);
 std::string sweepSnapshotPath(const CheckpointConfig &cfg);
+
+/**
+ * Per-partition snapshot name for the distributed service (service/):
+ * "<dir>/epoch-<epoch>-part-<part>-of-<count>.ckpt". Worker @p part
+ * of @p count writes its shard's visited set + frontier here at each
+ * coordinated checkpoint barrier; the reshard loader reads all
+ * @p count files of an epoch and re-deals states by fingerprint, so
+ * an epoch written by W workers can resume onto any worker count.
+ */
+std::string partitionSnapshotPath(const std::string &dir,
+                                  std::uint64_t epoch, unsigned part,
+                                  unsigned count);
 
 // ---------------------------------------------------------------
 // Canonical explore snapshot (sequential BFS and parallel explorer)

@@ -80,6 +80,10 @@ explore(const TransitionSystem &ts, const ExploreLimits &limits,
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
     const std::string ckptPath =
         ckptActive ? exploreSnapshotPath(*ckpt) : std::string();
+    // Reap "<path>.tmp" orphans from a crash mid-write before this
+    // run's first snapshot; resume only ever reads the renamed path.
+    if (ckptActive)
+        reapStaleCheckpointTmps(ckpt->dir);
     const std::uint64_t fingerprint =
         ckptActive ? modelFingerprint(ts) : 0;
     // Wall-clock already spent by the resumed run; maxSeconds bounds

@@ -179,6 +179,8 @@ exploreParallelImpl(const TransitionSystem &ts,
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
     const std::string ckptPath =
         ckptActive ? exploreSnapshotPath(*ckpt) : std::string();
+    if (ckptActive)
+        reapStaleCheckpointTmps(ckpt->dir);
     const std::uint64_t fingerprint =
         ckptActive ? modelFingerprint(ts) : 0;
     double baseSeconds = 0.0;

@@ -87,6 +87,8 @@ verifyParametric(const ModelFactory &factory, std::size_t from,
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
     const std::string sweepPath =
         ckptActive ? sweepSnapshotPath(*ckpt) : std::string();
+    if (ckptActive)
+        reapStaleCheckpointTmps(ckpt->dir);
     // The sweep snapshot is stamped with the SMALLEST instance's
     // fingerprint: it identifies the factory (a different protocol or
     // feature set changes rules/invariants and hence the fingerprint)

@@ -87,6 +87,8 @@ RandomWalkExplorer::run() const
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
     const std::string ckptPath =
         ckptActive ? walkSnapshotPath(*ckpt) : std::string();
+    if (ckptActive)
+        reapStaleCheckpointTmps(ckpt->dir);
     const std::uint64_t fingerprint =
         ckptActive ? modelFingerprint(ts_) : 0;
     double baseSeconds = 0.0;

@@ -1,0 +1,1131 @@
+#include "coordinator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <list>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/exit_codes.hpp"
+#include "sim/io_retry.hpp"
+#include "sim/logging.hpp"
+#include "verif/checkpoint.hpp"
+#include "verif/explorer.hpp"
+#include "verif/service/job_queue.hpp"
+#include "verif/service/wire.hpp"
+#include "verif/service/worker.hpp"
+
+namespace neo
+{
+
+namespace
+{
+
+double
+nowSec()
+{
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+/** Pongs a worker may miss before it counts as hung (multiplied by
+ *  the heartbeat interval, floored at a few seconds so fast
+ *  heartbeats do not misfire on scheduler hiccups). */
+constexpr double kStaleHeartbeats = 8.0;
+constexpr double kStaleFloorSeconds = 5.0;
+/** Complete pong rounds with a frozen global state count before the
+ *  attempt is declared wedged. */
+constexpr unsigned kNoProgressRounds = 120;
+
+/** Epochs any non-terminal job may still resume from. A job in retry
+ *  backoff is not the running job, but its committed checkpoint must
+ *  outlive every other job that runs during the backoff window —
+ *  pruning "everything but the current epoch" loses exactly those
+ *  files and turns a recoverable kill into a quarantine. */
+std::set<std::uint64_t>
+liveEpochs(const std::map<std::uint64_t, Job> &jobs)
+{
+    std::set<std::uint64_t> keep;
+    for (const auto &[id, job] : jobs) {
+        (void)id;
+        if ((job.state == JobState::Pending ||
+             job.state == JobState::Running) &&
+            job.ckpt.epoch != 0)
+            keep.insert(job.ckpt.epoch);
+    }
+    return keep;
+}
+
+/** Delete partition snapshot files whose epoch is not in @p keep. */
+void
+pruneEpochFiles(const std::string &dir,
+                const std::set<std::uint64_t> &keep)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("epoch-", 0) != 0 || name.size() < 11 ||
+            name.substr(name.size() - 5) != ".ckpt")
+            continue;
+        const std::uint64_t epoch =
+            std::strtoull(name.c_str() + 6, nullptr, 10);
+        if (keep.count(epoch) == 0) {
+            std::error_code rmEc;
+            fs::remove(entry.path(), rmEc);
+        }
+    }
+}
+
+struct PongData
+{
+    std::uint32_t seq = 0;
+    bool paused = false;
+    bool outEmpty = false;
+    std::uint64_t queueLen = 0;
+    std::uint64_t states = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t invChecks = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t recv = 0;
+
+    bool
+    operator==(const PongData &o) const
+    {
+        return paused == o.paused && outEmpty == o.outEmpty &&
+               queueLen == o.queueLen && states == o.states &&
+               transitions == o.transitions &&
+               invChecks == o.invChecks && sent == o.sent &&
+               recv == o.recv;
+    }
+};
+
+struct WorkerProc
+{
+    pid_t pid = -1;
+    Channel ctl;
+    bool alive = true;
+    bool finalSeen = false;
+    PongData pong;
+    std::uint64_t finStates = 0;
+    std::uint64_t finTransitions = 0;
+    std::uint64_t finInvChecks = 0;
+    double lastPong = 0.0;
+};
+
+enum class Phase
+{
+    Run,       ///< workers exploring
+    Quiesce,   ///< barrier: pause sent, draining in-flight states
+    CkptWrite, ///< barrier: partition snapshots being written
+    Finishing, ///< fixpoint detected, collecting Final reports
+};
+
+struct Attempt
+{
+    bool active = false;
+    std::uint64_t jobId = 0;
+    unsigned W = 0;
+    std::vector<WorkerProc> workers;
+    double start = 0.0;
+    Phase phase = Phase::Run;
+    std::uint32_t pingSeq = 0;
+    std::uint32_t lastRound = 0;
+    double lastPing = 0.0;
+    double lastCkpt = 0.0;
+    /** Stability detector state (previous complete round). */
+    std::vector<PongData> prevRound;
+    bool havePrev = false;
+    std::uint64_t lastSumStates = ~0ULL;
+    unsigned frozenRounds = 0;
+    /** Barrier bookkeeping. */
+    std::uint64_t ckptEpoch = 0;
+    unsigned ckptDone = 0;
+    bool ckptOk = true;
+    /** Completion bookkeeping. */
+    unsigned finals = 0;
+    unsigned deaths = 0;
+    /** The committed manifest AS OF ATTEMPT START. Worker counters
+     *  accumulate from attempt start, so every base+delta sum must
+     *  use this frozen copy — job.ckpt advances when a barrier
+     *  commits mid-attempt, and summing against the moving value
+     *  would double-count the deltas already inside it. */
+    CkptManifest base;
+};
+
+struct ClientConn
+{
+    Channel ch;
+};
+
+class Coordinator
+{
+  public:
+    explicit Coordinator(const ServeOptions &opts)
+        : opts_(opts),
+          queue_(opts.retryLimit, opts.backoffSeconds)
+    {
+    }
+
+    int run();
+
+  private:
+    // --- attempt lifecycle ---
+    void startAttempt(Job &job);
+    void stopAttemptWorkers();
+    void attemptFailed(const std::string &reason);
+    void finishJob(const JobResult &result);
+    JobResult pongResult(std::uint8_t statusCode,
+                         double now) const;
+
+    // --- supervision ---
+    void supervise(double now);
+    void reapDead(double now);
+    void sendPings(double now);
+    void handleRound(double now);
+    void handleWorkerFrame(unsigned w, MsgType type,
+                           const std::vector<std::uint8_t> &body,
+                           double now);
+
+    // --- clients ---
+    void acceptClients();
+    void handleClientFrame(ClientConn &client, MsgType type,
+                           const std::vector<std::uint8_t> &body);
+    void notifyWaiters(std::uint64_t jobId);
+    std::pair<int, std::string> resultFor(const Job &job) const;
+    std::string statusText() const;
+    void dropClosedClients();
+
+    static void sendErr(ClientConn &c, const std::string &msg);
+    static void sendOk(ClientConn &c, const std::string &msg);
+
+    ServeOptions opts_;
+    JobQueue queue_;
+    int listenFd_ = -1;
+    bool draining_ = false;
+    std::uint64_t nextEpoch_ = 1;
+    Attempt attempt_;
+    std::list<ClientConn> clients_;
+    std::vector<std::pair<std::uint64_t, ClientConn *>> waiters_;
+};
+
+// ---------------------------------------------------------------
+// Attempt lifecycle
+// ---------------------------------------------------------------
+
+void
+Coordinator::startAttempt(Job &job)
+{
+    unsigned W = job.nextWorkers != 0 ? job.nextWorkers
+                                      : opts_.workers;
+    W = std::max(1u, W);
+
+    // Journal-first: the attempt exists durably before any fork, so
+    // a coordinator crash from here on replays as a failed attempt.
+    queue_.markStarted(job, W);
+
+    std::vector<std::array<int, 2>> ctl(W);
+    // peerFd[i][j]: worker i's end of the i<->j mesh link.
+    std::vector<std::vector<int>> peerFd(
+        W, std::vector<int>(W, -1));
+    for (unsigned i = 0; i < W; ++i) {
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, ctl[i].data()) != 0)
+            neo_fatal("socketpair: ", std::strerror(errno));
+    }
+    for (unsigned i = 0; i < W; ++i) {
+        for (unsigned j = i + 1; j < W; ++j) {
+            int sv[2];
+            if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+                neo_fatal("socketpair: ", std::strerror(errno));
+            peerFd[i][j] = sv[0];
+            peerFd[j][i] = sv[1];
+        }
+    }
+
+    attempt_ = Attempt();
+    attempt_.active = true;
+    attempt_.jobId = job.id;
+    attempt_.W = W;
+    attempt_.base = job.ckpt;
+    attempt_.workers.resize(W);
+
+    for (unsigned i = 0; i < W; ++i) {
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            neo_fatal("fork: ", std::strerror(errno));
+        if (pid == 0) {
+            // Child: drop every inherited fd that is not ours —
+            // most critically the journal (a worker must never be
+            // able to extend it) and the listening socket.
+            ::close(listenFd_);
+            if (queue_.journalFd() >= 0)
+                ::close(queue_.journalFd());
+            for (const auto &c : clients_)
+                if (c.ch.fd() >= 0)
+                    ::close(c.ch.fd());
+            for (unsigned k = 0; k < W; ++k) {
+                ::close(ctl[k][0]);
+                if (k != i)
+                    ::close(ctl[k][1]);
+                if (k != i)
+                    for (int fd : peerFd[k])
+                        if (fd >= 0)
+                            ::close(fd);
+            }
+            WorkerConfig cfg;
+            cfg.index = i;
+            cfg.count = W;
+            cfg.spec = job.spec;
+            cfg.partDir = opts_.stateDir;
+            cfg.resumeEpoch = job.ckpt.epoch;
+            cfg.resumeParts = job.ckpt.parts;
+            WorkerEndpoints eps;
+            eps.control = ctl[i][1];
+            eps.peers = peerFd[i];
+            runWorkerProcess(cfg, eps); // never returns
+        }
+        attempt_.workers[i].pid = pid;
+    }
+
+    // Parent: every child-side fd now belongs to the children.
+    const double now = nowSec();
+    for (unsigned i = 0; i < W; ++i) {
+        ::close(ctl[i][1]);
+        for (int fd : peerFd[i])
+            if (fd >= 0)
+                ::close(fd);
+        setNonBlocking(ctl[i][0]);
+        attempt_.workers[i].ctl = Channel(ctl[i][0]);
+        attempt_.workers[i].lastPong = now; // spawn grace
+    }
+    attempt_.start = now;
+    attempt_.lastCkpt = now;
+    attempt_.lastPing = now - opts_.heartbeatSeconds; // ping at once
+
+    neo_inform("job ", job.id, " attempt ", job.attempts, ": ", W,
+               " worker", W == 1 ? "" : "s",
+               job.ckpt.epoch != 0
+                   ? " (resuming checkpoint epoch " +
+                         std::to_string(job.ckpt.epoch) + ")"
+                   : std::string(),
+               ": ", job.spec.summary());
+}
+
+void
+Coordinator::stopAttemptWorkers()
+{
+    for (auto &w : attempt_.workers) {
+        if (w.pid > 0 && w.alive) {
+            ::kill(w.pid, SIGKILL);
+            int st = 0;
+            pid_t rc;
+            do {
+                rc = ::waitpid(w.pid, &st, 0);
+            } while (rc < 0 && errno == EINTR);
+            w.alive = false;
+        }
+        w.ctl.close();
+    }
+}
+
+void
+Coordinator::attemptFailed(const std::string &reason)
+{
+    const unsigned deaths = attempt_.deaths;
+    stopAttemptWorkers();
+    Job *job = queue_.find(attempt_.jobId);
+    attempt_.active = false;
+    if (job == nullptr)
+        return;
+    // Reshard to survivors: the next attempt redeal's the lost
+    // worker's partition from the last committed epoch.
+    const std::uint32_t nextW = std::max(
+        1u, attempt_.W - std::min(attempt_.W - 1, deaths));
+    neo_warn("job ", job->id, " attempt ", job->attempts,
+             " failed: ", reason, " (next attempt: ", nextW,
+             " workers)");
+    queue_.failAttempt(*job, reason, nextW, nowSec());
+    if (job->state == JobState::Quarantined)
+        notifyWaiters(job->id);
+}
+
+JobResult
+Coordinator::pongResult(std::uint8_t statusCode,
+                        double now) const
+{
+    // Best-effort counters from the latest pongs (exact at a
+    // quiesced/stable round; approximate mid-flight, which only the
+    // non-Verified verdicts use).
+    JobResult res;
+    res.statusCode = statusCode;
+    for (const auto &w : attempt_.workers) {
+        res.states += w.pong.states;
+        res.transitions += w.pong.transitions;
+        res.invariantChecks += w.pong.invChecks;
+    }
+    res.transitions += attempt_.base.transitions;
+    res.invariantChecks += attempt_.base.invariantChecks;
+    res.seconds = attempt_.base.seconds + (now - attempt_.start);
+    return res;
+}
+
+void
+Coordinator::finishJob(const JobResult &result)
+{
+    Job *job = queue_.find(attempt_.jobId);
+    attempt_.active = false;
+    if (job == nullptr)
+        return;
+    queue_.markDone(*job, result);
+    pruneEpochFiles(opts_.stateDir, liveEpochs(queue_.jobs()));
+    neo_inform("job ", job->id, " done: ",
+               verifStatusName(
+                   static_cast<VerifStatus>(result.statusCode)),
+               " states=", result.states,
+               " transitions=", result.transitions);
+    notifyWaiters(job->id);
+}
+
+// ---------------------------------------------------------------
+// Supervision
+// ---------------------------------------------------------------
+
+void
+Coordinator::reapDead(double now)
+{
+    for (;;) {
+        int st = 0;
+        const pid_t pid = ::waitpid(-1, &st, WNOHANG);
+        if (pid <= 0)
+            return;
+        if (!attempt_.active)
+            continue;
+        for (unsigned i = 0; i < attempt_.workers.size(); ++i) {
+            WorkerProc &w = attempt_.workers[i];
+            if (w.pid != pid || !w.alive)
+                continue;
+            w.alive = false;
+            // The socket may still hold a Final or Violation the
+            // worker flushed right before exiting; drain it before
+            // judging the death.
+            w.ctl.readSome();
+            MsgType type;
+            std::vector<std::uint8_t> body;
+            while (attempt_.active && w.ctl.next(type, body))
+                handleWorkerFrame(i, type, body, now);
+            if (!attempt_.active)
+                break;
+            if (attempt_.phase == Phase::Finishing && w.finalSeen)
+                break; // expected exit after Final
+            ++attempt_.deaths;
+            std::ostringstream os;
+            os << "worker " << i << "/" << attempt_.W;
+            if (WIFSIGNALED(st))
+                os << " killed by signal " << WTERMSIG(st);
+            else
+                os << " exited with status " << WEXITSTATUS(st);
+            attemptFailed(os.str());
+            break;
+        }
+        if (!attempt_.active)
+            continue; // keep reaping the rest of the cohort
+    }
+}
+
+void
+Coordinator::sendPings(double now)
+{
+    ++attempt_.pingSeq;
+    attempt_.lastPing = now;
+    const bool pause = attempt_.phase == Phase::Quiesce ||
+                       attempt_.phase == Phase::CkptWrite;
+    SnapshotWriter w;
+    w.putU32(attempt_.pingSeq);
+    w.putU8(pause ? 1 : 0);
+    const std::vector<std::uint8_t> body = w.take();
+    for (auto &wp : attempt_.workers)
+        if (wp.alive)
+            wp.ctl.queueFrame(MsgType::Ping, body);
+}
+
+void
+Coordinator::handleRound(double now)
+{
+    attempt_.lastRound = attempt_.pingSeq;
+
+    std::vector<PongData> round;
+    round.reserve(attempt_.workers.size());
+    bool drained = true, allQuiesced = true;
+    std::uint64_t sumStates = 0, sumSent = 0, sumRecv = 0;
+    for (const auto &w : attempt_.workers) {
+        round.push_back(w.pong);
+        drained &= w.pong.outEmpty && w.pong.queueLen == 0;
+        allQuiesced &= w.pong.paused && w.pong.outEmpty;
+        sumStates += w.pong.states;
+        sumSent += w.pong.sent;
+        sumRecv += w.pong.recv;
+    }
+    const bool sumsEq = sumSent == sumRecv;
+    const bool same = attempt_.havePrev && round == attempt_.prevRound;
+    attempt_.prevRound = std::move(round);
+    attempt_.havePrev = true;
+
+    if (sumStates != attempt_.lastSumStates) {
+        attempt_.lastSumStates = sumStates;
+        attempt_.frozenRounds = 0;
+    } else {
+        ++attempt_.frozenRounds;
+    }
+
+    if ((attempt_.phase == Phase::Run ||
+         attempt_.phase == Phase::Quiesce) &&
+        drained && sumsEq && same) {
+        // Two identical complete rounds with every queue and buffer
+        // empty and global sent == received: nothing is running and
+        // nothing is in flight — the distributed fixpoint. The
+        // paused flag deliberately does not matter: a barrier's
+        // pause cannot conjure work into empty queues, and requiring
+        // Run-phase rounds starves detection forever when the
+        // checkpoint cadence is at most two heartbeats (the barrier
+        // kick reclaims the phase before a second unpaused round can
+        // complete — the attempt then checkpoints an already-final
+        // store on a loop until the no-progress watchdog shoots it).
+        attempt_.phase = Phase::Finishing;
+        for (auto &w : attempt_.workers)
+            if (w.alive)
+                w.ctl.queueFrame(MsgType::Finish, {});
+        return;
+    }
+    if (attempt_.phase == Phase::Quiesce && allQuiesced && sumsEq &&
+        same) {
+        attempt_.ckptEpoch = nextEpoch_++;
+        attempt_.ckptDone = 0;
+        attempt_.ckptOk = true;
+        SnapshotWriter w;
+        w.putU64(attempt_.ckptEpoch);
+        const std::vector<std::uint8_t> body = w.take();
+        for (auto &wp : attempt_.workers)
+            if (wp.alive)
+                wp.ctl.queueFrame(MsgType::CkptWrite, body);
+        attempt_.phase = Phase::CkptWrite;
+        return;
+    }
+    if (attempt_.phase != Phase::Finishing &&
+        attempt_.frozenRounds > kNoProgressRounds) {
+        attemptFailed("no progress: global state count frozen for " +
+                      std::to_string(attempt_.frozenRounds) +
+                      " rounds");
+    }
+    (void)now;
+}
+
+void
+Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
+                               const std::vector<std::uint8_t> &body,
+                               double now)
+{
+    WorkerProc &w = attempt_.workers[widx];
+    SnapshotReader r(body);
+    switch (type) {
+      case MsgType::Pong: {
+          PongData p;
+          p.seq = r.getU32();
+          p.paused = r.getU8() != 0;
+          p.outEmpty = r.getU8() != 0;
+          p.queueLen = r.getU64();
+          p.states = r.getU64();
+          p.transitions = r.getU64();
+          p.invChecks = r.getU64();
+          p.sent = r.getU64();
+          p.recv = r.getU64();
+          if (!r.ok())
+              return;
+          w.pong = p;
+          w.lastPong = now;
+          // Complete round: every worker answered the latest ping.
+          if (attempt_.phase == Phase::Run ||
+              attempt_.phase == Phase::Quiesce) {
+              bool complete = attempt_.pingSeq != attempt_.lastRound;
+              for (const auto &wp : attempt_.workers)
+                  complete &= wp.alive &&
+                              wp.pong.seq == attempt_.pingSeq;
+              if (complete)
+                  handleRound(now);
+          }
+          break;
+      }
+      case MsgType::CkptDone: {
+          const std::uint64_t epoch = r.getU64();
+          const bool ok = r.getU8() != 0;
+          if (attempt_.phase != Phase::CkptWrite ||
+              epoch != attempt_.ckptEpoch)
+              return;
+          attempt_.ckptOk &= ok;
+          if (++attempt_.ckptDone < attempt_.W)
+              return;
+          Job *job = queue_.find(attempt_.jobId);
+          if (attempt_.ckptOk && job != nullptr) {
+              // All partitions durable: commit the consistent cut.
+              // The pong counters are from the quiesced stable
+              // round, so the manifest is exact.
+              CkptManifest m;
+              m.epoch = attempt_.ckptEpoch;
+              m.parts = attempt_.W;
+              for (const auto &wp : attempt_.workers) {
+                  m.states += wp.pong.states;
+                  m.transitions += wp.pong.transitions;
+                  m.invariantChecks += wp.pong.invChecks;
+              }
+              m.transitions += attempt_.base.transitions;
+              m.invariantChecks += attempt_.base.invariantChecks;
+              m.seconds =
+                  attempt_.base.seconds + (now - attempt_.start);
+              queue_.recordCheckpoint(*job, m);
+              pruneEpochFiles(opts_.stateDir,
+                              liveEpochs(queue_.jobs()));
+          } else {
+              neo_warn("checkpoint epoch ", attempt_.ckptEpoch,
+                       " abandoned (a partition write failed)");
+          }
+          attempt_.lastCkpt = now;
+          attempt_.phase = Phase::Run; // next ping unpauses
+          break;
+      }
+      case MsgType::Final: {
+          w.finalSeen = true;
+          w.finStates = r.getU64();
+          w.finTransitions = r.getU64();
+          w.finInvChecks = r.getU64();
+          if (++attempt_.finals < attempt_.W)
+              return;
+          JobResult res;
+          res.statusCode = static_cast<std::uint8_t>(
+              VerifStatus::Verified);
+          for (const auto &wp : attempt_.workers) {
+              res.states += wp.finStates;
+              res.transitions += wp.finTransitions;
+              res.invariantChecks += wp.finInvChecks;
+          }
+          res.transitions += attempt_.base.transitions;
+          res.invariantChecks += attempt_.base.invariantChecks;
+          res.seconds = attempt_.base.seconds + (now - attempt_.start);
+          stopAttemptWorkers();
+          finishJob(res);
+          break;
+      }
+      case MsgType::Violation: {
+          const std::string invariant = getString(r);
+          const std::string bad = getString(r);
+          // The reporter's exact counters: fold them into its pong
+          // slot so the verdict is right even when the violation
+          // beat the first heartbeat round (peers' counters stay
+          // best-effort — the verdict's counts are advisory for
+          // anything but Verified).
+          w.pong.states = r.getU64();
+          w.pong.transitions = r.getU64();
+          w.pong.invChecks = r.getU64();
+          Job *job = queue_.find(attempt_.jobId);
+          stopAttemptWorkers();
+          if (job == nullptr) {
+              attempt_.active = false;
+              return;
+          }
+          JobResult res = pongResult(
+              static_cast<std::uint8_t>(
+                  VerifStatus::InvariantViolated),
+              now);
+          res.violatedInvariant = invariant;
+          res.detail = bad;
+          finishJob(res);
+          break;
+      }
+      default:
+          break;
+    }
+}
+
+void
+Coordinator::supervise(double now)
+{
+    reapDead(now);
+    if (!attempt_.active)
+        return;
+    Job *job = queue_.find(attempt_.jobId);
+    if (job == nullptr) {
+        stopAttemptWorkers();
+        attempt_.active = false;
+        return;
+    }
+
+    if (now - attempt_.lastPing >= opts_.heartbeatSeconds)
+        sendPings(now);
+
+    const double staleLimit =
+        std::max(kStaleFloorSeconds,
+                 kStaleHeartbeats * opts_.heartbeatSeconds);
+    for (unsigned i = 0; i < attempt_.workers.size(); ++i) {
+        const WorkerProc &w = attempt_.workers[i];
+        if (w.alive && now - w.lastPong > staleLimit) {
+            attemptFailed("worker " + std::to_string(i) +
+                          " unresponsive for " +
+                          std::to_string(staleLimit) + "s");
+            return;
+        }
+    }
+
+    if (opts_.jobTimeoutSeconds > 0.0 &&
+        now - attempt_.start > opts_.jobTimeoutSeconds) {
+        attemptFailed("attempt exceeded the job timeout");
+        return;
+    }
+
+    // Bound enforcement mirrors the sequential CLI: exceeding a bound
+    // is a terminal verdict, not a retryable failure.
+    if (attempt_.havePrev) {
+        std::uint64_t sumStates = 0;
+        for (const auto &w : attempt_.workers)
+            sumStates += w.pong.states;
+        const double elapsed =
+            attempt_.base.seconds + (now - attempt_.start);
+        if (sumStates >= job->spec.maxStates ||
+            (job->spec.maxSeconds > 0.0 &&
+             elapsed > job->spec.maxSeconds)) {
+            stopAttemptWorkers();
+            JobResult res = pongResult(
+                static_cast<std::uint8_t>(
+                    VerifStatus::LimitExceeded),
+                now);
+            res.detail = sumStates >= job->spec.maxStates
+                             ? "state bound exceeded"
+                             : "time bound exceeded";
+            finishJob(res);
+            return;
+        }
+    }
+
+    if (attempt_.phase == Phase::Run &&
+        opts_.checkpointEverySeconds > 0.0 &&
+        now - attempt_.lastCkpt >= opts_.checkpointEverySeconds)
+        attempt_.phase = Phase::Quiesce; // next pings carry pause
+}
+
+// ---------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------
+
+void
+Coordinator::sendErr(ClientConn &c, const std::string &msg)
+{
+    SnapshotWriter w;
+    putString(w, msg);
+    c.ch.queueFrame(MsgType::RspErr, w.take());
+}
+
+void
+Coordinator::sendOk(ClientConn &c, const std::string &msg)
+{
+    SnapshotWriter w;
+    putString(w, msg);
+    c.ch.queueFrame(MsgType::RspOk, w.take());
+}
+
+void
+Coordinator::acceptClients()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN (or a transient error): back to poll
+        }
+        setNonBlocking(fd);
+        clients_.emplace_back();
+        clients_.back().ch = Channel(fd);
+    }
+}
+
+void
+Coordinator::notifyWaiters(std::uint64_t jobId)
+{
+    const Job *job = queue_.find(jobId);
+    if (job == nullptr)
+        return;
+    const auto [code, text] = resultFor(*job);
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+        if (it->first != jobId) {
+            ++it;
+            continue;
+        }
+        SnapshotWriter w;
+        w.putU8(static_cast<std::uint8_t>(code));
+        putString(w, text);
+        it->second->ch.queueFrame(MsgType::RspResult, w.take());
+        it = waiters_.erase(it);
+    }
+}
+
+std::pair<int, std::string>
+Coordinator::resultFor(const Job &job) const
+{
+    std::ostringstream os;
+    os << "job " << job.id << " ";
+    switch (job.state) {
+      case JobState::Done: {
+          const auto status =
+              static_cast<VerifStatus>(job.result.statusCode);
+          os << verifStatusName(status) << ": states="
+             << job.result.states
+             << " transitions=" << job.result.transitions
+             << " invchecks=" << job.result.invariantChecks
+             << " seconds=" << job.result.seconds;
+          if (!job.result.violatedInvariant.empty())
+              os << " violated=" << job.result.violatedInvariant;
+          if (!job.result.detail.empty())
+              os << " (" << job.result.detail << ")";
+          return {status == VerifStatus::Verified ? kExitClean
+                                                  : kExitViolation,
+                  os.str()};
+      }
+      case JobState::Quarantined:
+          os << "QUARANTINED: " << job.lastFailure;
+          return {kExitQuarantined, os.str()};
+      case JobState::Cancelled:
+          os << "CANCELLED";
+          return {kExitInterrupted, os.str()};
+      default:
+          os << jobStateName(job.state);
+          return {kExitViolation, os.str()};
+    }
+}
+
+std::string
+Coordinator::statusText() const
+{
+    std::ostringstream os;
+    os << "serving " << opts_.sockPath
+       << " workers=" << opts_.workers
+       << " jobs=" << queue_.jobs().size()
+       << (draining_ ? " draining" : "") << "\n";
+    for (const auto &[id, job] : queue_.jobs()) {
+        os << "job " << id << " " << jobStateName(job.state)
+           << " attempt=" << job.attempts << "/"
+           << queue_.retryLimit();
+        if (job.state == JobState::Running && attempt_.active &&
+            attempt_.jobId == id) {
+            os << " workers=" << attempt_.W << " pids=";
+            for (unsigned i = 0; i < attempt_.workers.size(); ++i)
+                os << (i != 0 ? "," : "")
+                   << attempt_.workers[i].pid;
+            std::uint64_t states = 0;
+            for (const auto &w : attempt_.workers)
+                states += w.pong.states;
+            os << " states=" << states;
+        }
+        if (job.state == JobState::Done)
+            os << " status="
+               << verifStatusName(
+                      static_cast<VerifStatus>(
+                          job.result.statusCode))
+               << " states=" << job.result.states
+               << " transitions=" << job.result.transitions
+               << " invchecks=" << job.result.invariantChecks;
+        if (job.ckpt.epoch != 0 && job.state != JobState::Done)
+            os << " ckpt-epoch=" << job.ckpt.epoch;
+        if (!job.lastFailure.empty())
+            os << " last-failure=\"" << job.lastFailure << "\"";
+        os << " :: " << job.spec.summary() << "\n";
+    }
+    return os.str();
+}
+
+void
+Coordinator::handleClientFrame(ClientConn &client, MsgType type,
+                               const std::vector<std::uint8_t> &body)
+{
+    SnapshotReader r(body);
+    switch (type) {
+      case MsgType::ReqSubmit: {
+          if (draining_) {
+              sendErr(client, "coordinator is draining");
+              return;
+          }
+          JobSpec spec;
+          if (!JobSpec::decode(r, spec)) {
+              sendErr(client, "malformed job spec");
+              return;
+          }
+          // Reject unbuildable specs at the door rather than letting
+          // every attempt die in the worker.
+          ModelShape shape;
+          std::string err;
+          buildJobModel(spec, shape, err);
+          if (!err.empty()) {
+              sendErr(client, err);
+              return;
+          }
+          const std::uint64_t id = queue_.submit(spec);
+          SnapshotWriter w;
+          w.putU64(id);
+          client.ch.queueFrame(MsgType::RspSubmit, w.take());
+          neo_inform("job ", id, " submitted: ", spec.summary());
+          break;
+      }
+      case MsgType::ReqStatus: {
+          SnapshotWriter w;
+          putString(w, statusText());
+          client.ch.queueFrame(MsgType::RspStatus, w.take());
+          break;
+      }
+      case MsgType::ReqCancel: {
+          const std::uint64_t id = r.getU64();
+          Job *job = queue_.find(id);
+          if (job == nullptr) {
+              sendErr(client, "unknown job");
+              return;
+          }
+          const bool running = job->state == JobState::Running &&
+                               attempt_.active &&
+                               attempt_.jobId == id;
+          if (!queue_.cancel(id)) {
+              sendErr(client, "job is not cancellable");
+              return;
+          }
+          if (running) {
+              // Journal-first ordering: the CANCEL record is durable
+              // before the workers die, so a crash right here
+              // replays as cancelled, not as a retryable failure.
+              stopAttemptWorkers();
+              attempt_.active = false;
+              pruneEpochFiles(opts_.stateDir,
+                              liveEpochs(queue_.jobs()));
+          }
+          notifyWaiters(id);
+          sendOk(client, "cancelled");
+          break;
+      }
+      case MsgType::ReqDrain: {
+          draining_ = true;
+          sendOk(client, "draining");
+          break;
+      }
+      case MsgType::ReqWait: {
+          const std::uint64_t id = r.getU64();
+          Job *job = queue_.find(id);
+          if (job == nullptr) {
+              sendErr(client, "unknown job");
+              return;
+          }
+          if (job->state == JobState::Pending ||
+              job->state == JobState::Running) {
+              waiters_.emplace_back(id, &client);
+              return;
+          }
+          const auto [code, text] = resultFor(*job);
+          SnapshotWriter w;
+          w.putU8(static_cast<std::uint8_t>(code));
+          putString(w, text);
+          client.ch.queueFrame(MsgType::RspResult, w.take());
+          break;
+      }
+      default:
+          sendErr(client, "unexpected request");
+    }
+}
+
+void
+Coordinator::dropClosedClients()
+{
+    for (auto it = clients_.begin(); it != clients_.end();) {
+        if (it->ch.failed() || it->ch.fd() < 0) {
+            ClientConn *dead = &*it;
+            waiters_.erase(
+                std::remove_if(waiters_.begin(), waiters_.end(),
+                               [dead](const auto &w) {
+                                   return w.second == dead;
+                               }),
+                waiters_.end());
+            it = clients_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------
+
+int
+Coordinator::run()
+{
+    ignoreSigpipe();
+    installInterruptHandlers();
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(opts_.stateDir, ec);
+    if (ec) {
+        neo_warn("cannot create state dir ", opts_.stateDir, ": ",
+                 ec.message());
+        return kExitServiceUnavailable;
+    }
+    // Startup hygiene: tmp files orphaned by a crashed snapshot
+    // write are reaped before anything can mistake them for state.
+    reapStaleCheckpointTmps(opts_.stateDir);
+
+    std::string err;
+    if (!queue_.open(opts_.stateDir + "/journal.neoj", nowSec(),
+                     err)) {
+        neo_warn("journal: ", err);
+        return kExitServiceUnavailable;
+    }
+    nextEpoch_ = queue_.maxEpochSeen() + 1;
+    // Partition files whose epoch no live job can resume from are
+    // garbage: torn barriers that never reached their manifest
+    // record, and committed epochs of jobs that since finished.
+    pruneEpochFiles(opts_.stateDir, liveEpochs(queue_.jobs()));
+
+    listenFd_ = listenUnix(opts_.sockPath, err);
+    if (listenFd_ < 0) {
+        neo_warn("cannot serve: ", err);
+        return kExitServiceUnavailable;
+    }
+    setNonBlocking(listenFd_);
+    draining_ = opts_.drainAndExit;
+    neo_inform("serving on ", opts_.sockPath, " (state in ",
+               opts_.stateDir, ", ", opts_.workers,
+               " workers per job)");
+
+    std::vector<pollfd> pfds;
+    std::vector<ClientConn *> pfdClient;
+    std::vector<int> pfdWorker;
+
+    while (!interruptRequested()) {
+        if (draining_ && !attempt_.active && queue_.allTerminal())
+            break;
+        const double now = nowSec();
+        if (!attempt_.active) {
+            Job *job = queue_.runnable(now);
+            if (job != nullptr)
+                startAttempt(*job);
+        }
+
+        pfds.clear();
+        pfdClient.clear();
+        pfdWorker.clear();
+        pfds.push_back({listenFd_, POLLIN, 0});
+        pfdClient.push_back(nullptr);
+        pfdWorker.push_back(-1);
+        for (auto &c : clients_) {
+            pfds.push_back(
+                {c.ch.fd(),
+                 static_cast<short>(
+                     POLLIN | (c.ch.wantsWrite() ? POLLOUT : 0)),
+                 0});
+            pfdClient.push_back(&c);
+            pfdWorker.push_back(-1);
+        }
+        if (attempt_.active) {
+            for (unsigned i = 0; i < attempt_.workers.size(); ++i) {
+                WorkerProc &w = attempt_.workers[i];
+                if (!w.alive || w.ctl.fd() < 0)
+                    continue;
+                pfds.push_back(
+                    {w.ctl.fd(),
+                     static_cast<short>(
+                         POLLIN |
+                         (w.ctl.wantsWrite() ? POLLOUT : 0)),
+                     0});
+                pfdClient.push_back(nullptr);
+                pfdWorker.push_back(static_cast<int>(i));
+            }
+        }
+
+        const int rc = ::poll(pfds.data(), pfds.size(), 100);
+        if (rc < 0 && errno != EINTR) {
+            neo_warn("poll: ", std::strerror(errno));
+            break;
+        }
+        const double after = nowSec();
+
+        if (rc > 0 && (pfds[0].revents & POLLIN))
+            acceptClients();
+
+        MsgType type;
+        std::vector<std::uint8_t> body;
+        for (std::size_t k = 1; rc > 0 && k < pfds.size(); ++k) {
+            if (pfds[k].revents == 0)
+                continue;
+            if (pfdClient[k] != nullptr) {
+                ClientConn &c = *pfdClient[k];
+                if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))
+                    c.ch.readSome();
+                if (pfds[k].revents & POLLOUT)
+                    c.ch.flush();
+                while (!c.ch.failed() && c.ch.next(type, body))
+                    handleClientFrame(c, type, body);
+            } else if (pfdWorker[k] >= 0 && attempt_.active) {
+                WorkerProc &w = attempt_.workers[
+                    static_cast<unsigned>(pfdWorker[k])];
+                if (w.ctl.fd() != pfds[k].fd)
+                    continue; // attempt restarted mid-iteration
+                if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))
+                    w.ctl.readSome();
+                if (pfds[k].revents & POLLOUT)
+                    w.ctl.flush();
+                while (attempt_.active && w.ctl.next(type, body))
+                    handleWorkerFrame(
+                        static_cast<unsigned>(pfdWorker[k]), type,
+                        body, after);
+            }
+        }
+
+        supervise(nowSec());
+        dropClosedClients();
+    }
+
+    if (attempt_.active) {
+        // Deliberate shutdown mid-attempt: kill the cohort and leave
+        // the journal's unmatched START to replay as a failed
+        // attempt — identical to a crash, which is the point of
+        // crash-only design (shutdown IS the crash path).
+        neo_inform("shutting down with job ", attempt_.jobId,
+                   " in flight; its attempt will replay as failed");
+        stopAttemptWorkers();
+    }
+    ::close(listenFd_);
+    ::unlink(opts_.sockPath.c_str());
+    return kExitClean;
+}
+
+} // namespace
+
+int
+runCoordinator(const ServeOptions &opts)
+{
+    ServeOptions o = opts;
+    if (o.stateDir.empty())
+        o.stateDir = o.sockPath + ".state";
+    if (o.workers == 0)
+        o.workers = 1;
+    Coordinator coord(o);
+    return coord.run();
+}
+
+} // namespace neo

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The verification service coordinator (neoverify --serve).
+ *
+ * A single-threaded poll() daemon that owns the journaled job queue,
+ * forks W sharded workers per attempt, and supervises them:
+ *
+ *  - Heartbeat pings collect per-worker counters every interval; the
+ *    Mattern-style double round (all workers idle, global sent ==
+ *    received, and every counter identical across two consecutive
+ *    complete rounds) detects the distributed fixpoint, at which
+ *    point workers are told to Finish and report exact final counts.
+ *
+ *  - Coordinated checkpoint barriers: pause all workers, wait for the
+ *    in-flight state traffic to drain (the same stability test), have
+ *    each worker write its partition snapshot, and only then journal
+ *    the checkpoint manifest — the cut is consistent by construction,
+ *    which is what makes recovery counts exact.
+ *
+ *  - Crash recovery: a worker death (SIGKILL included) fails the
+ *    attempt; the job backs off exponentially and restarts from the
+ *    last committed epoch with the survivors' worker count, each new
+ *    worker re-dealing the old partitions by fingerprint. Attempts
+ *    that keep failing quarantine the job as poison after the retry
+ *    limit.
+ *
+ *  - Crash-only coordinator: every queue transition hits the journal
+ *    before it is acted on, so a SIGKILLed coordinator restarts by
+ *    replaying the journal — finishing every acknowledged job exactly
+ *    once and double-running none.
+ */
+
+#ifndef NEO_VERIF_SERVICE_COORDINATOR_HPP
+#define NEO_VERIF_SERVICE_COORDINATOR_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace neo
+{
+
+struct ServeOptions
+{
+    /** Unix socket path clients connect to. */
+    std::string sockPath;
+    /** Journal + partition snapshot directory; empty defaults to
+     *  "<sockPath>.state". */
+    std::string stateDir;
+    /** Workers per job attempt. */
+    unsigned workers = 4;
+    /** Supervision ping interval. */
+    double heartbeatSeconds = 1.0;
+    /** Per-attempt wall-clock budget; 0 disables. */
+    double jobTimeoutSeconds = 0.0;
+    /** Attempts before a job is quarantined as poison. */
+    std::uint32_t retryLimit = 3;
+    /** First retry delay; doubles per subsequent failure. */
+    double backoffSeconds = 0.5;
+    /** Checkpoint barrier interval; 0 disables periodic barriers
+     *  (recovery then restarts jobs from scratch). */
+    double checkpointEverySeconds = 5.0;
+    /** Exit as soon as every journaled job is terminal (also
+     *  requestable at runtime via --drain). */
+    bool drainAndExit = false;
+};
+
+/** Run the coordinator until drained or signalled; @return a process
+ *  exit code (kExitClean, or kExitServiceUnavailable when the socket
+ *  or state directory cannot be set up). */
+int runCoordinator(const ServeOptions &opts);
+
+} // namespace neo
+
+#endif // NEO_VERIF_SERVICE_COORDINATOR_HPP

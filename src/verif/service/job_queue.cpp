@@ -1,0 +1,579 @@
+#include "job_queue.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/io_retry.hpp"
+#include "sim/logging.hpp"
+#include "verif/explorer.hpp"
+#include "verif/service/wire.hpp"
+
+namespace neo
+{
+
+// ---------------------------------------------------------------
+// Spec / result / manifest codecs
+// ---------------------------------------------------------------
+
+void
+JobSpec::encode(SnapshotWriter &w) const
+{
+    putString(w, features);
+    putString(w, system);
+    putString(w, method);
+    putString(w, mutant);
+    w.putU64(n);
+    w.putU64(maxStates);
+    w.putF64(maxSeconds);
+    w.putU64(crashAfter);
+}
+
+bool
+JobSpec::decode(SnapshotReader &r, JobSpec &out)
+{
+    out.features = getString(r);
+    out.system = getString(r);
+    out.method = getString(r);
+    out.mutant = getString(r);
+    out.n = r.getU64();
+    out.maxStates = r.getU64();
+    out.maxSeconds = r.getF64();
+    out.crashAfter = r.getU64();
+    return r.ok();
+}
+
+std::string
+JobSpec::summary() const
+{
+    std::ostringstream os;
+    if (!mutant.empty())
+        os << "mutant " << mutant;
+    else if (features == "german")
+        os << "german n=" << n;
+    else
+        os << features << " (" << system << ", " << method
+           << ") n=" << n;
+    if (crashAfter != 0)
+        os << " crash-after=" << crashAfter;
+    return os.str();
+}
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Pending: return "PENDING";
+      case JobState::Running: return "RUNNING";
+      case JobState::Done: return "DONE";
+      case JobState::Quarantined: return "QUARANTINED";
+      case JobState::Cancelled: return "CANCELLED";
+    }
+    return "?";
+}
+
+void
+JobResult::encode(SnapshotWriter &w) const
+{
+    w.putU8(statusCode);
+    w.putU64(states);
+    w.putU64(transitions);
+    w.putU64(invariantChecks);
+    w.putF64(seconds);
+    putString(w, violatedInvariant);
+    putString(w, detail);
+}
+
+bool
+JobResult::decode(SnapshotReader &r, JobResult &out)
+{
+    out.statusCode = r.getU8();
+    out.states = r.getU64();
+    out.transitions = r.getU64();
+    out.invariantChecks = r.getU64();
+    out.seconds = r.getF64();
+    out.violatedInvariant = getString(r);
+    out.detail = getString(r);
+    return r.ok();
+}
+
+namespace
+{
+
+void
+encodeManifest(SnapshotWriter &w, const CkptManifest &m)
+{
+    w.putU64(m.epoch);
+    w.putU32(m.parts);
+    w.putU64(m.states);
+    w.putU64(m.transitions);
+    w.putU64(m.invariantChecks);
+    w.putF64(m.seconds);
+}
+
+CkptManifest
+decodeManifest(SnapshotReader &r)
+{
+    CkptManifest m;
+    m.epoch = r.getU64();
+    m.parts = r.getU32();
+    m.states = r.getU64();
+    m.transitions = r.getU64();
+    m.invariantChecks = r.getU64();
+    m.seconds = r.getF64();
+    return m;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------
+
+JobJournal::~JobJournal()
+{
+    close();
+}
+
+void
+JobJournal::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+bool
+JobJournal::open(const std::string &path, std::string &err)
+{
+    close();
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+        err = path + ": " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+JobJournal::replay(const std::function<void(std::uint8_t,
+                                            SnapshotReader &)> &cb,
+                   std::string &err)
+{
+    neo_assert(fd_ >= 0, "journal not open");
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size < 0) {
+        err = std::string("lseek: ") + std::strerror(errno);
+        return false;
+    }
+    std::vector<std::uint8_t> log(static_cast<std::size_t>(size));
+    if (::lseek(fd_, 0, SEEK_SET) < 0 ||
+        (!log.empty() && !readFull(fd_, log.data(), log.size()))) {
+        err = std::string("read: ") + std::strerror(errno);
+        return false;
+    }
+
+    std::size_t pos = 0;
+    std::size_t good = 0;
+    while (log.size() - pos >= 9) {
+        std::uint32_t len, crc;
+        std::memcpy(&len, log.data() + pos, 4);
+        std::memcpy(&crc, log.data() + pos + 4, 4);
+        if (len == 0 || len > kMaxFrameBytes ||
+            log.size() - pos - 8 < len)
+            break; // torn tail
+        const std::uint8_t *payload = log.data() + pos + 8;
+        if (crc32(payload, len) != crc)
+            break; // corrupt tail
+        SnapshotReader body(payload + 1, len - 1);
+        cb(payload[0], body);
+        pos += 8 + len;
+        good = pos;
+    }
+    if (good != log.size()) {
+        // A mid-append kill left a partial record; truncating it is
+        // the whole point of journal-first — the record was never
+        // acknowledged, so dropping it loses nothing.
+        neo_warn("journal: truncating torn tail (",
+                 log.size() - good, " bytes)");
+        if (::ftruncate(fd_, static_cast<off_t>(good)) != 0) {
+            err = std::string("ftruncate: ") + std::strerror(errno);
+            return false;
+        }
+        if (!fsyncRetry(fd_)) {
+            err = std::string("fsync: ") + std::strerror(errno);
+            return false;
+        }
+    }
+    if (::lseek(fd_, static_cast<off_t>(good), SEEK_SET) < 0) {
+        err = std::string("lseek: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+JobJournal::append(std::uint8_t type,
+                   const std::vector<std::uint8_t> &body)
+{
+    neo_assert(fd_ >= 0, "journal not open");
+    std::vector<std::uint8_t> rec(8 + 1 + body.size());
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(1 + body.size());
+    std::memcpy(rec.data(), &len, 4);
+    rec[8] = type;
+    if (!body.empty())
+        std::memcpy(rec.data() + 9, body.data(), body.size());
+    const std::uint32_t crc = crc32(rec.data() + 8, len);
+    std::memcpy(rec.data() + 4, &crc, 4);
+    if (!writeFull(fd_, rec.data(), rec.size()))
+        return false;
+    return fsyncRetry(fd_);
+}
+
+// ---------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------
+
+bool
+JobQueue::open(const std::string &path, double now, std::string &err)
+{
+    if (!journal_.open(path, err))
+        return false;
+    bool ok = journal_.replay(
+        [&](std::uint8_t type, SnapshotReader &r) {
+            switch (type) {
+              case kRecSubmit: {
+                  Job job;
+                  job.id = r.getU64();
+                  if (!JobSpec::decode(r, job.spec))
+                      return;
+                  job.state = JobState::Pending;
+                  nextId_ = std::max(nextId_, job.id + 1);
+                  jobs_[job.id] = std::move(job);
+                  break;
+              }
+              case kRecStart: {
+                  const std::uint64_t id = r.getU64();
+                  const std::uint32_t attempt = r.getU32();
+                  const std::uint32_t workers = r.getU32();
+                  Job *job = find(id);
+                  if (job != nullptr) {
+                      job->attempts = attempt;
+                      job->nextWorkers = workers;
+                      job->state = JobState::Running;
+                  }
+                  break;
+              }
+              case kRecDone: {
+                  const std::uint64_t id = r.getU64();
+                  JobResult res;
+                  if (!JobResult::decode(r, res))
+                      return;
+                  Job *job = find(id);
+                  if (job != nullptr) {
+                      job->result = std::move(res);
+                      job->state = JobState::Done;
+                  }
+                  break;
+              }
+              case kRecFail: {
+                  const std::uint64_t id = r.getU64();
+                  const std::uint32_t attempt = r.getU32();
+                  const std::uint32_t workers = r.getU32();
+                  const std::string reason = getString(r);
+                  Job *job = find(id);
+                  if (job != nullptr) {
+                      job->attempts = attempt;
+                      job->nextWorkers = workers;
+                      job->lastFailure = reason;
+                      job->state = JobState::Pending;
+                  }
+                  break;
+              }
+              case kRecCancel: {
+                  Job *job = find(r.getU64());
+                  if (job != nullptr)
+                      job->state = JobState::Cancelled;
+                  break;
+              }
+              case kRecQuarantine: {
+                  const std::uint64_t id = r.getU64();
+                  const std::string reason = getString(r);
+                  Job *job = find(id);
+                  if (job != nullptr) {
+                      job->lastFailure = reason;
+                      job->state = JobState::Quarantined;
+                  }
+                  break;
+              }
+              case kRecCheckpoint: {
+                  const std::uint64_t id = r.getU64();
+                  const CkptManifest m = decodeManifest(r);
+                  maxEpoch_ = std::max(maxEpoch_, m.epoch);
+                  Job *job = find(id);
+                  if (job != nullptr)
+                      job->ckpt = m;
+                  break;
+              }
+              default:
+                  neo_warn("journal: skipping unknown record type ",
+                           static_cast<int>(type));
+            }
+        },
+        err);
+    if (!ok)
+        return false;
+
+    // A job still Running after replay is the smoking gun of a dead
+    // coordinator: its START was journaled but no verdict ever was.
+    // That attempt failed by definition — count it, so a job that
+    // kills the coordinator itself still quarantines eventually.
+    for (auto &[id, job] : jobs_) {
+        if (job.state != JobState::Running)
+            continue;
+        job.lastFailure = "attempt lost to a coordinator crash";
+        if (job.attempts >= retryLimit_) {
+            quarantine(job, job.lastFailure);
+        } else {
+            job.state = JobState::Pending;
+            job.notBefore = now; // retry immediately on restart
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+JobQueue::submit(const JobSpec &spec)
+{
+    Job job;
+    job.id = nextId_++;
+    job.spec = spec;
+    SnapshotWriter w;
+    w.putU64(job.id);
+    spec.encode(w);
+    if (!journal_.append(kRecSubmit, w.take()))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    const std::uint64_t id = job.id;
+    jobs_[id] = std::move(job);
+    return id;
+}
+
+Job *
+JobQueue::runnable(double now)
+{
+    for (auto &[id, job] : jobs_) {
+        if (job.state == JobState::Pending && job.notBefore <= now)
+            return &job;
+    }
+    return nullptr;
+}
+
+void
+JobQueue::markStarted(Job &job, std::uint32_t workers)
+{
+    SnapshotWriter w;
+    w.putU64(job.id);
+    w.putU32(job.attempts + 1);
+    w.putU32(workers);
+    if (!journal_.append(kRecStart, w.take()))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    ++job.attempts;
+    job.nextWorkers = workers;
+    job.state = JobState::Running;
+}
+
+void
+JobQueue::markDone(Job &job, const JobResult &result)
+{
+    SnapshotWriter w;
+    w.putU64(job.id);
+    result.encode(w);
+    if (!journal_.append(kRecDone, w.take()))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    job.result = result;
+    job.state = JobState::Done;
+}
+
+void
+JobQueue::failAttempt(Job &job, const std::string &reason,
+                      std::uint32_t nextWorkers, double now)
+{
+    if (job.attempts >= retryLimit_) {
+        quarantine(job, reason);
+        return;
+    }
+    SnapshotWriter w;
+    w.putU64(job.id);
+    w.putU32(job.attempts);
+    w.putU32(nextWorkers);
+    putString(w, reason);
+    if (!journal_.append(kRecFail, w.take()))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    job.lastFailure = reason;
+    job.nextWorkers = nextWorkers;
+    job.state = JobState::Pending;
+    job.notBefore =
+        now + backoff_ * std::ldexp(1.0, static_cast<int>(
+                                             job.attempts - 1));
+}
+
+void
+JobQueue::quarantine(Job &job, const std::string &reason)
+{
+    SnapshotWriter w;
+    w.putU64(job.id);
+    putString(w, reason);
+    if (!journal_.append(kRecQuarantine, w.take()))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    job.lastFailure = reason;
+    job.state = JobState::Quarantined;
+}
+
+void
+JobQueue::recordCheckpoint(Job &job, const CkptManifest &m)
+{
+    SnapshotWriter w;
+    w.putU64(job.id);
+    encodeManifest(w, m);
+    if (!journal_.append(kRecCheckpoint, w.take()))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    job.ckpt = m;
+    maxEpoch_ = std::max(maxEpoch_, m.epoch);
+}
+
+bool
+JobQueue::cancel(std::uint64_t id)
+{
+    Job *job = find(id);
+    if (job == nullptr || (job->state != JobState::Pending &&
+                           job->state != JobState::Running))
+        return false;
+    SnapshotWriter w;
+    w.putU64(id);
+    if (!journal_.append(kRecCancel, w.take()))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    job->state = JobState::Cancelled;
+    return true;
+}
+
+Job *
+JobQueue::find(std::uint64_t id)
+{
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : &it->second;
+}
+
+bool
+JobQueue::allTerminal() const
+{
+    for (const auto &[id, job] : jobs_) {
+        if (job.state == JobState::Pending ||
+            job.state == JobState::Running)
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Offline journal dump
+// ---------------------------------------------------------------
+
+bool
+dumpJournal(const std::string &path, std::FILE *out, std::string &err)
+{
+    JobJournal j;
+    if (!j.open(path, err))
+        return false;
+    return j.replay(
+        [&](std::uint8_t type, SnapshotReader &r) {
+            switch (type) {
+              case kRecSubmit: {
+                  const std::uint64_t id = r.getU64();
+                  JobSpec spec;
+                  JobSpec::decode(r, spec);
+                  std::fprintf(out, "SUBMIT job=%llu %s\n",
+                               static_cast<unsigned long long>(id),
+                               spec.summary().c_str());
+                  break;
+              }
+              case kRecStart: {
+                  const std::uint64_t id = r.getU64();
+                  const std::uint32_t attempt = r.getU32();
+                  const std::uint32_t workers = r.getU32();
+                  std::fprintf(out,
+                               "START job=%llu attempt=%u workers=%u\n",
+                               static_cast<unsigned long long>(id),
+                               attempt, workers);
+                  break;
+              }
+              case kRecDone: {
+                  const std::uint64_t id = r.getU64();
+                  JobResult res;
+                  JobResult::decode(r, res);
+                  std::fprintf(
+                      out,
+                      "DONE job=%llu status=%s states=%llu "
+                      "transitions=%llu invchecks=%llu\n",
+                      static_cast<unsigned long long>(id),
+                      verifStatusName(
+                          static_cast<VerifStatus>(res.statusCode)),
+                      static_cast<unsigned long long>(res.states),
+                      static_cast<unsigned long long>(
+                          res.transitions),
+                      static_cast<unsigned long long>(
+                          res.invariantChecks));
+                  break;
+              }
+              case kRecFail: {
+                  const std::uint64_t id = r.getU64();
+                  const std::uint32_t attempt = r.getU32();
+                  const std::uint32_t workers = r.getU32();
+                  const std::string reason = getString(r);
+                  std::fprintf(out,
+                               "FAIL job=%llu attempt=%u "
+                               "next-workers=%u reason=%s\n",
+                               static_cast<unsigned long long>(id),
+                               attempt, workers, reason.c_str());
+                  break;
+              }
+              case kRecCancel:
+                  std::fprintf(out, "CANCEL job=%llu\n",
+                               static_cast<unsigned long long>(
+                                   r.getU64()));
+                  break;
+              case kRecQuarantine: {
+                  const std::uint64_t id = r.getU64();
+                  const std::string reason = getString(r);
+                  std::fprintf(out, "QUARANTINE job=%llu reason=%s\n",
+                               static_cast<unsigned long long>(id),
+                               reason.c_str());
+                  break;
+              }
+              case kRecCheckpoint: {
+                  const std::uint64_t id = r.getU64();
+                  const CkptManifest m = decodeManifest(r);
+                  std::fprintf(
+                      out,
+                      "CKPT job=%llu epoch=%llu parts=%u "
+                      "states=%llu transitions=%llu\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(m.epoch),
+                      m.parts,
+                      static_cast<unsigned long long>(m.states),
+                      static_cast<unsigned long long>(m.transitions));
+                  break;
+              }
+              default:
+                  std::fprintf(out, "UNKNOWN type=%d\n",
+                               static_cast<int>(type));
+            }
+        },
+        err);
+}
+
+} // namespace neo

@@ -1,0 +1,322 @@
+#include "wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/io_retry.hpp"
+#include "sim/logging.hpp"
+
+namespace neo
+{
+
+namespace
+{
+
+std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+void
+storeU32(std::uint8_t *p, std::uint32_t v)
+{
+    std::memcpy(p, &v, 4);
+}
+
+} // namespace
+
+void
+putString(SnapshotWriter &w, const std::string &s)
+{
+    w.putU32(static_cast<std::uint32_t>(s.size()));
+    w.putBytes(reinterpret_cast<const std::uint8_t *>(s.data()),
+               s.size());
+}
+
+std::string
+getString(SnapshotReader &r)
+{
+    const std::uint32_t n = r.getU32();
+    if (n > kMaxFrameBytes)
+        return std::string();
+    std::string s(n, '\0');
+    r.getBytes(reinterpret_cast<std::uint8_t *>(s.data()), n);
+    return r.ok() ? s : std::string();
+}
+
+std::vector<std::uint8_t>
+encodeFrame(MsgType type, const std::vector<std::uint8_t> &body)
+{
+    neo_assert(body.size() + 1 <= kMaxFrameBytes, "oversized frame");
+    std::vector<std::uint8_t> frame(8 + 1 + body.size());
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(1 + body.size());
+    storeU32(frame.data(), len);
+    frame[8] = static_cast<std::uint8_t>(type);
+    if (!body.empty())
+        std::memcpy(frame.data() + 9, body.data(), body.size());
+    storeU32(frame.data() + 4, crc32(frame.data() + 8, len));
+    return frame;
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t n)
+{
+    if (corrupt_)
+        return;
+    // Compact lazily: drop consumed prefix once it dominates.
+    if (pos_ > 0 && pos_ >= buf_.size() / 2 && pos_ > 4096) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<long>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+bool
+FrameReader::next(MsgType &type, std::vector<std::uint8_t> &body)
+{
+    if (corrupt_ || buf_.size() - pos_ < 8)
+        return false;
+    const std::uint32_t len = loadU32(buf_.data() + pos_);
+    const std::uint32_t crc = loadU32(buf_.data() + pos_ + 4);
+    if (len == 0 || len > kMaxFrameBytes) {
+        corrupt_ = true;
+        return false;
+    }
+    if (buf_.size() - pos_ < 8 + static_cast<std::size_t>(len))
+        return false;
+    const std::uint8_t *payload = buf_.data() + pos_ + 8;
+    if (crc32(payload, len) != crc) {
+        corrupt_ = true;
+        return false;
+    }
+    type = static_cast<MsgType>(payload[0]);
+    body.assign(payload + 1, payload + len);
+    pos_ += 8 + len;
+    return true;
+}
+
+Channel &
+Channel::operator=(Channel &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        failed_ = o.failed_;
+        out_ = std::move(o.out_);
+        outPos_ = o.outPos_;
+        in_ = std::move(o.in_);
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Channel::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+void
+Channel::queueFrame(MsgType type, const std::vector<std::uint8_t> &body)
+{
+    if (!open())
+        return;
+    const std::vector<std::uint8_t> frame = encodeFrame(type, body);
+    out_.insert(out_.end(), frame.begin(), frame.end());
+    // Opportunistic drain keeps the buffer small on a healthy link.
+    flush();
+}
+
+void
+Channel::flush()
+{
+    if (!open())
+        return;
+    while (outPos_ < out_.size()) {
+        const ssize_t w = writeRetry(fd_, out_.data() + outPos_,
+                                     out_.size() - outPos_);
+        if (w > 0) {
+            outPos_ += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        failed_ = true;
+        return;
+    }
+    if (outPos_ == out_.size()) {
+        out_.clear();
+        outPos_ = 0;
+    }
+}
+
+void
+Channel::readSome()
+{
+    if (!open())
+        return;
+    std::uint8_t chunk[65536];
+    for (;;) {
+        const ssize_t r = readRetry(fd_, chunk, sizeof chunk);
+        if (r > 0) {
+            in_.feed(chunk, static_cast<std::size_t>(r));
+            if (r < static_cast<ssize_t>(sizeof chunk))
+                return;
+            continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        failed_ = true; // EOF or hard error: the peer is gone
+        return;
+    }
+}
+
+bool
+Channel::next(MsgType &type, std::vector<std::uint8_t> &body)
+{
+    if (in_.corrupt()) {
+        failed_ = true;
+        return false;
+    }
+    return in_.next(type, body);
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+namespace
+{
+
+bool
+fillSockaddr(const std::string &path, sockaddr_un &addr,
+             std::string &err)
+{
+    if (path.size() + 1 > sizeof addr.sun_path) {
+        err = path + ": socket path too long";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, err))
+        return -1;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            err = std::string("socket: ") + std::strerror(errno);
+            return -1;
+        }
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) == 0) {
+            if (::listen(fd, 64) != 0) {
+                err = std::string("listen: ") + std::strerror(errno);
+                ::close(fd);
+                return -1;
+            }
+            return fd;
+        }
+        const int bindErrno = errno;
+        ::close(fd);
+        if (bindErrno != EADDRINUSE || attempt == 1) {
+            err = path + ": " + std::strerror(bindErrno);
+            return -1;
+        }
+        // Address in use: probe it. A live coordinator accepts; a
+        // socket file orphaned by SIGKILL refuses, and is safe to
+        // unlink and take over.
+        std::string probeErr;
+        const int probe = connectUnix(path, probeErr);
+        if (probe >= 0) {
+            ::close(probe);
+            err = path + ": a coordinator is already serving here";
+            return -1;
+        }
+        if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+            err = path + ": stale socket: " + std::strerror(errno);
+            return -1;
+        }
+    }
+    err = path + ": unreachable";
+    return -1;
+}
+
+int
+connectUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        err = path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendFrameBlocking(int fd, MsgType type,
+                  const std::vector<std::uint8_t> &body)
+{
+    const std::vector<std::uint8_t> frame = encodeFrame(type, body);
+    return writeFull(fd, frame.data(), frame.size());
+}
+
+bool
+recvFrameBlocking(int fd, MsgType &type,
+                  std::vector<std::uint8_t> &body)
+{
+    std::uint8_t header[8];
+    if (!readFull(fd, header, sizeof header))
+        return false;
+    const std::uint32_t len = loadU32(header);
+    const std::uint32_t crc = loadU32(header + 4);
+    if (len == 0 || len > kMaxFrameBytes)
+        return false;
+    std::vector<std::uint8_t> payload(len);
+    if (!readFull(fd, payload.data(), len))
+        return false;
+    if (crc32(payload.data(), len) != crc)
+        return false;
+    type = static_cast<MsgType>(payload[0]);
+    body.assign(payload.begin() + 1, payload.end());
+    return true;
+}
+
+} // namespace neo

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Wire protocol for the distributed verification service.
+ *
+ * Every byte that crosses a socket in the service — client requests to
+ * the coordinator, coordinator control traffic to workers, and the
+ * state batches workers route to the shard owner — travels in one
+ * frame format: [u32 length][u32 crc][u8 type + body]. The length
+ * covers type + body, the CRC (the checkpoint module's zlib
+ * polynomial) covers the same bytes, and bodies reuse the
+ * little-endian SnapshotWriter/SnapshotReader codec, so a frame torn
+ * by a dying peer is detected exactly like a torn checkpoint: by
+ * construction, never by luck.
+ *
+ * Channels are non-blocking with explicit out-buffers. Workers form a
+ * full mesh and two of them can easily fill each other's socket
+ * buffers simultaneously; blocking writes would deadlock that cycle,
+ * so a Channel never blocks — it queues, and the owner's poll() loop
+ * drains when the peer can accept more.
+ */
+
+#ifndef NEO_VERIF_SERVICE_WIRE_HPP
+#define NEO_VERIF_SERVICE_WIRE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verif/checkpoint.hpp"
+
+namespace neo
+{
+
+/** Frame types. Numbering is grouped by direction so a stray frame on
+ *  the wrong link is recognizably bogus, not misinterpreted. */
+enum class MsgType : std::uint8_t
+{
+    // client -> coordinator
+    ReqSubmit = 1,
+    ReqStatus = 2,
+    ReqCancel = 3,
+    ReqDrain = 4,
+    ReqWait = 5,
+    // coordinator -> client
+    RspSubmit = 16,
+    RspStatus = 17,
+    RspOk = 18,
+    RspErr = 19,
+    RspResult = 20,
+    // coordinator -> worker
+    Ping = 32,
+    CkptWrite = 33,
+    Finish = 34,
+    Stop = 35,
+    // worker -> coordinator
+    Pong = 48,
+    CkptDone = 49,
+    Final = 50,
+    Violation = 51,
+    // worker <-> worker
+    States = 64,
+};
+
+/** Upper bound on a frame body; anything larger is a corrupt length
+ *  field, not a real message (state batches are far smaller). */
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** String helpers over the snapshot codec (u32 length + bytes). */
+void putString(SnapshotWriter &w, const std::string &s);
+std::string getString(SnapshotReader &r);
+
+/** Serialize one frame (header + CRC + type + body). */
+std::vector<std::uint8_t> encodeFrame(MsgType type,
+                                      const std::vector<std::uint8_t>
+                                          &body);
+
+/**
+ * Incremental frame decoder: feed raw socket bytes, take complete
+ * frames out. A length or CRC violation latches corrupt() — the link
+ * is unusable after that (framing is lost), so owners treat it as a
+ * peer failure.
+ */
+class FrameReader
+{
+  public:
+    void feed(const std::uint8_t *data, std::size_t n);
+    /** Pop the next complete frame; false when none is buffered. */
+    bool next(MsgType &type, std::vector<std::uint8_t> &body);
+    bool corrupt() const { return corrupt_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    bool corrupt_ = false;
+};
+
+/**
+ * One non-blocking connection: queued outgoing frames plus the
+ * incremental reader for incoming ones. The owner polls fd() for
+ * POLLIN always and POLLOUT while wantsWrite().
+ */
+class Channel
+{
+  public:
+    Channel() = default;
+    explicit Channel(int fd) : fd_(fd) {}
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+    Channel(Channel &&o) noexcept { *this = std::move(o); }
+    Channel &operator=(Channel &&o) noexcept;
+    ~Channel() { close(); }
+
+    int fd() const { return fd_; }
+    bool open() const { return fd_ >= 0 && !failed_; }
+    bool failed() const { return failed_; }
+    void close();
+
+    void queueFrame(MsgType type,
+                    const std::vector<std::uint8_t> &body);
+    bool wantsWrite() const { return outPos_ < out_.size(); }
+    std::size_t outPending() const { return out_.size() - outPos_; }
+
+    /** Drain the out-buffer as far as the socket accepts (EAGAIN
+     *  stops, EPIPE/reset fails the channel). */
+    void flush();
+    /** Pull whatever the socket has buffered into the frame reader;
+     *  EOF or error fails the channel. */
+    void readSome();
+    bool next(MsgType &type, std::vector<std::uint8_t> &body);
+
+  private:
+    int fd_ = -1;
+    bool failed_ = false;
+    std::vector<std::uint8_t> out_;
+    std::size_t outPos_ = 0;
+    FrameReader in_;
+};
+
+/** Set O_NONBLOCK; @return false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Bind + listen on a unix stream socket at @p path. A stale socket
+ * file from a SIGKILLed coordinator is detected by probing it with a
+ * connect: refusal means nobody is home and the file is unlinked and
+ * rebound (crash-only restart); an accepted probe means a live
+ * coordinator already serves here, which is an error.
+ * @return listening fd, or -1 with @p err set.
+ */
+int listenUnix(const std::string &path, std::string &err);
+
+/** Connect to a unix stream socket; -1 with @p err on failure. */
+int connectUnix(const std::string &path, std::string &err);
+
+/** Blocking frame send on a blocking fd (client side). */
+bool sendFrameBlocking(int fd, MsgType type,
+                       const std::vector<std::uint8_t> &body);
+/** Blocking frame receive; false on EOF, error or corruption. */
+bool recvFrameBlocking(int fd, MsgType &type,
+                       std::vector<std::uint8_t> &body);
+
+} // namespace neo
+
+#endif // NEO_VERIF_SERVICE_WIRE_HPP

@@ -1,0 +1,555 @@
+#include "worker.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "sim/io_retry.hpp"
+#include "sim/logging.hpp"
+#include "verif/explorer.hpp"
+#include "verif/models/flat_closed.hpp"
+#include "verif/models/flat_open.hpp"
+#include "verif/models/german.hpp"
+#include "verif/models/mutants.hpp"
+#include "verif/service/wire.hpp"
+#include "verif/state_store.hpp"
+
+namespace neo
+{
+
+using neo::verif::CompositionMethod;
+using neo::verif::Mutant;
+using neo::verif::VerifFeatures;
+
+TransitionSystem
+buildJobModel(const JobSpec &spec, ModelShape &shape, std::string &err)
+{
+    err.clear();
+    if (!spec.mutant.empty()) {
+        const Mutant *m = neo::verif::findMutant(spec.mutant);
+        if (m == nullptr) {
+            err = "unknown mutant " + spec.mutant;
+            return TransitionSystem();
+        }
+        return m->build(shape);
+    }
+    if (spec.features == "german")
+        return neo::verif::buildGermanModel(spec.n, shape);
+
+    VerifFeatures f;
+    if (spec.features == "msi")
+        f = VerifFeatures::baselineMSI();
+    else if (spec.features == "msi-incl")
+        f = VerifFeatures::inclusiveMSI();
+    else if (spec.features == "neomesi")
+        f = VerifFeatures::neoMESI();
+    else if (spec.features == "moesi")
+        f = VerifFeatures::withOwned();
+    else if (spec.features == "nsmesi") {
+        f = VerifFeatures::neoMESI();
+        f.nonSiblingFwd = true;
+    } else {
+        err = "unknown feature set " + spec.features;
+        return TransitionSystem();
+    }
+
+    CompositionMethod cm = CompositionMethod::Modified;
+    if (spec.method == "none")
+        cm = CompositionMethod::None;
+    else if (spec.method == "original")
+        cm = CompositionMethod::Original;
+    else if (spec.method != "modified") {
+        err = "unknown method " + spec.method;
+        return TransitionSystem();
+    }
+
+    if (spec.system == "closed")
+        return neo::verif::buildClosedModel(spec.n, f, shape);
+    if (spec.system != "open") {
+        err = "unknown system " + spec.system;
+        return TransitionSystem();
+    }
+    return neo::verif::buildOpenModel(spec.n, f, cm, shape);
+}
+
+namespace
+{
+
+/** Successors per States frame: amortizes framing without letting a
+ *  peer's backlog grow stale. */
+constexpr std::uint32_t kStateBatch = 128;
+/** States expanded between poll() rounds. */
+constexpr unsigned kExpandBatch = 64;
+/** Control-channel service interval during a resume load. */
+constexpr std::uint64_t kLoadServiceStride = 65536;
+
+struct WorkerRt
+{
+    const WorkerConfig *cfg = nullptr;
+    const TransitionSystem *ts = nullptr;
+    const CompiledRules *rules = nullptr;
+    std::size_t numVars = 0;
+    std::uint64_t fingerprint = 0;
+
+    StateStore *store = nullptr;
+    std::deque<std::uint32_t> queue;
+
+    Channel ctl;
+    std::vector<Channel> peers;
+    /** Per-peer pending States batch (raw concatenated states). */
+    std::vector<std::vector<std::uint8_t>> batch;
+    std::vector<std::uint32_t> batchCount;
+
+    std::uint64_t transitions = 0;
+    std::uint64_t invChecks = 0;
+    std::uint64_t sentTotal = 0;
+    std::uint64_t recvTotal = 0;
+    std::uint64_t freshInterns = 0; ///< this attempt (crashAfter gate)
+
+    bool paused = false;
+    bool violated = false;
+
+    VState scratch;
+};
+
+void
+flushBatch(WorkerRt &rt, unsigned peer)
+{
+    if (rt.batchCount[peer] == 0)
+        return;
+    SnapshotWriter w;
+    w.putU32(rt.batchCount[peer]);
+    w.putBytes(rt.batch[peer].data(), rt.batch[peer].size());
+    rt.peers[peer].queueFrame(MsgType::States, w.take());
+    rt.batch[peer].clear();
+    rt.batchCount[peer] = 0;
+}
+
+void
+flushAllBatches(WorkerRt &rt)
+{
+    for (unsigned p = 0; p < rt.peers.size(); ++p)
+        flushBatch(rt, p);
+}
+
+void
+reportViolation(WorkerRt &rt, const std::string &invariant,
+                const VState &bad)
+{
+    rt.violated = true;
+    rt.queue.clear();
+    SnapshotWriter w;
+    putString(w, invariant);
+    putString(w, rt.ts->describe(bad));
+    // The reporter's exact counters ride along: a violation can land
+    // before the first pong round, and the verdict should not report
+    // zeros just because no heartbeat completed yet.
+    w.putU64(rt.store->size());
+    w.putU64(rt.transitions);
+    w.putU64(rt.invChecks);
+    rt.ctl.queueFrame(MsgType::Violation, w.take());
+}
+
+/** Intern a state this worker owns; fresh states are invariant-
+ *  checked, queued for expansion, and gated by the crash-injection
+ *  hook. */
+void
+acceptOwn(WorkerRt &rt, const std::uint8_t *bytes, std::uint64_t hash)
+{
+    const auto [id, fresh] = rt.store->internHashed(bytes, hash);
+    if (!fresh || rt.violated)
+        return;
+    std::memcpy(rt.scratch.data(), bytes, rt.numVars);
+    for (const auto &inv : rt.ts->invariants()) {
+        ++rt.invChecks;
+        if (!inv.check(rt.scratch)) {
+            reportViolation(rt, inv.name, rt.scratch);
+            return;
+        }
+    }
+    rt.queue.push_back(id);
+    if (rt.cfg->spec.crashAfter != 0 &&
+        ++rt.freshInterns >= rt.cfg->spec.crashAfter)
+        ::_exit(kWorkerExitInjectedCrash); // injected fault: die hard
+}
+
+bool
+outEmpty(const WorkerRt &rt)
+{
+    for (const auto &c : rt.batchCount)
+        if (c != 0)
+            return false;
+    for (const auto &p : rt.peers)
+        if (p.open() && p.wantsWrite())
+            return false;
+    return true;
+}
+
+void
+sendPong(WorkerRt &rt, std::uint32_t seq)
+{
+    SnapshotWriter w;
+    w.putU32(seq);
+    w.putU8(rt.paused ? 1 : 0);
+    w.putU8(outEmpty(rt) ? 1 : 0);
+    w.putU64(rt.queue.size());
+    w.putU64(rt.store->size());
+    w.putU64(rt.transitions);
+    w.putU64(rt.invChecks);
+    w.putU64(rt.sentTotal);
+    w.putU64(rt.recvTotal);
+    rt.ctl.queueFrame(MsgType::Pong, w.take());
+}
+
+void
+writePartition(WorkerRt &rt, std::uint64_t epoch)
+{
+    ExploreSnapshotMeta meta;
+    // Counters live in the journal's CKPT manifest, not here: after a
+    // reshard the per-partition attribution is meaningless anyway.
+    meta.elapsedSeconds = 0.0;
+    meta.transitionsFired = 0;
+    meta.ruleFires.assign(rt.ts->rules().size(), 0);
+    meta.hasLinks = false;
+    meta.numStates = rt.store->size();
+
+    const std::string path = partitionSnapshotPath(
+        rt.cfg->partDir, epoch, rt.cfg->index, rt.cfg->count);
+    const auto payload = encodeExploreSnapshotStreamed(
+        meta, rt.numVars,
+        [&](std::uint64_t id) {
+            return rt.store->at(static_cast<std::uint32_t>(id));
+        },
+        [](std::uint64_t) { return ExploreSnapshot::Link{}; },
+        rt.queue.size(),
+        [&](std::uint64_t i) {
+            return std::pair<std::uint64_t, std::uint32_t>(
+                rt.queue[static_cast<std::size_t>(i)], 0);
+        });
+    std::string err;
+    const bool ok = writeSnapshotFile(path, SnapshotKind::Explore,
+                                      rt.fingerprint, payload, err);
+    if (!ok)
+        neo_warn("worker ", rt.cfg->index, ": partition snapshot: ",
+                 err);
+    SnapshotWriter w;
+    w.putU64(epoch);
+    w.putU8(ok ? 1 : 0);
+    rt.ctl.queueFrame(MsgType::CkptDone, w.take());
+}
+
+void
+sendFinalAndExit(WorkerRt &rt)
+{
+    SnapshotWriter w;
+    w.putU64(rt.store->size());
+    w.putU64(rt.transitions);
+    w.putU64(rt.invChecks);
+    rt.ctl.queueFrame(MsgType::Final, w.take());
+    // Drain the control channel before dying; the fd is non-blocking,
+    // so wait for writability explicitly.
+    while (rt.ctl.open() && rt.ctl.wantsWrite()) {
+        pollfd p{rt.ctl.fd(), POLLOUT, 0};
+        if (::poll(&p, 1, 1000) < 0 && errno != EINTR)
+            break;
+        rt.ctl.flush();
+        if (rt.ctl.failed())
+            break;
+    }
+    ::_exit(0);
+}
+
+/** Handle every buffered control frame; exits the process on Stop,
+ *  Finish or a dead coordinator. */
+void
+serviceControl(WorkerRt &rt)
+{
+    MsgType type;
+    std::vector<std::uint8_t> body;
+    while (rt.ctl.next(type, body)) {
+        SnapshotReader r(body);
+        switch (type) {
+          case MsgType::Ping: {
+              const std::uint32_t seq = r.getU32();
+              rt.paused = r.getU8() != 0;
+              if (rt.paused)
+                  flushAllBatches(rt);
+              sendPong(rt, seq);
+              break;
+          }
+          case MsgType::CkptWrite:
+              writePartition(rt, r.getU64());
+              break;
+          case MsgType::Finish:
+              sendFinalAndExit(rt); // does not return
+              break;
+          case MsgType::Stop:
+              ::_exit(0);
+          default:
+              break; // stray frame: ignore
+        }
+    }
+    if (rt.ctl.failed())
+        ::_exit(0); // coordinator gone: a worker never outlives it
+}
+
+void
+pollControlOnce(WorkerRt &rt, int timeoutMs)
+{
+    pollfd p{rt.ctl.fd(),
+             static_cast<short>(POLLIN |
+                                (rt.ctl.wantsWrite() ? POLLOUT : 0)),
+             0};
+    const int rc = ::poll(&p, 1, timeoutMs);
+    if (rc < 0 && errno != EINTR)
+        ::_exit(kWorkerExitSetupFailed);
+    if (rc <= 0)
+        return;
+    if (p.revents & (POLLIN | POLLHUP | POLLERR))
+        rt.ctl.readSome();
+    if (p.revents & POLLOUT)
+        rt.ctl.flush();
+    serviceControl(rt);
+}
+
+void
+loadPartitions(WorkerRt &rt)
+{
+    const WorkerConfig &cfg = *rt.cfg;
+    const unsigned W = cfg.count;
+    std::uint64_t sinceService = 0;
+    auto maybeService = [&]() {
+        if (++sinceService % kLoadServiceStride == 0)
+            pollControlOnce(rt, 0);
+    };
+    for (std::uint32_t part = 0; part < cfg.resumeParts; ++part) {
+        const std::string path = partitionSnapshotPath(
+            cfg.partDir, cfg.resumeEpoch, part, cfg.resumeParts);
+        std::vector<std::uint8_t> payload;
+        std::string err;
+        if (!readSnapshotFile(path, SnapshotKind::Explore,
+                              rt.fingerprint, payload, err)) {
+            neo_warn("worker ", cfg.index, ": resume: ", err);
+            ::_exit(kWorkerExitSetupFailed);
+        }
+        ExploreSnapshotMeta meta;
+        const bool ok = decodeExploreSnapshotStreamed(
+            payload, rt.numVars, rt.ts->rules().size(), meta,
+            [](std::uint64_t) {},
+            [&](std::uint64_t, const std::uint8_t *state) {
+                // Reshard: keep only the states this worker owns
+                // under the CURRENT W. Loaded states were already
+                // counted (invariant checks included) in the
+                // manifest base, so intern without re-counting.
+                const std::uint64_t h = stateHash(state, rt.numVars);
+                if (h % W == cfg.index)
+                    rt.store->internHashed(state, h);
+                maybeService();
+            },
+            [](std::uint64_t, const ExploreSnapshot::Link &) {},
+            [&](std::uint64_t, std::uint32_t,
+                const std::uint8_t *state) {
+                // Frontier entries were interned by the pass above
+                // (frontier states are part of the visited image);
+                // the owner re-queues them for expansion.
+                const std::uint64_t h = stateHash(state, rt.numVars);
+                if (h % W == cfg.index) {
+                    const auto [id, fresh] =
+                        rt.store->internHashed(state, h);
+                    (void)fresh;
+                    rt.queue.push_back(id);
+                }
+                maybeService();
+            },
+            err);
+        if (!ok) {
+            neo_warn("worker ", cfg.index, ": resume: ", err);
+            ::_exit(kWorkerExitSetupFailed);
+        }
+    }
+}
+
+void
+expandOne(WorkerRt &rt, VState &cur, VState &succ)
+{
+    const std::uint32_t id = rt.queue.front();
+    rt.queue.pop_front();
+    std::memcpy(cur.data(), rt.store->at(id), rt.numVars);
+    const CompiledRules &rules = *rt.rules;
+    const auto &canon = rt.ts->canonicalizer();
+    const unsigned W = rt.cfg->count;
+    for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+        if (!rules.guard(ri, cur))
+            continue;
+        ++rt.transitions;
+        succ = cur;
+        rules.effect(ri, succ);
+        if (canon)
+            canon(succ);
+        const std::uint64_t h = stateHash(succ.data(), rt.numVars);
+        const unsigned owner = static_cast<unsigned>(h % W);
+        if (owner == rt.cfg->index) {
+            acceptOwn(rt, succ.data(), h);
+            if (rt.violated)
+                return;
+        } else {
+            auto &b = rt.batch[owner];
+            b.insert(b.end(), succ.data(),
+                     succ.data() + rt.numVars);
+            ++rt.sentTotal;
+            if (++rt.batchCount[owner] >= kStateBatch)
+                flushBatch(rt, owner);
+        }
+    }
+}
+
+} // namespace
+
+void
+runWorkerProcess(const WorkerConfig &cfg, const WorkerEndpoints &eps)
+{
+    ignoreSigpipe();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    ModelShape shape;
+    std::string err;
+    TransitionSystem ts = buildJobModel(cfg.spec, shape, err);
+    if (!err.empty()) {
+        neo_warn("worker ", cfg.index, ": ", err);
+        ::_exit(kWorkerExitSetupFailed);
+    }
+    const CompiledRules rules(ts);
+
+    WorkerRt rt;
+    rt.cfg = &cfg;
+    rt.ts = &ts;
+    rt.rules = &rules;
+    rt.numVars = ts.numVars();
+    rt.fingerprint = modelFingerprint(ts);
+    rt.scratch.assign(rt.numVars, 0);
+
+    ExploreLimits presize;
+    presize.maxStates = cfg.spec.maxStates;
+    StateStore store(rt.numVars,
+                     explorePresizeHint(presize) /
+                         std::max(1u, cfg.count));
+    rt.store = &store;
+
+    rt.ctl = Channel(eps.control);
+    setNonBlocking(eps.control);
+    rt.peers.resize(cfg.count);
+    rt.batch.resize(cfg.count);
+    rt.batchCount.assign(cfg.count, 0);
+    for (unsigned p = 0; p < cfg.count; ++p) {
+        if (eps.peers[p] >= 0) {
+            setNonBlocking(eps.peers[p]);
+            rt.peers[p] = Channel(eps.peers[p]);
+        }
+    }
+
+    if (cfg.resumeEpoch != 0) {
+        loadPartitions(rt);
+    } else {
+        VState init = ts.initialState();
+        if (ts.canonicalizer())
+            ts.canonicalizer()(init);
+        const std::uint64_t h = stateHash(init.data(), rt.numVars);
+        if (h % cfg.count == cfg.index)
+            acceptOwn(rt, init.data(), h);
+    }
+
+    VState cur(rt.numVars), succ(rt.numVars);
+    std::vector<pollfd> pfds;
+    std::vector<int> pfdPeer; // parallel: -1 = control
+    MsgType type;
+    std::vector<std::uint8_t> body;
+
+    for (;;) {
+        const bool canExpand =
+            !rt.paused && !rt.violated && !rt.queue.empty();
+        if (!canExpand)
+            flushAllBatches(rt); // going idle: nothing may linger
+
+        pfds.clear();
+        pfdPeer.clear();
+        pfds.push_back(
+            {rt.ctl.fd(),
+             static_cast<short>(
+                 POLLIN | (rt.ctl.wantsWrite() ? POLLOUT : 0)),
+             0});
+        pfdPeer.push_back(-1);
+        for (unsigned p = 0; p < cfg.count; ++p) {
+            if (!rt.peers[p].open())
+                continue;
+            pfds.push_back(
+                {rt.peers[p].fd(),
+                 static_cast<short>(
+                     POLLIN |
+                     (rt.peers[p].wantsWrite() ? POLLOUT : 0)),
+                 0});
+            pfdPeer.push_back(static_cast<int>(p));
+        }
+
+        const int rc =
+            ::poll(pfds.data(), pfds.size(), canExpand ? 0 : -1);
+        if (rc < 0 && errno != EINTR)
+            ::_exit(kWorkerExitSetupFailed);
+
+        for (std::size_t k = 0; rc > 0 && k < pfds.size(); ++k) {
+            if (pfds[k].revents == 0)
+                continue;
+            Channel &ch = pfdPeer[k] < 0
+                              ? rt.ctl
+                              : rt.peers[static_cast<unsigned>(
+                                    pfdPeer[k])];
+            if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))
+                ch.readSome();
+            if (pfds[k].revents & POLLOUT)
+                ch.flush();
+            if (pfdPeer[k] >= 0) {
+                while (ch.next(type, body)) {
+                    if (type != MsgType::States)
+                        continue;
+                    SnapshotReader r(body);
+                    const std::uint32_t count = r.getU32();
+                    for (std::uint32_t s = 0; s < count; ++s) {
+                        const std::uint8_t *bytes =
+                            r.viewBytes(rt.numVars);
+                        if (bytes == nullptr)
+                            break;
+                        ++rt.recvTotal;
+                        acceptOwn(rt, bytes,
+                                  stateHash(bytes, rt.numVars));
+                    }
+                }
+                if (ch.failed()) {
+                    // A peer vanished. Do NOT die: at the fixpoint
+                    // the Finish broadcast races peer exits, and the
+                    // first finisher's EOF must not look fatal to the
+                    // rest. The coordinator referees real deaths via
+                    // waitpid; if this peer died mid-run, any state
+                    // routed to it is dropped here, global sent !=
+                    // recv can never re-balance, and no false
+                    // fixpoint is possible before the coordinator
+                    // kills the attempt.
+                    ch.close();
+                }
+            }
+        }
+
+        serviceControl(rt); // may _exit (Stop/Finish/dead coordinator)
+
+        if (!rt.paused && !rt.violated) {
+            for (unsigned b = 0;
+                 b < kExpandBatch && !rt.queue.empty(); ++b)
+                expandOne(rt, cur, succ);
+        }
+    }
+}
+
+} // namespace neo

@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "sim/io_retry.hpp"
 #include "sim/logging.hpp"
 
 namespace neo
@@ -247,11 +248,14 @@ StateStore::shedRegion(int r)
     Region &reg = regions_[static_cast<std::size_t>(r)];
     if (reg.freed || !reg.fileBacked || !reg.hot)
         return;
-    // MADV_DONTNEED on a MAP_SHARED file mapping only drops this
-    // process's page-table entries: the data stays intact in the
-    // page cache (and the backing file) and faults back on the next
-    // read — which is why shedding is safe against the lock-free
+    // Schedule writeback of dirty pages first (EINTR-retried — a
+    // supervision signal mid-shed must not skip it), then drop this
+    // process's page-table entries. MADV_DONTNEED on a MAP_SHARED
+    // file mapping only drops the entries: the data stays intact in
+    // the page cache (and the backing file) and faults back on the
+    // next read — which is why shedding is safe against the lock-free
     // at()/copyTo() readers that may be touching the slab right now.
+    msyncRetry(reg.ptr, reg.bytes, MS_ASYNC);
     ::madvise(reg.ptr, reg.bytes, MADV_DONTNEED);
     reg.hot = false;
     hotSpillBytes_ -= reg.bytes;

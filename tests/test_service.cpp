@@ -1,0 +1,881 @@
+/**
+ * @file
+ * Crash-only contract tests for the verification service.
+ *
+ * The load-bearing properties are DIFFERENTIAL and EXACTLY-ONCE:
+ *
+ *  - A 4-worker service run of a model — including one whose worker is
+ *    SIGKILLed mid-exploration and recovers by resharding the last
+ *    coordinated checkpoint onto the survivors — must report the exact
+ *    states/transitions/invariant-check counts of an undisturbed
+ *    sequential run.
+ *
+ *  - A coordinator SIGKILLed mid-journal-append must, on restart,
+ *    replay the journal and finish every acknowledged job exactly
+ *    once: no job lost, no job run to DONE twice.
+ *
+ *  - A poison job (deterministic worker crash via fault injection)
+ *    must converge to quarantine after the retry limit and surface the
+ *    dedicated exit code, never wedge the queue.
+ *
+ * Below those sit unit tests for the crash-only building blocks: the
+ * CRC-guarded journal (torn tails truncated, corruption never parsed),
+ * the frame codec (corruption latches), EINTR-hardened I/O under a
+ * deliberately hostile interval timer, stale-tmp reaping, and the
+ * duration-literal CLI parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/cli_parse.hpp"
+#include "sim/exit_codes.hpp"
+#include "sim/io_retry.hpp"
+#include "verif/checkpoint.hpp"
+#include "verif/explorer.hpp"
+#include "verif/models/german.hpp"
+#include "verif/parametric.hpp"
+#include "verif/service/job_queue.hpp"
+#include "verif/service/wire.hpp"
+
+using namespace neo;
+using namespace neo::verif;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+tempDir(const std::string &tag)
+{
+    std::string tmpl =
+        (fs::temp_directory_path() / (tag + ".XXXXXX")).string();
+    char *p = ::mkdtemp(tmpl.data());
+    EXPECT_NE(p, nullptr);
+    return tmpl;
+}
+
+struct DirGuard
+{
+    std::string path;
+    explicit DirGuard(std::string p) : path(std::move(p)) {}
+    ~DirGuard()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+// ---------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------
+
+TEST(JobJournal, RoundtripsRecordsInOrder)
+{
+    DirGuard d(tempDir("neoj"));
+    const std::string path = d.path + "/j.neoj";
+    {
+        JobJournal j;
+        std::string err;
+        ASSERT_TRUE(j.open(path, err)) << err;
+        for (std::uint8_t t = 1; t <= 5; ++t) {
+            SnapshotWriter w;
+            w.putU64(t * 100);
+            ASSERT_TRUE(j.append(t, w.take()));
+        }
+    }
+    JobJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path, err)) << err;
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> seen;
+    ASSERT_TRUE(j.replay(
+        [&](std::uint8_t type, SnapshotReader &r) {
+            seen.emplace_back(type, r.getU64());
+        },
+        err))
+        << err;
+    ASSERT_EQ(seen.size(), 5u);
+    for (std::uint8_t t = 1; t <= 5; ++t) {
+        EXPECT_EQ(seen[t - 1].first, t);
+        EXPECT_EQ(seen[t - 1].second, t * 100u);
+    }
+}
+
+TEST(JobJournal, TruncatesTornTailAndKeepsAppending)
+{
+    DirGuard d(tempDir("neoj"));
+    const std::string path = d.path + "/j.neoj";
+    {
+        JobJournal j;
+        std::string err;
+        ASSERT_TRUE(j.open(path, err)) << err;
+        SnapshotWriter w;
+        w.putU64(1);
+        ASSERT_TRUE(j.append(1, w.take()));
+        SnapshotWriter w2;
+        w2.putU64(2);
+        ASSERT_TRUE(j.append(2, w2.take()));
+    }
+    // Simulate a mid-append SIGKILL: a few garbage bytes that look
+    // like the start of a record but end before its payload does.
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::app);
+        const std::uint32_t bogusLen = 64;
+        f.write(reinterpret_cast<const char *>(&bogusLen), 4);
+        f.write("\xde\xad\xbe", 3);
+    }
+    const auto tornSize = fs::file_size(path);
+    JobJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path, err)) << err;
+    int records = 0;
+    ASSERT_TRUE(j.replay(
+        [&](std::uint8_t, SnapshotReader &) { ++records; }, err))
+        << err;
+    EXPECT_EQ(records, 2);
+    EXPECT_LT(fs::file_size(path), tornSize); // tail truncated away
+    // The log must extend cleanly after truncation.
+    SnapshotWriter w;
+    w.putU64(3);
+    ASSERT_TRUE(j.append(3, w.take()));
+    JobJournal j2;
+    ASSERT_TRUE(j2.open(path, err)) << err;
+    records = 0;
+    ASSERT_TRUE(j2.replay(
+        [&](std::uint8_t, SnapshotReader &) { ++records; }, err));
+    EXPECT_EQ(records, 3);
+}
+
+TEST(JobJournal, CrcCorruptionCutsTheLogThere)
+{
+    DirGuard d(tempDir("neoj"));
+    const std::string path = d.path + "/j.neoj";
+    std::vector<std::size_t> offsets; // start of each record
+    {
+        JobJournal j;
+        std::string err;
+        ASSERT_TRUE(j.open(path, err)) << err;
+        for (int i = 0; i < 3; ++i) {
+            offsets.push_back(fs::file_size(path));
+            SnapshotWriter w;
+            w.putU64(static_cast<std::uint64_t>(i));
+            ASSERT_TRUE(j.append(1, w.take()));
+        }
+    }
+    // Flip one payload byte of the middle record.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(static_cast<std::streamoff>(offsets[1] + 9));
+        char b;
+        f.seekg(static_cast<std::streamoff>(offsets[1] + 9));
+        f.read(&b, 1);
+        b = static_cast<char>(b ^ 0x40);
+        f.seekp(static_cast<std::streamoff>(offsets[1] + 9));
+        f.write(&b, 1);
+    }
+    JobJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path, err)) << err;
+    int records = 0;
+    ASSERT_TRUE(j.replay(
+        [&](std::uint8_t, SnapshotReader &) { ++records; }, err));
+    // Only the intact prefix survives; the corrupt record and
+    // everything after it are gone (crash-only: trust nothing past
+    // the first bad CRC).
+    EXPECT_EQ(records, 1);
+}
+
+TEST(JobQueue, RetryBackoffAndQuarantine)
+{
+    DirGuard d(tempDir("neoq"));
+    JobQueue q(3, 10.0);
+    std::string err;
+    ASSERT_TRUE(q.open(d.path + "/j.neoj", 0.0, err)) << err;
+    JobSpec spec;
+    const std::uint64_t id = q.submit(spec);
+    Job *job = q.find(id);
+    ASSERT_NE(job, nullptr);
+
+    ASSERT_EQ(q.runnable(1.0), job);
+    q.markStarted(*job, 4);
+    EXPECT_EQ(job->state, JobState::Running);
+    EXPECT_EQ(q.runnable(1.0), nullptr);
+
+    q.failAttempt(*job, "worker died", 3, 1.0);
+    EXPECT_EQ(job->state, JobState::Pending);
+    EXPECT_EQ(job->nextWorkers, 3u);
+    // Exponential backoff: not runnable until the delay passes.
+    EXPECT_EQ(q.runnable(2.0), nullptr);
+    EXPECT_EQ(q.runnable(12.0), job);
+
+    q.markStarted(*job, 3);
+    q.failAttempt(*job, "worker died", 2, 20.0);
+    q.markStarted(*job, 2);
+    q.failAttempt(*job, "worker died", 1, 60.0);
+    // Third failure hits the retry limit: quarantined, never runnable.
+    EXPECT_EQ(job->state, JobState::Quarantined);
+    EXPECT_EQ(q.runnable(1e9), nullptr);
+    EXPECT_TRUE(q.allTerminal());
+}
+
+TEST(JobQueue, ReplayResolvesUnmatchedStartAsFailedAttempt)
+{
+    DirGuard d(tempDir("neoq"));
+    const std::string path = d.path + "/j.neoj";
+    std::uint64_t id = 0;
+    {
+        JobQueue q(3, 0.0);
+        std::string err;
+        ASSERT_TRUE(q.open(path, 0.0, err)) << err;
+        JobSpec spec;
+        id = q.submit(spec);
+        q.markStarted(*q.find(id), 4);
+        // Coordinator "dies" here: START journaled, no DONE/FAIL.
+    }
+    JobQueue q(3, 0.0);
+    std::string err;
+    ASSERT_TRUE(q.open(path, 100.0, err)) << err;
+    Job *job = q.find(id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, JobState::Pending); // lost attempt = failed
+    EXPECT_EQ(job->attempts, 1u);
+    EXPECT_NE(q.runnable(200.0), nullptr);
+}
+
+TEST(JobQueue, ReplayQuarantinesACoordinatorCrashLoop)
+{
+    DirGuard d(tempDir("neoq"));
+    const std::string path = d.path + "/j.neoj";
+    std::uint64_t id = 0;
+    // A job whose attempt SIGKILLs the coordinator itself: each
+    // restart replays an unmatched START. After the retry limit the
+    // queue must quarantine it instead of wedging forever.
+    for (int round = 0; round < 3; ++round) {
+        JobQueue q(3, 0.0);
+        std::string err;
+        ASSERT_TRUE(q.open(path, 0.0, err)) << err;
+        if (round == 0) {
+            JobSpec spec;
+            id = q.submit(spec);
+        }
+        Job *job = q.find(id);
+        ASSERT_NE(job, nullptr);
+        ASSERT_EQ(job->state, JobState::Pending);
+        q.markStarted(*job, 2);
+    }
+    JobQueue q(3, 0.0);
+    std::string err;
+    ASSERT_TRUE(q.open(path, 0.0, err)) << err;
+    EXPECT_EQ(q.find(id)->state, JobState::Quarantined);
+}
+
+TEST(JobQueue, CancelIsJournalFirstAndSurvivesReplay)
+{
+    DirGuard d(tempDir("neoq"));
+    const std::string path = d.path + "/j.neoj";
+    std::uint64_t id = 0;
+    {
+        JobQueue q(3, 0.0);
+        std::string err;
+        ASSERT_TRUE(q.open(path, 0.0, err)) << err;
+        JobSpec spec;
+        id = q.submit(spec);
+        q.markStarted(*q.find(id), 2);
+        ASSERT_TRUE(q.cancel(id));
+        // Crash between the CANCEL record and the worker kill.
+    }
+    JobQueue q(3, 0.0);
+    std::string err;
+    ASSERT_TRUE(q.open(path, 0.0, err)) << err;
+    // Replay must resolve to Cancelled, never to a retried attempt.
+    EXPECT_EQ(q.find(id)->state, JobState::Cancelled);
+    EXPECT_FALSE(q.cancel(id)); // terminal: not cancellable again
+}
+
+// ---------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------
+
+TEST(Wire, FrameRoundtripThroughDribbledBytes)
+{
+    SnapshotWriter w;
+    w.putU64(0xfeedface);
+    putString(w, "hello");
+    const auto body = w.take();
+    const auto f1 = encodeFrame(MsgType::ReqSubmit, body);
+    const auto f2 = encodeFrame(MsgType::Ping, {});
+
+    std::vector<std::uint8_t> stream(f1);
+    stream.insert(stream.end(), f2.begin(), f2.end());
+
+    // Feed one byte at a time: framing must be purely incremental.
+    FrameReader r;
+    std::vector<std::pair<MsgType, std::vector<std::uint8_t>>> got;
+    MsgType type;
+    std::vector<std::uint8_t> out;
+    for (const std::uint8_t b : stream) {
+        r.feed(&b, 1);
+        while (r.next(type, out))
+            got.emplace_back(type, out);
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].first, MsgType::ReqSubmit);
+    EXPECT_EQ(got[0].second, body);
+    EXPECT_EQ(got[1].first, MsgType::Ping);
+    EXPECT_TRUE(got[1].second.empty());
+    EXPECT_FALSE(r.corrupt());
+}
+
+TEST(Wire, CorruptionLatchesTheReader)
+{
+    SnapshotWriter w;
+    w.putU64(42);
+    auto frame = encodeFrame(MsgType::Pong, w.take());
+    frame[10] ^= 0x01; // flip a payload bit: CRC must catch it
+    FrameReader r;
+    r.feed(frame.data(), frame.size());
+    MsgType type;
+    std::vector<std::uint8_t> body;
+    EXPECT_FALSE(r.next(type, body));
+    EXPECT_TRUE(r.corrupt());
+    // Even a pristine frame afterwards must not parse: framing is
+    // lost for good once the stream lied.
+    const auto fine = encodeFrame(MsgType::Pong, {});
+    r.feed(fine.data(), fine.size());
+    EXPECT_FALSE(r.next(type, body));
+}
+
+TEST(Wire, InsaneLengthFieldIsCorruptionNotAllocation)
+{
+    std::vector<std::uint8_t> bogus(8, 0xff); // len ~ 4 GiB
+    FrameReader r;
+    r.feed(bogus.data(), bogus.size());
+    MsgType type;
+    std::vector<std::uint8_t> body;
+    EXPECT_FALSE(r.next(type, body));
+    EXPECT_TRUE(r.corrupt());
+}
+
+TEST(Wire, JobSpecEncodesLosslessly)
+{
+    JobSpec spec;
+    spec.features = "german";
+    spec.system = "open";
+    spec.method = "none";
+    spec.mutant = "dir_nonblocking_read";
+    spec.n = 7;
+    spec.maxStates = 123456;
+    spec.maxSeconds = 9.5;
+    spec.crashAfter = 42;
+    SnapshotWriter w;
+    spec.encode(w);
+    const auto bytes = w.take();
+    SnapshotReader r(bytes);
+    JobSpec out;
+    ASSERT_TRUE(JobSpec::decode(r, out));
+    EXPECT_EQ(out.features, spec.features);
+    EXPECT_EQ(out.system, spec.system);
+    EXPECT_EQ(out.method, spec.method);
+    EXPECT_EQ(out.mutant, spec.mutant);
+    EXPECT_EQ(out.n, spec.n);
+    EXPECT_EQ(out.maxStates, spec.maxStates);
+    EXPECT_DOUBLE_EQ(out.maxSeconds, spec.maxSeconds);
+    EXPECT_EQ(out.crashAfter, spec.crashAfter);
+}
+
+// ---------------------------------------------------------------
+// Duration literals
+// ---------------------------------------------------------------
+
+TEST(CliParse, DurationLiterals)
+{
+    double out = -1;
+    std::string err;
+    EXPECT_TRUE(parseSeconds("90", out, err));
+    EXPECT_DOUBLE_EQ(out, 90.0);
+    EXPECT_TRUE(parseSeconds("30s", out, err));
+    EXPECT_DOUBLE_EQ(out, 30.0);
+    EXPECT_TRUE(parseSeconds("5m", out, err));
+    EXPECT_DOUBLE_EQ(out, 300.0);
+    EXPECT_TRUE(parseSeconds("2h", out, err));
+    EXPECT_DOUBLE_EQ(out, 7200.0);
+    EXPECT_TRUE(parseSeconds("250ms", out, err));
+    EXPECT_DOUBLE_EQ(out, 0.25);
+    EXPECT_TRUE(parseSeconds("1.5h", out, err));
+    EXPECT_DOUBLE_EQ(out, 5400.0);
+}
+
+TEST(CliParse, DurationRejectionIsStrict)
+{
+    double out;
+    std::string err;
+    EXPECT_FALSE(parseSeconds("", out, err));
+    EXPECT_FALSE(parseSeconds("s", out, err));    // bare suffix
+    EXPECT_FALSE(parseSeconds("ms", out, err));   // bare suffix
+    EXPECT_FALSE(parseSeconds("5ss", out, err));  // doubled suffix
+    EXPECT_FALSE(parseSeconds("5mm", out, err));
+    EXPECT_FALSE(parseSeconds("5x", out, err));   // unknown suffix
+    EXPECT_FALSE(parseSeconds("5 m", out, err));  // inner junk
+    EXPECT_FALSE(parseSeconds("-3s", out, err));  // sign
+    EXPECT_FALSE(parseSeconds("1h30m", out, err)); // compound
+}
+
+// ---------------------------------------------------------------
+// EINTR hardening + stale tmp reaping
+// ---------------------------------------------------------------
+
+TEST(IoRetry, WriteFullSurvivesAHostileIntervalTimer)
+{
+    // A SIGALRM every 2ms with SA_RESTART deliberately OFF: every
+    // blocking write into the full pipe keeps getting interrupted.
+    // writeFull must still deliver every byte, in order.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0; // no SA_RESTART: EINTR on purpose
+    struct sigaction oldsa;
+    ASSERT_EQ(::sigaction(SIGALRM, &sa, &oldsa), 0);
+    itimerval timer = {};
+    timer.it_interval.tv_usec = 2000;
+    timer.it_value.tv_usec = 2000;
+    itimerval oldtimer;
+    ASSERT_EQ(::setitimer(ITIMER_REAL, &timer, &oldtimer), 0);
+
+    const std::size_t total = 4 << 20; // >> pipe capacity
+    std::vector<std::uint8_t> sendBuf(total);
+    for (std::size_t i = 0; i < total; ++i)
+        sendBuf[i] = static_cast<std::uint8_t>(i * 31 + 7);
+
+    std::vector<std::uint8_t> recvBuf(total, 0);
+    std::thread reader([&] {
+        std::size_t got = 0;
+        while (got < total) {
+            const ssize_t r =
+                readRetry(fds[0], recvBuf.data() + got, total - got);
+            if (r <= 0)
+                break;
+            got += static_cast<std::size_t>(r);
+            // Drain slowly enough that the writer blocks and eats
+            // signals while waiting for space.
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+
+    EXPECT_TRUE(writeFull(fds[1], sendBuf.data(), total));
+    ::close(fds[1]);
+    reader.join();
+    ::close(fds[0]);
+
+    itimerval zero = {};
+    ::setitimer(ITIMER_REAL, &zero, nullptr);
+    ::sigaction(SIGALRM, &oldsa, nullptr);
+
+    EXPECT_EQ(recvBuf, sendBuf);
+}
+
+TEST(IoRetry, FsyncRetrySucceedsOnARealFile)
+{
+    DirGuard d(tempDir("fsync"));
+    const std::string path = d.path + "/f";
+    const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(writeFull(fd, "hello", 5));
+    EXPECT_TRUE(fsyncRetry(fd));
+    ::close(fd);
+}
+
+TEST(Checkpoint, ReapsOrphanedTmpFilesOnly)
+{
+    DirGuard d(tempDir("reap"));
+    std::ofstream(d.path + "/explore.ckpt") << "keep";
+    std::ofstream(d.path + "/explore.ckpt.tmp") << "orphan";
+    std::ofstream(d.path + "/walk.ckpt.tmp") << "orphan";
+    std::ofstream(d.path + "/notes.txt") << "keep";
+    reapStaleCheckpointTmps(d.path);
+    EXPECT_TRUE(fs::exists(d.path + "/explore.ckpt"));
+    EXPECT_TRUE(fs::exists(d.path + "/notes.txt"));
+    EXPECT_FALSE(fs::exists(d.path + "/explore.ckpt.tmp"));
+    EXPECT_FALSE(fs::exists(d.path + "/walk.ckpt.tmp"));
+}
+
+// ---------------------------------------------------------------
+// End-to-end service tests against the real binary
+// ---------------------------------------------------------------
+
+#ifdef NEOVERIFY_BIN
+
+std::vector<std::string>
+splitArgs(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == ' ') {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+/** fork+exec the real binary, stdout+stderr appended to @p logPath. */
+pid_t
+spawnNeoverify(const std::vector<std::string> &args,
+               const std::string &logPath)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    const int log = ::open(logPath.c_str(),
+                           O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (log >= 0) {
+        ::dup2(log, 1);
+        ::dup2(log, 2);
+        ::close(log);
+    }
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>(NEOVERIFY_BIN));
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(NEOVERIFY_BIN, argv.data());
+    ::_exit(127);
+}
+
+struct ServiceFixture
+{
+    std::string dir;
+    std::string sock;
+    pid_t coordinator = -1;
+
+    explicit ServiceFixture(const std::string &extraArgs = "")
+        : dir(tempDir("svc")), sock(dir + "/neo.sock")
+    {
+        std::vector<std::string> args = {
+            "--serve",     sock,
+            "--state-dir", dir + "/state",
+            "--heartbeat", "100ms",
+            "--backoff",   "100ms",
+        };
+        for (auto &a : splitArgs(extraArgs))
+            args.push_back(std::move(a));
+        coordinator = spawnNeoverify(args, dir + "/serve.log");
+        // The coordinator is up when the socket accepts.
+        for (int i = 0; i < 200; ++i) {
+            std::string err;
+            const int fd = connectUnix(sock, err);
+            if (fd >= 0) {
+                ::close(fd);
+                up = true;
+                break;
+            }
+            ::usleep(50 * 1000);
+        }
+        EXPECT_TRUE(up) << "coordinator never came up";
+    }
+
+    bool up = false;
+
+    /** Run a client command; @return its exit code, filling @p out. */
+    int
+    client(const std::string &args, std::string &out) const
+    {
+        const std::string cmd = std::string(NEOVERIFY_BIN) +
+                                " --sock " + sock + " " + args +
+                                " 2>&1";
+        FILE *p = ::popen(cmd.c_str(), "r");
+        if (p == nullptr)
+            return -1;
+        char buf[4096];
+        out.clear();
+        while (std::fgets(buf, sizeof buf, p) != nullptr)
+            out += buf;
+        const int st = ::pclose(p);
+        return WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+    }
+
+    void
+    stop()
+    {
+        if (coordinator > 0) {
+            ::kill(coordinator, SIGKILL);
+            ::waitpid(coordinator, nullptr, 0);
+            coordinator = -1;
+        }
+    }
+
+    ~ServiceFixture() { stop(); }
+};
+
+std::uint64_t
+scrapeCount(const std::string &text, const std::string &key)
+{
+    const auto pos = text.find(key + "=");
+    if (pos == std::string::npos)
+        return ~0ULL;
+    return std::strtoull(text.c_str() + pos + key.size() + 1, nullptr,
+                         10);
+}
+
+/** Undisturbed sequential reference for a bundled german instance. */
+ExploreResult
+germanReference(std::size_t n)
+{
+    ModelShape shape;
+    TransitionSystem ts = buildGermanModel(n, shape);
+    ExploreLimits lim;
+    lim.maxStates = 8'000'000;
+    return explore(ts, lim, false, true);
+}
+
+TEST(Service, MatchesSequentialCounts)
+{
+    ServiceFixture svc("--workers 4");
+    std::string out;
+    const int rc = svc.client(
+        "--submit --features german --n 4 --wait 0", out);
+    svc.stop();
+    ASSERT_EQ(rc, 0) << out;
+    const ExploreResult ref = germanReference(4);
+    EXPECT_EQ(scrapeCount(out, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(out, "transitions"), ref.transitionsFired);
+}
+
+TEST(Service, SigkilledWorkerRecoversToTheExactFixpoint)
+{
+    // Aggressive barriers so the kill lands between checkpoints and
+    // recovery genuinely reshards a partial exploration.
+    ServiceFixture svc("--workers 4 --checkpoint-every 300ms");
+    std::string out;
+    ASSERT_EQ(svc.client("--submit --features german --n 5", out), 0)
+        << out;
+
+    // Grab a worker pid from --status, then SIGKILL it mid-flight.
+    pid_t victim = -1;
+    for (int i = 0; i < 100 && victim < 0; ++i) {
+        ASSERT_EQ(svc.client("--status", out), 0) << out;
+        const auto pos = out.find("pids=");
+        if (pos != std::string::npos) {
+            // Second pid of the comma-separated list.
+            const auto comma = out.find(',', pos);
+            if (comma != std::string::npos)
+                victim = static_cast<pid_t>(
+                    std::strtol(out.c_str() + comma + 1, nullptr, 10));
+        }
+        if (victim < 0)
+            ::usleep(20 * 1000);
+    }
+    ASSERT_GT(victim, 0) << "no running worker to kill: " << out;
+    // Let it explore long enough that a checkpoint epoch commits.
+    ::usleep(500 * 1000);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    const int rc = svc.client("--wait 1", out);
+    svc.stop();
+    ASSERT_EQ(rc, 0) << out;
+    const ExploreResult ref = germanReference(5);
+    // The differential heart of the test: kill-and-reshard must land
+    // on the same fixpoint counts as an undisturbed sequential run.
+    EXPECT_EQ(scrapeCount(out, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(out, "transitions"), ref.transitionsFired);
+}
+
+TEST(Service, BackedOffJobsCheckpointSurvivesInterleavedJobs)
+{
+    // Regression: checkpoint pruning must keep the committed epoch of
+    // a job that is sitting out its retry backoff. Epochs are global
+    // across jobs, and pruning "everything but the current job's
+    // epoch" deleted a backed-off job's partition files as soon as
+    // any other job committed or finished — turning one recoverable
+    // worker kill into a resume failure and, after the retries
+    // burned, an unwarranted quarantine.
+    ServiceFixture svc("--workers 4 --checkpoint-every 200ms");
+    std::string out;
+    ASSERT_EQ(svc.client("--submit --features german --n 5", out), 0)
+        << out;
+    // A fast job queued behind it: it will run (and prune) inside
+    // job 1's backoff window after the kill below.
+    ASSERT_EQ(svc.client("--submit --mutant leaf_silent_upgrade",
+                         out),
+              0)
+        << out;
+
+    pid_t victim = -1;
+    for (int i = 0; i < 100 && victim < 0; ++i) {
+        ASSERT_EQ(svc.client("--status", out), 0) << out;
+        const auto pos = out.find("pids=");
+        if (pos != std::string::npos)
+            victim = static_cast<pid_t>(
+                std::strtol(out.c_str() + pos + 5, nullptr, 10));
+        if (victim < 0)
+            ::usleep(20 * 1000);
+    }
+    ASSERT_GT(victim, 0) << "no running worker to kill: " << out;
+    // Long enough for a checkpoint epoch to commit, so the retry has
+    // a base it must find intact after job 2's prune.
+    ::usleep(500 * 1000);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    // The mutant job completes (with its violation verdict) during
+    // the backoff window...
+    EXPECT_EQ(svc.client("--wait 2", out), kExitViolation) << out;
+    // ...and the wounded job must still recover to the exact
+    // fixpoint, from the checkpoint the mutant job ran past.
+    const int rc = svc.client("--wait 1", out);
+    svc.stop();
+    ASSERT_EQ(rc, 0) << out;
+    const ExploreResult ref = germanReference(5);
+    EXPECT_EQ(scrapeCount(out, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(out, "transitions"), ref.transitionsFired);
+}
+
+TEST(Service, SigkilledCoordinatorReplaysEveryJobExactlyOnce)
+{
+    ServiceFixture svc("--workers 2 --checkpoint-every 300ms");
+    std::string out;
+    ASSERT_EQ(svc.client("--submit --features german --n 5", out), 0);
+    ASSERT_EQ(svc.client("--submit --features german --n 3", out), 0);
+    ASSERT_EQ(svc.client("--submit --features msi --system closed"
+                         " --n 2",
+                         out),
+              0);
+    // Kill the coordinator while job 1 is mid-exploration.
+    ::usleep(400 * 1000);
+    svc.stop(); // SIGKILL, no goodbye
+
+    // Crash-only restart: same state dir, drain the queue, exit.
+    const pid_t drainer = spawnNeoverify(
+        {"--serve", svc.sock, "--state-dir", svc.dir + "/state",
+         "--workers", "2", "--heartbeat", "100ms", "--backoff",
+         "100ms", "--drain"},
+        svc.dir + "/serve.log");
+    ASSERT_GT(drainer, 0);
+    int st = -1;
+    ASSERT_EQ(::waitpid(drainer, &st, 0), drainer);
+    ASSERT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0)
+        << "drain exited " << st;
+
+    // The journal is the ledger: every job DONE exactly once.
+    std::string dump;
+    const std::string dumpCmd = std::string(NEOVERIFY_BIN) +
+                                " --journal " + svc.dir +
+                                "/state/journal.neoj 2>&1";
+    FILE *p = ::popen(dumpCmd.c_str(), "r");
+    ASSERT_NE(p, nullptr);
+    char buf[4096];
+    while (std::fgets(buf, sizeof buf, p) != nullptr)
+        dump += buf;
+    ::pclose(p);
+
+    for (int jobId = 1; jobId <= 3; ++jobId) {
+        const std::string needle =
+            "DONE job=" + std::to_string(jobId) + " ";
+        std::size_t count = 0;
+        for (std::size_t at = dump.find(needle);
+             at != std::string::npos;
+             at = dump.find(needle, at + 1))
+            ++count;
+        EXPECT_EQ(count, 1u)
+            << "job " << jobId << " finished " << count
+            << " times\n" << dump;
+    }
+    // And the counts are still the exact sequential fixpoint.
+    const ExploreResult ref = germanReference(5);
+    const auto doneAt = dump.find("DONE job=1 ");
+    ASSERT_NE(doneAt, std::string::npos);
+    const std::string doneLine =
+        dump.substr(doneAt, dump.find('\n', doneAt) - doneAt);
+    EXPECT_EQ(scrapeCount(doneLine, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(doneLine, "transitions"),
+              ref.transitionsFired);
+}
+
+TEST(Service, PoisonJobQuarantinesWithTheDedicatedExitCode)
+{
+    ServiceFixture svc("--workers 2 --retries 2 --backoff 50ms");
+    std::string out;
+    const int rc = svc.client("--submit --features german --n 4"
+                              " --inject-crash-after 200 --wait 0",
+                              out);
+    svc.stop();
+    EXPECT_EQ(rc, kExitQuarantined) << out;
+    EXPECT_NE(out.find("QUARANTINED"), std::string::npos) << out;
+}
+
+TEST(Service, CancelledPendingJobReportsInterrupted)
+{
+    ServiceFixture svc("--workers 2");
+    std::string out;
+    // Big job first so the small one stays Pending long enough.
+    ASSERT_EQ(svc.client("--submit --features german --n 5", out), 0);
+    ASSERT_EQ(svc.client("--submit --features german --n 3", out), 0);
+    ASSERT_EQ(svc.client("--cancel 2", out), 0) << out;
+    const int rc = svc.client("--wait 2", out);
+    svc.stop();
+    EXPECT_EQ(rc, kExitInterrupted) << out;
+    EXPECT_NE(out.find("CANCELLED"), std::string::npos) << out;
+}
+
+TEST(Service, ViolationVerdictTravelsBackToTheClient)
+{
+    ServiceFixture svc("--workers 3");
+    std::string out;
+    // nsmesi n=2 open/modified is the paper's composition failure: a
+    // real violation, found distributed, must exit 1 like the CLI.
+    const int rc = svc.client("--submit --features nsmesi --system "
+                              "open --method modified --n 2 --wait 0",
+                              out);
+    svc.stop();
+    EXPECT_EQ(rc, kExitViolation) << out;
+    EXPECT_NE(out.find("INVARIANT VIOLATED"), std::string::npos)
+        << out;
+}
+
+TEST(Service, SubmitRejectsUnknownModelAtTheDoor)
+{
+    ServiceFixture svc("--workers 2");
+    std::string out;
+    const int rc =
+        svc.client("--submit --features bogus --wait 0", out);
+    svc.stop();
+    EXPECT_EQ(rc, kExitUsage) << out;
+}
+
+TEST(Service, ConnectFailureUsesTheServiceUnavailableExit)
+{
+    const std::string cmd =
+        std::string(NEOVERIFY_BIN) +
+        " --sock /nonexistent/nowhere.sock --status >/dev/null 2>&1";
+    const int st = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(st));
+    EXPECT_EQ(WEXITSTATUS(st), kExitServiceUnavailable);
+}
+
+#endif // NEOVERIFY_BIN
+
+} // namespace

@@ -17,6 +17,7 @@
 #include "core/sim_runner.hpp"
 #include "sim/cli_parse.hpp"
 #include "sim/exit_codes.hpp"
+#include "sim/io_retry.hpp"
 #include "workload/workload.hpp"
 
 using namespace neo;
@@ -130,6 +131,10 @@ main(int argc, char **argv)
     cfg.seed = 1;
     unsigned trials = 1;
     std::uint64_t campaign = 0;
+
+    // Writing stats into a closed pipe (| head) must surface as an
+    // EPIPE error path, not a silent SIGPIPE kill.
+    ignoreSigpipe();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];

@@ -17,9 +17,15 @@
 #include <cstdio>
 #include <string>
 
+#include <unistd.h>
+
 #include "sim/cli_parse.hpp"
 #include "sim/exit_codes.hpp"
+#include "sim/io_retry.hpp"
 #include "verif/checkpoint.hpp"
+#include "verif/service/coordinator.hpp"
+#include "verif/service/job_queue.hpp"
+#include "verif/service/wire.hpp"
 #include "verif/explorer.hpp"
 #include "verif/models/flat_closed.hpp"
 #include "verif/models/flat_open.hpp"
@@ -85,8 +91,36 @@ usage()
         "                    suffixes (default 30s when DIR is set)\n"
         "  --resume          restore the snapshot in DIR and continue\n"
         "                    to the identical fixpoint\n"
+        "verification service (crash-only coordinator + workers):\n"
+        "  --serve SOCK      run the job coordinator on unix socket\n"
+        "                    SOCK; jobs run as sharded worker\n"
+        "                    processes and survive SIGKILL of any of\n"
+        "                    them (or of the coordinator itself)\n"
+        "  --state-dir DIR   journal + partition snapshots\n"
+        "                    (default SOCK.state)\n"
+        "  --workers N       worker processes per job (default 4)\n"
+        "  --heartbeat DUR   supervision ping interval (default 1s)\n"
+        "  --job-timeout DUR per-attempt wall budget (default off)\n"
+        "  --retries N       attempts before quarantine (default 3)\n"
+        "  --backoff DUR     first retry delay, doubling (default .5s)\n"
+        "  --checkpoint-every DUR   barrier interval while serving\n"
+        "                    (default 5s; 0 disables)\n"
+        "client verbs (need --sock SOCK; composable in this order):\n"
+        "  --sock SOCK       coordinator socket to talk to\n"
+        "  --submit          submit the job the model flags describe\n"
+        "  --cancel ID       cancel a pending or running job\n"
+        "  --drain           finish queued jobs, then exit the server\n"
+        "                    (with --serve: exit once queue is empty)\n"
+        "  --status          print the job table (running jobs list\n"
+        "                    worker pids)\n"
+        "  --wait ID         block for job ID's verdict and exit with\n"
+        "                    its code (0 = the job --submit just sent)\n"
+        "  --journal PATH    dump a job journal, one record per line\n"
+        "  --inject-crash-after N   fault injection: each worker dies\n"
+        "                    after N fresh states (tests quarantine)\n"
         "exit codes: 0 verified/no violation, 1 violation or bound\n"
-        "exceeded, 2 usage error, 5 interrupted (resumable)\n");
+        "exceeded, 2 usage error, 5 interrupted (resumable),\n"
+        "6 job quarantined as poison, 7 service unavailable\n");
 }
 
 void
@@ -114,6 +148,117 @@ printTrace(const std::vector<std::string> &steps,
     std::printf("  bad state: %s\n", bad.c_str());
 }
 
+/** Client verbs against a running coordinator. */
+struct ClientVerbs
+{
+    bool submit = false;
+    bool status = false;
+    bool drain = false;
+    bool cancelGiven = false;
+    std::uint64_t cancelId = 0;
+    bool waitGiven = false;
+    std::uint64_t waitId = 0;
+
+    bool
+    any() const
+    {
+        return submit || status || drain || cancelGiven || waitGiven;
+    }
+};
+
+int
+runClient(const std::string &sock, const ClientVerbs &verbs,
+          const JobSpec &spec)
+{
+    std::string err;
+    const int fd = connectUnix(sock, err);
+    if (fd < 0) {
+        std::fprintf(stderr, "neoverify: %s\n", err.c_str());
+        return kExitServiceUnavailable;
+    }
+    MsgType type;
+    std::vector<std::uint8_t> body;
+    auto roundTrip = [&](MsgType req,
+                         const std::vector<std::uint8_t> &b) {
+        if (sendFrameBlocking(fd, req, b) &&
+            recvFrameBlocking(fd, type, body))
+            return true;
+        std::fprintf(stderr,
+                     "neoverify: lost the coordinator mid-request\n");
+        return false;
+    };
+    auto bail = [&](int code) {
+        ::close(fd);
+        return code;
+    };
+
+    std::uint64_t submittedId = 0;
+    if (verbs.submit) {
+        SnapshotWriter w;
+        spec.encode(w);
+        if (!roundTrip(MsgType::ReqSubmit, w.take()))
+            return bail(kExitServiceUnavailable);
+        SnapshotReader r(body);
+        if (type == MsgType::RspErr) {
+            std::fprintf(stderr, "neoverify: %s\n",
+                         getString(r).c_str());
+            return bail(kExitUsage);
+        }
+        submittedId = r.getU64();
+        std::printf("submitted job %llu\n",
+                    static_cast<unsigned long long>(submittedId));
+    }
+    if (verbs.cancelGiven) {
+        SnapshotWriter w;
+        w.putU64(verbs.cancelId);
+        if (!roundTrip(MsgType::ReqCancel, w.take()))
+            return bail(kExitServiceUnavailable);
+        SnapshotReader r(body);
+        if (type == MsgType::RspErr) {
+            std::fprintf(stderr, "neoverify: %s\n",
+                         getString(r).c_str());
+            return bail(kExitUsage);
+        }
+        std::printf("cancelled job %llu\n",
+                    static_cast<unsigned long long>(verbs.cancelId));
+    }
+    if (verbs.drain) {
+        if (!roundTrip(MsgType::ReqDrain, {}))
+            return bail(kExitServiceUnavailable);
+        std::printf("coordinator draining\n");
+    }
+    if (verbs.status) {
+        if (!roundTrip(MsgType::ReqStatus, {}))
+            return bail(kExitServiceUnavailable);
+        SnapshotReader r(body);
+        std::printf("%s", getString(r).c_str());
+    }
+    if (verbs.waitGiven) {
+        const std::uint64_t id =
+            verbs.waitId == 0 ? submittedId : verbs.waitId;
+        if (id == 0) {
+            std::fprintf(stderr, "neoverify: --wait 0 means the job "
+                                 "--submit just sent, but nothing "
+                                 "was submitted\n");
+            return bail(kExitUsage);
+        }
+        SnapshotWriter w;
+        w.putU64(id);
+        if (!roundTrip(MsgType::ReqWait, w.take()))
+            return bail(kExitServiceUnavailable);
+        SnapshotReader r(body);
+        if (type == MsgType::RspErr) {
+            std::fprintf(stderr, "neoverify: %s\n",
+                         getString(r).c_str());
+            return bail(kExitUsage);
+        }
+        const int code = r.getU8();
+        std::printf("%s\n", getString(r).c_str());
+        return bail(code);
+    }
+    return bail(kExitClean);
+}
+
 } // namespace
 
 int
@@ -136,6 +281,14 @@ main(int argc, char **argv)
     bool seed_given = false, walks_given = false, depth_given = false;
     CheckpointConfig ckpt;
     bool every_given = false;
+    ServeOptions serve;
+    bool serving = false;
+    std::string clientSock;
+    std::string journalPath;
+    ClientVerbs verbs;
+    std::uint64_t crashAfter = 0;
+
+    ignoreSigpipe();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -157,7 +310,7 @@ main(int argc, char **argv)
         } else if (arg == "--max-states") {
             lim.maxStates = parseU64OrDie(arg, next());
         } else if (arg == "--max-seconds") {
-            lim.maxSeconds = parseF64OrDie(arg, next());
+            lim.maxSeconds = parseSecondsOrDie(arg, next());
         } else if (arg == "--max-memory") {
             lim.maxMemoryBytes = parseU64OrDie(arg, next());
         } else if (arg == "--threads") {
@@ -213,6 +366,47 @@ main(int argc, char **argv)
             every_given = true;
         } else if (arg == "--resume") {
             ckpt.resume = true;
+        } else if (arg == "--serve") {
+            serve.sockPath = next();
+            serving = true;
+        } else if (arg == "--state-dir") {
+            serve.stateDir = next();
+        } else if (arg == "--workers") {
+            serve.workers =
+                static_cast<unsigned>(parseU64OrDie(arg, next()));
+            if (serve.workers == 0)
+                neo_fatal("--workers needs a value >= 1");
+        } else if (arg == "--heartbeat") {
+            serve.heartbeatSeconds = parseSecondsOrDie(arg, next());
+            if (serve.heartbeatSeconds <= 0.0)
+                neo_fatal("--heartbeat needs a positive duration");
+        } else if (arg == "--job-timeout") {
+            serve.jobTimeoutSeconds = parseSecondsOrDie(arg, next());
+        } else if (arg == "--retries") {
+            serve.retryLimit = static_cast<std::uint32_t>(
+                parseU64OrDie(arg, next()));
+            if (serve.retryLimit == 0)
+                neo_fatal("--retries needs a value >= 1");
+        } else if (arg == "--backoff") {
+            serve.backoffSeconds = parseSecondsOrDie(arg, next());
+        } else if (arg == "--sock") {
+            clientSock = next();
+        } else if (arg == "--submit") {
+            verbs.submit = true;
+        } else if (arg == "--status") {
+            verbs.status = true;
+        } else if (arg == "--drain") {
+            verbs.drain = true;
+        } else if (arg == "--cancel") {
+            verbs.cancelId = parseU64OrDie(arg, next());
+            verbs.cancelGiven = true;
+        } else if (arg == "--wait") {
+            verbs.waitId = parseU64OrDie(arg, next());
+            verbs.waitGiven = true;
+        } else if (arg == "--journal") {
+            journalPath = next();
+        } else if (arg == "--inject-crash-after") {
+            crashAfter = parseU64OrDie(arg, next());
         } else if (arg == "--shrink") {
             shrink = true;
         } else if (arg == "--mutant") {
@@ -231,6 +425,43 @@ main(int argc, char **argv)
             return 2;
         }
     }
+
+    // ---- verification service dispatch ----
+    if (!journalPath.empty()) {
+        std::string err;
+        if (!dumpJournal(journalPath, stdout, err))
+            neo_fatal("--journal: ", err);
+        return kExitClean;
+    }
+    if (serving) {
+        if (verbs.submit || verbs.status || verbs.cancelGiven ||
+            verbs.waitGiven || !clientSock.empty())
+            neo_fatal("--serve is a server; client verbs need "
+                      "--sock against a running coordinator");
+        if (verbs.drain)
+            serve.drainAndExit = true;
+        if (every_given)
+            serve.checkpointEverySeconds = ckpt.everySeconds;
+        return runCoordinator(serve);
+    }
+    if (verbs.any()) {
+        if (clientSock.empty())
+            neo_fatal("client verbs (--submit/--status/--cancel/"
+                      "--drain/--wait) need --sock SOCK");
+        JobSpec spec;
+        spec.features = features;
+        spec.system = system;
+        spec.method = method;
+        spec.mutant = mutant;
+        spec.n = n;
+        spec.maxStates = lim.maxStates;
+        spec.maxSeconds = lim.maxSeconds;
+        spec.crashAfter = crashAfter;
+        return runClient(clientSock, verbs, spec);
+    }
+    if (!clientSock.empty())
+        neo_fatal("--sock needs a client verb "
+                  "(--submit/--status/--cancel/--drain/--wait)");
 
     // ---- capacity-tier setup ----
     if (compact) {
