@@ -115,6 +115,10 @@ class SnapshotReader
     bool ok() const { return ok_; }
     /** True when the payload was consumed exactly. */
     bool atEnd() const { return ok_ && pos_ == size_; }
+    /** Latch a decode failure from a caller-side validity check (e.g.
+     *  a length field out of range) so every subsequent read fails
+     *  instead of decoding from misaligned bytes. */
+    void fail() { ok_ = false; }
 
   private:
     const std::uint8_t *data_;

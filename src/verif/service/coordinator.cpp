@@ -46,6 +46,12 @@ nowSec()
  *  heartbeats do not misfire on scheduler hiccups). */
 constexpr double kStaleHeartbeats = 8.0;
 constexpr double kStaleFloorSeconds = 5.0;
+/** Staleness floor while a checkpoint barrier is writing: the worker
+ *  services pings during the snapshot *encode*, but the final
+ *  write+fsync is one blocking syscall that can legitimately outlast
+ *  the run-phase limit on a slow disk — a healthy large job must not
+ *  fail every barrier as "unresponsive". */
+constexpr double kCkptStaleFloorSeconds = 60.0;
 /** Complete pong rounds with a frozen global state count before the
  *  attempt is declared wedged. */
 constexpr unsigned kNoProgressRounds = 120;
@@ -96,6 +102,10 @@ struct PongData
 {
     std::uint32_t seq = 0;
     bool paused = false;
+    /** Worker is still scanning resume partitions: its store and
+     *  queue are partial, so no stability conclusion may rest on this
+     *  pong. */
+    bool loading = false;
     bool outEmpty = false;
     std::uint64_t queueLen = 0;
     std::uint64_t states = 0;
@@ -107,9 +117,9 @@ struct PongData
     bool
     operator==(const PongData &o) const
     {
-        return paused == o.paused && outEmpty == o.outEmpty &&
-               queueLen == o.queueLen && states == o.states &&
-               transitions == o.transitions &&
+        return paused == o.paused && loading == o.loading &&
+               outEmpty == o.outEmpty && queueLen == o.queueLen &&
+               states == o.states && transitions == o.transitions &&
                invChecks == o.invChecks && sent == o.sent &&
                recv == o.recv;
     }
@@ -470,12 +480,13 @@ Coordinator::handleRound(double now)
 
     std::vector<PongData> round;
     round.reserve(attempt_.workers.size());
-    bool drained = true, allQuiesced = true;
+    bool drained = true, allQuiesced = true, anyLoading = false;
     std::uint64_t sumStates = 0, sumSent = 0, sumRecv = 0;
     for (const auto &w : attempt_.workers) {
         round.push_back(w.pong);
         drained &= w.pong.outEmpty && w.pong.queueLen == 0;
         allQuiesced &= w.pong.paused && w.pong.outEmpty;
+        anyLoading |= w.pong.loading;
         sumStates += w.pong.states;
         sumSent += w.pong.sent;
         sumRecv += w.pong.recv;
@@ -494,7 +505,7 @@ Coordinator::handleRound(double now)
 
     if ((attempt_.phase == Phase::Run ||
          attempt_.phase == Phase::Quiesce) &&
-        drained && sumsEq && same) {
+        !anyLoading && drained && sumsEq && same) {
         // Two identical complete rounds with every queue and buffer
         // empty and global sent == received: nothing is running and
         // nothing is in flight — the distributed fixpoint. The
@@ -505,23 +516,34 @@ Coordinator::handleRound(double now)
         // kick reclaims the phase before a second unpaused round can
         // complete — the attempt then checkpoints an already-final
         // store on a loop until the no-progress watchdog shoots it).
+        // The loading flag DOES matter: a worker scanning resume
+        // partitions pongs a frozen partial store, and declaring the
+        // fixpoint over it would finish the job with dropped states
+        // on exactly the crash-recovery path.
         attempt_.phase = Phase::Finishing;
         for (auto &w : attempt_.workers)
             if (w.alive)
                 w.ctl.queueFrame(MsgType::Finish, {});
         return;
     }
-    if (attempt_.phase == Phase::Quiesce && allQuiesced && sumsEq &&
-        same) {
+    if (attempt_.phase == Phase::Quiesce && !anyLoading &&
+        allQuiesced && sumsEq && same) {
         attempt_.ckptEpoch = nextEpoch_++;
         attempt_.ckptDone = 0;
         attempt_.ckptOk = true;
         SnapshotWriter w;
         w.putU64(attempt_.ckptEpoch);
         const std::vector<std::uint8_t> body = w.take();
-        for (auto &wp : attempt_.workers)
-            if (wp.alive)
-                wp.ctl.queueFrame(MsgType::CkptWrite, body);
+        for (auto &wp : attempt_.workers) {
+            if (!wp.alive)
+                continue;
+            wp.ctl.queueFrame(MsgType::CkptWrite, body);
+            // The staleness clock restarts at the barrier: the write
+            // phase has its own (longer) allowance, and it should
+            // measure from the barrier kick, not the last pre-
+            // barrier pong.
+            wp.lastPong = now;
+        }
         attempt_.phase = Phase::CkptWrite;
         return;
     }
@@ -531,7 +553,6 @@ Coordinator::handleRound(double now)
                       std::to_string(attempt_.frozenRounds) +
                       " rounds");
     }
-    (void)now;
 }
 
 void
@@ -546,6 +567,7 @@ Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
           PongData p;
           p.seq = r.getU32();
           p.paused = r.getU8() != 0;
+          p.loading = r.getU8() != 0;
           p.outEmpty = r.getU8() != 0;
           p.queueLen = r.getU64();
           p.states = r.getU64();
@@ -572,6 +594,7 @@ Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
       case MsgType::CkptDone: {
           const std::uint64_t epoch = r.getU64();
           const bool ok = r.getU8() != 0;
+          w.lastPong = now; // the snapshot write proves liveness
           if (attempt_.phase != Phase::CkptWrite ||
               epoch != attempt_.ckptEpoch)
               return;
@@ -675,9 +698,11 @@ Coordinator::supervise(double now)
     if (now - attempt_.lastPing >= opts_.heartbeatSeconds)
         sendPings(now);
 
-    const double staleLimit =
+    double staleLimit =
         std::max(kStaleFloorSeconds,
                  kStaleHeartbeats * opts_.heartbeatSeconds);
+    if (attempt_.phase == Phase::CkptWrite)
+        staleLimit = std::max(staleLimit, kCkptStaleFloorSeconds);
     for (unsigned i = 0; i < attempt_.workers.size(); ++i) {
         const WorkerProc &w = attempt_.workers[i];
         if (w.alive && now - w.lastPong > staleLimit) {

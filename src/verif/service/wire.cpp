@@ -45,8 +45,13 @@ std::string
 getString(SnapshotReader &r)
 {
     const std::uint32_t n = r.getU32();
-    if (n > kMaxFrameBytes)
+    if (n > kMaxFrameBytes) {
+        // A length no real frame can carry is corruption: latch the
+        // reader so the rest of the record fails too, instead of
+        // silently decoding the remaining fields misaligned.
+        r.fail();
         return std::string();
+    }
     std::string s(n, '\0');
     r.getBytes(reinterpret_cast<std::uint8_t *>(s.data()), n);
     return r.ok() ? s : std::string();

@@ -84,7 +84,8 @@ namespace
 constexpr std::uint32_t kStateBatch = 128;
 /** States expanded between poll() rounds. */
 constexpr unsigned kExpandBatch = 64;
-/** Control-channel service interval during a resume load. */
+/** Control-channel service interval during a resume load or a
+ *  partition snapshot encode (records between pollControlOnce). */
 constexpr std::uint64_t kLoadServiceStride = 65536;
 
 struct WorkerRt
@@ -112,9 +113,18 @@ struct WorkerRt
 
     bool paused = false;
     bool violated = false;
+    /** Resume partitions are still being scanned: the store is
+     *  partial, so the coordinator must not count this worker toward
+     *  fixpoint or checkpoint stability (rides in every Pong). */
+    bool loading = false;
+    /** A partition snapshot encode is on the stack; guards against a
+     *  re-entrant CkptWrite when the encode services the channel. */
+    bool snapshotting = false;
 
     VState scratch;
 };
+
+void pollControlOnce(WorkerRt &rt, int timeoutMs);
 
 void
 flushBatch(WorkerRt &rt, unsigned peer)
@@ -195,6 +205,7 @@ sendPong(WorkerRt &rt, std::uint32_t seq)
     SnapshotWriter w;
     w.putU32(seq);
     w.putU8(rt.paused ? 1 : 0);
+    w.putU8(rt.loading ? 1 : 0);
     w.putU8(outEmpty(rt) ? 1 : 0);
     w.putU64(rt.queue.size());
     w.putU64(rt.store->size());
@@ -208,6 +219,17 @@ sendPong(WorkerRt &rt, std::uint32_t seq)
 void
 writePartition(WorkerRt &rt, std::uint64_t epoch)
 {
+    // The encode walks every stored state; on a large partition that
+    // outlasts the coordinator's staleness limit, so keep answering
+    // Pings while it runs. snapshotting guards the re-entrancy this
+    // opens up (serviceControl must not start a second encode).
+    rt.snapshotting = true;
+    std::uint64_t sinceService = 0;
+    auto maybeService = [&]() {
+        if (++sinceService % kLoadServiceStride == 0)
+            pollControlOnce(rt, 0);
+    };
+
     ExploreSnapshotMeta meta;
     // Counters live in the journal's CKPT manifest, not here: after a
     // reshard the per-partition attribution is meaningless anyway.
@@ -222,17 +244,20 @@ writePartition(WorkerRt &rt, std::uint64_t epoch)
     const auto payload = encodeExploreSnapshotStreamed(
         meta, rt.numVars,
         [&](std::uint64_t id) {
+            maybeService();
             return rt.store->at(static_cast<std::uint32_t>(id));
         },
         [](std::uint64_t) { return ExploreSnapshot::Link{}; },
         rt.queue.size(),
         [&](std::uint64_t i) {
+            maybeService();
             return std::pair<std::uint64_t, std::uint32_t>(
                 rt.queue[static_cast<std::size_t>(i)], 0);
         });
     std::string err;
     const bool ok = writeSnapshotFile(path, SnapshotKind::Explore,
                                       rt.fingerprint, payload, err);
+    rt.snapshotting = false;
     if (!ok)
         neo_warn("worker ", rt.cfg->index, ": partition snapshot: ",
                  err);
@@ -282,9 +307,33 @@ serviceControl(WorkerRt &rt)
               break;
           }
           case MsgType::CkptWrite:
+              // Mid-load the store is partial (a snapshot of it
+              // would commit a truncated checkpoint); mid-snapshot a
+              // second encode would recurse. A correct coordinator
+              // sends neither (loading rides the pongs, the barrier
+              // is once-per-epoch), so dropping is the safe answer:
+              // the stalled barrier fails the attempt and retries
+              // rather than committing garbage.
+              if (rt.loading || rt.snapshotting) {
+                  neo_warn("worker ", rt.cfg->index,
+                           ": CkptWrite during ",
+                           rt.loading ? "resume load" : "snapshot",
+                           " dropped");
+                  break;
+              }
               writePartition(rt, r.getU64());
               break;
           case MsgType::Finish:
+              // Same guard: obeying a Finish before the resume load
+              // completes would report a partial store as the final
+              // verdict. Drop it — a retry beats a false Verified.
+              if (rt.loading || rt.snapshotting) {
+                  neo_warn("worker ", rt.cfg->index,
+                           ": Finish during ",
+                           rt.loading ? "resume load" : "snapshot",
+                           " dropped");
+                  break;
+              }
               sendFinalAndExit(rt); // does not return
               break;
           case MsgType::Stop:
@@ -453,7 +502,13 @@ runWorkerProcess(const WorkerConfig &cfg, const WorkerEndpoints &eps)
     }
 
     if (cfg.resumeEpoch != 0) {
+        // Pongs answered mid-load carry loading=1 so a peer-owned
+        // scan (frozen store, empty queue) cannot satisfy the
+        // coordinator's fixpoint or quiesce stability tests while
+        // this store is still partial.
+        rt.loading = true;
         loadPartitions(rt);
+        rt.loading = false;
     } else {
         VState init = ts.initialState();
         if (ts.canonicalizer())

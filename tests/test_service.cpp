@@ -374,6 +374,22 @@ TEST(Wire, InsaneLengthFieldIsCorruptionNotAllocation)
     EXPECT_TRUE(r.corrupt());
 }
 
+TEST(Wire, OversizedStringLengthFailsTheWholeRecord)
+{
+    // A string length no frame can carry must latch the reader, not
+    // just yield ""; otherwise the next fields decode misaligned
+    // with ok() still true and the caller accepts garbage.
+    SnapshotWriter w;
+    w.putU32(kMaxFrameBytes + 1); // length field beyond any frame
+    w.putU64(0xdeadbeef);         // would misparse as string bytes
+    const auto bytes = w.take();
+    SnapshotReader r(bytes);
+    EXPECT_TRUE(getString(r).empty());
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.getU64(), 0u); // subsequent reads fail, not misalign
+    EXPECT_FALSE(r.ok());
+}
+
 TEST(Wire, JobSpecEncodesLosslessly)
 {
     JobSpec spec;
