@@ -22,6 +22,7 @@
  *     reports the min/max shard occupancy for W in {2,4,8}.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -117,6 +118,39 @@ benchJournal(const std::string &dir)
         const double dt = nowSec() - t0;
         std::printf("%-10s %10d %9.3f %14.0f\n", c.label, kAppends,
                     dt, kAppends / dt);
+        std::remove(path.c_str());
+    }
+    std::printf("\n");
+
+    // Group commit: the coordinator defers every fsync to the end of
+    // the poll iteration, so a burst of B appends shares one flush
+    // (acknowledgements still wait for it). The appends/sec ratio
+    // against batch=1 is the headroom a submission storm gains.
+    std::printf("journal append, group commit (one fsync per "
+                "batch)\n");
+    std::printf("%-10s %10s %9s %14s\n", "batch", "appends",
+                "seconds", "appends/sec");
+    const std::vector<std::uint8_t> &body = cases[0].body;
+    for (const int batch : {1, 8, 64, 256}) {
+        JobJournal j;
+        std::string err;
+        const std::string path = dir + "/bench_group.neoj";
+        if (!j.open(path, err)) {
+            std::fprintf(stderr, "journal open: %s\n", err.c_str());
+            std::exit(1);
+        }
+        const double t0 = nowSec();
+        int done = 0;
+        while (done < kAppends) {
+            const int n = std::min(batch, kAppends - done);
+            for (int i = 0; i < n; ++i)
+                j.append(kRecSubmit, body, /*sync=*/false);
+            j.sync();
+            done += n;
+        }
+        const double dt = nowSec() - t0;
+        std::printf("%-10d %10d %9.3f %14.0f\n", batch, kAppends, dt,
+                    kAppends / dt);
         std::remove(path.c_str());
     }
     std::printf("\n");

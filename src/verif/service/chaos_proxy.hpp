@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic network-chaos proxy for the verification service.
+ *
+ * A seeded in-process TCP forwarder that sits between workers and the
+ * coordinator and injects the failure modes a real multi-box pool
+ * sees: dropped bytes, delayed flushes, frames truncated mid-write,
+ * duplicated byte ranges, and severed connections. The schedule is a
+ * pure function of (seed, connection index, direction, byte offset) —
+ * chunk boundaries, kernel timing and poll order do not affect which
+ * byte gets hit — so a failing test reproduces from its seed alone.
+ *
+ * This is the network-level sibling of the message-level fault
+ * injector from the simulation harness: that one reorders and drops
+ * protocol messages to test the coherence protocol; this one mangles
+ * raw bytes to test the service's CRC framing, reconnect logic and
+ * fixpoint accounting. Corrupted bytes must surface as latched link
+ * failures and clean attempt retries, never as a false Verified.
+ */
+
+#ifndef NEO_VERIF_SERVICE_CHAOS_PROXY_HPP
+#define NEO_VERIF_SERVICE_CHAOS_PROXY_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace neo
+{
+
+/**
+ * Fault schedule parameters, parsed from a spec string of
+ * comma-separated key=value pairs:
+ *
+ *   seed=42,every=32768,drop=1,dup=1,trunc=1,sever=2,delay=4,
+ *   delayms=25,span=64,skip=1
+ *
+ * `every` is the mean gap in stream bytes between fault events per
+ * direction; `drop/dup/trunc/sever/delay` are relative weights for
+ * picking the fault at each event (all zero disables injection);
+ * `span` bounds the bytes affected by drop/dup/trunc; `delayms` is
+ * the hold applied by a delay fault; `skip` exempts the first N
+ * accepted connections so a test can let the control plane settle.
+ */
+struct ChaosSpec
+{
+    std::uint64_t seed = 1;
+    std::uint64_t everyBytes = 1u << 20;
+    std::uint32_t weightDrop = 0;
+    std::uint32_t weightDup = 0;
+    std::uint32_t weightTrunc = 0;
+    std::uint32_t weightSever = 0;
+    std::uint32_t weightDelay = 0;
+    double delayMs = 20.0;
+    std::uint32_t spanBytes = 64;
+    std::uint32_t skipConnections = 0;
+
+    std::uint32_t totalWeight() const
+    {
+        return weightDrop + weightDup + weightTrunc + weightSever +
+               weightDelay;
+    }
+
+    static bool parse(const std::string &text, ChaosSpec &out,
+                      std::string &err);
+    std::string summary() const;
+};
+
+/**
+ * The proxy itself: listens on one TCP endpoint, forwards every
+ * accepted connection to a fixed upstream, and runs the fault
+ * schedule in a background thread. start()/stop() bracket the
+ * lifetime; scheduleLog() returns the reproducible record of every
+ * injected fault ("conn=3 dir=up off=81920 fault=sever") for test
+ * artifacts and debugging.
+ */
+class ChaosProxy
+{
+  public:
+    ChaosProxy(); // out of line: Impl is incomplete here
+    ~ChaosProxy();
+    ChaosProxy(const ChaosProxy &) = delete;
+    ChaosProxy &operator=(const ChaosProxy &) = delete;
+
+    /** Echo each schedule line to @p f as it happens (CLI mode).
+     *  Must be called before start(). */
+    void setEcho(std::FILE *f) { echo_ = f; }
+
+    /** Bind @p listenAddr ("host:port", port 0 ok), forward to
+     *  @p upstreamAddr, spawn the forwarding thread.
+     *  @return false with @p err set on bind failure. */
+    bool start(const std::string &listenAddr,
+               const std::string &upstreamAddr, const ChaosSpec &spec,
+               std::string &err);
+    void stop();
+
+    /** Resolved listen address (valid after start()). */
+    const std::string &boundAddress() const { return bound_; }
+
+    /** Live while running; the final totals remain readable after
+     *  stop() (tests attach the schedule to their failure output). */
+    std::uint64_t connectionsAccepted() const;
+    std::uint64_t faultsInjected() const;
+    std::string scheduleLog() const;
+
+  private:
+    struct Impl;
+    void run();
+
+    std::unique_ptr<Impl> impl_;
+    std::thread thread_;
+    std::string bound_;
+    std::FILE *echo_ = nullptr;
+    std::uint64_t finalAccepted_ = 0;
+    std::uint64_t finalFaults_ = 0;
+    std::string finalLog_;
+};
+
+} // namespace neo
+
+#endif // NEO_VERIF_SERVICE_CHAOS_PROXY_HPP

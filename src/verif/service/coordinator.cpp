@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <list>
@@ -56,8 +57,51 @@ constexpr double kCkptStaleFloorSeconds = 60.0;
  *  attempt is declared wedged. */
 constexpr unsigned kNoProgressRounds = 120;
 
+/** TCP join barrier: heartbeats (floored) a star attempt may spend
+ *  waiting for every worker slot's Hello before it fails for retry —
+ *  covers pool agents that died between JoinPool and Assign, and
+ *  links a chaos proxy severed during the handshake. */
+constexpr double kJoinHeartbeats = 10.0;
+constexpr double kJoinFloorSeconds = 10.0;
+/** Write-stall deadline on a worker link: an out-buffer that drains
+ *  zero bytes for this long means the peer stopped reading (half-open
+ *  TCP, wedged proxy) even though the connection looks alive. */
+constexpr double kLinkStallHeartbeats = 8.0;
+constexpr double kLinkStallFloorSeconds = 10.0;
+/** Relay backpressure: once an attempt's workers hold this many
+ *  undrained relay bytes, the coordinator stops READING from that
+ *  attempt's workers — the senders' batch streams stall at their own
+ *  out-buffers instead of ballooning here. Bounded memory, no drops. */
+constexpr std::size_t kRelayHighWater = 32u << 20;
+/** A client that stops reading its responses is dropped rather than
+ *  allowed to grow an unbounded out-buffer. */
+constexpr std::size_t kClientHighWater = 16u << 20;
+constexpr double kClientStallSeconds = 30.0;
+/** An accepted TCP connection must identify itself (request, Hello,
+ *  or JoinPool) within this long or it is dropped. */
+constexpr double kClassifySeconds = 10.0;
+
+/** Attempt nonce: unpredictable enough that a frame from a previous
+ *  attempt (delayed in a proxy, or a pre-retry worker still dialing)
+ *  cannot authenticate against the successor attempt. */
+std::uint64_t
+freshNonce()
+{
+    static std::uint64_t ctr = 0;
+    std::uint64_t x = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    x ^= static_cast<std::uint64_t>(::getpid()) << 32;
+    x += ++ctr * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x != 0 ? x : 1;
+}
+
 /** Epochs any non-terminal job may still resume from. A job in retry
- *  backoff is not the running job, but its committed checkpoint must
+ *  backoff is not a running job, but its committed checkpoint must
  *  outlive every other job that runs during the backoff window —
  *  pruning "everything but the current epoch" loses exactly those
  *  files and turns a recoverable kill into a quarantine. */
@@ -127,9 +171,13 @@ struct PongData
 
 struct WorkerProc
 {
+    /** -1 for remote (pool) workers, which have no local process. */
     pid_t pid = -1;
     Channel ctl;
     bool alive = true;
+    /** Mesh workers connect at fork; star workers connect at Hello. */
+    bool connected = false;
+    bool remote = false;
     bool finalSeen = false;
     PongData pong;
     std::uint64_t finStates = 0;
@@ -151,6 +199,18 @@ struct Attempt
     bool active = false;
     std::uint64_t jobId = 0;
     unsigned W = 0;
+    /** Star topology over TCP (workers dial back and relay through
+     *  the coordinator) vs the local socketpair mesh. */
+    bool tcp = false;
+    std::uint64_t nonce = 0;
+    unsigned joined = 0;
+    /** Mesh: true at fork. Star: true once every slot said Hello and
+     *  the Start barrier went out — pings and the fixpoint detector
+     *  only run on a started attempt. */
+    bool started = false;
+    /** Relay backpressure engaged: POLLIN dropped on this attempt's
+     *  worker links until the destinations drain. */
+    bool relayPaused = false;
     std::vector<WorkerProc> workers;
     double start = 0.0;
     Phase phase = Phase::Run;
@@ -158,6 +218,7 @@ struct Attempt
     std::uint32_t lastRound = 0;
     double lastPing = 0.0;
     double lastCkpt = 0.0;
+    double lastProgress = 0.0;
     /** Stability detector state (previous complete round). */
     std::vector<PongData> prevRound;
     bool havePrev = false;
@@ -183,6 +244,23 @@ struct ClientConn
     Channel ch;
 };
 
+/** Accepted TCP connection whose first frame has not arrived yet: it
+ *  could be a client, a worker's Hello, or a pool agent's JoinPool. */
+struct PendingConn
+{
+    Channel ch;
+    double since = 0.0;
+};
+
+/** A box offering capacity via neoverify --join, parked until an
+ *  attempt claims it with Assign. */
+struct PoolWorker
+{
+    Channel ch;
+    bool canResume = false;
+    bool assigned = false;
+};
+
 class Coordinator
 {
   public:
@@ -197,57 +275,213 @@ class Coordinator
   private:
     // --- attempt lifecycle ---
     void startAttempt(Job &job);
-    void stopAttemptWorkers();
-    void attemptFailed(const std::string &reason);
-    void finishJob(const JobResult &result);
-    JobResult pongResult(std::uint8_t statusCode,
+    std::vector<int> collectParentFds() const;
+    void stopAttemptWorkers(Attempt &a);
+    void attemptFailed(Attempt &a, const std::string &reason);
+    void finishJob(Attempt &a, const JobResult &result);
+    JobResult pongResult(const Attempt &a, std::uint8_t statusCode,
                          double now) const;
+    unsigned activeAttempts() const;
+    void sweepAttempts();
+    void scheduleJobs(double now);
 
     // --- supervision ---
     void supervise(double now);
+    void superviseAttempt(Attempt &a, double now);
     void reapDead(double now);
-    void sendPings(double now);
-    void handleRound(double now);
-    void handleWorkerFrame(unsigned w, MsgType type,
+    void sendPings(Attempt &a, double now);
+    void handleRound(Attempt &a, double now);
+    void emitProgress(Attempt &a, double now);
+    void pulseWaiters(double now);
+    void handleWorkerFrame(Attempt &a, unsigned w, MsgType type,
                            const std::vector<std::uint8_t> &body,
                            double now);
 
+    // --- tcp handshakes ---
+    void acceptOn(int fd, bool tcp);
+    /** Route a pending connection's first frame; @return true when
+     *  the entry was consumed (promoted or rejected+closed). */
+    bool classifyPending(std::list<PendingConn>::iterator it,
+                         double now);
+    void attachHello(Channel &&ch,
+                     const std::vector<std::uint8_t> &body,
+                     double now);
+    void sweepConns(double now);
+
     // --- clients ---
-    void acceptClients();
     void handleClientFrame(ClientConn &client, MsgType type,
                            const std::vector<std::uint8_t> &body);
     void notifyWaiters(std::uint64_t jobId);
     std::pair<int, std::string> resultFor(const Job &job) const;
     std::string statusText() const;
-    void dropClosedClients();
+    void dropClosedClients(double now);
 
-    static void sendErr(ClientConn &c, const std::string &msg);
-    static void sendOk(ClientConn &c, const std::string &msg);
+    /** All client responses are deferred and queued only after the
+     *  end-of-iteration journal commit — an acknowledgement must
+     *  never outrun the durability of the transition it reports. */
+    void reply(ClientConn &c, MsgType type,
+               const std::vector<std::uint8_t> &body);
+    void sendErr(ClientConn &c, const std::string &msg);
+    void sendOk(ClientConn &c, const std::string &msg);
+    void flushReplies();
 
     ServeOptions opts_;
     JobQueue queue_;
     int listenFd_ = -1;
+    int tcpListenFd_ = -1;
+    std::string tcpBound_;
+    std::string advertise_;
     bool draining_ = false;
     std::uint64_t nextEpoch_ = 1;
-    Attempt attempt_;
+    std::map<std::uint64_t, Attempt> attempts_;
     std::list<ClientConn> clients_;
+    std::list<PendingConn> pending_;
+    std::list<PoolWorker> pool_;
     std::vector<std::pair<std::uint64_t, ClientConn *>> waiters_;
+    /** Last backoff-phase progress pulse per waited job (jobs with a
+     *  live attempt are rate-limited by Attempt::lastProgress). */
+    std::map<std::uint64_t, double> waiterPulse_;
+    struct PendingReply
+    {
+        ClientConn *client;
+        MsgType type;
+        std::vector<std::uint8_t> body;
+    };
+    std::vector<PendingReply> replies_;
 };
 
 // ---------------------------------------------------------------
 // Attempt lifecycle
 // ---------------------------------------------------------------
 
+std::vector<int>
+Coordinator::collectParentFds() const
+{
+    // Everything a forked worker must NOT inherit open: most
+    // critically the journal (a worker must never be able to extend
+    // it) and OTHER attempts' worker links — a surviving open copy of
+    // a control socket would keep its EOF from ever firing, so a dead
+    // coordinator's workers would outlive it.
+    std::vector<int> fds;
+    if (listenFd_ >= 0)
+        fds.push_back(listenFd_);
+    if (tcpListenFd_ >= 0)
+        fds.push_back(tcpListenFd_);
+    if (queue_.journalFd() >= 0)
+        fds.push_back(queue_.journalFd());
+    for (const auto &c : clients_)
+        if (c.ch.fd() >= 0)
+            fds.push_back(c.ch.fd());
+    for (const auto &p : pending_)
+        if (p.ch.fd() >= 0)
+            fds.push_back(p.ch.fd());
+    for (const auto &p : pool_)
+        if (p.ch.fd() >= 0)
+            fds.push_back(p.ch.fd());
+    for (const auto &[id, a] : attempts_) {
+        (void)id;
+        for (const auto &w : a.workers)
+            if (w.ctl.fd() >= 0)
+                fds.push_back(w.ctl.fd());
+    }
+    return fds;
+}
+
 void
 Coordinator::startAttempt(Job &job)
 {
     unsigned W = job.nextWorkers != 0 ? job.nextWorkers
-                                      : opts_.workers;
+                 : job.spec.workers != 0
+                     ? job.spec.workers
+                     : opts_.workers;
     W = std::max(1u, W);
 
     // Journal-first: the attempt exists durably before any fork, so
     // a coordinator crash from here on replays as a failed attempt.
     queue_.markStarted(job, W);
+    queue_.commit();
+
+    Attempt a;
+    a.active = true;
+    a.jobId = job.id;
+    a.W = W;
+    a.base = job.ckpt;
+    a.workers.resize(W);
+    a.tcp = tcpListenFd_ >= 0;
+    const double now = nowSec();
+    a.start = now;
+    a.lastCkpt = now;
+    a.lastProgress = now;
+
+    if (a.tcp) {
+        // Star topology: every worker — a pool agent's fork on
+        // another box or a local fork — dials advertise_ and
+        // authenticates with the attempt nonce. Nothing runs until
+        // all W slots have joined (Start barrier).
+        a.nonce = freshNonce();
+        unsigned idx = 0;
+        unsigned fromPool = 0;
+        for (auto &pw : pool_) {
+            if (idx >= W)
+                break;
+            if (pw.assigned || pw.ch.failed())
+                continue;
+            // Resume needs the partition files; only agents that
+            // declared shared storage qualify.
+            if (job.ckpt.epoch != 0 && !pw.canResume)
+                continue;
+            SnapshotWriter w;
+            w.putU64(job.id);
+            w.putU64(a.nonce);
+            w.putU32(idx);
+            w.putU32(W);
+            w.putF64(opts_.heartbeatSeconds);
+            w.putU64(job.ckpt.epoch);
+            w.putU32(job.ckpt.parts);
+            putString(w, opts_.stateDir);
+            job.spec.encode(w);
+            pw.ch.queueFrame(MsgType::Assign, w.take());
+            pw.assigned = true;
+            a.workers[idx].remote = true;
+            a.workers[idx].lastPong = now;
+            ++idx;
+            ++fromPool;
+        }
+        const std::vector<int> parentFds = collectParentFds();
+        for (; idx < W; ++idx) {
+            const pid_t pid = ::fork();
+            if (pid < 0)
+                neo_fatal("fork: ", std::strerror(errno));
+            if (pid == 0) {
+                for (int fd : parentFds)
+                    ::close(fd);
+                WorkerConfig cfg;
+                cfg.index = idx;
+                cfg.count = W;
+                cfg.spec = job.spec;
+                cfg.partDir = opts_.stateDir;
+                cfg.resumeEpoch = job.ckpt.epoch;
+                cfg.resumeParts = job.ckpt.parts;
+                cfg.coordAddr = advertise_;
+                cfg.jobId = job.id;
+                cfg.nonce = a.nonce;
+                cfg.heartbeatSeconds = opts_.heartbeatSeconds;
+                runWorkerProcess(cfg, WorkerEndpoints());
+            }
+            a.workers[idx].pid = pid;
+            a.workers[idx].lastPong = now;
+        }
+        neo_inform("job ", job.id, " attempt ", job.attempts, ": ",
+                   W, " worker", W == 1 ? "" : "s", " over TCP (",
+                   fromPool, " from the pool)",
+                   job.ckpt.epoch != 0
+                       ? ", resuming checkpoint epoch " +
+                             std::to_string(job.ckpt.epoch)
+                       : std::string(),
+                   ": ", job.spec.summary());
+        attempts_[job.id] = std::move(a);
+        return;
+    }
 
     std::vector<std::array<int, 2>> ctl(W);
     // peerFd[i][j]: worker i's end of the i<->j mesh link.
@@ -267,27 +501,14 @@ Coordinator::startAttempt(Job &job)
         }
     }
 
-    attempt_ = Attempt();
-    attempt_.active = true;
-    attempt_.jobId = job.id;
-    attempt_.W = W;
-    attempt_.base = job.ckpt;
-    attempt_.workers.resize(W);
-
+    const std::vector<int> parentFds = collectParentFds();
     for (unsigned i = 0; i < W; ++i) {
         const pid_t pid = ::fork();
         if (pid < 0)
             neo_fatal("fork: ", std::strerror(errno));
         if (pid == 0) {
-            // Child: drop every inherited fd that is not ours —
-            // most critically the journal (a worker must never be
-            // able to extend it) and the listening socket.
-            ::close(listenFd_);
-            if (queue_.journalFd() >= 0)
-                ::close(queue_.journalFd());
-            for (const auto &c : clients_)
-                if (c.ch.fd() >= 0)
-                    ::close(c.ch.fd());
+            for (int fd : parentFds)
+                ::close(fd);
             for (unsigned k = 0; k < W; ++k) {
                 ::close(ctl[k][0]);
                 if (k != i)
@@ -309,23 +530,23 @@ Coordinator::startAttempt(Job &job)
             eps.peers = peerFd[i];
             runWorkerProcess(cfg, eps); // never returns
         }
-        attempt_.workers[i].pid = pid;
+        a.workers[i].pid = pid;
     }
 
     // Parent: every child-side fd now belongs to the children.
-    const double now = nowSec();
     for (unsigned i = 0; i < W; ++i) {
         ::close(ctl[i][1]);
         for (int fd : peerFd[i])
             if (fd >= 0)
                 ::close(fd);
         setNonBlocking(ctl[i][0]);
-        attempt_.workers[i].ctl = Channel(ctl[i][0]);
-        attempt_.workers[i].lastPong = now; // spawn grace
+        a.workers[i].ctl = Channel(ctl[i][0]);
+        a.workers[i].connected = true;
+        a.workers[i].lastPong = now; // spawn grace
     }
-    attempt_.start = now;
-    attempt_.lastCkpt = now;
-    attempt_.lastPing = now - opts_.heartbeatSeconds; // ping at once
+    a.started = true;
+    a.joined = W;
+    a.lastPing = now - opts_.heartbeatSeconds; // ping at once
 
     neo_inform("job ", job.id, " attempt ", job.attempts, ": ", W,
                " worker", W == 1 ? "" : "s",
@@ -334,12 +555,13 @@ Coordinator::startAttempt(Job &job)
                          std::to_string(job.ckpt.epoch) + ")"
                    : std::string(),
                ": ", job.spec.summary());
+    attempts_[job.id] = std::move(a);
 }
 
 void
-Coordinator::stopAttemptWorkers()
+Coordinator::stopAttemptWorkers(Attempt &a)
 {
-    for (auto &w : attempt_.workers) {
+    for (auto &w : a.workers) {
         if (w.pid > 0 && w.alive) {
             ::kill(w.pid, SIGKILL);
             int st = 0;
@@ -347,35 +569,45 @@ Coordinator::stopAttemptWorkers()
             do {
                 rc = ::waitpid(w.pid, &st, 0);
             } while (rc < 0 && errno == EINTR);
-            w.alive = false;
         }
+        if (w.remote && w.connected && !w.ctl.failed()) {
+            // Best-effort Stop; the close right after guarantees the
+            // remote worker exits on EOF even if this never lands.
+            w.ctl.queueFrame(MsgType::Stop, {});
+            w.ctl.flush();
+        }
+        w.alive = false;
+        w.connected = false;
         w.ctl.close();
     }
 }
 
 void
-Coordinator::attemptFailed(const std::string &reason)
+Coordinator::attemptFailed(Attempt &a, const std::string &reason)
 {
-    const unsigned deaths = attempt_.deaths;
-    stopAttemptWorkers();
-    Job *job = queue_.find(attempt_.jobId);
-    attempt_.active = false;
+    const unsigned deaths = a.deaths;
+    stopAttemptWorkers(a);
+    Job *job = queue_.find(a.jobId);
+    a.active = false;
     if (job == nullptr)
         return;
     // Reshard to survivors: the next attempt redeal's the lost
-    // worker's partition from the last committed epoch.
-    const std::uint32_t nextW = std::max(
-        1u, attempt_.W - std::min(attempt_.W - 1, deaths));
+    // worker's partition from the last committed epoch. Pure link
+    // failures (deaths == 0) keep the worker count — the workers
+    // were fine, the network was not.
+    const std::uint32_t nextW =
+        std::max(1u, a.W - std::min(a.W - 1, deaths));
     neo_warn("job ", job->id, " attempt ", job->attempts,
              " failed: ", reason, " (next attempt: ", nextW,
              " workers)");
     queue_.failAttempt(*job, reason, nextW, nowSec());
+    queue_.commit();
     if (job->state == JobState::Quarantined)
         notifyWaiters(job->id);
 }
 
 JobResult
-Coordinator::pongResult(std::uint8_t statusCode,
+Coordinator::pongResult(const Attempt &a, std::uint8_t statusCode,
                         double now) const
 {
     // Best-effort counters from the latest pongs (exact at a
@@ -383,25 +615,28 @@ Coordinator::pongResult(std::uint8_t statusCode,
     // non-Verified verdicts use).
     JobResult res;
     res.statusCode = statusCode;
-    for (const auto &w : attempt_.workers) {
+    for (const auto &w : a.workers) {
         res.states += w.pong.states;
         res.transitions += w.pong.transitions;
         res.invariantChecks += w.pong.invChecks;
     }
-    res.transitions += attempt_.base.transitions;
-    res.invariantChecks += attempt_.base.invariantChecks;
-    res.seconds = attempt_.base.seconds + (now - attempt_.start);
+    res.transitions += a.base.transitions;
+    res.invariantChecks += a.base.invariantChecks;
+    res.seconds = a.base.seconds + (now - a.start);
     return res;
 }
 
 void
-Coordinator::finishJob(const JobResult &result)
+Coordinator::finishJob(Attempt &a, const JobResult &result)
 {
-    Job *job = queue_.find(attempt_.jobId);
-    attempt_.active = false;
+    Job *job = queue_.find(a.jobId);
+    a.active = false;
     if (job == nullptr)
         return;
     queue_.markDone(*job, result);
+    // The DONE record must be durable before the notification leaves
+    // and before the checkpoint files stop existing.
+    queue_.commit();
     pruneEpochFiles(opts_.stateDir, liveEpochs(queue_.jobs()));
     neo_inform("job ", job->id, " done: ",
                verifStatusName(
@@ -409,6 +644,44 @@ Coordinator::finishJob(const JobResult &result)
                " states=", result.states,
                " transitions=", result.transitions);
     notifyWaiters(job->id);
+}
+
+unsigned
+Coordinator::activeAttempts() const
+{
+    unsigned n = 0;
+    for (const auto &[id, a] : attempts_) {
+        (void)id;
+        n += a.active ? 1 : 0;
+    }
+    return n;
+}
+
+void
+Coordinator::sweepAttempts()
+{
+    for (auto it = attempts_.begin(); it != attempts_.end();) {
+        if (!it->second.active)
+            it = attempts_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Coordinator::scheduleJobs(double now)
+{
+    // Admission control: fill the concurrency budget FIFO. A job that
+    // keeps crash-looping sits in backoff (and eventually quarantine)
+    // without consuming a slot, so it cannot starve its neighbours.
+    unsigned active = activeAttempts();
+    while (active < std::max(1u, opts_.maxJobs)) {
+        Job *job = queue_.runnable(now);
+        if (job == nullptr)
+            return;
+        startAttempt(*job);
+        ++active;
+    }
 }
 
 // ---------------------------------------------------------------
@@ -423,66 +696,167 @@ Coordinator::reapDead(double now)
         const pid_t pid = ::waitpid(-1, &st, WNOHANG);
         if (pid <= 0)
             return;
-        if (!attempt_.active)
-            continue;
-        for (unsigned i = 0; i < attempt_.workers.size(); ++i) {
-            WorkerProc &w = attempt_.workers[i];
-            if (w.pid != pid || !w.alive)
+        Attempt *owner = nullptr;
+        unsigned widx = 0;
+        for (auto &[id, a] : attempts_) {
+            (void)id;
+            if (!a.active)
                 continue;
-            w.alive = false;
-            // The socket may still hold a Final or Violation the
-            // worker flushed right before exiting; drain it before
-            // judging the death.
-            w.ctl.readSome();
-            MsgType type;
-            std::vector<std::uint8_t> body;
-            while (attempt_.active && w.ctl.next(type, body))
-                handleWorkerFrame(i, type, body, now);
-            if (!attempt_.active)
+            for (unsigned i = 0; i < a.workers.size(); ++i) {
+                if (a.workers[i].alive && a.workers[i].pid == pid) {
+                    owner = &a;
+                    widx = i;
+                    break;
+                }
+            }
+            if (owner != nullptr)
                 break;
-            if (attempt_.phase == Phase::Finishing && w.finalSeen)
-                break; // expected exit after Final
-            ++attempt_.deaths;
-            std::ostringstream os;
-            os << "worker " << i << "/" << attempt_.W;
-            if (WIFSIGNALED(st))
-                os << " killed by signal " << WTERMSIG(st);
-            else
-                os << " exited with status " << WEXITSTATUS(st);
-            attemptFailed(os.str());
-            break;
         }
-        if (!attempt_.active)
-            continue; // keep reaping the rest of the cohort
+        if (owner == nullptr)
+            continue; // a failed attempt's child, already judged
+        Attempt &a = *owner;
+        WorkerProc &w = a.workers[widx];
+        w.alive = false;
+        // The socket may still hold a Final or Violation the worker
+        // flushed right before exiting; drain it before judging the
+        // death.
+        w.ctl.readSome();
+        MsgType type;
+        std::vector<std::uint8_t> body;
+        while (a.active && w.ctl.next(type, body))
+            handleWorkerFrame(a, widx, type, body, now);
+        if (!a.active)
+            continue;
+        if (a.phase == Phase::Finishing && w.finalSeen)
+            continue; // expected exit after Final
+        // Star links add a relay hop (and tests add a chaos proxy),
+        // so a finisher's exit can be reaped while its Final is
+        // still in flight on the wire. A clean exit during
+        // Finishing with a healthy link defers judgment: the worker
+        // becomes pid-less but stays alive/polled — like a remote
+        // one — so either the Final lands (expected completion) or
+        // the link's EOF/CRC latch or heartbeat staleness fails the
+        // attempt anyway. Never a verdict invented from a missing
+        // Final.
+        if (a.phase == Phase::Finishing && WIFEXITED(st) &&
+            WEXITSTATUS(st) == 0 && !w.ctl.failed()) {
+            w.alive = true;
+            w.pid = -1;
+            continue;
+        }
+        ++a.deaths;
+        std::ostringstream os;
+        os << "worker " << widx << "/" << a.W;
+        if (WIFSIGNALED(st))
+            os << " killed by signal " << WTERMSIG(st);
+        else
+            os << " exited with status " << WEXITSTATUS(st);
+        attemptFailed(a, os.str());
     }
 }
 
 void
-Coordinator::sendPings(double now)
+Coordinator::sendPings(Attempt &a, double now)
 {
-    ++attempt_.pingSeq;
-    attempt_.lastPing = now;
-    const bool pause = attempt_.phase == Phase::Quiesce ||
-                       attempt_.phase == Phase::CkptWrite;
+    ++a.pingSeq;
+    a.lastPing = now;
+    const bool pause = a.phase == Phase::Quiesce ||
+                       a.phase == Phase::CkptWrite;
     SnapshotWriter w;
-    w.putU32(attempt_.pingSeq);
+    w.putU32(a.pingSeq);
     w.putU8(pause ? 1 : 0);
     const std::vector<std::uint8_t> body = w.take();
-    for (auto &wp : attempt_.workers)
-        if (wp.alive)
+    for (auto &wp : a.workers)
+        if (wp.alive && wp.connected)
             wp.ctl.queueFrame(MsgType::Ping, body);
 }
 
 void
-Coordinator::handleRound(double now)
+Coordinator::emitProgress(Attempt &a, double now)
 {
-    attempt_.lastRound = attempt_.pingSeq;
+    if (opts_.progressEverySeconds <= 0.0 ||
+        now - a.lastProgress < opts_.progressEverySeconds)
+        return;
+    a.lastProgress = now;
+    std::uint64_t states = 0, transitions = 0;
+    for (const auto &w : a.workers) {
+        states += w.pong.states;
+        transitions += w.pong.transitions;
+    }
+    transitions += a.base.transitions;
+    SnapshotWriter w;
+    w.putU64(a.jobId);
+    w.putU8(static_cast<std::uint8_t>(a.phase));
+    w.putU64(states);
+    w.putU64(transitions);
+    w.putF64(a.base.seconds + (now - a.start));
+    const std::vector<std::uint8_t> body = w.take();
+    for (auto &[id, c] : waiters_)
+        if (id == a.jobId)
+            reply(*c, MsgType::RspProgress, body);
+}
+
+void
+Coordinator::pulseWaiters(double now)
+{
+    // The progress stream is the waiter's liveness signal: a client
+    // read deadline must never expire against a healthy queue. Ping
+    // rounds only tick for live attempts, so this runs every poll
+    // iteration and covers the two starvation windows rounds miss —
+    // a job parked in exponential retry backoff (no attempt at all;
+    // the gap doubles past any sane --net-timeout) and an attempt
+    // whose rounds stall on a dying worker until supervision fires.
+    if (opts_.progressEverySeconds <= 0.0 || waiters_.empty())
+        return;
+    for (auto &[id, c] : waiters_) {
+        (void)c;
+        Job *job = queue_.find(id);
+        if (job == nullptr || (job->state != JobState::Pending &&
+                               job->state != JobState::Running)) {
+            waiterPulse_.erase(id);
+            continue;
+        }
+        Attempt *live = nullptr;
+        for (auto &[aid, a] : attempts_) {
+            (void)aid;
+            if (a.active && a.jobId == id) {
+                live = &a;
+                break;
+            }
+        }
+        if (live != nullptr) {
+            emitProgress(*live, now); // lastProgress rate-limits
+            continue;
+        }
+        double &at = waiterPulse_[id];
+        if (now - at < opts_.progressEverySeconds)
+            continue;
+        at = now;
+        // Between attempts: the last committed checkpoint's counters
+        // under the synthetic backoff phase.
+        SnapshotWriter w;
+        w.putU64(id);
+        w.putU8(kProgressPhaseBackoff);
+        w.putU64(job->ckpt.states);
+        w.putU64(job->ckpt.transitions);
+        w.putF64(job->ckpt.seconds);
+        const std::vector<std::uint8_t> body = w.take();
+        for (auto &[wid, wc] : waiters_)
+            if (wid == id)
+                reply(*wc, MsgType::RspProgress, body);
+    }
+}
+
+void
+Coordinator::handleRound(Attempt &a, double now)
+{
+    a.lastRound = a.pingSeq;
 
     std::vector<PongData> round;
-    round.reserve(attempt_.workers.size());
+    round.reserve(a.workers.size());
     bool drained = true, allQuiesced = true, anyLoading = false;
     std::uint64_t sumStates = 0, sumSent = 0, sumRecv = 0;
-    for (const auto &w : attempt_.workers) {
+    for (const auto &w : a.workers) {
         round.push_back(w.pong);
         drained &= w.pong.outEmpty && w.pong.queueLen == 0;
         allQuiesced &= w.pong.paused && w.pong.outEmpty;
@@ -491,20 +865,26 @@ Coordinator::handleRound(double now)
         sumSent += w.pong.sent;
         sumRecv += w.pong.recv;
     }
+    // In star mode the coordinator's relay is part of the network:
+    // bytes queued toward a destination worker are in flight even
+    // though both endpoints look drained. Σsent==Σrecv already
+    // refuses the fixpoint while any batch is unreceived, so the
+    // relay cannot fake stability — this only restates the rule.
     const bool sumsEq = sumSent == sumRecv;
-    const bool same = attempt_.havePrev && round == attempt_.prevRound;
-    attempt_.prevRound = std::move(round);
-    attempt_.havePrev = true;
+    const bool same = a.havePrev && round == a.prevRound;
+    a.prevRound = std::move(round);
+    a.havePrev = true;
 
-    if (sumStates != attempt_.lastSumStates) {
-        attempt_.lastSumStates = sumStates;
-        attempt_.frozenRounds = 0;
+    if (sumStates != a.lastSumStates) {
+        a.lastSumStates = sumStates;
+        a.frozenRounds = 0;
     } else {
-        ++attempt_.frozenRounds;
+        ++a.frozenRounds;
     }
 
-    if ((attempt_.phase == Phase::Run ||
-         attempt_.phase == Phase::Quiesce) &&
+    emitProgress(a, now);
+
+    if ((a.phase == Phase::Run || a.phase == Phase::Quiesce) &&
         !anyLoading && drained && sumsEq && same) {
         // Two identical complete rounds with every queue and buffer
         // empty and global sent == received: nothing is running and
@@ -520,22 +900,22 @@ Coordinator::handleRound(double now)
         // partitions pongs a frozen partial store, and declaring the
         // fixpoint over it would finish the job with dropped states
         // on exactly the crash-recovery path.
-        attempt_.phase = Phase::Finishing;
-        for (auto &w : attempt_.workers)
-            if (w.alive)
+        a.phase = Phase::Finishing;
+        for (auto &w : a.workers)
+            if (w.alive && w.connected)
                 w.ctl.queueFrame(MsgType::Finish, {});
         return;
     }
-    if (attempt_.phase == Phase::Quiesce && !anyLoading &&
-        allQuiesced && sumsEq && same) {
-        attempt_.ckptEpoch = nextEpoch_++;
-        attempt_.ckptDone = 0;
-        attempt_.ckptOk = true;
+    if (a.phase == Phase::Quiesce && !anyLoading && allQuiesced &&
+        sumsEq && same) {
+        a.ckptEpoch = nextEpoch_++;
+        a.ckptDone = 0;
+        a.ckptOk = true;
         SnapshotWriter w;
-        w.putU64(attempt_.ckptEpoch);
+        w.putU64(a.ckptEpoch);
         const std::vector<std::uint8_t> body = w.take();
-        for (auto &wp : attempt_.workers) {
-            if (!wp.alive)
+        for (auto &wp : a.workers) {
+            if (!wp.alive || !wp.connected)
                 continue;
             wp.ctl.queueFrame(MsgType::CkptWrite, body);
             // The staleness clock restarts at the barrier: the write
@@ -544,25 +924,45 @@ Coordinator::handleRound(double now)
             // barrier pong.
             wp.lastPong = now;
         }
-        attempt_.phase = Phase::CkptWrite;
+        a.phase = Phase::CkptWrite;
         return;
     }
-    if (attempt_.phase != Phase::Finishing &&
-        attempt_.frozenRounds > kNoProgressRounds) {
-        attemptFailed("no progress: global state count frozen for " +
-                      std::to_string(attempt_.frozenRounds) +
-                      " rounds");
+    if (a.phase != Phase::Finishing &&
+        a.frozenRounds > kNoProgressRounds) {
+        attemptFailed(a,
+                      "no progress: global state count frozen for " +
+                          std::to_string(a.frozenRounds) + " rounds");
     }
 }
 
 void
-Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
+Coordinator::handleWorkerFrame(Attempt &a, unsigned widx,
+                               MsgType type,
                                const std::vector<std::uint8_t> &body,
                                double now)
 {
-    WorkerProc &w = attempt_.workers[widx];
+    WorkerProc &w = a.workers[widx];
     SnapshotReader r(body);
     switch (type) {
+      case MsgType::StatesTo: {
+          // Star relay: forward the batch to its destination shard
+          // verbatim (the body already carries the dest index the
+          // receiver re-checks). The only way the batch does not
+          // arrive is a link failure, which fails the whole attempt;
+          // it can never be silently dropped, so the per-connection
+          // Σsent==Σrecv accounting stays exact.
+          const std::uint32_t dest = r.getU32();
+          if (!r.ok() || dest >= a.W || !a.workers[dest].alive ||
+              !a.workers[dest].connected ||
+              a.workers[dest].ctl.failed()) {
+              attemptFailed(a, "state batch routed to worker " +
+                                   std::to_string(dest) +
+                                   " which is gone");
+              return;
+          }
+          a.workers[dest].ctl.queueFrame(MsgType::StatesTo, body);
+          break;
+      }
       case MsgType::Pong: {
           PongData p;
           p.seq = r.getU32();
@@ -580,14 +980,12 @@ Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
           w.pong = p;
           w.lastPong = now;
           // Complete round: every worker answered the latest ping.
-          if (attempt_.phase == Phase::Run ||
-              attempt_.phase == Phase::Quiesce) {
-              bool complete = attempt_.pingSeq != attempt_.lastRound;
-              for (const auto &wp : attempt_.workers)
-                  complete &= wp.alive &&
-                              wp.pong.seq == attempt_.pingSeq;
+          if (a.phase == Phase::Run || a.phase == Phase::Quiesce) {
+              bool complete = a.pingSeq != a.lastRound;
+              for (const auto &wp : a.workers)
+                  complete &= wp.alive && wp.pong.seq == a.pingSeq;
               if (complete)
-                  handleRound(now);
+                  handleRound(a, now);
           }
           break;
       }
@@ -595,38 +993,39 @@ Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
           const std::uint64_t epoch = r.getU64();
           const bool ok = r.getU8() != 0;
           w.lastPong = now; // the snapshot write proves liveness
-          if (attempt_.phase != Phase::CkptWrite ||
-              epoch != attempt_.ckptEpoch)
+          if (a.phase != Phase::CkptWrite || epoch != a.ckptEpoch)
               return;
-          attempt_.ckptOk &= ok;
-          if (++attempt_.ckptDone < attempt_.W)
+          a.ckptOk &= ok;
+          if (++a.ckptDone < a.W)
               return;
-          Job *job = queue_.find(attempt_.jobId);
-          if (attempt_.ckptOk && job != nullptr) {
+          Job *job = queue_.find(a.jobId);
+          if (a.ckptOk && job != nullptr) {
               // All partitions durable: commit the consistent cut.
               // The pong counters are from the quiesced stable
               // round, so the manifest is exact.
               CkptManifest m;
-              m.epoch = attempt_.ckptEpoch;
-              m.parts = attempt_.W;
-              for (const auto &wp : attempt_.workers) {
+              m.epoch = a.ckptEpoch;
+              m.parts = a.W;
+              for (const auto &wp : a.workers) {
                   m.states += wp.pong.states;
                   m.transitions += wp.pong.transitions;
                   m.invariantChecks += wp.pong.invChecks;
               }
-              m.transitions += attempt_.base.transitions;
-              m.invariantChecks += attempt_.base.invariantChecks;
-              m.seconds =
-                  attempt_.base.seconds + (now - attempt_.start);
+              m.transitions += a.base.transitions;
+              m.invariantChecks += a.base.invariantChecks;
+              m.seconds = a.base.seconds + (now - a.start);
               queue_.recordCheckpoint(*job, m);
+              // Durable before the files the OLD manifest named can
+              // be pruned away.
+              queue_.commit();
               pruneEpochFiles(opts_.stateDir,
                               liveEpochs(queue_.jobs()));
           } else {
-              neo_warn("checkpoint epoch ", attempt_.ckptEpoch,
+              neo_warn("checkpoint epoch ", a.ckptEpoch,
                        " abandoned (a partition write failed)");
           }
-          attempt_.lastCkpt = now;
-          attempt_.phase = Phase::Run; // next ping unpauses
+          a.lastCkpt = now;
+          a.phase = Phase::Run; // next ping unpauses
           break;
       }
       case MsgType::Final: {
@@ -634,21 +1033,21 @@ Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
           w.finStates = r.getU64();
           w.finTransitions = r.getU64();
           w.finInvChecks = r.getU64();
-          if (++attempt_.finals < attempt_.W)
+          if (++a.finals < a.W)
               return;
           JobResult res;
-          res.statusCode = static_cast<std::uint8_t>(
-              VerifStatus::Verified);
-          for (const auto &wp : attempt_.workers) {
+          res.statusCode =
+              static_cast<std::uint8_t>(VerifStatus::Verified);
+          for (const auto &wp : a.workers) {
               res.states += wp.finStates;
               res.transitions += wp.finTransitions;
               res.invariantChecks += wp.finInvChecks;
           }
-          res.transitions += attempt_.base.transitions;
-          res.invariantChecks += attempt_.base.invariantChecks;
-          res.seconds = attempt_.base.seconds + (now - attempt_.start);
-          stopAttemptWorkers();
-          finishJob(res);
+          res.transitions += a.base.transitions;
+          res.invariantChecks += a.base.invariantChecks;
+          res.seconds = a.base.seconds + (now - a.start);
+          stopAttemptWorkers(a);
+          finishJob(a, res);
           break;
       }
       case MsgType::Violation: {
@@ -662,19 +1061,20 @@ Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
           w.pong.states = r.getU64();
           w.pong.transitions = r.getU64();
           w.pong.invChecks = r.getU64();
-          Job *job = queue_.find(attempt_.jobId);
-          stopAttemptWorkers();
+          Job *job = queue_.find(a.jobId);
+          stopAttemptWorkers(a);
           if (job == nullptr) {
-              attempt_.active = false;
+              a.active = false;
               return;
           }
           JobResult res = pongResult(
+              a,
               static_cast<std::uint8_t>(
                   VerifStatus::InvariantViolated),
               now);
           res.violatedInvariant = invariant;
           res.detail = bad;
-          finishJob(res);
+          finishJob(a, res);
           break;
       }
       default:
@@ -683,70 +1083,266 @@ Coordinator::handleWorkerFrame(unsigned widx, MsgType type,
 }
 
 void
-Coordinator::supervise(double now)
+Coordinator::superviseAttempt(Attempt &a, double now)
 {
-    reapDead(now);
-    if (!attempt_.active)
-        return;
-    Job *job = queue_.find(attempt_.jobId);
+    Job *job = queue_.find(a.jobId);
     if (job == nullptr) {
-        stopAttemptWorkers();
-        attempt_.active = false;
+        stopAttemptWorkers(a);
+        a.active = false;
         return;
     }
 
-    if (now - attempt_.lastPing >= opts_.heartbeatSeconds)
-        sendPings(now);
+    // Link supervision runs before liveness: a failed channel IS the
+    // verdict for remote workers (there is no pid to reap), and for
+    // local ones it beats waiting out the staleness clock.
+    for (unsigned i = 0; a.active && i < a.workers.size(); ++i) {
+        WorkerProc &w = a.workers[i];
+        if (!w.alive || !w.connected)
+            continue;
+        if (w.ctl.failed()) {
+            if (a.phase == Phase::Finishing && w.finalSeen) {
+                w.connected = false; // expected close after Final
+                w.ctl.close();
+                continue;
+            }
+            attemptFailed(a, "worker " + std::to_string(i) +
+                                 " link lost");
+            return;
+        }
+        if (w.ctl.writeStalled(
+                now,
+                std::max(kLinkStallFloorSeconds,
+                         kLinkStallHeartbeats *
+                             opts_.heartbeatSeconds))) {
+            attemptFailed(a, "worker " + std::to_string(i) +
+                                 " stopped reading (write-stalled "
+                                 "link)");
+            return;
+        }
+    }
+    if (!a.active)
+        return;
+
+    if (a.tcp && !a.started) {
+        // Join barrier: no pings, no fixpoint — just a deadline.
+        if (now - a.start > std::max(kJoinFloorSeconds,
+                                     kJoinHeartbeats *
+                                         opts_.heartbeatSeconds))
+            attemptFailed(a, "only " + std::to_string(a.joined) +
+                                 "/" + std::to_string(a.W) +
+                                 " workers joined before the "
+                                 "deadline");
+        return;
+    }
+
+    if (now - a.lastPing >= opts_.heartbeatSeconds)
+        sendPings(a, now);
 
     double staleLimit =
         std::max(kStaleFloorSeconds,
                  kStaleHeartbeats * opts_.heartbeatSeconds);
-    if (attempt_.phase == Phase::CkptWrite)
+    if (a.phase == Phase::CkptWrite)
         staleLimit = std::max(staleLimit, kCkptStaleFloorSeconds);
-    for (unsigned i = 0; i < attempt_.workers.size(); ++i) {
-        const WorkerProc &w = attempt_.workers[i];
+    for (unsigned i = 0; i < a.workers.size(); ++i) {
+        const WorkerProc &w = a.workers[i];
         if (w.alive && now - w.lastPong > staleLimit) {
-            attemptFailed("worker " + std::to_string(i) +
-                          " unresponsive for " +
-                          std::to_string(staleLimit) + "s");
+            attemptFailed(a, "worker " + std::to_string(i) +
+                                 " unresponsive for " +
+                                 std::to_string(staleLimit) + "s");
             return;
         }
     }
 
     if (opts_.jobTimeoutSeconds > 0.0 &&
-        now - attempt_.start > opts_.jobTimeoutSeconds) {
-        attemptFailed("attempt exceeded the job timeout");
+        now - a.start > opts_.jobTimeoutSeconds) {
+        attemptFailed(a, "attempt exceeded the job timeout");
         return;
     }
 
     // Bound enforcement mirrors the sequential CLI: exceeding a bound
     // is a terminal verdict, not a retryable failure.
-    if (attempt_.havePrev) {
+    if (a.havePrev) {
         std::uint64_t sumStates = 0;
-        for (const auto &w : attempt_.workers)
+        for (const auto &w : a.workers)
             sumStates += w.pong.states;
-        const double elapsed =
-            attempt_.base.seconds + (now - attempt_.start);
+        const double elapsed = a.base.seconds + (now - a.start);
         if (sumStates >= job->spec.maxStates ||
             (job->spec.maxSeconds > 0.0 &&
              elapsed > job->spec.maxSeconds)) {
-            stopAttemptWorkers();
+            stopAttemptWorkers(a);
             JobResult res = pongResult(
+                a,
                 static_cast<std::uint8_t>(
                     VerifStatus::LimitExceeded),
                 now);
             res.detail = sumStates >= job->spec.maxStates
                              ? "state bound exceeded"
                              : "time bound exceeded";
-            finishJob(res);
+            finishJob(a, res);
             return;
         }
     }
 
-    if (attempt_.phase == Phase::Run &&
+    if (a.phase == Phase::Run &&
         opts_.checkpointEverySeconds > 0.0 &&
-        now - attempt_.lastCkpt >= opts_.checkpointEverySeconds)
-        attempt_.phase = Phase::Quiesce; // next pings carry pause
+        now - a.lastCkpt >= opts_.checkpointEverySeconds)
+        a.phase = Phase::Quiesce; // next pings carry pause
+}
+
+void
+Coordinator::supervise(double now)
+{
+    reapDead(now);
+    for (auto &[id, a] : attempts_) {
+        (void)id;
+        if (a.active)
+            superviseAttempt(a, now);
+    }
+}
+
+// ---------------------------------------------------------------
+// TCP handshakes
+// ---------------------------------------------------------------
+
+void
+Coordinator::acceptOn(int fd, bool tcp)
+{
+    for (;;) {
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN (or a transient error): back to poll
+        }
+        setNonBlocking(conn);
+        if (!tcp) {
+            // Unix connections are always clients.
+            clients_.emplace_back();
+            clients_.back().ch = Channel(conn);
+        } else {
+            // A TCP connection could be a client, a worker saying
+            // Hello, or a pool agent — its first frame decides.
+            pending_.emplace_back();
+            pending_.back().ch = Channel(conn);
+            pending_.back().since = nowSec();
+        }
+    }
+}
+
+void
+Coordinator::attachHello(Channel &&ch,
+                         const std::vector<std::uint8_t> &body,
+                         double now)
+{
+    SnapshotReader r(body);
+    const std::uint64_t jobId = r.getU64();
+    const std::uint64_t nonce = r.getU64();
+    const std::uint32_t index = r.getU32();
+    auto it = r.ok() ? attempts_.find(jobId) : attempts_.end();
+    if (it == attempts_.end() || !it->second.active ||
+        !it->second.tcp || it->second.nonce != nonce ||
+        index >= it->second.W ||
+        it->second.workers[index].connected ||
+        !it->second.workers[index].alive) {
+        // Wrong nonce (a stale attempt's worker), duplicate slot, or
+        // an attempt that no longer exists: refuse by closing. The
+        // dialer exits on the EOF.
+        ch.close();
+        return;
+    }
+    Attempt &a = it->second;
+    WorkerProc &w = a.workers[index];
+    w.ctl = std::move(ch);
+    w.connected = true;
+    w.lastPong = now;
+    if (++a.joined == a.W) {
+        a.started = true;
+        for (auto &wp : a.workers) {
+            wp.ctl.queueFrame(MsgType::Start, {});
+            wp.lastPong = now;
+        }
+        a.lastPing = now - opts_.heartbeatSeconds; // ping at once
+        neo_inform("job ", a.jobId, ": all ", a.W,
+                   " workers joined, releasing the start barrier");
+    }
+    // Frames that rode in behind the Hello.
+    MsgType type;
+    std::vector<std::uint8_t> b;
+    while (it->second.active && w.ctl.next(type, b))
+        handleWorkerFrame(it->second, index, type, b, now);
+}
+
+bool
+Coordinator::classifyPending(std::list<PendingConn>::iterator it,
+                             double now)
+{
+    PendingConn &pc = *it;
+    MsgType type;
+    std::vector<std::uint8_t> body;
+    if (!pc.ch.next(type, body)) {
+        if (pc.ch.failed() || now - pc.since > kClassifySeconds) {
+            pending_.erase(it);
+            return true;
+        }
+        return false;
+    }
+    switch (type) {
+      case MsgType::Hello:
+          attachHello(std::move(pc.ch), body, now);
+          pending_.erase(it);
+          return true;
+      case MsgType::JoinPool: {
+          SnapshotReader r(body);
+          const bool canResume = r.getU8() != 0;
+          pool_.emplace_back();
+          pool_.back().ch = std::move(pc.ch);
+          pool_.back().canResume = r.ok() && canResume;
+          pending_.erase(it);
+          neo_inform("pool worker joined (", pool_.size(),
+                     " idle in the pool)");
+          return true;
+      }
+      case MsgType::ReqSubmit:
+      case MsgType::ReqStatus:
+      case MsgType::ReqCancel:
+      case MsgType::ReqDrain:
+      case MsgType::ReqWait: {
+          clients_.emplace_back();
+          ClientConn &c = clients_.back();
+          c.ch = std::move(pc.ch);
+          pending_.erase(it);
+          handleClientFrame(c, type, body);
+          while (!c.ch.failed() && c.ch.next(type, body))
+              handleClientFrame(c, type, body);
+          return true;
+      }
+      default:
+          // A frame that identifies as none of the three roles is a
+          // protocol error: drop the connection.
+          pending_.erase(it);
+          return true;
+    }
+}
+
+void
+Coordinator::sweepConns(double now)
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        auto cur = it++;
+        if (cur->ch.failed() || now - cur->since > kClassifySeconds)
+            pending_.erase(cur);
+    }
+    for (auto it = pool_.begin(); it != pool_.end();) {
+        auto cur = it++;
+        MsgType type;
+        std::vector<std::uint8_t> body;
+        while (cur->ch.next(type, body)) {
+            // Idle pool agents have nothing to say; drain and ignore.
+        }
+        if (cur->ch.failed() ||
+            (cur->assigned && !cur->ch.wantsWrite()))
+            pool_.erase(cur);
+    }
 }
 
 // ---------------------------------------------------------------
@@ -754,11 +1350,26 @@ Coordinator::supervise(double now)
 // ---------------------------------------------------------------
 
 void
+Coordinator::reply(ClientConn &c, MsgType type,
+                   const std::vector<std::uint8_t> &body)
+{
+    replies_.push_back({&c, type, body});
+}
+
+void
+Coordinator::flushReplies()
+{
+    for (auto &pr : replies_)
+        pr.client->ch.queueFrame(pr.type, pr.body);
+    replies_.clear();
+}
+
+void
 Coordinator::sendErr(ClientConn &c, const std::string &msg)
 {
     SnapshotWriter w;
     putString(w, msg);
-    c.ch.queueFrame(MsgType::RspErr, w.take());
+    reply(c, MsgType::RspErr, w.take());
 }
 
 void
@@ -766,23 +1377,7 @@ Coordinator::sendOk(ClientConn &c, const std::string &msg)
 {
     SnapshotWriter w;
     putString(w, msg);
-    c.ch.queueFrame(MsgType::RspOk, w.take());
-}
-
-void
-Coordinator::acceptClients()
-{
-    for (;;) {
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR)
-                continue;
-            return; // EAGAIN (or a transient error): back to poll
-        }
-        setNonBlocking(fd);
-        clients_.emplace_back();
-        clients_.back().ch = Channel(fd);
-    }
+    reply(c, MsgType::RspOk, w.take());
 }
 
 void
@@ -800,7 +1395,7 @@ Coordinator::notifyWaiters(std::uint64_t jobId)
         SnapshotWriter w;
         w.putU8(static_cast<std::uint8_t>(code));
         putString(w, text);
-        it->second->ch.queueFrame(MsgType::RspResult, w.take());
+        reply(*it->second, MsgType::RspResult, w.take());
         it = waiters_.erase(it);
     }
 }
@@ -843,22 +1438,29 @@ std::string
 Coordinator::statusText() const
 {
     std::ostringstream os;
-    os << "serving " << opts_.sockPath
-       << " workers=" << opts_.workers
+    os << "serving " << opts_.sockPath;
+    if (tcpListenFd_ >= 0)
+        os << " listen=" << tcpBound_;
+    os << " workers=" << opts_.workers
+       << " max-jobs=" << std::max(1u, opts_.maxJobs)
        << " jobs=" << queue_.jobs().size()
+       << " pool=" << pool_.size()
        << (draining_ ? " draining" : "") << "\n";
     for (const auto &[id, job] : queue_.jobs()) {
         os << "job " << id << " " << jobStateName(job.state)
            << " attempt=" << job.attempts << "/"
            << queue_.retryLimit();
-        if (job.state == JobState::Running && attempt_.active &&
-            attempt_.jobId == id) {
-            os << " workers=" << attempt_.W << " pids=";
-            for (unsigned i = 0; i < attempt_.workers.size(); ++i)
-                os << (i != 0 ? "," : "")
-                   << attempt_.workers[i].pid;
+        const auto ait = attempts_.find(id);
+        if (job.state == JobState::Running &&
+            ait != attempts_.end() && ait->second.active) {
+            const Attempt &a = ait->second;
+            os << " workers=" << a.W << " pids=";
+            for (unsigned i = 0; i < a.workers.size(); ++i)
+                os << (i != 0 ? "," : "") << a.workers[i].pid;
+            if (a.tcp && !a.started)
+                os << " joined=" << a.joined << "/" << a.W;
             std::uint64_t states = 0;
-            for (const auto &w : attempt_.workers)
+            for (const auto &w : a.workers)
                 states += w.pong.states;
             os << " states=" << states;
         }
@@ -904,17 +1506,20 @@ Coordinator::handleClientFrame(ClientConn &client, MsgType type,
               sendErr(client, err);
               return;
           }
+          // The append is deferred into the iteration's group
+          // commit; so is this acknowledgement, which therefore
+          // cannot reach the client before the record is durable.
           const std::uint64_t id = queue_.submit(spec);
           SnapshotWriter w;
           w.putU64(id);
-          client.ch.queueFrame(MsgType::RspSubmit, w.take());
+          reply(client, MsgType::RspSubmit, w.take());
           neo_inform("job ", id, " submitted: ", spec.summary());
           break;
       }
       case MsgType::ReqStatus: {
           SnapshotWriter w;
           putString(w, statusText());
-          client.ch.queueFrame(MsgType::RspStatus, w.take());
+          reply(client, MsgType::RspStatus, w.take());
           break;
       }
       case MsgType::ReqCancel: {
@@ -924,19 +1529,18 @@ Coordinator::handleClientFrame(ClientConn &client, MsgType type,
               sendErr(client, "unknown job");
               return;
           }
-          const bool running = job->state == JobState::Running &&
-                               attempt_.active &&
-                               attempt_.jobId == id;
           if (!queue_.cancel(id)) {
               sendErr(client, "job is not cancellable");
               return;
           }
-          if (running) {
-              // Journal-first ordering: the CANCEL record is durable
-              // before the workers die, so a crash right here
-              // replays as cancelled, not as a retryable failure.
-              stopAttemptWorkers();
-              attempt_.active = false;
+          // Journal-first ordering: the CANCEL record is durable
+          // before the workers die, so a crash right here replays as
+          // cancelled, not as a retryable failure.
+          queue_.commit();
+          const auto ait = attempts_.find(id);
+          if (ait != attempts_.end() && ait->second.active) {
+              stopAttemptWorkers(ait->second);
+              ait->second.active = false;
               pruneEpochFiles(opts_.stateDir,
                               liveEpochs(queue_.jobs()));
           }
@@ -965,7 +1569,7 @@ Coordinator::handleClientFrame(ClientConn &client, MsgType type,
           SnapshotWriter w;
           w.putU8(static_cast<std::uint8_t>(code));
           putString(w, text);
-          client.ch.queueFrame(MsgType::RspResult, w.take());
+          reply(client, MsgType::RspResult, w.take());
           break;
       }
       default:
@@ -974,11 +1578,19 @@ Coordinator::handleClientFrame(ClientConn &client, MsgType type,
 }
 
 void
-Coordinator::dropClosedClients()
+Coordinator::dropClosedClients(double now)
 {
     for (auto it = clients_.begin(); it != clients_.end();) {
-        if (it->ch.failed() || it->ch.fd() < 0) {
-            ClientConn *dead = &*it;
+        ClientConn &c = *it;
+        // A client that stops reading (or reads too slowly to keep
+        // its progress stream bounded) is disconnected — the
+        // coordinator's memory must not depend on client behaviour.
+        if (!c.ch.failed() &&
+            (c.ch.outPending() > kClientHighWater ||
+             c.ch.writeStalled(now, kClientStallSeconds)))
+            c.ch.close();
+        if (c.ch.failed() || c.ch.fd() < 0) {
+            ClientConn *dead = &c;
             waiters_.erase(
                 std::remove_if(waiters_.begin(), waiters_.end(),
                                [dead](const auto &w) {
@@ -1020,6 +1632,8 @@ Coordinator::run()
         neo_warn("journal: ", err);
         return kExitServiceUnavailable;
     }
+    queue_.setGroupCommit(true);
+    queue_.setCompactionThreshold(opts_.journalCompactBytes);
     nextEpoch_ = queue_.maxEpochSeen() + 1;
     // Partition files whose epoch no live job can resume from are
     // garbage: torn barriers that never reached their manifest
@@ -1032,53 +1646,140 @@ Coordinator::run()
         return kExitServiceUnavailable;
     }
     setNonBlocking(listenFd_);
+
+    if (!opts_.listenAddr.empty()) {
+        tcpListenFd_ = listenTcp(opts_.listenAddr, err, &tcpBound_);
+        if (tcpListenFd_ < 0) {
+            neo_warn("cannot listen on ", opts_.listenAddr, ": ",
+                     err);
+            ::close(listenFd_);
+            ::unlink(opts_.sockPath.c_str());
+            return kExitServiceUnavailable;
+        }
+        setNonBlocking(tcpListenFd_);
+        advertise_ = opts_.advertiseAddr.empty() ? tcpBound_
+                                                 : opts_.advertiseAddr;
+        // Publish the resolved endpoint (port 0 becomes concrete
+        // here) where scripts and tests can read it.
+        const std::string addrPath = opts_.stateDir + "/tcp-addr";
+        if (std::FILE *f = std::fopen(addrPath.c_str(), "w")) {
+            std::fputs((tcpBound_ + "\n").c_str(), f);
+            std::fclose(f);
+        }
+        neo_inform("listening on ", tcpBound_, " (workers dial ",
+                   advertise_, ")");
+    }
+
     draining_ = opts_.drainAndExit;
     neo_inform("serving on ", opts_.sockPath, " (state in ",
                opts_.stateDir, ", ", opts_.workers,
-               " workers per job)");
+               " workers per job, ", std::max(1u, opts_.maxJobs),
+               " concurrent job",
+               std::max(1u, opts_.maxJobs) == 1 ? "" : "s", ")");
 
+    // Tagged poll entries: every pollfd carries what it means, and
+    // worker entries re-resolve through the attempt map before use —
+    // an attempt restarted mid-iteration must not have its successor
+    // fed the predecessor's frames.
+    enum class Kind
+    {
+        UnixListen,
+        TcpListen,
+        Client,
+        Pending,
+        Pool,
+        Worker
+    };
+    struct Ref
+    {
+        Kind kind = Kind::UnixListen;
+        ClientConn *client = nullptr;
+        std::list<PendingConn>::iterator pend;
+        std::list<PoolWorker>::iterator pool;
+        std::uint64_t attemptId = 0;
+        unsigned widx = 0;
+    };
     std::vector<pollfd> pfds;
-    std::vector<ClientConn *> pfdClient;
-    std::vector<int> pfdWorker;
+    std::vector<Ref> refs;
 
     while (!interruptRequested()) {
-        if (draining_ && !attempt_.active && queue_.allTerminal())
+        if (draining_ && activeAttempts() == 0 &&
+            queue_.allTerminal())
             break;
         const double now = nowSec();
-        if (!attempt_.active) {
-            Job *job = queue_.runnable(now);
-            if (job != nullptr)
-                startAttempt(*job);
-        }
+        sweepAttempts();
+        scheduleJobs(now);
 
         pfds.clear();
-        pfdClient.clear();
-        pfdWorker.clear();
-        pfds.push_back({listenFd_, POLLIN, 0});
-        pfdClient.push_back(nullptr);
-        pfdWorker.push_back(-1);
-        for (auto &c : clients_) {
-            pfds.push_back(
-                {c.ch.fd(),
-                 static_cast<short>(
-                     POLLIN | (c.ch.wantsWrite() ? POLLOUT : 0)),
-                 0});
-            pfdClient.push_back(&c);
-            pfdWorker.push_back(-1);
+        refs.clear();
+        auto add = [&](int fd, short events, Ref ref) {
+            pfds.push_back({fd, events, 0});
+            refs.push_back(ref);
+        };
+        {
+            Ref r;
+            r.kind = Kind::UnixListen;
+            add(listenFd_, POLLIN, r);
         }
-        if (attempt_.active) {
-            for (unsigned i = 0; i < attempt_.workers.size(); ++i) {
-                WorkerProc &w = attempt_.workers[i];
-                if (!w.alive || w.ctl.fd() < 0)
+        if (tcpListenFd_ >= 0) {
+            Ref r;
+            r.kind = Kind::TcpListen;
+            add(tcpListenFd_, POLLIN, r);
+        }
+        for (auto &c : clients_) {
+            Ref r;
+            r.kind = Kind::Client;
+            r.client = &c;
+            add(c.ch.fd(),
+                static_cast<short>(
+                    POLLIN | (c.ch.wantsWrite() ? POLLOUT : 0)),
+                r);
+        }
+        for (auto it = pending_.begin(); it != pending_.end();
+             ++it) {
+            Ref r;
+            r.kind = Kind::Pending;
+            r.pend = it;
+            add(it->ch.fd(), POLLIN, r);
+        }
+        for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+            Ref r;
+            r.kind = Kind::Pool;
+            r.pool = it;
+            add(it->ch.fd(),
+                static_cast<short>(
+                    POLLIN | (it->ch.wantsWrite() ? POLLOUT : 0)),
+                r);
+        }
+        for (auto &[id, a] : attempts_) {
+            if (!a.active)
+                continue;
+            // Relay backpressure: when this attempt's destinations
+            // hold too many undrained relay bytes, stop READING its
+            // workers — their batch streams stall at their own out-
+            // buffers (bounded, no OOM, no drops). Their pongs stall
+            // too, so the staleness clock is restamped; the write-
+            // stall detector takes over as the failure signal.
+            std::size_t relayBytes = 0;
+            for (const auto &w : a.workers)
+                relayBytes += w.ctl.outPending();
+            a.relayPaused = relayBytes > kRelayHighWater;
+            for (unsigned i = 0; i < a.workers.size(); ++i) {
+                WorkerProc &w = a.workers[i];
+                if (!w.alive || !w.connected || w.ctl.fd() < 0)
                     continue;
-                pfds.push_back(
-                    {w.ctl.fd(),
-                     static_cast<short>(
-                         POLLIN |
-                         (w.ctl.wantsWrite() ? POLLOUT : 0)),
-                     0});
-                pfdClient.push_back(nullptr);
-                pfdWorker.push_back(static_cast<int>(i));
+                if (a.relayPaused)
+                    w.lastPong = now;
+                const short events = static_cast<short>(
+                    (a.relayPaused ? 0 : POLLIN) |
+                    (w.ctl.wantsWrite() ? POLLOUT : 0));
+                if (events == 0)
+                    continue;
+                Ref r;
+                r.kind = Kind::Worker;
+                r.attemptId = id;
+                r.widx = i;
+                add(w.ctl.fd(), events, r);
             }
         }
 
@@ -1089,51 +1790,109 @@ Coordinator::run()
         }
         const double after = nowSec();
 
-        if (rc > 0 && (pfds[0].revents & POLLIN))
-            acceptClients();
-
         MsgType type;
         std::vector<std::uint8_t> body;
-        for (std::size_t k = 1; rc > 0 && k < pfds.size(); ++k) {
+        for (std::size_t k = 0; rc > 0 && k < pfds.size(); ++k) {
             if (pfds[k].revents == 0)
                 continue;
-            if (pfdClient[k] != nullptr) {
-                ClientConn &c = *pfdClient[k];
-                if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))
-                    c.ch.readSome();
-                if (pfds[k].revents & POLLOUT)
-                    c.ch.flush();
-                while (!c.ch.failed() && c.ch.next(type, body))
-                    handleClientFrame(c, type, body);
-            } else if (pfdWorker[k] >= 0 && attempt_.active) {
-                WorkerProc &w = attempt_.workers[
-                    static_cast<unsigned>(pfdWorker[k])];
-                if (w.ctl.fd() != pfds[k].fd)
-                    continue; // attempt restarted mid-iteration
-                if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))
-                    w.ctl.readSome();
-                if (pfds[k].revents & POLLOUT)
-                    w.ctl.flush();
-                while (attempt_.active && w.ctl.next(type, body))
-                    handleWorkerFrame(
-                        static_cast<unsigned>(pfdWorker[k]), type,
-                        body, after);
+            Ref &ref = refs[k];
+            switch (ref.kind) {
+              case Kind::UnixListen:
+                  if (pfds[k].revents & POLLIN)
+                      acceptOn(listenFd_, false);
+                  break;
+              case Kind::TcpListen:
+                  if (pfds[k].revents & POLLIN)
+                      acceptOn(tcpListenFd_, true);
+                  break;
+              case Kind::Client: {
+                  ClientConn &c = *ref.client;
+                  if (pfds[k].revents &
+                      (POLLIN | POLLHUP | POLLERR))
+                      c.ch.readSome();
+                  if (pfds[k].revents & POLLOUT)
+                      c.ch.flush();
+                  while (!c.ch.failed() && c.ch.next(type, body))
+                      handleClientFrame(c, type, body);
+                  break;
+              }
+              case Kind::Pending: {
+                  if (pfds[k].revents &
+                      (POLLIN | POLLHUP | POLLERR))
+                      ref.pend->ch.readSome();
+                  while (!classifyPending(ref.pend, after)) {
+                      // Not yet classifiable and not consumed: no
+                      // more buffered frames, go back to poll.
+                      break;
+                  }
+                  break;
+              }
+              case Kind::Pool: {
+                  if (pfds[k].revents &
+                      (POLLIN | POLLHUP | POLLERR))
+                      ref.pool->ch.readSome();
+                  if (pfds[k].revents & POLLOUT)
+                      ref.pool->ch.flush();
+                  break; // sweepConns judges failure/drain
+              }
+              case Kind::Worker: {
+                  auto it = attempts_.find(ref.attemptId);
+                  if (it == attempts_.end() || !it->second.active)
+                      break;
+                  {
+                      WorkerProc &w = it->second.workers[ref.widx];
+                      if (w.ctl.fd() != pfds[k].fd)
+                          break; // attempt restarted mid-iteration
+                      if (pfds[k].revents &
+                          (POLLIN | POLLHUP | POLLERR))
+                          w.ctl.readSome();
+                      if (pfds[k].revents & POLLOUT)
+                          w.ctl.flush();
+                  }
+                  for (;;) {
+                      auto cur = attempts_.find(ref.attemptId);
+                      if (cur == attempts_.end() ||
+                          !cur->second.active)
+                          break;
+                      WorkerProc &w =
+                          cur->second.workers[ref.widx];
+                      if (w.ctl.fd() != pfds[k].fd ||
+                          !w.ctl.next(type, body))
+                          break;
+                      handleWorkerFrame(cur->second, ref.widx,
+                                        type, body, after);
+                  }
+                  break;
+              }
             }
         }
 
         supervise(nowSec());
-        dropClosedClients();
+        pulseWaiters(nowSec());
+        sweepConns(nowSec());
+        // Group commit, then the acknowledgements that depended on
+        // it, then connection cleanup (reply pointers are dead after
+        // dropClosedClients).
+        queue_.commit();
+        flushReplies();
+        dropClosedClients(nowSec());
     }
 
-    if (attempt_.active) {
+    for (auto &[id, a] : attempts_) {
+        (void)id;
+        if (!a.active)
+            continue;
         // Deliberate shutdown mid-attempt: kill the cohort and leave
         // the journal's unmatched START to replay as a failed
         // attempt — identical to a crash, which is the point of
         // crash-only design (shutdown IS the crash path).
-        neo_inform("shutting down with job ", attempt_.jobId,
+        neo_inform("shutting down with job ", a.jobId,
                    " in flight; its attempt will replay as failed");
-        stopAttemptWorkers();
+        stopAttemptWorkers(a);
     }
+    queue_.commit();
+    if (tcpListenFd_ >= 0)
+        ::close(tcpListenFd_);
     ::close(listenFd_);
     ::unlink(opts_.sockPath.c_str());
     return kExitClean;
@@ -1149,6 +1908,8 @@ runCoordinator(const ServeOptions &opts)
         o.stateDir = o.sockPath + ".state";
     if (o.workers == 0)
         o.workers = 1;
+    if (o.maxJobs == 0)
+        o.maxJobs = 1;
     Coordinator coord(o);
     return coord.run();
 }

@@ -1,5 +1,6 @@
 #include "job_queue.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -31,6 +32,7 @@ JobSpec::encode(SnapshotWriter &w) const
     w.putU64(maxStates);
     w.putF64(maxSeconds);
     w.putU64(crashAfter);
+    w.putU32(workers);
 }
 
 bool
@@ -44,6 +46,7 @@ JobSpec::decode(SnapshotReader &r, JobSpec &out)
     out.maxStates = r.getU64();
     out.maxSeconds = r.getF64();
     out.crashAfter = r.getU64();
+    out.workers = r.getU32();
     return r.ok();
 }
 
@@ -60,6 +63,8 @@ JobSpec::summary() const
            << ") n=" << n;
     if (crashAfter != 0)
         os << " crash-after=" << crashAfter;
+    if (workers != 0)
+        os << " workers=" << workers;
     return os.str();
 }
 
@@ -128,6 +133,38 @@ decodeManifest(SnapshotReader &r)
     return m;
 }
 
+/** Full-job codec for compaction snapshots: everything a replay of
+ *  the original records would have reconstructed (notBefore stays
+ *  volatile by design — a restart retries immediately). */
+void
+encodeJobFull(SnapshotWriter &w, const Job &job)
+{
+    w.putU64(job.id);
+    job.spec.encode(w);
+    w.putU8(static_cast<std::uint8_t>(job.state));
+    w.putU32(job.attempts);
+    w.putU32(job.nextWorkers);
+    encodeManifest(w, job.ckpt);
+    job.result.encode(w);
+    putString(w, job.lastFailure);
+}
+
+bool
+decodeJobFull(SnapshotReader &r, Job &job)
+{
+    job.id = r.getU64();
+    if (!JobSpec::decode(r, job.spec))
+        return false;
+    job.state = static_cast<JobState>(r.getU8());
+    job.attempts = r.getU32();
+    job.nextWorkers = r.getU32();
+    job.ckpt = decodeManifest(r);
+    if (!JobResult::decode(r, job.result))
+        return false;
+    job.lastFailure = getString(r);
+    return r.ok();
+}
+
 } // namespace
 
 // ---------------------------------------------------------------
@@ -156,6 +193,10 @@ JobJournal::open(const std::string &path, std::string &err)
         err = path + ": " + std::strerror(errno);
         return false;
     }
+    path_ = path;
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    bytes_ = size > 0 ? static_cast<std::uint64_t>(size) : 0;
+    dirty_ = false;
     return true;
 }
 
@@ -213,14 +254,16 @@ JobJournal::replay(const std::function<void(std::uint8_t,
         err = std::string("lseek: ") + std::strerror(errno);
         return false;
     }
+    bytes_ = good;
     return true;
 }
 
-bool
-JobJournal::append(std::uint8_t type,
-                   const std::vector<std::uint8_t> &body)
+namespace
 {
-    neo_assert(fd_ >= 0, "journal not open");
+
+std::vector<std::uint8_t>
+encodeRecord(std::uint8_t type, const std::vector<std::uint8_t> &body)
+{
     std::vector<std::uint8_t> rec(8 + 1 + body.size());
     const std::uint32_t len =
         static_cast<std::uint32_t>(1 + body.size());
@@ -230,9 +273,80 @@ JobJournal::append(std::uint8_t type,
         std::memcpy(rec.data() + 9, body.data(), body.size());
     const std::uint32_t crc = crc32(rec.data() + 8, len);
     std::memcpy(rec.data() + 4, &crc, 4);
+    return rec;
+}
+
+} // namespace
+
+bool
+JobJournal::append(std::uint8_t type,
+                   const std::vector<std::uint8_t> &body, bool sync)
+{
+    neo_assert(fd_ >= 0, "journal not open");
+    const std::vector<std::uint8_t> rec = encodeRecord(type, body);
     if (!writeFull(fd_, rec.data(), rec.size()))
         return false;
-    return fsyncRetry(fd_);
+    bytes_ += rec.size();
+    dirty_ = true;
+    return sync ? this->sync() : true;
+}
+
+bool
+JobJournal::sync()
+{
+    neo_assert(fd_ >= 0, "journal not open");
+    if (!dirty_)
+        return true;
+    if (!fsyncRetry(fd_))
+        return false;
+    dirty_ = false;
+    return true;
+}
+
+bool
+JobJournal::rewrite(std::uint8_t type,
+                    const std::vector<std::uint8_t> &body,
+                    std::string &err)
+{
+    neo_assert(fd_ >= 0, "journal not open");
+    const std::string tmp = path_ + ".compact.tmp";
+    const int nfd =
+        ::open(tmp.c_str(),
+               O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (nfd < 0) {
+        err = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    const std::vector<std::uint8_t> rec = encodeRecord(type, body);
+    if (!writeFull(nfd, rec.data(), rec.size()) ||
+        !fsyncRetry(nfd)) {
+        err = tmp + ": " + std::strerror(errno);
+        ::close(nfd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+        err = std::string("rename: ") + std::strerror(errno);
+        ::close(nfd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // Until the rename is durable the old log can reappear after a
+    // power cut — which replays to the same state, so correctness
+    // never depends on this fsync, only compaction's permanence.
+    const std::size_t slash = path_.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path_.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        fsyncRetry(dfd);
+        ::close(dfd);
+    }
+    ::close(fd_);
+    fd_ = nfd;
+    bytes_ = rec.size();
+    dirty_ = false;
+    return true;
 }
 
 // ---------------------------------------------------------------
@@ -320,6 +434,22 @@ JobQueue::open(const std::string &path, double now, std::string &err)
                       job->ckpt = m;
                   break;
               }
+              case kRecSnapshot: {
+                  // Compaction point: everything before it is folded
+                  // in; reset and load, then let the tail apply.
+                  jobs_.clear();
+                  nextId_ = std::max<std::uint64_t>(1, r.getU64());
+                  maxEpoch_ = r.getU64();
+                  const std::uint32_t count = r.getU32();
+                  for (std::uint32_t i = 0; i < count; ++i) {
+                      Job job;
+                      if (!decodeJobFull(r, job))
+                          return;
+                      nextId_ = std::max(nextId_, job.id + 1);
+                      jobs_[job.id] = std::move(job);
+                  }
+                  break;
+              }
               default:
                   neo_warn("journal: skipping unknown record type ",
                            static_cast<int>(type));
@@ -347,6 +477,45 @@ JobQueue::open(const std::string &path, double now, std::string &err)
     return true;
 }
 
+bool
+JobQueue::append(std::uint8_t type,
+                 const std::vector<std::uint8_t> &body)
+{
+    if (!journal_.append(type, body, !groupCommit_))
+        neo_fatal("journal append failed: ", std::strerror(errno));
+    return true;
+}
+
+void
+JobQueue::commit()
+{
+    if (!journal_.sync())
+        neo_fatal("journal fsync failed: ", std::strerror(errno));
+    if (compactBytes_ != 0 && journal_.bytes() > compactBytes_)
+        compactNow();
+}
+
+void
+JobQueue::compactNow()
+{
+    SnapshotWriter w;
+    w.putU64(nextId_);
+    w.putU64(maxEpoch_);
+    w.putU32(static_cast<std::uint32_t>(jobs_.size()));
+    for (const auto &[id, job] : jobs_)
+        encodeJobFull(w, job);
+    const std::uint64_t before = journal_.bytes();
+    std::string err;
+    if (!journal_.rewrite(kRecSnapshot, w.take(), err)) {
+        // The old log is still intact (rewrite is atomic), so this
+        // is survivable — just noisy. Try again at the next commit.
+        neo_warn("journal: compaction failed: ", err);
+        return;
+    }
+    neo_inform("journal: compacted ", before, " -> ",
+               journal_.bytes(), " bytes (", jobs_.size(), " jobs)");
+}
+
 std::uint64_t
 JobQueue::submit(const JobSpec &spec)
 {
@@ -356,8 +525,7 @@ JobQueue::submit(const JobSpec &spec)
     SnapshotWriter w;
     w.putU64(job.id);
     spec.encode(w);
-    if (!journal_.append(kRecSubmit, w.take()))
-        neo_fatal("journal append failed: ", std::strerror(errno));
+    append(kRecSubmit, w.take());
     const std::uint64_t id = job.id;
     jobs_[id] = std::move(job);
     return id;
@@ -380,8 +548,7 @@ JobQueue::markStarted(Job &job, std::uint32_t workers)
     w.putU64(job.id);
     w.putU32(job.attempts + 1);
     w.putU32(workers);
-    if (!journal_.append(kRecStart, w.take()))
-        neo_fatal("journal append failed: ", std::strerror(errno));
+    append(kRecStart, w.take());
     ++job.attempts;
     job.nextWorkers = workers;
     job.state = JobState::Running;
@@ -393,8 +560,7 @@ JobQueue::markDone(Job &job, const JobResult &result)
     SnapshotWriter w;
     w.putU64(job.id);
     result.encode(w);
-    if (!journal_.append(kRecDone, w.take()))
-        neo_fatal("journal append failed: ", std::strerror(errno));
+    append(kRecDone, w.take());
     job.result = result;
     job.state = JobState::Done;
 }
@@ -412,14 +578,19 @@ JobQueue::failAttempt(Job &job, const std::string &reason,
     w.putU32(job.attempts);
     w.putU32(nextWorkers);
     putString(w, reason);
-    if (!journal_.append(kRecFail, w.take()))
-        neo_fatal("journal append failed: ", std::strerror(errno));
+    append(kRecFail, w.take());
     job.lastFailure = reason;
     job.nextWorkers = nextWorkers;
     job.state = JobState::Pending;
+    // Doubling, but capped: with double-digit retry budgets (chaotic
+    // links burn attempts routinely) an uncapped exponential parks a
+    // job for tens of minutes before its quarantine verdict. 10 s is
+    // long past any transient worth waiting out.
     job.notBefore =
-        now + backoff_ * std::ldexp(1.0, static_cast<int>(
-                                             job.attempts - 1));
+        now + std::min(kBackoffCapSeconds,
+                       backoff_ * std::ldexp(
+                                      1.0, static_cast<int>(
+                                               job.attempts - 1)));
 }
 
 void
@@ -428,8 +599,7 @@ JobQueue::quarantine(Job &job, const std::string &reason)
     SnapshotWriter w;
     w.putU64(job.id);
     putString(w, reason);
-    if (!journal_.append(kRecQuarantine, w.take()))
-        neo_fatal("journal append failed: ", std::strerror(errno));
+    append(kRecQuarantine, w.take());
     job.lastFailure = reason;
     job.state = JobState::Quarantined;
 }
@@ -440,8 +610,7 @@ JobQueue::recordCheckpoint(Job &job, const CkptManifest &m)
     SnapshotWriter w;
     w.putU64(job.id);
     encodeManifest(w, m);
-    if (!journal_.append(kRecCheckpoint, w.take()))
-        neo_fatal("journal append failed: ", std::strerror(errno));
+    append(kRecCheckpoint, w.take());
     job.ckpt = m;
     maxEpoch_ = std::max(maxEpoch_, m.epoch);
 }
@@ -455,8 +624,7 @@ JobQueue::cancel(std::uint64_t id)
         return false;
     SnapshotWriter w;
     w.putU64(id);
-    if (!journal_.append(kRecCancel, w.take()))
-        neo_fatal("journal append failed: ", std::strerror(errno));
+    append(kRecCancel, w.take());
     job->state = JobState::Cancelled;
     return true;
 }
@@ -566,6 +734,42 @@ dumpJournal(const std::string &path, std::FILE *out, std::string &err)
                       m.parts,
                       static_cast<unsigned long long>(m.states),
                       static_cast<unsigned long long>(m.transitions));
+                  break;
+              }
+              case kRecSnapshot: {
+                  // One SNAP line per folded job. The format is
+                  // deliberately distinct from the live records it
+                  // replaces ("SNAP job=1 state=DONE", never
+                  // "DONE job=1") — the exactly-once recovery checks
+                  // count live DONE lines, and a compaction must not
+                  // inflate that count.
+                  const std::uint64_t nextId = r.getU64();
+                  const std::uint64_t maxEpoch = r.getU64();
+                  const std::uint32_t count = r.getU32();
+                  std::fprintf(
+                      out,
+                      "SNAPSHOT next-id=%llu max-epoch=%llu "
+                      "jobs=%u\n",
+                      static_cast<unsigned long long>(nextId),
+                      static_cast<unsigned long long>(maxEpoch),
+                      count);
+                  for (std::uint32_t i = 0; i < count; ++i) {
+                      Job job;
+                      if (!decodeJobFull(r, job)) {
+                          std::fprintf(out,
+                                       "SNAPSHOT truncated at "
+                                       "entry %u\n",
+                                       i);
+                          break;
+                      }
+                      std::fprintf(
+                          out,
+                          "SNAP job=%llu state=%s attempt=%u "
+                          "%s\n",
+                          static_cast<unsigned long long>(job.id),
+                          jobStateName(job.state), job.attempts,
+                          job.spec.summary().c_str());
+                  }
                   break;
               }
               default:

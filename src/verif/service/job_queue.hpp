@@ -48,6 +48,11 @@ struct JobSpec
      *  makes the job deterministic poison — it can never finish and
      *  must end in quarantine. */
     std::uint64_t crashAfter = 0;
+    /** Per-job worker budget; 0 = the coordinator's default. With
+     *  concurrent attempts this is admission control's second axis:
+     *  a big sweep job can be capped so it never crowds out small
+     *  ones. */
+    std::uint32_t workers = 0;
 
     void encode(SnapshotWriter &w) const;
     static bool decode(SnapshotReader &r, JobSpec &out);
@@ -126,10 +131,15 @@ inline constexpr std::uint8_t kRecFail = 4;
 inline constexpr std::uint8_t kRecCancel = 5;
 inline constexpr std::uint8_t kRecQuarantine = 6;
 inline constexpr std::uint8_t kRecCheckpoint = 7;
+/** Compaction snapshot: the full job table at one instant. Replay
+ *  resets to it and applies the tail that follows. */
+inline constexpr std::uint8_t kRecSnapshot = 8;
 
 /**
- * Append-only record log: [u32 len][u32 crc][u8 type][body], each
- * append written in full and fsync'd before it is acknowledged.
+ * Append-only record log: [u32 len][u32 crc][u8 type][body]. Appends
+ * are durable before they are acknowledged; with group commit the
+ * fsync is deferred to sync() so a burst of appends shares one flush,
+ * but acknowledgement still strictly follows the sync.
  */
 class JobJournal
 {
@@ -151,9 +161,34 @@ class JobJournal
                                          SnapshotReader &body)> &cb,
                 std::string &err);
 
-    /** Durably append one record (write + fsync before returning). */
+    /**
+     * Append one record. With @p sync (the default) the record is
+     * fsync'd before returning; with sync=false it is only written,
+     * and the caller MUST sync() before acting on or acknowledging
+     * the transition (group commit).
+     */
     bool append(std::uint8_t type,
-                const std::vector<std::uint8_t> &body);
+                const std::vector<std::uint8_t> &body,
+                bool sync = true);
+
+    /** Flush deferred appends: one fsync covers every append since
+     *  the last. No-op when nothing is pending. */
+    bool sync();
+
+    /**
+     * Compaction: atomically replace the log with a single snapshot
+     * record — write to path+".compact.tmp", fsync, rename over, and
+     * adopt the new fd. The old log's records are all reflected in
+     * the snapshot the caller encoded, so replay equivalence is the
+     * caller's invariant; atomicity (a crash leaves either the old
+     * or the new log, never a mix) is this function's.
+     */
+    bool rewrite(std::uint8_t type,
+                 const std::vector<std::uint8_t> &body,
+                 std::string &err);
+
+    /** Bytes in the log (intact prefix + appends since open). */
+    std::uint64_t bytes() const { return bytes_; }
 
     /** Raw fd (forked workers close it; they must never inherit an
      *  open journal handle). */
@@ -163,7 +198,15 @@ class JobJournal
 
   private:
     int fd_ = -1;
+    std::string path_;
+    std::uint64_t bytes_ = 0;
+    bool dirty_ = false;
 };
+
+/** Ceiling on the doubling retry backoff: transients worth waiting
+ *  out resolve well within this; past it the delay only postpones
+ *  the retry (or the quarantine verdict) without improving odds. */
+inline constexpr double kBackoffCapSeconds = 10.0;
 
 /**
  * The queue itself: in-memory job table fronting the journal, with
@@ -180,6 +223,27 @@ class JobQueue
     /** Open + replay the journal at @p path; resolves interrupted
      *  attempts (unmatched STARTs) per the retry policy. */
     bool open(const std::string &path, double now, std::string &err);
+
+    /**
+     * Group commit: defer the per-mutation fsync to the next
+     * commit(), so appends arriving within one poll iteration share
+     * a single flush. The coordinator MUST commit() before sending
+     * any acknowledgement or taking any irreversible action (fork,
+     * kill, file pruning) that depends on the journaled transition.
+     */
+    void setGroupCommit(bool on) { groupCommit_ = on; }
+    void commit();
+
+    /** Size-triggered compaction: once the journal exceeds
+     *  @p bytes (0 = never), commit() folds it into one snapshot
+     *  record. */
+    void setCompactionThreshold(std::uint64_t bytes)
+    {
+        compactBytes_ = bytes;
+    }
+    std::uint64_t journalBytes() const { return journal_.bytes(); }
+    /** Force a compaction now regardless of size (tests). */
+    void compactNow();
 
     /** Journal + enqueue; @return the new job id. */
     std::uint64_t submit(const JobSpec &spec);
@@ -220,6 +284,8 @@ class JobQueue
 
   private:
     void quarantine(Job &job, const std::string &reason);
+    bool append(std::uint8_t type,
+                const std::vector<std::uint8_t> &body);
 
     JobJournal journal_;
     std::map<std::uint64_t, Job> jobs_;
@@ -227,6 +293,8 @@ class JobQueue
     std::uint64_t maxEpoch_ = 0;
     std::uint32_t retryLimit_;
     double backoff_;
+    bool groupCommit_ = false;
+    std::uint64_t compactBytes_ = 0;
 };
 
 /** Human-readable dump of a journal file (neoverify --journal): one

@@ -1,11 +1,17 @@
 #include "wire.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include "sim/io_retry.hpp"
@@ -29,6 +35,15 @@ void
 storeU32(std::uint8_t *p, std::uint32_t v)
 {
     std::memcpy(p, &v, 4);
+}
+
+double
+monoNow()
+{
+    timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 } // namespace
@@ -119,10 +134,25 @@ Channel::operator=(Channel &&o) noexcept
         failed_ = o.failed_;
         out_ = std::move(o.out_);
         outPos_ = o.outPos_;
+        flushedTotal_ = o.flushedTotal_;
+        stallFlushedMark_ = o.stallFlushedMark_;
+        stallSince_ = o.stallSince_;
         in_ = std::move(o.in_);
         o.fd_ = -1;
     }
     return *this;
+}
+
+bool
+Channel::writeStalled(double now, double limitSeconds)
+{
+    if (!wantsWrite() || flushedTotal_ != stallFlushedMark_) {
+        // Empty buffer or bytes moved since the last check: not stuck.
+        stallFlushedMark_ = flushedTotal_;
+        stallSince_ = now;
+        return false;
+    }
+    return now - stallSince_ > limitSeconds;
 }
 
 void
@@ -154,6 +184,7 @@ Channel::flush()
                                      out_.size() - outPos_);
         if (w > 0) {
             outPos_ += static_cast<std::size_t>(w);
+            flushedTotal_ += static_cast<std::uint64_t>(w);
             continue;
         }
         if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -296,6 +327,183 @@ connectUnix(const std::string &path, std::string &err)
 }
 
 bool
+looksLikeTcpAddress(const std::string &addr)
+{
+    return addr.find(':') != std::string::npos;
+}
+
+bool
+parseHostPort(const std::string &addr, std::string &host,
+              std::uint16_t &port, std::string &err)
+{
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+        err = addr + ": expected host:port";
+        return false;
+    }
+    host = addr.substr(0, colon);
+    const std::string portStr = addr.substr(colon + 1);
+    if (portStr.empty()) {
+        err = addr + ": missing port";
+        return false;
+    }
+    char *end = nullptr;
+    const long v = std::strtol(portStr.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0 || v > 65535) {
+        err = addr + ": bad port";
+        return false;
+    }
+    port = static_cast<std::uint16_t>(v);
+    return true;
+}
+
+namespace
+{
+
+bool
+fillSockaddrIn(const std::string &host, std::uint16_t port,
+               sockaddr_in &addr, const char *emptyHostDefault,
+               std::string &err)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string h = host.empty() ? emptyHostDefault : host;
+    if (::inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1) {
+        err = h + ": not a dotted-quad IPv4 address";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+listenTcp(const std::string &addrStr, std::string &err,
+          std::string *bound)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseHostPort(addrStr, host, port, err))
+        return -1;
+    sockaddr_in addr;
+    if (!fillSockaddrIn(host, port, addr, "0.0.0.0", err))
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd, 64) != 0) {
+        err = addrStr + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (bound != nullptr) {
+        sockaddr_in got;
+        socklen_t len = sizeof got;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&got),
+                          &len) != 0) {
+            err = std::string("getsockname: ") + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        char ip[INET_ADDRSTRLEN] = {0};
+        ::inet_ntop(AF_INET, &got.sin_addr, ip, sizeof ip);
+        *bound = std::string(ip) + ":" +
+                 std::to_string(ntohs(got.sin_port));
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &addrStr, std::string &err,
+           double timeoutSeconds)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseHostPort(addrStr, host, port, err))
+        return -1;
+    sockaddr_in addr;
+    if (!fillSockaddrIn(host, port, addr, "127.0.0.1", err))
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (timeoutSeconds > 0 && !setNonBlocking(fd)) {
+        err = std::string("fcntl: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && timeoutSeconds > 0 && errno == EINPROGRESS) {
+        // Wait out the three-way handshake under a deadline: a black
+        // hole never answers, and blocking connect would hang for the
+        // kernel's minutes-long default.
+        const double deadline = monoNow() + timeoutSeconds;
+        for (;;) {
+            const double left = deadline - monoNow();
+            if (left <= 0) {
+                err = addrStr + ": connect timed out";
+                ::close(fd);
+                return -1;
+            }
+            pollfd p{fd, POLLOUT, 0};
+            const int pr =
+                ::poll(&p, 1, static_cast<int>(left * 1000) + 1);
+            if (pr < 0 && errno == EINTR)
+                continue;
+            if (pr > 0)
+                break;
+            if (pr < 0) {
+                err = std::string("poll: ") + std::strerror(errno);
+                ::close(fd);
+                return -1;
+            }
+        }
+        int soErr = 0;
+        socklen_t len = sizeof soErr;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len) !=
+                0 ||
+            soErr != 0) {
+            err = addrStr + ": " +
+                  std::strerror(soErr != 0 ? soErr : errno);
+            ::close(fd);
+            return -1;
+        }
+        rc = 0;
+    }
+    if (rc != 0) {
+        err = addrStr + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (timeoutSeconds > 0) {
+        // Hand the caller a blocking fd, same contract as connectUnix.
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        if (flags < 0 ||
+            ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+            err = std::string("fcntl: ") + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+    }
+    return fd;
+}
+
+bool
 sendFrameBlocking(int fd, MsgType type,
                   const std::vector<std::uint8_t> &body)
 {
@@ -316,6 +524,135 @@ recvFrameBlocking(int fd, MsgType &type,
         return false;
     std::vector<std::uint8_t> payload(len);
     if (!readFull(fd, payload.data(), len))
+        return false;
+    if (crc32(payload.data(), len) != crc)
+        return false;
+    type = static_cast<MsgType>(payload[0]);
+    body.assign(payload.begin() + 1, payload.end());
+    return true;
+}
+
+namespace
+{
+
+/** RAII O_NONBLOCK toggle: deadline I/O needs a non-blocking fd so a
+ *  half-open peer can't wedge a single read() past the deadline. */
+class NonBlockScope
+{
+  public:
+    explicit NonBlockScope(int fd) : fd_(fd)
+    {
+        flags_ = ::fcntl(fd, F_GETFL, 0);
+        ok_ = flags_ >= 0 &&
+              ::fcntl(fd, F_SETFL, flags_ | O_NONBLOCK) == 0;
+    }
+    ~NonBlockScope()
+    {
+        if (ok_)
+            ::fcntl(fd_, F_SETFL, flags_);
+    }
+    bool ok() const { return ok_; }
+
+  private:
+    int fd_;
+    int flags_ = 0;
+    bool ok_ = false;
+};
+
+bool
+waitFd(int fd, short events, double deadline)
+{
+    for (;;) {
+        const double left = deadline - monoNow();
+        if (left <= 0)
+            return false;
+        pollfd p{fd, events, 0};
+        const int pr = ::poll(&p, 1,
+                              static_cast<int>(left * 1000) + 1);
+        if (pr > 0)
+            return true;
+        if (pr < 0 && errno != EINTR)
+            return false;
+    }
+}
+
+bool
+readFullDeadline(int fd, std::uint8_t *buf, std::size_t n,
+                 double deadline)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = readRetry(fd, buf + got, n - got);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            return false; // EOF
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            return false;
+        if (!waitFd(fd, POLLIN, deadline))
+            return false;
+    }
+    return true;
+}
+
+bool
+writeFullDeadline(int fd, const std::uint8_t *buf, std::size_t n,
+                  double deadline)
+{
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w = writeRetry(fd, buf + sent, n - sent);
+        if (w > 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+            return false;
+        if (!waitFd(fd, POLLOUT, deadline))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sendFrameDeadline(int fd, MsgType type,
+                  const std::vector<std::uint8_t> &body,
+                  double timeoutSeconds)
+{
+    if (timeoutSeconds <= 0)
+        return sendFrameBlocking(fd, type, body);
+    NonBlockScope nb(fd);
+    if (!nb.ok())
+        return false;
+    const std::vector<std::uint8_t> frame = encodeFrame(type, body);
+    return writeFullDeadline(fd, frame.data(), frame.size(),
+                             monoNow() + timeoutSeconds);
+}
+
+bool
+recvFrameDeadline(int fd, MsgType &type,
+                  std::vector<std::uint8_t> &body,
+                  double timeoutSeconds)
+{
+    if (timeoutSeconds <= 0)
+        return recvFrameBlocking(fd, type, body);
+    NonBlockScope nb(fd);
+    if (!nb.ok())
+        return false;
+    const double deadline = monoNow() + timeoutSeconds;
+    std::uint8_t header[8];
+    if (!readFullDeadline(fd, header, sizeof header, deadline))
+        return false;
+    const std::uint32_t len = loadU32(header);
+    const std::uint32_t crc = loadU32(header + 4);
+    if (len == 0 || len > kMaxFrameBytes)
+        return false;
+    std::vector<std::uint8_t> payload(len);
+    if (!readFullDeadline(fd, payload.data(), len, deadline))
         return false;
     if (crc32(payload.data(), len) != crc)
         return false;

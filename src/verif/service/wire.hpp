@@ -17,6 +17,13 @@
  * buffers simultaneously; blocking writes would deadlock that cycle,
  * so a Channel never blocks — it queues, and the owner's poll() loop
  * drains when the peer can accept more.
+ *
+ * The same frames travel over unix sockets (single box) and TCP
+ * (multi-box pools). TCP adds the failure modes a local socketpair
+ * never shows — half-open peers, severed links, bytes corrupted by a
+ * proxy — so channels grow write-stall deadlines and clients grow
+ * connect/read deadlines; the CRC framing converts any byte-level
+ * damage into a latched link failure rather than a misparsed message.
  */
 
 #ifndef NEO_VERIF_SERVICE_WIRE_HPP
@@ -47,23 +54,37 @@ enum class MsgType : std::uint8_t
     RspOk = 18,
     RspErr = 19,
     RspResult = 20,
+    RspProgress = 21,
     // coordinator -> worker
     Ping = 32,
     CkptWrite = 33,
     Finish = 34,
     Stop = 35,
+    Assign = 36, // coordinator -> pool agent: run this attempt slot
+    Start = 37,  // barrier release once every slot has said Hello
     // worker -> coordinator
     Pong = 48,
     CkptDone = 49,
     Final = 50,
     Violation = 51,
+    Hello = 52,    // TCP worker joins its attempt (job id + nonce)
+    JoinPool = 53, // pool agent offers capacity
     // worker <-> worker
     States = 64,
+    // worker -> coordinator -> worker (TCP star relay)
+    StatesTo = 65,
 };
 
 /** Upper bound on a frame body; anything larger is a corrupt length
  *  field, not a real message (state batches are far smaller). */
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** RspProgress phase byte for a job parked between attempts (retry
+ *  backoff). Values 0..3 are the coordinator's live-attempt phases
+ *  (run/quiesce/checkpoint/finish); this one is synthetic — emitted
+ *  so a --wait client's read deadline stays fed while no attempt
+ *  exists to tick ping rounds. */
+inline constexpr std::uint8_t kProgressPhaseBackoff = 4;
 
 /** String helpers over the snapshot codec (u32 length + bytes). */
 void putString(SnapshotWriter &w, const std::string &s);
@@ -119,6 +140,18 @@ class Channel
                     const std::vector<std::uint8_t> &body);
     bool wantsWrite() const { return outPos_ < out_.size(); }
     std::size_t outPending() const { return out_.size() - outPos_; }
+    /** Total bytes ever drained to the socket (stall detection). */
+    std::uint64_t flushedTotal() const { return flushedTotal_; }
+
+    /**
+     * Write-deadline supervision: true once the out-buffer has been
+     * non-empty for longer than @p limitSeconds with zero bytes
+     * drained — the peer has stopped reading. The owner decides what
+     * that means (fail the attempt, drop the client). Any drain
+     * progress or an empty buffer resets the clock. @p now is the
+     * caller's monotonic clock.
+     */
+    bool writeStalled(double now, double limitSeconds);
 
     /** Drain the out-buffer as far as the socket accepts (EAGAIN
      *  stops, EPIPE/reset fails the channel). */
@@ -133,6 +166,9 @@ class Channel
     bool failed_ = false;
     std::vector<std::uint8_t> out_;
     std::size_t outPos_ = 0;
+    std::uint64_t flushedTotal_ = 0;
+    std::uint64_t stallFlushedMark_ = 0;
+    double stallSince_ = 0.0;
     FrameReader in_;
 };
 
@@ -152,12 +188,53 @@ int listenUnix(const std::string &path, std::string &err);
 /** Connect to a unix stream socket; -1 with @p err on failure. */
 int connectUnix(const std::string &path, std::string &err);
 
+/** True when @p addr names a TCP endpoint (host:port) rather than a
+ *  unix socket path. Paths never contain ':'; TCP addresses must. */
+bool looksLikeTcpAddress(const std::string &addr);
+
+/** Split "host:port" (host may be empty → 0.0.0.0 for listen,
+ *  127.0.0.1 for connect). @return false with @p err on bad input. */
+bool parseHostPort(const std::string &addr, std::string &host,
+                   std::uint16_t &port, std::string &err);
+
+/**
+ * Bind + listen on a TCP endpoint "host:port" with SO_REUSEADDR.
+ * Port 0 asks the kernel for a free port; @p bound (optional) receives
+ * the resolved "host:port" either way so callers can publish it.
+ * @return listening fd, or -1 with @p err set.
+ */
+int listenTcp(const std::string &addr, std::string &err,
+              std::string *bound = nullptr);
+
+/**
+ * Connect to "host:port". With @p timeoutSeconds > 0 the connect is
+ * attempted non-blocking and abandoned after the deadline (a black
+ * hole or dead host fails in bounded time); the returned fd is
+ * blocking. @return -1 with @p err on failure or timeout.
+ */
+int connectTcp(const std::string &addr, std::string &err,
+               double timeoutSeconds = 0.0);
+
 /** Blocking frame send on a blocking fd (client side). */
 bool sendFrameBlocking(int fd, MsgType type,
                        const std::vector<std::uint8_t> &body);
 /** Blocking frame receive; false on EOF, error or corruption. */
 bool recvFrameBlocking(int fd, MsgType &type,
                        std::vector<std::uint8_t> &body);
+
+/**
+ * Deadline-bounded frame exchange for clients talking to a possibly
+ * hung or half-open coordinator. Each call completes within roughly
+ * @p timeoutSeconds or reports failure; a timeout poisons nothing —
+ * the caller closes the fd and exits with the service-unavailable
+ * code. @p timeoutSeconds <= 0 means no deadline (blocking).
+ */
+bool sendFrameDeadline(int fd, MsgType type,
+                       const std::vector<std::uint8_t> &body,
+                       double timeoutSeconds);
+bool recvFrameDeadline(int fd, MsgType &type,
+                       std::vector<std::uint8_t> &body,
+                       double timeoutSeconds);
 
 } // namespace neo
 

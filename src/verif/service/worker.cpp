@@ -1,13 +1,16 @@
 #include "worker.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <deque>
 
 #include <poll.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include "sim/exit_codes.hpp"
 #include "sim/io_retry.hpp"
 #include "sim/logging.hpp"
 #include "verif/explorer.hpp"
@@ -87,6 +90,25 @@ constexpr unsigned kExpandBatch = 64;
 /** Control-channel service interval during a resume load or a
  *  partition snapshot encode (records between pollControlOnce). */
 constexpr std::uint64_t kLoadServiceStride = 65536;
+/** Star-mode backpressure: once this many bytes sit undrained in the
+ *  coordinator link's out-buffer, expansion stops until the relay
+ *  catches up — a slow peer stalls this worker's batch stream, it
+ *  never balloons memory. */
+constexpr std::size_t kCtlHighWater = 4u << 20;
+/** Star-mode link deadlines (floors; scaled by the heartbeat). */
+constexpr double kIdleFloorSeconds = 15.0;
+constexpr double kIdleHeartbeats = 10.0;
+constexpr double kStallFloorSeconds = 10.0;
+constexpr double kStallHeartbeats = 8.0;
+
+double
+monoNow()
+{
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
 
 struct WorkerRt
 {
@@ -111,6 +133,17 @@ struct WorkerRt
     std::uint64_t recvTotal = 0;
     std::uint64_t freshInterns = 0; ///< this attempt (crashAfter gate)
 
+    /** TCP star topology: no peer mesh; foreign states ride the
+     *  control channel as StatesTo frames the coordinator relays. */
+    bool star = false;
+    /** Last time any control frame arrived (star read deadline). */
+    double lastCtlActivity = 0.0;
+    /** StatesTo bodies parked during a snapshot encode: interning
+     *  them mid-encode would invalidate the store pointers the
+     *  encoder is iterating (the quiesce barrier means none should
+     *  arrive, but a defensive park beats a corrupt snapshot). */
+    std::vector<std::vector<std::uint8_t>> deferred;
+
     bool paused = false;
     bool violated = false;
     /** Resume partitions are still being scanned: the store is
@@ -132,9 +165,17 @@ flushBatch(WorkerRt &rt, unsigned peer)
     if (rt.batchCount[peer] == 0)
         return;
     SnapshotWriter w;
-    w.putU32(rt.batchCount[peer]);
-    w.putBytes(rt.batch[peer].data(), rt.batch[peer].size());
-    rt.peers[peer].queueFrame(MsgType::States, w.take());
+    if (rt.star) {
+        // Star route: the coordinator relays this to worker `peer`.
+        w.putU32(peer);
+        w.putU32(rt.batchCount[peer]);
+        w.putBytes(rt.batch[peer].data(), rt.batch[peer].size());
+        rt.ctl.queueFrame(MsgType::StatesTo, w.take());
+    } else {
+        w.putU32(rt.batchCount[peer]);
+        w.putBytes(rt.batch[peer].data(), rt.batch[peer].size());
+        rt.peers[peer].queueFrame(MsgType::States, w.take());
+    }
     rt.batch[peer].clear();
     rt.batchCount[peer] = 0;
 }
@@ -196,6 +237,11 @@ outEmpty(const WorkerRt &rt)
     for (const auto &p : rt.peers)
         if (p.open() && p.wantsWrite())
             return false;
+    // Star mode: batches queued on the coordinator link are in
+    // flight too. (Σsent==Σrecv already refuses a fixpoint while any
+    // batch is unreceived; this just keeps the pong honest.)
+    if (rt.star && rt.ctl.wantsWrite())
+        return false;
     return true;
 }
 
@@ -288,6 +334,28 @@ sendFinalAndExit(WorkerRt &rt)
     ::_exit(0);
 }
 
+/** Accept one relayed StatesTo body (star mode). */
+void
+processStatesToBody(WorkerRt &rt,
+                    const std::vector<std::uint8_t> &body)
+{
+    SnapshotReader r(body);
+    const std::uint32_t dest = r.getU32();
+    // A misrouted batch is a coordinator bug; dropping it here can
+    // never fake a result — the global sent/recv sums stop balancing
+    // and the attempt dies under the no-progress watchdog.
+    if (dest != rt.cfg->index)
+        return;
+    const std::uint32_t count = r.getU32();
+    for (std::uint32_t s = 0; s < count; ++s) {
+        const std::uint8_t *bytes = r.viewBytes(rt.numVars);
+        if (bytes == nullptr)
+            break;
+        ++rt.recvTotal;
+        acceptOwn(rt, bytes, stateHash(bytes, rt.numVars));
+    }
+}
+
 /** Handle every buffered control frame; exits the process on Stop,
  *  Finish or a dead coordinator. */
 void
@@ -296,8 +364,15 @@ serviceControl(WorkerRt &rt)
     MsgType type;
     std::vector<std::uint8_t> body;
     while (rt.ctl.next(type, body)) {
+        rt.lastCtlActivity = monoNow();
         SnapshotReader r(body);
         switch (type) {
+          case MsgType::StatesTo:
+              if (rt.snapshotting)
+                  rt.deferred.push_back(body);
+              else
+                  processStatesToBody(rt, body);
+              break;
           case MsgType::Ping: {
               const std::uint32_t seq = r.getU32();
               rt.paused = r.getU8() != 0;
@@ -322,6 +397,14 @@ serviceControl(WorkerRt &rt)
                   break;
               }
               writePartition(rt, r.getU64());
+              // Relayed batches parked during the encode: accept
+              // them now that the store may grow again.
+              while (!rt.deferred.empty()) {
+                  std::vector<std::vector<std::uint8_t>> parked;
+                  parked.swap(rt.deferred);
+                  for (const auto &b : parked)
+                      processStatesToBody(rt, b);
+              }
               break;
           case MsgType::Finish:
               // Same guard: obeying a Finish before the resume load
@@ -343,7 +426,10 @@ serviceControl(WorkerRt &rt)
         }
     }
     if (rt.ctl.failed())
-        ::_exit(0); // coordinator gone: a worker never outlives it
+        // Coordinator gone: a worker never outlives it. Over TCP the
+        // same EOF can also be a severed link; the distinct exit
+        // code tells the two stories apart in logs.
+        ::_exit(rt.star ? kWorkerExitLinkLost : 0);
 }
 
 void
@@ -489,17 +575,54 @@ runWorkerProcess(const WorkerConfig &cfg, const WorkerEndpoints &eps)
                          std::max(1u, cfg.count));
     rt.store = &store;
 
-    rt.ctl = Channel(eps.control);
-    setNonBlocking(eps.control);
+    rt.star = !cfg.coordAddr.empty();
     rt.peers.resize(cfg.count);
     rt.batch.resize(cfg.count);
     rt.batchCount.assign(cfg.count, 0);
-    for (unsigned p = 0; p < cfg.count; ++p) {
-        if (eps.peers[p] >= 0) {
-            setNonBlocking(eps.peers[p]);
-            rt.peers[p] = Channel(eps.peers[p]);
+    if (rt.star) {
+        // Dial the coordinator, authenticate this attempt slot, and
+        // wait at the start barrier. Every step is deadline-bounded:
+        // a half-open coordinator or a proxy that swallows the
+        // handshake must fail this process in bounded time, not hang
+        // it forever.
+        const int fd = connectTcp(cfg.coordAddr, err, 10.0);
+        if (fd < 0) {
+            neo_warn("worker ", cfg.index, ": dial ", cfg.coordAddr,
+                     ": ", err);
+            ::_exit(kWorkerExitSetupFailed);
+        }
+        SnapshotWriter hw;
+        hw.putU64(cfg.jobId);
+        hw.putU64(cfg.nonce);
+        hw.putU32(cfg.index);
+        if (!sendFrameDeadline(fd, MsgType::Hello, hw.take(),
+                               10.0)) {
+            ::close(fd);
+            ::_exit(kWorkerExitLinkLost);
+        }
+        MsgType t;
+        std::vector<std::uint8_t> b;
+        if (!recvFrameDeadline(fd, t, b, 30.0) ||
+            t != MsgType::Start) {
+            // Refused (stale nonce, dead attempt) or barrier never
+            // released: remove ourselves, the coordinator decides
+            // the attempt's fate independently.
+            ::close(fd);
+            ::_exit(kWorkerExitLinkLost);
+        }
+        setNonBlocking(fd);
+        rt.ctl = Channel(fd);
+    } else {
+        rt.ctl = Channel(eps.control);
+        setNonBlocking(eps.control);
+        for (unsigned p = 0; p < cfg.count; ++p) {
+            if (eps.peers[p] >= 0) {
+                setNonBlocking(eps.peers[p]);
+                rt.peers[p] = Channel(eps.peers[p]);
+            }
         }
     }
+    rt.lastCtlActivity = monoNow();
 
     if (cfg.resumeEpoch != 0) {
         // Pongs answered mid-load carry loading=1 so a peer-owned
@@ -525,8 +648,13 @@ runWorkerProcess(const WorkerConfig &cfg, const WorkerEndpoints &eps)
     std::vector<std::uint8_t> body;
 
     for (;;) {
-        const bool canExpand =
-            !rt.paused && !rt.violated && !rt.queue.empty();
+        // Star backpressure: a full coordinator link pauses
+        // expansion (the batches it would produce have nowhere
+        // bounded to go) but keeps the worker responsive to control.
+        const bool ctlFull =
+            rt.star && rt.ctl.outPending() >= kCtlHighWater;
+        const bool canExpand = !rt.paused && !rt.violated &&
+                               !rt.queue.empty() && !ctlFull;
         if (!canExpand)
             flushAllBatches(rt); // going idle: nothing may linger
 
@@ -550,8 +678,10 @@ runWorkerProcess(const WorkerConfig &cfg, const WorkerEndpoints &eps)
             pfdPeer.push_back(static_cast<int>(p));
         }
 
-        const int rc =
-            ::poll(pfds.data(), pfds.size(), canExpand ? 0 : -1);
+        // Star links need a finite timeout: the read deadline below
+        // must fire even when the severed link delivers no events.
+        const int rc = ::poll(pfds.data(), pfds.size(),
+                              canExpand ? 0 : (rt.star ? 500 : -1));
         if (rc < 0 && errno != EINTR)
             ::_exit(kWorkerExitSetupFailed);
 
@@ -599,12 +729,163 @@ runWorkerProcess(const WorkerConfig &cfg, const WorkerEndpoints &eps)
 
         serviceControl(rt); // may _exit (Stop/Finish/dead coordinator)
 
-        if (!rt.paused && !rt.violated) {
+        if (rt.star) {
+            // Read/write deadlines: a coordinator (or the path to
+            // it) that goes silent, or stops draining our batches,
+            // means this worker is exploring into the void — exit
+            // and let the coordinator-side supervision fail the
+            // attempt cleanly for retry.
+            const double now = monoNow();
+            if (now - rt.lastCtlActivity >
+                std::max(kIdleFloorSeconds,
+                         kIdleHeartbeats * cfg.heartbeatSeconds))
+                ::_exit(kWorkerExitLinkLost);
+            if (rt.ctl.writeStalled(
+                    now, std::max(kStallFloorSeconds,
+                                  kStallHeartbeats *
+                                      cfg.heartbeatSeconds)))
+                ::_exit(kWorkerExitLinkLost);
+        }
+
+        if (!rt.paused && !rt.violated &&
+            !(rt.star && rt.ctl.outPending() >= kCtlHighWater)) {
             for (unsigned b = 0;
                  b < kExpandBatch && !rt.queue.empty(); ++b)
                 expandOne(rt, cur, succ);
         }
     }
+}
+
+namespace
+{
+
+/** Sleep in interrupt-checkable slices. */
+void
+sleepRetry(double seconds)
+{
+    const double until = monoNow() + seconds;
+    while (!interruptRequested() && monoNow() < until)
+        ::poll(nullptr, 0, 100);
+}
+
+} // namespace
+
+int
+runJoinAgent(const JoinOptions &opts)
+{
+    ignoreSigpipe();
+    installInterruptHandlers();
+    bool announced = false;
+    while (!interruptRequested()) {
+        std::string err;
+        const int fd = connectTcp(opts.coordAddr, err, 5.0);
+        if (fd < 0) {
+            if (!announced) {
+                neo_warn("join ", opts.coordAddr, ": ", err,
+                         " (retrying every ", opts.retrySeconds,
+                         "s)");
+                announced = true;
+            }
+            sleepRetry(opts.retrySeconds);
+            continue;
+        }
+        announced = false;
+        SnapshotWriter w;
+        w.putU8(opts.stateDir.empty() ? 0 : 1);
+        if (!sendFrameDeadline(fd, MsgType::JoinPool, w.take(),
+                               5.0)) {
+            ::close(fd);
+            sleepRetry(opts.retrySeconds);
+            continue;
+        }
+        neo_inform("joined pool at ", opts.coordAddr,
+                   ", waiting for an assignment");
+
+        setNonBlocking(fd);
+        Channel ch(fd);
+        MsgType type = MsgType::Stop;
+        std::vector<std::uint8_t> body;
+        bool assigned = false;
+        // Park until Assign, EOF (coordinator restarted: rejoin), or
+        // an interrupt. The 1s tick bounds interrupt latency.
+        while (!interruptRequested() && !ch.failed()) {
+            if (ch.next(type, body)) {
+                assigned = type == MsgType::Assign;
+                break;
+            }
+            pollfd p{ch.fd(), POLLIN, 0};
+            const int rc = ::poll(&p, 1, 1000);
+            if (rc < 0 && errno != EINTR)
+                break;
+            if (rc > 0 &&
+                (p.revents & (POLLIN | POLLHUP | POLLERR)))
+                ch.readSome();
+        }
+        if (!assigned) {
+            ch.close();
+            if (!interruptRequested())
+                sleepRetry(opts.retrySeconds);
+            continue;
+        }
+
+        SnapshotReader r(body);
+        WorkerConfig cfg;
+        cfg.jobId = r.getU64();
+        cfg.nonce = r.getU64();
+        cfg.index = r.getU32();
+        cfg.count = r.getU32();
+        cfg.heartbeatSeconds = r.getF64();
+        cfg.resumeEpoch = r.getU64();
+        cfg.resumeParts = r.getU32();
+        const std::string coordDir = getString(r);
+        if (!r.ok() || !JobSpec::decode(r, cfg.spec)) {
+            neo_warn("malformed Assign frame; rejoining");
+            ch.close();
+            continue;
+        }
+        // The worker dials its own authenticated connection; the
+        // pool link's job is done.
+        ch.close();
+        cfg.coordAddr = opts.coordAddr;
+        cfg.partDir =
+            opts.stateDir.empty() ? coordDir : opts.stateDir;
+        neo_inform("assigned job ", cfg.jobId, " slot ", cfg.index,
+                   "/", cfg.count, ": ", cfg.spec.summary());
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            neo_warn("fork: ", std::strerror(errno));
+            sleepRetry(opts.retrySeconds);
+            continue;
+        }
+        if (pid == 0)
+            runWorkerProcess(cfg, WorkerEndpoints()); // never returns
+
+        int st = 0;
+        for (;;) {
+            const pid_t rc = ::waitpid(pid, &st, 0);
+            if (rc == pid)
+                break;
+            if (rc < 0 && errno == EINTR) {
+                if (interruptRequested()) {
+                    ::kill(pid, SIGKILL);
+                    ::waitpid(pid, &st, 0);
+                    return kExitClean;
+                }
+                continue;
+            }
+            break;
+        }
+        if (WIFSIGNALED(st))
+            neo_inform("worker for job ", cfg.jobId,
+                       " killed by signal ", WTERMSIG(st),
+                       "; rejoining the pool");
+        else
+            neo_inform("worker for job ", cfg.jobId,
+                       " exited with status ", WEXITSTATUS(st),
+                       "; rejoining the pool");
+    }
+    return kExitClean;
 }
 
 } // namespace neo

@@ -31,7 +31,8 @@
 namespace neo
 {
 
-/** Inherited file descriptors of a freshly forked worker. */
+/** Inherited file descriptors of a freshly forked worker. Empty (all
+ *  -1) in TCP star mode, where the worker dials the coordinator. */
 struct WorkerEndpoints
 {
     /** Coordinator control socket (pings, barriers, verdicts). */
@@ -53,7 +54,41 @@ struct WorkerConfig
      *  keeps only the states it owns under the new W (reshard). */
     std::uint64_t resumeEpoch = 0;
     std::uint32_t resumeParts = 0;
+
+    /** TCP star mode: non-empty makes the worker dial this address,
+     *  authenticate with Hello{jobId, nonce, index}, wait for the
+     *  Start barrier, and route foreign states through the
+     *  coordinator relay (StatesTo) instead of a peer mesh. */
+    std::string coordAddr;
+    std::uint64_t jobId = 0;
+    /** Per-attempt nonce: a Hello from a stale attempt (pre-retry
+     *  fork, delayed proxy bytes) authenticates against the wrong
+     *  epoch and is refused, so it can never pollute the successor
+     *  attempt's fixpoint accounting. */
+    std::uint64_t nonce = 0;
+    /** Coordinator heartbeat, sizing the worker-side read deadline:
+     *  a link silent for ~10 heartbeats means the coordinator (or
+     *  the path to it) is gone, and the worker exits rather than
+     *  explore into the void. */
+    double heartbeatSeconds = 1.0;
 };
+
+/** Pool agent (neoverify --join <host:port>): offers this box to the
+ *  coordinator, forks one worker per Assign, reconnects after each.
+ *  Runs until interrupted. */
+struct JoinOptions
+{
+    std::string coordAddr;
+    /** Local partition directory. Non-empty advertises resume
+     *  capability (canResume) — only meaningful when it names the
+     *  same storage the coordinator's state dir lives on. */
+    std::string stateDir;
+    /** Reconnect delay after a refused/failed connection. */
+    double retrySeconds = 1.0;
+};
+
+/** @return a process exit code (clean on interrupt). */
+int runJoinAgent(const JoinOptions &opts);
 
 /** Build the model a JobSpec names. @p err non-empty (and an empty
  *  system returned) when the spec is unknown — the coordinator calls
@@ -68,6 +103,10 @@ TransitionSystem buildJobModel(const JobSpec &spec, ModelShape &shape,
 /** Worker _exit codes the coordinator distinguishes in logs. */
 inline constexpr int kWorkerExitInjectedCrash = 113;
 inline constexpr int kWorkerExitSetupFailed = 114;
+/** TCP link to the coordinator went silent, stalled, or corrupted:
+ *  the worker removes itself rather than explore into the void (the
+ *  coordinator independently fails the attempt from its side). */
+inline constexpr int kWorkerExitLinkLost = 115;
 
 } // namespace neo
 

@@ -311,6 +311,161 @@ TEST(JobQueue, CancelIsJournalFirstAndSurvivesReplay)
 }
 
 // ---------------------------------------------------------------
+// Journal compaction + group commit
+// ---------------------------------------------------------------
+
+/** Drive identical mutation histories into two queues. */
+void
+driveHistory(JobQueue &q, bool compactMidway)
+{
+    JobSpec big;
+    big.features = "german";
+    big.n = 5;
+    JobSpec small;
+    small.features = "msi";
+    small.system = "closed";
+    small.n = 2;
+    small.workers = 2;
+    const std::uint64_t j1 = q.submit(big);
+    const std::uint64_t j2 = q.submit(small);
+    const std::uint64_t j3 = q.submit(big);
+    const std::uint64_t j4 = q.submit(small);
+
+    q.markStarted(*q.find(j1), 4);
+    CkptManifest m;
+    m.epoch = 3;
+    m.parts = 4;
+    m.states = 1000;
+    m.transitions = 9000;
+    m.invariantChecks = 5000;
+    m.seconds = 1.5;
+    q.recordCheckpoint(*q.find(j1), m);
+    q.failAttempt(*q.find(j1), "worker died", 3, 10.0);
+
+    if (compactMidway)
+        q.compactNow();
+
+    q.markStarted(*q.find(j2), 2);
+    JobResult res;
+    res.statusCode = 1; // Verified
+    res.states = 4321;
+    res.transitions = 87654;
+    res.invariantChecks = 13000;
+    res.seconds = 0.25;
+    res.detail = "fixpoint";
+    q.markDone(*q.find(j2), res);
+    q.cancel(j3);
+    q.markStarted(*q.find(j4), 2);
+
+    if (compactMidway)
+        q.compactNow();
+}
+
+void
+expectSameJobTable(JobQueue &a, JobQueue &b)
+{
+    ASSERT_EQ(a.jobs().size(), b.jobs().size());
+    for (const auto &[id, ja] : a.jobs()) {
+        const Job *jb = b.find(id);
+        ASSERT_NE(jb, nullptr) << "job " << id << " lost";
+        EXPECT_EQ(ja.state, jb->state) << "job " << id;
+        EXPECT_EQ(ja.attempts, jb->attempts) << "job " << id;
+        EXPECT_EQ(ja.nextWorkers, jb->nextWorkers) << "job " << id;
+        EXPECT_EQ(ja.spec.summary(), jb->spec.summary());
+        EXPECT_EQ(ja.spec.workers, jb->spec.workers);
+        EXPECT_EQ(ja.ckpt.epoch, jb->ckpt.epoch);
+        EXPECT_EQ(ja.ckpt.parts, jb->ckpt.parts);
+        EXPECT_EQ(ja.ckpt.states, jb->ckpt.states);
+        EXPECT_EQ(ja.ckpt.transitions, jb->ckpt.transitions);
+        EXPECT_EQ(ja.result.statusCode, jb->result.statusCode);
+        EXPECT_EQ(ja.result.states, jb->result.states);
+        EXPECT_EQ(ja.result.transitions, jb->result.transitions);
+        EXPECT_EQ(ja.result.detail, jb->result.detail);
+        EXPECT_EQ(ja.lastFailure, jb->lastFailure);
+    }
+    EXPECT_EQ(a.maxEpochSeen(), b.maxEpochSeen());
+}
+
+TEST(JobQueue, CompactionPreservesReplayEquivalence)
+{
+    DirGuard d(tempDir("neoc"));
+    const std::string pathA = d.path + "/a.neoj";
+    const std::string pathB = d.path + "/b.neoj";
+    {
+        JobQueue a(3, 10.0), b(3, 10.0);
+        std::string err;
+        ASSERT_TRUE(a.open(pathA, 0.0, err)) << err;
+        ASSERT_TRUE(b.open(pathB, 0.0, err)) << err;
+        driveHistory(a, /*compactMidway=*/true);
+        driveHistory(b, /*compactMidway=*/false);
+    }
+    // The differential heart: a queue replayed from the compacted
+    // journal must be indistinguishable from one replayed from the
+    // full record-by-record history — including the resolution of
+    // job 4's unmatched START into a failed attempt.
+    JobQueue a(3, 10.0), b(3, 10.0);
+    std::string err;
+    ASSERT_TRUE(a.open(pathA, 100.0, err)) << err;
+    ASSERT_TRUE(b.open(pathB, 100.0, err)) << err;
+    expectSameJobTable(a, b);
+}
+
+TEST(JobQueue, SizeTriggeredCompactionBoundsTheJournal)
+{
+    DirGuard d(tempDir("neoc"));
+    JobQueue q(1000000, 0.0);
+    std::string err;
+    ASSERT_TRUE(q.open(d.path + "/j.neoj", 0.0, err)) << err;
+    q.setGroupCommit(true);
+    q.setCompactionThreshold(16 * 1024);
+    JobSpec spec;
+    const std::uint64_t id = q.submit(spec);
+    // A start/fail loop appends forever; the snapshot it folds into
+    // stays one job big, so the journal must stay near the threshold
+    // instead of growing without bound.
+    for (int i = 0; i < 2000; ++i) {
+        q.markStarted(*q.find(id), 2);
+        q.failAttempt(*q.find(id), "kaboom", 2, 0.0);
+        q.commit();
+    }
+    EXPECT_LT(q.journalBytes(), 64u * 1024u);
+    // And what survives is still the truth.
+    JobQueue q2(1000000, 0.0);
+    ASSERT_TRUE(q2.open(d.path + "/j.neoj", 0.0, err)) << err;
+    Job *job = q2.find(id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->attempts, 2000u);
+}
+
+TEST(JobJournal, GroupCommitFlushesABurstAndReplaysAllOfIt)
+{
+    DirGuard d(tempDir("neog"));
+    const std::string path = d.path + "/j.neoj";
+    {
+        JobJournal j;
+        std::string err;
+        ASSERT_TRUE(j.open(path, err)) << err;
+        for (int i = 0; i < 100; ++i) {
+            SnapshotWriter w;
+            w.putU64(static_cast<std::uint64_t>(i));
+            ASSERT_TRUE(j.append(1, w.take(), /*sync=*/false));
+        }
+        ASSERT_TRUE(j.sync()); // one fsync covers the burst
+    }
+    JobJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path, err)) << err;
+    std::uint64_t expect = 0;
+    ASSERT_TRUE(j.replay(
+        [&](std::uint8_t, SnapshotReader &r) {
+            EXPECT_EQ(r.getU64(), expect++);
+        },
+        err))
+        << err;
+    EXPECT_EQ(expect, 100u);
+}
+
+// ---------------------------------------------------------------
 // Wire protocol
 // ---------------------------------------------------------------
 
@@ -415,6 +570,140 @@ TEST(Wire, JobSpecEncodesLosslessly)
     EXPECT_EQ(out.maxStates, spec.maxStates);
     EXPECT_DOUBLE_EQ(out.maxSeconds, spec.maxSeconds);
     EXPECT_EQ(out.crashAfter, spec.crashAfter);
+}
+
+// ---------------------------------------------------------------
+// Wire fuzz: mutated byte streams against the frame reader
+// ---------------------------------------------------------------
+
+struct SplitMix
+{
+    std::uint64_t s;
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+};
+
+TEST(WireFuzz, RandomChunkingAloneIsLossless)
+{
+    SplitMix rng{0xc0ffee};
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<std::vector<std::uint8_t>> bodies;
+        std::vector<std::uint8_t> stream;
+        const int nf = 1 + static_cast<int>(rng.next() % 6);
+        for (int f = 0; f < nf; ++f) {
+            std::vector<std::uint8_t> body(rng.next() % 300);
+            for (auto &b : body)
+                b = static_cast<std::uint8_t>(rng.next());
+            const auto frame = encodeFrame(MsgType::Pong, body);
+            stream.insert(stream.end(), frame.begin(), frame.end());
+            bodies.push_back(std::move(body));
+        }
+        FrameReader r;
+        std::size_t pos = 0, got = 0;
+        MsgType type;
+        std::vector<std::uint8_t> out;
+        while (pos < stream.size()) {
+            const std::size_t chunk = std::min<std::size_t>(
+                1 + rng.next() % 97, stream.size() - pos);
+            r.feed(stream.data() + pos, chunk);
+            pos += chunk;
+            while (r.next(type, out)) {
+                ASSERT_LT(got, bodies.size());
+                EXPECT_EQ(out, bodies[got]);
+                ++got;
+            }
+        }
+        EXPECT_EQ(got, bodies.size());
+        EXPECT_FALSE(r.corrupt());
+    }
+}
+
+TEST(WireFuzz, MutatedStreamsYieldOnlyIntactPrefixesThenLatch)
+{
+    // Property fuzz over the framing layer: whatever a lossy or
+    // malicious link does to the byte stream — bit flips, mid-frame
+    // truncation, inserted garbage, a length field pointing past any
+    // sane allocation — the reader must (a) deliver every frame that
+    // ends before the damage byte-for-byte intact, (b) never deliver
+    // a damaged frame, and (c) once corrupt, stay corrupt even when
+    // pristine frames follow. No crashes, no unbounded allocation.
+    SplitMix rng{0x5eedf00d};
+    for (int iter = 0; iter < 400; ++iter) {
+        std::vector<std::vector<std::uint8_t>> bodies;
+        std::vector<std::size_t> frameEnd;
+        std::vector<std::uint8_t> stream;
+        const int nf = 1 + static_cast<int>(rng.next() % 6);
+        for (int f = 0; f < nf; ++f) {
+            std::vector<std::uint8_t> body(rng.next() % 300);
+            for (auto &b : body)
+                b = static_cast<std::uint8_t>(rng.next());
+            const auto frame = encodeFrame(MsgType::StatesTo, body);
+            stream.insert(stream.end(), frame.begin(), frame.end());
+            frameEnd.push_back(stream.size());
+            bodies.push_back(std::move(body));
+        }
+
+        const std::size_t off = rng.next() % stream.size();
+        const int kind = static_cast<int>(rng.next() % 4);
+        switch (kind) {
+        case 0: // bit flip
+            stream[off] ^= static_cast<std::uint8_t>(
+                1u << (rng.next() % 8));
+            break;
+        case 1: // truncate mid-frame (the chaos proxy's trunc fault)
+            stream.resize(off);
+            break;
+        case 2: // inserted garbage byte
+            stream.insert(
+                stream.begin() + static_cast<std::ptrdiff_t>(off),
+                static_cast<std::uint8_t>(rng.next()));
+            break;
+        default: // oversized/garbage length field
+            for (std::size_t i = off;
+                 i < std::min(off + 4, stream.size()); ++i)
+                stream[i] = 0xff;
+            break;
+        }
+
+        FrameReader r;
+        std::size_t pos = 0, got = 0;
+        MsgType type;
+        std::vector<std::uint8_t> out;
+        while (pos < stream.size()) {
+            const std::size_t chunk = std::min<std::size_t>(
+                1 + rng.next() % 97, stream.size() - pos);
+            r.feed(stream.data() + pos, chunk);
+            pos += chunk;
+            while (r.next(type, out)) {
+                // (a)+(b): anything yielded from before the damage
+                // must be the original, bit for bit.
+                if (got < frameEnd.size() && frameEnd[got] <= off) {
+                    EXPECT_EQ(type, MsgType::StatesTo);
+                    EXPECT_EQ(out, bodies[got]);
+                }
+                ++got;
+            }
+            if (r.corrupt())
+                break;
+        }
+        // Every frame wholly before the damage must have come out.
+        std::size_t intact = 0;
+        while (intact < frameEnd.size() && frameEnd[intact] <= off)
+            ++intact;
+        EXPECT_GE(got, intact) << "iter " << iter;
+        // (c): a latched reader ignores even a pristine frame.
+        if (r.corrupt()) {
+            const auto fine = encodeFrame(MsgType::Ping, {});
+            r.feed(fine.data(), fine.size());
+            EXPECT_FALSE(r.next(type, out));
+        }
+    }
 }
 
 // ---------------------------------------------------------------
@@ -843,6 +1132,27 @@ TEST(Service, PoisonJobQuarantinesWithTheDedicatedExitCode)
     EXPECT_NE(out.find("QUARANTINED"), std::string::npos) << out;
 }
 
+TEST(Service, WaiterOutlivesRetryBackoffOnProgressPulses)
+{
+    // A job parked in exponential backoff has no attempt and thus no
+    // ping rounds ticking progress; the coordinator must still pulse
+    // its waiters, or a --net-timeout shorter than the backoff gap
+    // expires against a perfectly healthy queue (exit 7 where the
+    // truth is exit 6). Both gaps here (1.5 s, 3 s) dwarf the 700 ms
+    // read deadline — only backoff-phase frames can keep it fed.
+    ServiceFixture svc("--workers 2 --retries 3 --backoff 1500ms"
+                       " --progress-every 200ms");
+    std::string out;
+    const int rc = svc.client("--submit --features german --n 4"
+                              " --inject-crash-after 200"
+                              " --wait 0 --net-timeout 700ms",
+                              out);
+    svc.stop();
+    EXPECT_EQ(rc, kExitQuarantined) << out;
+    EXPECT_NE(out.find("phase=backoff"), std::string::npos) << out;
+    EXPECT_NE(out.find("QUARANTINED"), std::string::npos) << out;
+}
+
 TEST(Service, CancelledPendingJobReportsInterrupted)
 {
     ServiceFixture svc("--workers 2");
@@ -880,6 +1190,152 @@ TEST(Service, SubmitRejectsUnknownModelAtTheDoor)
         svc.client("--submit --features bogus --wait 0", out);
     svc.stop();
     EXPECT_EQ(rc, kExitUsage) << out;
+}
+
+// ---------------------------------------------------------------
+// Concurrent attempts (--max-jobs)
+// ---------------------------------------------------------------
+
+/** Per-job status scrape: the "states=N" on job @p id's RUNNING line
+ *  (~0 when the job has no such line). */
+std::uint64_t
+runningStates(const std::string &status, int id)
+{
+    const std::string head = "job " + std::to_string(id) + " ";
+    const auto at = status.find(head);
+    if (at == std::string::npos)
+        return ~0ULL;
+    const auto eol = status.find('\n', at);
+    const std::string line = status.substr(at, eol - at);
+    if (line.find("RUNNING") == std::string::npos)
+        return ~0ULL;
+    return scrapeCount(line, "states");
+}
+
+TEST(Service, ConcurrentJobsInterleaveProgressAndBothFinishExactly)
+{
+    ServiceFixture svc("--workers 2 --max-jobs 2");
+    std::string out;
+    ASSERT_EQ(svc.client("--submit --features german --n 5", out), 0)
+        << out;
+    ASSERT_EQ(svc.client("--submit --features german --n 5", out), 0)
+        << out;
+
+    // Interleaving proof: one status snapshot showing BOTH attempts
+    // mid-exploration (running, each with progress of its own).
+    bool interleaved = false;
+    for (int i = 0; i < 200 && !interleaved; ++i) {
+        ASSERT_EQ(svc.client("--status", out), 0) << out;
+        const std::uint64_t s1 = runningStates(out, 1);
+        const std::uint64_t s2 = runningStates(out, 2);
+        interleaved = s1 != ~0ULL && s2 != ~0ULL && s1 > 0 && s2 > 0;
+        if (!interleaved)
+            ::usleep(20 * 1000);
+    }
+    EXPECT_TRUE(interleaved)
+        << "jobs never ran concurrently:\n" << out;
+
+    ASSERT_EQ(svc.client("--wait 1", out), 0) << out;
+    const ExploreResult ref = germanReference(5);
+    EXPECT_EQ(scrapeCount(out, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(out, "transitions"), ref.transitionsFired);
+    const int rc = svc.client("--wait 2", out);
+    svc.stop();
+    ASSERT_EQ(rc, 0) << out;
+    EXPECT_EQ(scrapeCount(out, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(out, "transitions"), ref.transitionsFired);
+}
+
+TEST(Service, SigkilledCoordinatorWithConcurrentJobsReplaysExactlyOnce)
+{
+    ServiceFixture svc(
+        "--workers 2 --max-jobs 2 --checkpoint-every 300ms");
+    std::string out;
+    ASSERT_EQ(svc.client("--submit --features german --n 5", out), 0);
+    ASSERT_EQ(svc.client("--submit --features german --n 4", out), 0);
+    ASSERT_EQ(svc.client("--submit --features msi --system closed"
+                         " --n 2",
+                         out),
+              0);
+    // Kill the coordinator while (at least) two attempts are live.
+    ::usleep(400 * 1000);
+    svc.stop(); // SIGKILL, no goodbye
+
+    const pid_t drainer = spawnNeoverify(
+        {"--serve", svc.sock, "--state-dir", svc.dir + "/state",
+         "--workers", "2", "--max-jobs", "2", "--heartbeat", "100ms",
+         "--backoff", "100ms", "--drain"},
+        svc.dir + "/serve.log");
+    ASSERT_GT(drainer, 0);
+    int st = -1;
+    ASSERT_EQ(::waitpid(drainer, &st, 0), drainer);
+    ASSERT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0)
+        << "drain exited " << st;
+
+    std::string dump;
+    const std::string dumpCmd = std::string(NEOVERIFY_BIN) +
+                                " --journal " + svc.dir +
+                                "/state/journal.neoj 2>&1";
+    FILE *p = ::popen(dumpCmd.c_str(), "r");
+    ASSERT_NE(p, nullptr);
+    char buf[4096];
+    while (std::fgets(buf, sizeof buf, p) != nullptr)
+        dump += buf;
+    ::pclose(p);
+    for (int jobId = 1; jobId <= 3; ++jobId) {
+        const std::string needle =
+            "DONE job=" + std::to_string(jobId) + " ";
+        std::size_t count = 0;
+        for (std::size_t at = dump.find(needle);
+             at != std::string::npos;
+             at = dump.find(needle, at + 1))
+            ++count;
+        EXPECT_EQ(count, 1u)
+            << "job " << jobId << " finished " << count << " times\n"
+            << dump;
+    }
+}
+
+TEST(Service, PoisonJobDoesNotStarveItsNeighbor)
+{
+    ServiceFixture svc(
+        "--workers 2 --max-jobs 2 --retries 2 --backoff 50ms");
+    std::string out;
+    // Job 1 is deterministic poison: it crash-loops through its
+    // retries. Job 2, admitted concurrently, must sail past it.
+    ASSERT_EQ(svc.client("--submit --features german --n 4"
+                         " --inject-crash-after 200",
+                         out),
+              0)
+        << out;
+    ASSERT_EQ(svc.client("--submit --features german --n 4", out), 0)
+        << out;
+    ASSERT_EQ(svc.client("--wait 2", out), 0) << out;
+    const ExploreResult ref = germanReference(4);
+    EXPECT_EQ(scrapeCount(out, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(out, "transitions"), ref.transitionsFired);
+    const int rc = svc.client("--wait 1", out);
+    svc.stop();
+    EXPECT_EQ(rc, kExitQuarantined) << out;
+    EXPECT_NE(out.find("QUARANTINED"), std::string::npos) << out;
+}
+
+TEST(Service, WaitStreamsProgressFrames)
+{
+    ServiceFixture svc("--workers 2 --progress-every 150ms");
+    std::string out;
+    const int rc = svc.client(
+        "--submit --features german --n 5 --wait 0", out);
+    svc.stop();
+    ASSERT_EQ(rc, 0) << out;
+    // At least one streamed progress line preceded the verdict, and
+    // the progress spelling must never collide with the verdict's
+    // exact "states=" counters that scrapers key on.
+    EXPECT_NE(out.find("progress job=1 phase="), std::string::npos)
+        << out;
+    const ExploreResult ref = germanReference(5);
+    EXPECT_EQ(scrapeCount(out, "states"), ref.statesExplored);
+    EXPECT_EQ(scrapeCount(out, "transitions"), ref.transitionsFired);
 }
 
 TEST(Service, ConnectFailureUsesTheServiceUnavailableExit)

@@ -17,15 +17,18 @@
 #include <cstdio>
 #include <string>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "sim/cli_parse.hpp"
 #include "sim/exit_codes.hpp"
 #include "sim/io_retry.hpp"
 #include "verif/checkpoint.hpp"
+#include "verif/service/chaos_proxy.hpp"
 #include "verif/service/coordinator.hpp"
 #include "verif/service/job_queue.hpp"
 #include "verif/service/wire.hpp"
+#include "verif/service/worker.hpp"
 #include "verif/explorer.hpp"
 #include "verif/models/flat_closed.hpp"
 #include "verif/models/flat_open.hpp"
@@ -105,8 +108,38 @@ usage()
         "  --backoff DUR     first retry delay, doubling (default .5s)\n"
         "  --checkpoint-every DUR   barrier interval while serving\n"
         "                    (default 5s; 0 disables)\n"
+        "  --max-jobs N      attempts run concurrently (default 1);\n"
+        "                    each gets its own isolated worker set\n"
+        "  --progress-every DUR   streaming progress interval for\n"
+        "                    --wait clients (default 1s; 0 disables)\n"
+        "  --journal-compact-bytes B   rewrite the journal as one\n"
+        "                    snapshot record once it exceeds B\n"
+        "                    (default 8M; 0 disables)\n"
+        "multi-box worker pools (TCP beside the unix socket):\n"
+        "  --listen H:P      also accept TCP; attempts then run in\n"
+        "                    star topology (workers dial back and the\n"
+        "                    coordinator relays state batches); the\n"
+        "                    resolved address lands in\n"
+        "                    STATE-DIR/tcp-addr (port 0 = pick one)\n"
+        "  --advertise H:P   address workers are told to dial\n"
+        "                    (default: the resolved listen address;\n"
+        "                    tests point it at a chaos proxy)\n"
+        "  --join H:P        run a worker-pool agent: offer this box\n"
+        "                    to the coordinator at H:P, fork one\n"
+        "                    worker per assignment, reconnect after\n"
+        "                    each; --state-dir advertises shared\n"
+        "                    partition storage for resume\n"
+        "network chaos (deterministic fault-injecting TCP proxy):\n"
+        "  --chaos-proxy H:P listen here, forward to --upstream, and\n"
+        "                    mangle bytes on the --chaos schedule;\n"
+        "                    prints the bound address, runs until\n"
+        "                    interrupted, echoes each fault to stderr\n"
+        "  --upstream H:P    where the proxy forwards\n"
+        "  --chaos SPEC      seed=..,every=..,drop/dup/trunc/sever/\n"
+        "                    delay=weights,delayms=..,span=..,skip=..\n"
         "client verbs (need --sock SOCK; composable in this order):\n"
-        "  --sock SOCK       coordinator socket to talk to\n"
+        "  --sock SOCK       coordinator socket: a unix path, or\n"
+        "                    host:port to reach it over TCP\n"
         "  --submit          submit the job the model flags describe\n"
         "  --cancel ID       cancel a pending or running job\n"
         "  --drain           finish queued jobs, then exit the server\n"
@@ -114,7 +147,15 @@ usage()
         "  --status          print the job table (running jobs list\n"
         "                    worker pids)\n"
         "  --wait ID         block for job ID's verdict and exit with\n"
-        "                    its code (0 = the job --submit just sent)\n"
+        "                    its code (0 = the job --submit just\n"
+        "                    sent); streams progress lines meanwhile\n"
+        "  --job-workers N   worker count for --submit (overrides the\n"
+        "                    server's --workers for this job)\n"
+        "  --net-timeout DUR client I/O deadline: connect, each\n"
+        "                    request, each reply; a coordinator\n"
+        "                    silent past DUR exits 7 (default: wait\n"
+        "                    forever; keep DUR above the server's\n"
+        "                    --progress-every when using --wait)\n"
         "  --journal PATH    dump a job journal, one record per line\n"
         "  --inject-crash-after N   fault injection: each worker dies\n"
         "                    after N fresh states (tests quarantine)\n"
@@ -166,12 +207,35 @@ struct ClientVerbs
     }
 };
 
+const char *
+progressPhaseName(unsigned phase)
+{
+    switch (phase) {
+    case 0:
+        return "run";
+    case 1:
+        return "quiesce";
+    case 2:
+        return "checkpoint";
+    case 3:
+        return "finish";
+    case kProgressPhaseBackoff:
+        return "backoff";
+    default:
+        return "?";
+    }
+}
+
 int
 runClient(const std::string &sock, const ClientVerbs &verbs,
-          const JobSpec &spec)
+          const JobSpec &spec, double netTimeout)
 {
     std::string err;
-    const int fd = connectUnix(sock, err);
+    const int fd =
+        looksLikeTcpAddress(sock)
+            ? connectTcp(sock, err,
+                         netTimeout > 0.0 ? netTimeout : 10.0)
+            : connectUnix(sock, err);
     if (fd < 0) {
         std::fprintf(stderr, "neoverify: %s\n", err.c_str());
         return kExitServiceUnavailable;
@@ -180,11 +244,13 @@ runClient(const std::string &sock, const ClientVerbs &verbs,
     std::vector<std::uint8_t> body;
     auto roundTrip = [&](MsgType req,
                          const std::vector<std::uint8_t> &b) {
-        if (sendFrameBlocking(fd, req, b) &&
-            recvFrameBlocking(fd, type, body))
+        if (sendFrameDeadline(fd, req, b, netTimeout) &&
+            recvFrameDeadline(fd, type, body, netTimeout))
             return true;
-        std::fprintf(stderr,
-                     "neoverify: lost the coordinator mid-request\n");
+        std::fprintf(stderr, "neoverify: lost the coordinator "
+                             "mid-request%s\n",
+                     netTimeout > 0.0 ? " (or the deadline expired)"
+                                      : "");
         return false;
     };
     auto bail = [&](int code) {
@@ -244,19 +310,93 @@ runClient(const std::string &sock, const ClientVerbs &verbs,
         }
         SnapshotWriter w;
         w.putU64(id);
-        if (!roundTrip(MsgType::ReqWait, w.take()))
+        if (!sendFrameDeadline(fd, MsgType::ReqWait, w.take(),
+                               netTimeout)) {
+            std::fprintf(stderr,
+                         "neoverify: lost the coordinator "
+                         "mid-request\n");
             return bail(kExitServiceUnavailable);
-        SnapshotReader r(body);
-        if (type == MsgType::RspErr) {
-            std::fprintf(stderr, "neoverify: %s\n",
-                         getString(r).c_str());
-            return bail(kExitUsage);
         }
-        const int code = r.getU8();
-        std::printf("%s\n", getString(r).c_str());
-        return bail(code);
+        // The verdict arrives after zero or more streamed progress
+        // frames; print those as they land (without the `states=` /
+        // `transitions=` spelling the final verdict line owns, so
+        // scrapers keying on it still find the exact counts first).
+        for (;;) {
+            if (!recvFrameDeadline(fd, type, body, netTimeout)) {
+                std::fprintf(
+                    stderr,
+                    "neoverify: lost the coordinator while "
+                    "waiting%s\n",
+                    netTimeout > 0.0 ? " (or the deadline expired)"
+                                     : "");
+                return bail(kExitServiceUnavailable);
+            }
+            SnapshotReader r(body);
+            if (type == MsgType::RspErr) {
+                std::fprintf(stderr, "neoverify: %s\n",
+                             getString(r).c_str());
+                return bail(kExitUsage);
+            }
+            if (type == MsgType::RspProgress) {
+                const std::uint64_t jid = r.getU64();
+                const unsigned phase = r.getU8();
+                const std::uint64_t st = r.getU64();
+                const std::uint64_t tr = r.getU64();
+                const double secs = r.getF64();
+                std::printf("progress job=%llu phase=%s "
+                            "states~%llu transitions~%llu "
+                            "elapsed=%.1fs\n",
+                            static_cast<unsigned long long>(jid),
+                            progressPhaseName(phase),
+                            static_cast<unsigned long long>(st),
+                            static_cast<unsigned long long>(tr),
+                            secs);
+                std::fflush(stdout);
+                continue;
+            }
+            const int code = r.getU8();
+            std::printf("%s\n", getString(r).c_str());
+            return bail(code);
+        }
     }
     return bail(kExitClean);
+}
+
+/** Standalone chaos proxy (neoverify --chaos-proxy): runs until
+ *  interrupted, echoing each injected fault to stderr. */
+int
+runChaosProxyCli(const std::string &listen,
+                 const std::string &upstream,
+                 const std::string &specText)
+{
+    ChaosSpec spec;
+    std::string err;
+    if (!specText.empty() && !ChaosSpec::parse(specText, spec, err))
+        neo_fatal("--chaos: ", err);
+    ChaosProxy proxy;
+    proxy.setEcho(stderr);
+    if (!proxy.start(listen, upstream, spec, err))
+        neo_fatal("--chaos-proxy: ", err);
+    // The bound address on stdout is the contract scripts rely on
+    // (port 0 in --chaos-proxy means the kernel picked the port).
+    std::printf("%s\n", proxy.boundAddress().c_str());
+    std::fflush(stdout);
+    std::fprintf(stderr, "chaos-proxy %s -> %s (%s)\n",
+                 proxy.boundAddress().c_str(), upstream.c_str(),
+                 spec.summary().c_str());
+    installInterruptHandlers();
+    while (!interruptRequested())
+        ::poll(nullptr, 0, 200);
+    proxy.stop();
+    std::fprintf(stderr,
+                 "chaos-proxy: %llu connection%s, %llu fault%s\n",
+                 static_cast<unsigned long long>(
+                     proxy.connectionsAccepted()),
+                 proxy.connectionsAccepted() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(
+                     proxy.faultsInjected()),
+                 proxy.faultsInjected() == 1 ? "" : "s");
+    return kExitClean;
 }
 
 } // namespace
@@ -287,6 +427,10 @@ main(int argc, char **argv)
     std::string journalPath;
     ClientVerbs verbs;
     std::uint64_t crashAfter = 0;
+    std::string joinAddr;
+    std::string chaosListen, chaosUpstream, chaosSpecText;
+    double netTimeout = 0.0;
+    std::uint32_t jobWorkers = 0;
 
     ignoreSigpipe();
 
@@ -389,6 +533,47 @@ main(int argc, char **argv)
                 neo_fatal("--retries needs a value >= 1");
         } else if (arg == "--backoff") {
             serve.backoffSeconds = parseSecondsOrDie(arg, next());
+        } else if (arg == "--max-jobs") {
+            serve.maxJobs =
+                static_cast<unsigned>(parseU64OrDie(arg, next()));
+            if (serve.maxJobs == 0)
+                neo_fatal("--max-jobs needs a value >= 1");
+        } else if (arg == "--progress-every") {
+            serve.progressEverySeconds =
+                parseSecondsOrDie(arg, next());
+        } else if (arg == "--journal-compact-bytes") {
+            serve.journalCompactBytes = parseU64OrDie(arg, next());
+        } else if (arg == "--listen") {
+            serve.listenAddr = next();
+            if (!looksLikeTcpAddress(serve.listenAddr))
+                neo_fatal("--listen needs host:port");
+        } else if (arg == "--advertise") {
+            serve.advertiseAddr = next();
+            if (!looksLikeTcpAddress(serve.advertiseAddr))
+                neo_fatal("--advertise needs host:port");
+        } else if (arg == "--join") {
+            joinAddr = next();
+            if (!looksLikeTcpAddress(joinAddr))
+                neo_fatal("--join needs host:port");
+        } else if (arg == "--chaos-proxy") {
+            chaosListen = next();
+            if (!looksLikeTcpAddress(chaosListen))
+                neo_fatal("--chaos-proxy needs host:port");
+        } else if (arg == "--upstream") {
+            chaosUpstream = next();
+            if (!looksLikeTcpAddress(chaosUpstream))
+                neo_fatal("--upstream needs host:port");
+        } else if (arg == "--chaos") {
+            chaosSpecText = next();
+        } else if (arg == "--net-timeout") {
+            netTimeout = parseSecondsOrDie(arg, next());
+            if (netTimeout <= 0.0)
+                neo_fatal("--net-timeout needs a positive duration");
+        } else if (arg == "--job-workers") {
+            jobWorkers = static_cast<std::uint32_t>(
+                parseU64OrDie(arg, next()));
+            if (jobWorkers == 0)
+                neo_fatal("--job-workers needs a value >= 1");
         } else if (arg == "--sock") {
             clientSock = next();
         } else if (arg == "--submit") {
@@ -433,6 +618,23 @@ main(int argc, char **argv)
             neo_fatal("--journal: ", err);
         return kExitClean;
     }
+    if (!chaosListen.empty() || !chaosUpstream.empty()) {
+        if (chaosListen.empty() || chaosUpstream.empty())
+            neo_fatal("--chaos-proxy and --upstream go together");
+        if (serving || !joinAddr.empty() || verbs.any())
+            neo_fatal("--chaos-proxy is a standalone mode");
+        return runChaosProxyCli(chaosListen, chaosUpstream,
+                                chaosSpecText);
+    }
+    if (!joinAddr.empty()) {
+        if (serving || verbs.any() || !clientSock.empty())
+            neo_fatal("--join is a standalone agent; it takes only "
+                      "--state-dir");
+        JoinOptions jopt;
+        jopt.coordAddr = joinAddr;
+        jopt.stateDir = serve.stateDir;
+        return runJoinAgent(jopt);
+    }
     if (serving) {
         if (verbs.submit || verbs.status || verbs.cancelGiven ||
             verbs.waitGiven || !clientSock.empty())
@@ -457,7 +659,8 @@ main(int argc, char **argv)
         spec.maxStates = lim.maxStates;
         spec.maxSeconds = lim.maxSeconds;
         spec.crashAfter = crashAfter;
-        return runClient(clientSock, verbs, spec);
+        spec.workers = jobWorkers;
+        return runClient(clientSock, verbs, spec, netTimeout);
     }
     if (!clientSock.empty())
         neo_fatal("--sock needs a client verb "
