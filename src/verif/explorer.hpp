@@ -70,6 +70,15 @@ struct ExploreLimits
     StoreTierOptions store = {};
     /** Parallel frontier implementation (ignored when threads <= 1). */
     FrontierKind frontier = FrontierKind::Ring;
+    /** Dependency-indexed successor generation (transition_system.hpp
+     *  RuleDepIndex): carry the parent's enabled-rule bitset with
+     *  each frontier item, re-evaluate only guards whose read-set
+     *  intersects the fired rule's write-set (gated on canonicalizer
+     *  identity), skip invariants the firing cannot have changed, and
+     *  fire flat effects in place. Counts stay bit-identical either
+     *  way — `--no-rule-index` keeps this old path alive as the
+     *  differential baseline. */
+    bool ruleIndex = true;
 };
 
 /** Hash functor over state bytes, delegating to stateHash()
@@ -144,6 +153,21 @@ struct ExploreResult
     /** Store regions shed to the mmap cold tier (LRU evictions plus
      *  memory-pressure sheds); 0 without --spill-dir. */
     std::uint64_t spillSheds = 0;
+    /** Guard predicates actually evaluated (full scans + delta
+     *  re-evaluations). Unlike invariantChecks this counts PHYSICAL
+     *  evaluations, so index-on vs index-off runs differ — that gap
+     *  is the point (see guardEvalsSkipped). */
+    std::uint64_t guardEvals = 0;
+    /** Guard evaluations the dependency index proved unnecessary
+     *  (bits copied from the parent instead of re-evaluated). */
+    std::uint64_t guardEvalsSkipped = 0;
+    /** Firings applied in place on the expansion scratch (flat
+     *  effect + undo log) instead of into a fresh state copy. */
+    std::uint64_t inPlaceFirings = 0;
+    /** Successors that were already their own canonical
+     *  representative, making the bitset delta sound (and, with a
+     *  CanonicalCheck, skipping the canonicalizer call outright). */
+    std::uint64_t canonIdentityHits = 0;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "leaf_canon.hpp"
+
 namespace neo::verif
 {
 
@@ -86,20 +88,13 @@ buildClosedModel(std::size_t n, const VerifFeatures &features,
     }
 
     // Canonical form: sort the leaf blocks lexicographically (leaves
-    // are identical and interchangeable — Neo's symmetry).
+    // are identical and interchangeable — Neo's symmetry). The exact
+    // sortedness predicate feeds the explorers' dependency-index
+    // identity gate (leaf_canon.hpp).
     const std::size_t shared_count = shape.sharedVars;
-    ts.setCanonicalizer([shared_count, n](VState &s) {
-        std::vector<std::array<std::uint8_t, leafBlockVars>> blocks(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            std::copy_n(s.begin() + shared_count + i * leafBlockVars,
-                        leafBlockVars, blocks[i].begin());
-        }
-        std::sort(blocks.begin(), blocks.end());
-        for (std::size_t i = 0; i < n; ++i) {
-            std::copy_n(blocks[i].begin(), leafBlockVars,
-                        s.begin() + shared_count + i * leafBlockVars);
-        }
-    });
+    ts.setCanonicalizer(
+        makeLeafSortCanonicalizer(shared_count, n, leafBlockVars),
+        makeLeafSortedCheck(shared_count, n, leafBlockVars));
 
     auto owner_of = [L, n](const VState &s) -> int {
         for (std::size_t j = 0; j < n; ++j)
@@ -636,34 +631,61 @@ buildClosedModel(std::size_t n, const VerifFeatures &features,
     // ---- Neo safety: the closed system's summary must never be bad.
     // Root Permission is M by construction, so safety reduces to the
     // leaves' pairwise MOESI compatibility (§2.4 requirement 2).
-    ts.addInvariant("NeoSafety_leafCompat", [L, n](const VState &s) {
-        for (std::size_t i = 0; i < n; ++i) {
-            const Perm pi = cacheStPerm(s[L[i].c]);
-            for (std::size_t j = i + 1; j < n; ++j) {
-                if (!permCompatible(pi, cacheStPerm(s[L[j].c])))
-                    return false;
-            }
-        }
-        return true;
-    });
+    // The declared read-set (each leaf's cache state, nothing else)
+    // lets the dependency index skip re-checking after firings that
+    // only move channel or directory bookkeeping.
+    {
+        std::vector<std::uint16_t> rd;
+        for (std::size_t i = 0; i < n; ++i)
+            rd.push_back(static_cast<std::uint16_t>(L[i].c));
+        ts.addInvariant(
+            "NeoSafety_leafCompat",
+            [L, n](const VState &s) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const Perm pi = cacheStPerm(s[L[i].c]);
+                    for (std::size_t j = i + 1; j < n; ++j) {
+                        if (!permCompatible(
+                                pi, cacheStPerm(s[L[j].c])))
+                            return false;
+                    }
+                }
+                return true;
+            },
+            std::move(rd));
+    }
 
     // Directory bookkeeping soundness: a leaf holding any permission
-    // must be tracked (metadata inclusion).
-    ts.addInvariant("DirTracksHolders", [L, n](const VState &s) {
+    // must be tracked (metadata inclusion). Reads each leaf's cache
+    // state, tracking bits and forward channel.
+    {
+        std::vector<std::uint16_t> rd;
         for (std::size_t i = 0; i < n; ++i) {
-            const Perm pi = cacheStPerm(s[L[i].c]);
-            if (pi != Perm::I && !s[L[i].sh] && !s[L[i].ow] &&
-                !s[L[i].rqst] && s[L[i].fw] == FW_None) {
-                // Mid-Put states and leaves with a demand in flight
-                // are legitimately untracked.
-                const auto c = s[L[i].c];
-                if (c != C_SIA && c != C_EIA && c != C_MIA &&
-                    c != C_OIA)
-                    return false;
-            }
+            rd.push_back(static_cast<std::uint16_t>(L[i].c));
+            rd.push_back(static_cast<std::uint16_t>(L[i].sh));
+            rd.push_back(static_cast<std::uint16_t>(L[i].ow));
+            rd.push_back(static_cast<std::uint16_t>(L[i].rqst));
+            rd.push_back(static_cast<std::uint16_t>(L[i].fw));
         }
-        return true;
-    });
+        ts.addInvariant(
+            "DirTracksHolders",
+            [L, n](const VState &s) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const Perm pi = cacheStPerm(s[L[i].c]);
+                    if (pi != Perm::I && !s[L[i].sh] &&
+                        !s[L[i].ow] && !s[L[i].rqst] &&
+                        s[L[i].fw] == FW_None) {
+                        // Mid-Put states and leaves with a demand in
+                        // flight are legitimately untracked.
+                        const auto c = s[L[i].c];
+                        if (c != C_SIA && c != C_EIA &&
+                            c != C_MIA && c != C_OIA)
+                            return false;
+                    }
+                }
+                return true;
+            },
+            std::move(rd));
+    }
 
     ts.setSummarizer([L, n](const VState &s) {
         std::vector<Perm> sums;

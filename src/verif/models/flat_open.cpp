@@ -4,6 +4,7 @@
 #include <array>
 #include <sstream>
 
+#include "leaf_canon.hpp"
 #include "verif/models/flat_closed.hpp"
 
 namespace neo::verif
@@ -436,18 +437,9 @@ buildOpenModel(std::size_t n, const VerifFeatures &features,
     }
 
     const std::size_t shared_count = shape.sharedVars;
-    ts.setCanonicalizer([shared_count, n](VState &s) {
-        std::vector<std::array<std::uint8_t, leafBlockVars>> blocks(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            std::copy_n(s.begin() + shared_count + i * leafBlockVars,
-                        leafBlockVars, blocks[i].begin());
-        }
-        std::sort(blocks.begin(), blocks.end());
-        for (std::size_t i = 0; i < n; ++i) {
-            std::copy_n(blocks[i].begin(), leafBlockVars,
-                        s.begin() + shared_count + i * leafBlockVars);
-        }
-    });
+    ts.setCanonicalizer(
+        makeLeafSortCanonicalizer(shared_count, n, leafBlockVars),
+        makeLeafSortedCheck(shared_count, n, leafBlockVars));
 
     OpenBuilder B(ts, cx);
     const std::vector<LeafLayout> &L = cx.L;

@@ -1,8 +1,8 @@
 #include "german.hpp"
 
-#include <algorithm>
-#include <array>
 #include <string>
+
+#include "leaf_canon.hpp"
 
 namespace neo::verif
 {
@@ -65,18 +65,9 @@ buildGermanModel(std::size_t n, ModelShape &shape)
     }
 
     const std::size_t shared_count = shape.sharedVars;
-    ts.setCanonicalizer([shared_count, n](VState &s) {
-        std::vector<std::array<std::uint8_t, leafBlockVars>> b(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            std::copy_n(s.begin() + shared_count + i * leafBlockVars,
-                        leafBlockVars, b[i].begin());
-        }
-        std::sort(b.begin(), b.end());
-        for (std::size_t i = 0; i < n; ++i) {
-            std::copy_n(b[i].begin(), leafBlockVars,
-                        s.begin() + shared_count + i * leafBlockVars);
-        }
-    });
+    ts.setCanonicalizer(
+        makeLeafSortCanonicalizer(shared_count, n, leafBlockVars),
+        makeLeafSortedCheck(shared_count, n, leafBlockVars));
 
     // Rules are declared in flat term form (transition_system.hpp)
     // wherever the condition is a pure conjunction and the effect a
@@ -153,6 +144,13 @@ buildGermanModel(std::size_t n, ModelShape &shape)
                            (s[curCmd] == GR_ReqS && s[exGntd] == 1);
                 }),
             {eset(me.ch2, GG_Inv), eset(me.invSet, 0)});
+        // The lambda guard reads exactly these four variables; the
+        // declaration keeps sendInv out of the dependency index's
+        // conservative everything-set (overrideGuard clears it, so
+        // mutants that rewrite sendInv stay conservative).
+        ts.declareGuardReads("sendInv_" + std::to_string(i),
+                             {v16(me.ch2), v16(me.invSet),
+                              v16(curCmd), v16(exGntd)});
 
         // Client acknowledges the invalidate.
         ts.addRule("recvInv_" + std::to_string(i),
@@ -199,18 +197,29 @@ buildGermanModel(std::size_t n, ModelShape &shape)
                    {eset(me.ch2, GG_None), eset(me.st, G_E)});
     }
 
-    // The canonical German control property.
-    ts.addInvariant("CtrlProp", [L, n](const VState &s) {
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = 0; j < n; ++j) {
-                if (i == j)
-                    continue;
-                if (s[L[i].st] == G_E && s[L[j].st] != G_I)
-                    return false;
-            }
-        }
-        return true;
-    });
+    // The canonical German control property. The declared read-set
+    // (every client's st — nothing else) lets the dependency index
+    // skip re-checking it after firings that only touch channels or
+    // directory bookkeeping.
+    {
+        std::vector<std::uint16_t> stVars;
+        for (std::size_t i = 0; i < n; ++i)
+            stVars.push_back(v16(L[i].st));
+        ts.addInvariant(
+            "CtrlProp",
+            [L, n](const VState &s) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    for (std::size_t j = 0; j < n; ++j) {
+                        if (i == j)
+                            continue;
+                        if (s[L[i].st] == G_E && s[L[j].st] != G_I)
+                            return false;
+                    }
+                }
+                return true;
+            },
+            std::move(stVars));
+    }
 
     ts.setSummarizer([L, n](const VState &s) {
         std::vector<Perm> sums;

@@ -60,6 +60,13 @@ struct WorkItem
     std::uint64_t id = 0;
     std::uint32_t depth = 0;
     VState state; ///< populated only in compact mode
+    /** The state's enabled-rule bitset, carried inline (4 words =
+     *  256 rules; systems with more rules skip the dependency index
+     *  rather than heap-allocating per frontier item). Valid only
+     *  when bitsOk — a successor whose canonicalization permuted the
+     *  state, a resumed item, or the seed all full-scan instead. */
+    std::array<std::uint64_t, 4> bits{};
+    std::uint8_t bitsOk = 0;
 };
 
 /** Mutex-guarded queue over a flat vector. The owner consumes from
@@ -174,6 +181,16 @@ exploreParallelImpl(const TransitionSystem &ts,
     // objects, eliminating virtual dispatch on the hot path. Built
     // once here, shared read-only by every worker.
     const CompiledRules comp(ts);
+    // Read/write dependency index: frontier items carry their
+    // enabled-rule bitset so a worker re-evaluates only the guards
+    // the parent's firing could have changed (sound only on
+    // canonicalizer-identity successors; see WorkItem::bits for the
+    // 256-rule inline-storage gate).
+    const auto &canonCheck = ts.canonicalCheck();
+    const RuleDepIndex depIdx(ts);
+    const std::size_t R = rules.size();
+    const bool useIndex = limits.ruleIndex && R <= 256;
+    const std::size_t W = depIdx.ruleWords();
 
     const CheckpointConfig *ckpt = limits.checkpoint;
     const bool ckptActive = ckpt != nullptr && !ckpt->dir.empty();
@@ -216,6 +233,9 @@ exploreParallelImpl(const TransitionSystem &ts,
     std::atomic<std::uint64_t> statesTotal{0};
     std::atomic<std::uint64_t> transitionsTotal{0};
     std::atomic<std::uint64_t> invChecksTotal{0};
+    std::atomic<std::uint64_t> guardEvalsTotal{0};
+    std::atomic<std::uint64_t> guardSkippedTotal{0};
+    std::atomic<std::uint64_t> identityHitsTotal{0};
     std::vector<std::atomic<std::uint64_t>> ruleFires(rules.size());
     /** Aggregate arena + table footprint across shards, maintained by
      *  delta under each shard's mutex so the memory-bound check reads
@@ -325,11 +345,24 @@ exploreParallelImpl(const TransitionSystem &ts,
         }
     };
 
-    auto failing_invariant = [&](const VState &s) -> int {
+    // With @p affInv (a row from depIdx.affectedInvariants) the sweep
+    // physically evaluates only the invariants the parent's firing
+    // could have changed — sound because the parent passed every
+    // invariant (bad states are never expanded) and an identity
+    // successor leaves the others' reads untouched. Skipped
+    // invariants still count toward invChecksTotal: the counter means
+    // LOGICAL evaluations, so it stays bit-identical to the
+    // no-index run (and to the sequential engine's golden fixtures).
+    auto failing_invariant =
+        [&](const VState &s, const std::uint64_t *affInv = nullptr)
+        -> int {
         std::uint64_t n = 0;
         int bad = -1;
         for (std::size_t i = 0; i < invs.size(); ++i) {
             ++n;
+            if (affInv != nullptr &&
+                (affInv[i >> 6] & (1ULL << (i & 63))) == 0)
+                continue;
             if (!invs[i].check(s)) {
                 bad = static_cast<int>(i);
                 break;
@@ -773,11 +806,20 @@ exploreParallelImpl(const TransitionSystem &ts,
         std::vector<VState> batchBuf;
         std::vector<std::uint32_t> batchRule;
         std::vector<std::uint64_t> batchHash;
+        std::vector<std::uint8_t> batchIdent; // canon-identity flags
         std::vector<std::uint32_t> order; // batch indices, shard-sorted
         std::vector<const std::uint8_t *> ptrs;
         std::vector<std::uint64_t> hashes;
         std::vector<std::pair<std::uint32_t, bool>> ids;
         std::vector<WorkItem> pushList;
+        // Index-path scratch: the popped item's bitset and the
+        // pre-canonicalization probe buffer, plus worker-local
+        // counters flushed to the atomics once at exit.
+        std::array<std::uint64_t, 4> curBits{};
+        VState preBuf;
+        std::uint64_t guardEvalsL = 0;
+        std::uint64_t guardSkippedL = 0;
+        std::uint64_t identityHitsL = 0;
         for (;;) {
             if (stop.load(std::memory_order_relaxed))
                 break;
@@ -831,34 +873,94 @@ exploreParallelImpl(const TransitionSystem &ts,
                                                0xffffffffULL),
                     cur);
 
-            // GENERATE: fire every enabled rule into the batch.
+            // GENERATE: fire every enabled rule into the batch. With
+            // the index, a valid parent bitset replaces the full
+            // guard scan (set bits fire in ascending rule order, the
+            // same order as the scan); otherwise the scan rebuilds
+            // the bitset as it goes.
             bool any_enabled = false;
             bool stopped = false;
             std::size_t batchN = 0;
-            for (std::size_t r = 0; r < rules.size(); ++r) {
-                if (stop.load(std::memory_order_relaxed)) {
-                    stopped = true;
-                    break;
-                }
-                if (!comp.guard(r, cur))
-                    continue;
-                any_enabled = true;
+            bool curBitsOk = useIndex && item.bitsOk != 0;
+            if (curBitsOk)
+                curBits = item.bits;
+            auto fire = [&](std::size_t r) {
                 if (batchN == batchBuf.size()) {
                     batchBuf.emplace_back();
                     batchRule.push_back(0);
                     batchHash.push_back(0);
+                    batchIdent.push_back(0);
                 }
                 VState &nx = batchBuf[batchN];
                 nx = cur;
                 comp.effect(r, nx);
-                if (canon)
-                    canon(nx);
+                // Canonicalizer-identity gate (see the sequential
+                // engine): the child-bitset delta and the invariant
+                // skip are only sound when nx IS its canonical
+                // representative. The model's CanonicalCheck decides
+                // cheaply; without one, canonicalize a copy and
+                // compare.
+                bool identical = true;
+                if (canon) {
+                    if (!useIndex) {
+                        canon(nx);
+                    } else if (canonCheck) {
+                        identical = canonCheck(nx);
+                        if (identical)
+                            ++identityHitsL;
+                        else
+                            canon(nx);
+                    } else {
+                        preBuf = nx;
+                        canon(nx);
+                        identical = nx == preBuf;
+                        if (identical)
+                            ++identityHitsL;
+                    }
+                }
+                batchIdent[batchN] = identical ? 1 : 0;
                 batchRule[batchN] = static_cast<std::uint32_t>(r);
                 batchHash[batchN] = stateHash(nx.data(), numVars);
                 transitionsTotal.fetch_add(1,
                                            std::memory_order_relaxed);
                 ruleFires[r].fetch_add(1, std::memory_order_relaxed);
                 ++batchN;
+            };
+            if (curBitsOk) {
+                for (std::size_t word = 0;
+                     word < W && !stopped; ++word) {
+                    std::uint64_t m = curBits[word];
+                    while (m != 0) {
+                        if (stop.load(std::memory_order_relaxed)) {
+                            stopped = true;
+                            break;
+                        }
+                        const int b = __builtin_ctzll(m);
+                        m &= m - 1;
+                        any_enabled = true;
+                        fire(word * 64 +
+                             static_cast<std::size_t>(b));
+                    }
+                }
+            } else {
+                if (useIndex)
+                    curBits.fill(0);
+                guardEvalsL += R;
+                for (std::size_t r = 0; r < R; ++r) {
+                    if (stop.load(std::memory_order_relaxed)) {
+                        stopped = true;
+                        break;
+                    }
+                    if (!comp.guard(r, cur))
+                        continue;
+                    any_enabled = true;
+                    if (useIndex)
+                        curBits[r >> 6] |= 1ULL << (r & 63);
+                    fire(r);
+                }
+                // A scan cut short by stop leaves the bitset
+                // incomplete; children pushed below must rescan.
+                curBitsOk = useIndex && !stopped;
             }
             if (detect_deadlock && !any_enabled && !stopped)
                 report_deadlock(cur);
@@ -1026,13 +1128,48 @@ exploreParallelImpl(const TransitionSystem &ts,
                         std::lock_guard<std::mutex> g(cbMu);
                         on_state(nx);
                     }
-                    if (const int inv = failing_invariant(nx);
+                    const bool ident =
+                        useIndex && batchIdent[bi] != 0;
+                    if (const int inv = failing_invariant(
+                            nx, ident ? depIdx.affectedInvariants(
+                                            batchRule[bi])
+                                      : nullptr);
                         inv >= 0) {
                         report_violation(inv, nx, nid,
                                          item.depth + 1);
                         continue; // bad states are not expanded
                     }
                     WorkItem w{nid, item.depth + 1, {}};
+                    if (ident && curBitsOk) {
+                        // Identity successor with a valid parent
+                        // bitset: copy it and re-evaluate only the
+                        // guards the fired rule's writes can reach.
+                        w.bits = curBits;
+                        const std::uint64_t *aff =
+                            depIdx.affectedRules(batchRule[bi]);
+                        std::uint64_t nAff = 0;
+                        for (std::size_t word = 0; word < W;
+                             ++word) {
+                            std::uint64_t m = aff[word];
+                            while (m != 0) {
+                                const int b = __builtin_ctzll(m);
+                                m &= m - 1;
+                                const std::size_t q =
+                                    word * 64 +
+                                    static_cast<std::size_t>(b);
+                                const std::uint64_t mask =
+                                    1ULL << (q & 63);
+                                if (comp.guard(q, nx))
+                                    w.bits[q >> 6] |= mask;
+                                else
+                                    w.bits[q >> 6] &= ~mask;
+                                ++nAff;
+                            }
+                        }
+                        guardEvalsL += nAff;
+                        guardSkippedL += R - nAff;
+                        w.bitsOk = 1;
+                    }
                     if (compact)
                         w.state = nx;
                     pushList.push_back(std::move(w));
@@ -1057,6 +1194,12 @@ exploreParallelImpl(const TransitionSystem &ts,
             }
             inFlight.fetch_sub(1, std::memory_order_release);
         }
+        guardEvalsTotal.fetch_add(guardEvalsL,
+                                  std::memory_order_relaxed);
+        guardSkippedTotal.fetch_add(guardSkippedL,
+                                    std::memory_order_relaxed);
+        identityHitsTotal.fetch_add(identityHitsL,
+                                    std::memory_order_relaxed);
         alive.fetch_sub(1, std::memory_order_acq_rel);
     };
 
@@ -1087,6 +1230,15 @@ exploreParallelImpl(const TransitionSystem &ts,
         transitionsTotal.load(std::memory_order_relaxed);
     result.invariantChecks =
         invChecksTotal.load(std::memory_order_relaxed);
+    result.guardEvals =
+        guardEvalsTotal.load(std::memory_order_relaxed);
+    result.guardEvalsSkipped =
+        guardSkippedTotal.load(std::memory_order_relaxed);
+    result.canonIdentityHits =
+        identityHitsTotal.load(std::memory_order_relaxed);
+    // Parallel workers keep the batch-copy fire path (the shard-
+    // grouped intern reads every successor's bytes after the whole
+    // batch is generated), so inPlaceFirings stays 0 here.
     std::uint64_t visited = 0;
     for (const Shard &s : shards)
         visited += s.store->size();

@@ -73,10 +73,18 @@ RandomWalkExplorer::run() const
     const auto &rules = ts_.rules();
     const auto &invs = ts_.invariants();
     const auto &canon = ts_.canonicalizer();
+    const auto &canonCheck = ts_.canonicalCheck();
     // Flat guard/effect tables for the walk loop (replayTrace stays
     // on rules[] — it is not hot). Built before the workers spawn;
     // immutable, so shared read-only across them.
     const CompiledRules comp(ts_);
+    // Read/write dependency index (transition_system.hpp): lets a walk
+    // keep its enabled-rule bitset across steps instead of rescanning
+    // all R guards per step. Shared read-only across workers.
+    const RuleDepIndex depIdx(ts_);
+    const bool useIndex = opt_.ruleIndex;
+    const std::size_t R = rules.size();
+    const std::size_t W = depIdx.ruleWords();
 
     if (opt_.store.tier != StoreTier::Plain ||
         !opt_.store.spillDir.empty())
@@ -142,6 +150,12 @@ RandomWalkExplorer::run() const
     std::uint64_t stepsTotal = 0;
     std::uint64_t walksRunN = 0;
     std::uint64_t deadEndsN = 0;
+    // Rule-index counters; deliberately NOT checkpointed (the snapshot
+    // format predates them and they are diagnostics, not verdicts — a
+    // resumed run reports the counters of the walks IT ran).
+    std::uint64_t guardEvalsN = 0;
+    std::uint64_t guardSkippedN = 0;
+    std::uint64_t identityHitsN = 0;
     std::vector<WalkViolation> violations;
     double lastCkptSeconds = 0.0;
 
@@ -254,23 +268,63 @@ RandomWalkExplorer::run() const
         Abandoned
     };
 
+    struct WalkCounters
+    {
+        std::uint64_t guardEvals = 0;
+        std::uint64_t guardEvalsSkipped = 0;
+        std::uint64_t canonIdentityHits = 0;
+    };
+
     auto run_walk = [&](std::uint64_t w, std::uint64_t &steps,
-                        WalkViolation &vio) {
+                        WalkViolation &vio, WalkCounters &cnt) {
         Random rng(opt_.seed + w * kWalkSeedStride);
         VState s = init;
         std::vector<std::uint32_t> fired;
         fired.reserve(static_cast<std::size_t>(opt_.depth));
         std::vector<std::uint32_t> enabled;
         enabled.reserve(rules.size());
+        // Enabled-rule bitset carried across steps; valid only while
+        // every firing since the last full scan was a canonicalizer
+        // identity (a permuted representative invalidates it).
+        std::vector<std::uint64_t> bits(W, 0);
+        bool bitsOk = false;
+        VState canonBuf;
 
         for (std::uint64_t step = 0; step < opt_.depth; ++step) {
             if (ckptActive && (step & 0xfff) == 0 &&
                 interruptRequested())
                 return WalkOutcome::Abandoned;
             enabled.clear();
-            for (std::size_t r = 0; r < rules.size(); ++r) {
-                if (comp.guard(r, s))
-                    enabled.push_back(static_cast<std::uint32_t>(r));
+            if (!useIndex) {
+                cnt.guardEvals += R;
+                for (std::size_t r = 0; r < R; ++r) {
+                    if (comp.guard(r, s))
+                        enabled.push_back(
+                            static_cast<std::uint32_t>(r));
+                }
+            } else {
+                if (!bitsOk) {
+                    cnt.guardEvals += R;
+                    std::fill(bits.begin(), bits.end(), 0);
+                    for (std::size_t r = 0; r < R; ++r) {
+                        if (comp.guard(r, s))
+                            bits[r >> 6] |= 1ULL << (r & 63);
+                    }
+                    bitsOk = true;
+                }
+                // Ascending set-bit order == the old linear scan, so
+                // rng.below() sees the identical enabled list and the
+                // determinism contract (same picks, same trace) holds
+                // index-on and index-off.
+                for (std::size_t word = 0; word < W; ++word) {
+                    std::uint64_t m = bits[word];
+                    while (m != 0) {
+                        const int b = __builtin_ctzll(m);
+                        m &= m - 1;
+                        enabled.push_back(static_cast<std::uint32_t>(
+                            word * 64 + static_cast<std::size_t>(b)));
+                    }
+                }
             }
             if (enabled.empty()) {
                 steps = step;
@@ -279,15 +333,74 @@ RandomWalkExplorer::run() const
             const std::uint32_t pick = enabled[static_cast<std::size_t>(
                 rng.below(enabled.size()))];
             comp.effect(pick, s);
-            if (canon)
-                canon(s);
+            // identical == canon(s) is a no-op, which makes the bitset
+            // delta below sound. Without a canonicalizer every step
+            // trivially qualifies (but is not counted as a "hit").
+            bool identical = true;
+            if (canon) {
+                if (!useIndex) {
+                    canon(s);
+                } else if (canonCheck) {
+                    identical = canonCheck(s);
+                    if (identical)
+                        ++cnt.canonIdentityHits;
+                    else
+                        canon(s);
+                } else {
+                    canonBuf = s;
+                    canon(s);
+                    identical = s == canonBuf;
+                    if (identical)
+                        ++cnt.canonIdentityHits;
+                }
+            }
             fired.push_back(pick);
+            // Invariant sweep. On an identity step only the invariants
+            // whose read-set the fired rule wrote can have changed; the
+            // rest still hold from the previous step, so the first
+            // FAILING invariant index — the one recorded — is the same
+            // either way.
+            const bool invDelta = useIndex && identical;
+            const std::uint64_t *affInv =
+                invDelta ? depIdx.affectedInvariants(pick) : nullptr;
             for (std::size_t i = 0; i < invs.size(); ++i) {
+                if (invDelta &&
+                    (affInv[i >> 6] & (1ULL << (i & 63))) == 0)
+                    continue;
                 if (!invs[i].check(s)) {
                     steps = step + 1;
                     vio = WalkViolation{w, i, std::move(fired),
                                         std::move(s)};
                     return WalkOutcome::Violated;
+                }
+            }
+            if (useIndex) {
+                if (identical) {
+                    // Re-evaluate only the guards the firing could
+                    // have invalidated or enabled.
+                    const std::uint64_t *aff =
+                        depIdx.affectedRules(pick);
+                    std::uint64_t n = 0;
+                    for (std::size_t word = 0; word < W; ++word) {
+                        std::uint64_t m = aff[word];
+                        while (m != 0) {
+                            const int b = __builtin_ctzll(m);
+                            m &= m - 1;
+                            const std::size_t q =
+                                word * 64 + static_cast<std::size_t>(b);
+                            const std::uint64_t mask = 1ULL
+                                                       << (q & 63);
+                            if (comp.guard(q, s))
+                                bits[q >> 6] |= mask;
+                            else
+                                bits[q >> 6] &= ~mask;
+                            ++n;
+                        }
+                    }
+                    cnt.guardEvals += n;
+                    cnt.guardEvalsSkipped += R - n;
+                } else {
+                    bitsOk = false;
                 }
             }
         }
@@ -318,7 +431,8 @@ RandomWalkExplorer::run() const
                 continue; // cannot beat the current best violation
             std::uint64_t steps = 0;
             WalkViolation vio;
-            const WalkOutcome out = run_walk(w, steps, vio);
+            WalkCounters cnt;
+            const WalkOutcome out = run_walk(w, steps, vio, cnt);
             if (out == WalkOutcome::Abandoned) {
                 interrupted.store(true, std::memory_order_relaxed);
                 return;
@@ -328,6 +442,9 @@ RandomWalkExplorer::run() const
                 done.resize(static_cast<std::size_t>(w) + 1, 0);
             done[w] = 1;
             stepsTotal += steps;
+            guardEvalsN += cnt.guardEvals;
+            guardSkippedN += cnt.guardEvalsSkipped;
+            identityHitsN += cnt.canonIdentityHits;
             ++walksRunN;
             if (out == WalkOutcome::DeadEnd)
                 ++deadEndsN;
@@ -360,6 +477,9 @@ RandomWalkExplorer::run() const
     result.stepsTaken = stepsTotal;
     result.walksRun = walksRunN;
     result.deadEnds = deadEndsN;
+    result.guardEvals = guardEvalsN;
+    result.guardEvalsSkipped = guardSkippedN;
+    result.canonIdentityHits = identityHitsN;
 
     if (interrupted.load(std::memory_order_relaxed)) {
         // Partial run: flush a final snapshot (walks completed so far

@@ -55,6 +55,14 @@ struct WalkOptions
      *  so a non-default tier changes nothing; the walker warns once
      *  and ignores it rather than silently implying capacity help. */
     StoreTierOptions store = {};
+    /** Dependency-indexed stepping (transition_system.hpp
+     *  RuleDepIndex): keep the enabled-rule bitset across steps and
+     *  re-evaluate only guards the fired rule could have changed,
+     *  falling back to a full rescan whenever canonicalization
+     *  actually permuted the state. Picks, traces and verdicts are
+     *  bit-identical either way (`--no-rule-index` is the
+     *  differential baseline). */
+    bool ruleIndex = true;
 };
 
 struct WalkResult
@@ -87,6 +95,12 @@ struct WalkResult
     std::uint64_t checkpointsWritten = 0;
     /** Serialized size of the most recent snapshot, bytes. */
     std::uint64_t lastSnapshotBytes = 0;
+    /** Guard predicates physically evaluated (see ExploreResult). */
+    std::uint64_t guardEvals = 0;
+    /** Guard evaluations the dependency index skipped. */
+    std::uint64_t guardEvalsSkipped = 0;
+    /** Steps whose post-effect state was already canonical. */
+    std::uint64_t canonIdentityHits = 0;
 };
 
 /** Outcome of replaying a rule-index trace from the initial state. */

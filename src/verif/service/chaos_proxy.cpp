@@ -384,6 +384,10 @@ ChaosProxy::start(const std::string &listenAddr,
                   const ChaosSpec &spec, std::string &err)
 {
     neo_assert(impl_ == nullptr, "chaos proxy already started");
+    // The forwarding loop writes to peers the schedule itself kills;
+    // hosts that are not neoverify (the test binaries embed the
+    // proxy in-process) must not die of the resulting SIGPIPE.
+    ignoreSigpipe();
     auto impl = std::make_unique<Impl>();
     impl->spec = spec;
     impl->upstreamAddr = upstreamAddr;

@@ -138,10 +138,12 @@ struct WorkerRt
     bool star = false;
     /** Last time any control frame arrived (star read deadline). */
     double lastCtlActivity = 0.0;
-    /** StatesTo bodies parked during a snapshot encode: interning
-     *  them mid-encode would invalidate the store pointers the
-     *  encoder is iterating (the quiesce barrier means none should
-     *  arrive, but a defensive park beats a corrupt snapshot). */
+    /** StatesTo bodies parked during a snapshot encode or a resume
+     *  load. Mid-encode, interning would invalidate the store
+     *  pointers the encoder is iterating; mid-load, a relayed state
+     *  the partition scan has not reached yet would intern as fresh
+     *  and be expanded a second time, inflating the exact
+     *  transition/invariant counts the manifests carry. */
     std::vector<std::vector<std::uint8_t>> deferred;
 
     bool paused = false;
@@ -356,6 +358,19 @@ processStatesToBody(WorkerRt &rt,
     }
 }
 
+/** Accept the StatesTo bodies parked during a snapshot encode or a
+ *  resume load, now that the store is whole and may grow again. */
+void
+drainDeferred(WorkerRt &rt)
+{
+    while (!rt.deferred.empty()) {
+        std::vector<std::vector<std::uint8_t>> parked;
+        parked.swap(rt.deferred);
+        for (const auto &b : parked)
+            processStatesToBody(rt, b);
+    }
+}
+
 /** Handle every buffered control frame; exits the process on Stop,
  *  Finish or a dead coordinator. */
 void
@@ -368,7 +383,15 @@ serviceControl(WorkerRt &rt)
         SnapshotReader r(body);
         switch (type) {
           case MsgType::StatesTo:
-              if (rt.snapshotting)
+              // Mid-load the park is a matter of correctness, not
+              // just pointer stability: the partition scan interns
+              // the visited image in file order, so a relayed state
+              // that is already in the image (expanded before the
+              // cut, counted in the manifest base) but not yet
+              // scanned would intern as FRESH — invariant-checked,
+              // queued, and expanded a second time, inflating
+              // transitions/invChecks past the sequential reference.
+              if (rt.snapshotting || rt.loading)
                   rt.deferred.push_back(body);
               else
                   processStatesToBody(rt, body);
@@ -397,14 +420,7 @@ serviceControl(WorkerRt &rt)
                   break;
               }
               writePartition(rt, r.getU64());
-              // Relayed batches parked during the encode: accept
-              // them now that the store may grow again.
-              while (!rt.deferred.empty()) {
-                  std::vector<std::vector<std::uint8_t>> parked;
-                  parked.swap(rt.deferred);
-                  for (const auto &b : parked)
-                      processStatesToBody(rt, b);
-              }
+              drainDeferred(rt);
               break;
           case MsgType::Finish:
               // Same guard: obeying a Finish before the resume load
@@ -632,6 +648,9 @@ runWorkerProcess(const WorkerConfig &cfg, const WorkerEndpoints &eps)
         rt.loading = true;
         loadPartitions(rt);
         rt.loading = false;
+        // Batches relayed by faster-loading peers were parked: with
+        // the visited image complete they dedup correctly now.
+        drainDeferred(rt);
     } else {
         VState init = ts.initialState();
         if (ts.canonicalizer())

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Flat byte ring for queues of fixed-stride states.
+ *
+ * The compact-hash explorer's `pending` frontier used to hold one
+ * `std::deque<VState>` entry per unexpanded state — a 24-byte vector
+ * header plus a separate heap block per state, for states that are
+ * all exactly numVars bytes. This ring packs them into one contiguous
+ * buffer at numVars bytes per slot: push_back/pop_front at both
+ * ends (the sequential explorer's maxStates rollback needs
+ * push_front), random access by offset from the front (checkpoint
+ * serialization walks the unexpanded suffix), and a measured
+ * memoryBytes() for the explorer's accounting.
+ *
+ * Single-threaded; the sequential explorer is the only user.
+ */
+
+#ifndef NEO_VERIF_STATE_RING_HPP
+#define NEO_VERIF_STATE_RING_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace neo
+{
+
+class StateRing
+{
+  public:
+    explicit StateRing(std::size_t stride) : stride_(stride)
+    {
+        neo_assert(stride > 0, "StateRing needs a positive stride");
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t stride() const { return stride_; }
+
+    /** Buffer footprint (capacity, not just occupancy — the bytes are
+     *  really allocated, so the memory accounting charges them). */
+    std::uint64_t memoryBytes() const { return buf_.size(); }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void
+    push_back(const std::uint8_t *state)
+    {
+        if (size_ == cap_)
+            grow(size_ + 1);
+        std::memcpy(slot((head_ + size_) & (cap_ - 1)), state,
+                    stride_);
+        ++size_;
+    }
+
+    void
+    push_front(const std::uint8_t *state)
+    {
+        if (size_ == cap_)
+            grow(size_ + 1);
+        head_ = (head_ + cap_ - 1) & (cap_ - 1);
+        std::memcpy(slot(head_), state, stride_);
+        ++size_;
+    }
+
+    const std::uint8_t *
+    front() const
+    {
+        neo_assert(size_ > 0, "StateRing::front on empty ring");
+        return slot(head_);
+    }
+
+    /** The n-th unexpanded state from the front (0 == front()). */
+    const std::uint8_t *
+    at(std::size_t n) const
+    {
+        neo_assert(n < size_, "StateRing::at out of range");
+        return slot((head_ + n) & (cap_ - 1));
+    }
+
+    void
+    pop_front()
+    {
+        neo_assert(size_ > 0, "StateRing::pop_front on empty ring");
+        head_ = (head_ + 1) & (cap_ - 1);
+        --size_;
+    }
+
+  private:
+    const std::uint8_t *
+    slot(std::size_t i) const
+    {
+        return buf_.data() + i * stride_;
+    }
+    std::uint8_t *
+    slot(std::size_t i)
+    {
+        return buf_.data() + i * stride_;
+    }
+
+    void
+    grow(std::size_t minCap)
+    {
+        std::size_t cap = cap_ == 0 ? 64 : cap_;
+        while (cap < minCap)
+            cap *= 2;
+        std::vector<std::uint8_t> nb(cap * stride_);
+        for (std::size_t n = 0; n < size_; ++n)
+            std::memcpy(nb.data() + n * stride_,
+                        slot((head_ + n) & (cap_ - 1)), stride_);
+        buf_ = std::move(nb);
+        cap_ = cap;
+        head_ = 0;
+    }
+
+    std::size_t stride_;
+    std::size_t cap_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::vector<std::uint8_t> buf_;
+};
+
+} // namespace neo
+
+#endif // NEO_VERIF_STATE_RING_HPP

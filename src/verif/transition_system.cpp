@@ -1,5 +1,6 @@
 #include "transition_system.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace neo
@@ -77,6 +78,47 @@ TransitionSystem::addRule(std::string name, ActionKind kind,
     rules_.push_back(std::move(r));
 }
 
+void
+TransitionSystem::addInvariant(std::string name,
+                               std::vector<GuardTerm> terms)
+{
+    Invariant inv;
+    inv.name = std::move(name);
+    inv.terms = std::move(terms);
+    inv.flat = true;
+    inv.check = [terms = inv.terms](const VState &s) {
+        return evalGuardTerms(terms, s);
+    };
+    inv.reads.reserve(inv.terms.size());
+    for (const GuardTerm &t : inv.terms)
+        inv.reads.push_back(t.var);
+    inv.readsDeclared = true;
+    invariants_.push_back(std::move(inv));
+}
+
+void
+TransitionSystem::addInvariant(std::string name, Check check,
+                               std::vector<std::uint16_t> reads)
+{
+    Invariant inv;
+    inv.name = std::move(name);
+    inv.check = std::move(check);
+    inv.reads = std::move(reads);
+    inv.readsDeclared = true;
+    invariants_.push_back(std::move(inv));
+}
+
+void
+TransitionSystem::declareGuardReads(const std::string &ruleName,
+                                    std::vector<std::uint16_t> vars)
+{
+    Rule *r = findRule(ruleName);
+    if (r == nullptr)
+        neo_fatal("declareGuardReads: no such rule: ", ruleName);
+    r->guardReads = std::move(vars);
+    r->guardReadsDeclared = true;
+}
+
 CompiledRules::CompiledRules(const TransitionSystem &ts)
 {
     const auto &rules = ts.rules();
@@ -98,11 +140,141 @@ CompiledRules::CompiledRules(const TransitionSystem &ts)
             eterms_.insert(eterms_.end(), r.effectTerms.begin(),
                            r.effectTerms.end());
             e.eEnd = static_cast<std::uint32_t>(eterms_.size());
+            maxEffectTerms_ =
+                std::max(maxEffectTerms_, r.effectTerms.size());
         } else {
             e.effectFn = &r.effect;
         }
         rules_.push_back(e);
     }
+}
+
+namespace
+{
+
+/** Set-all helper with the tail word masked to @p n valid bits, so
+ *  iterating a conservative row never yields an out-of-range index. */
+void
+setAllBits(std::uint64_t *row, std::size_t words, std::size_t n)
+{
+    for (std::size_t w = 0; w < words; ++w)
+        row[w] = ~0ULL;
+    if (n % 64 != 0 && words != 0)
+        row[words - 1] = (1ULL << (n % 64)) - 1;
+    if (n == 0)
+        row[0] = 0;
+}
+
+bool
+bitsIntersect(const std::uint64_t *a, const std::uint64_t *b,
+              std::size_t words)
+{
+    for (std::size_t w = 0; w < words; ++w) {
+        if ((a[w] & b[w]) != 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+RuleDepIndex::RuleDepIndex(const TransitionSystem &ts)
+{
+    const auto &rules = ts.rules();
+    const auto &invs = ts.invariants();
+    nRules_ = rules.size();
+    nInvs_ = invs.size();
+    // At least one word per row, so affected*() pointers stay valid
+    // even for rule- or invariant-free systems.
+    ruleWords_ = nRules_ == 0 ? 1 : (nRules_ + 63) / 64;
+    invWords_ = nInvs_ == 0 ? 1 : (nInvs_ + 63) / 64;
+    const std::size_t nVars = ts.numVars();
+    const std::size_t varWords = nVars == 0 ? 1 : (nVars + 63) / 64;
+    auto setVar = [&](std::vector<std::uint64_t> &m, std::size_t row,
+                      std::size_t var) {
+        m[row * varWords + (var >> 6)] |= 1ULL << (var & 63);
+    };
+
+    // Pass 1: per-rule read/write variable sets, per-invariant read
+    // sets, with "unknown" flags for the fallback forms.
+    std::vector<std::uint64_t> reads(nRules_ * varWords, 0);
+    std::vector<std::uint64_t> writes(nRules_ * varWords, 0);
+    std::vector<std::uint64_t> invReads(nInvs_ * varWords, 0);
+    readUnknown_.assign(nRules_, 0);
+    writeUnknown_.assign(nRules_, 0);
+    std::vector<std::uint8_t> invUnknown(nInvs_, 0);
+    for (std::size_t r = 0; r < nRules_; ++r) {
+        const auto &rule = rules[r];
+        if (rule.guardFlat) {
+            for (const GuardTerm &t : rule.guardTerms)
+                setVar(reads, r, t.var);
+        } else if (rule.guardReadsDeclared) {
+            for (const std::uint16_t v : rule.guardReads)
+                setVar(reads, r, v);
+        } else {
+            readUnknown_[r] = 1;
+        }
+        if (rule.effectFlat) {
+            // CopyVar READS src, but effect reads never invalidate a
+            // guard — only the written (dst) variables matter here.
+            for (const EffectTerm &t : rule.effectTerms)
+                setVar(writes, r, t.dst);
+        } else {
+            writeUnknown_[r] = 1;
+        }
+    }
+    for (std::size_t i = 0; i < nInvs_; ++i) {
+        if (invs[i].readsDeclared) {
+            for (const std::uint16_t v : invs[i].reads)
+                setVar(invReads, i, v);
+        } else {
+            invUnknown[i] = 1;
+        }
+    }
+
+    // Pass 2: invert into per-rule affected-rule / affected-invariant
+    // bitsets. O(R^2 * varWords) at build time, paid once per run.
+    affRules_.assign(nRules_ * ruleWords_, 0);
+    affInvs_.assign(nRules_ * invWords_, 0);
+    affRuleCount_.assign(nRules_, 0);
+    for (std::size_t r = 0; r < nRules_; ++r) {
+        std::uint64_t *rowR = affRules_.data() + r * ruleWords_;
+        std::uint64_t *rowI = affInvs_.data() + r * invWords_;
+        if (writeUnknown_[r]) {
+            setAllBits(rowR, ruleWords_, nRules_);
+            setAllBits(rowI, invWords_, nInvs_);
+        } else {
+            const std::uint64_t *w = writes.data() + r * varWords;
+            for (std::size_t q = 0; q < nRules_; ++q) {
+                if (readUnknown_[q] ||
+                    bitsIntersect(w, reads.data() + q * varWords,
+                                  varWords))
+                    rowR[q >> 6] |= 1ULL << (q & 63);
+            }
+            for (std::size_t i = 0; i < nInvs_; ++i) {
+                if (invUnknown[i] ||
+                    bitsIntersect(w, invReads.data() + i * varWords,
+                                  varWords))
+                    rowI[i >> 6] |= 1ULL << (i & 63);
+            }
+        }
+        std::uint32_t cnt = 0;
+        for (std::size_t w = 0; w < ruleWords_; ++w)
+            cnt += static_cast<std::uint32_t>(
+                __builtin_popcountll(rowR[w]));
+        affRuleCount_[r] = cnt;
+    }
+}
+
+double
+RuleDepIndex::avgAffectedRules() const
+{
+    if (nRules_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const std::uint32_t c : affRuleCount_)
+        sum += c;
+    return sum / static_cast<double>(nRules_);
 }
 
 std::size_t

@@ -78,6 +78,15 @@ class TransitionSystem
     using Check = std::function<bool(const VState &)>;
     /** Maps a state to its canonical symmetry representative. */
     using Canonicalizer = std::function<void(VState &)>;
+    /** Exact identity predicate for the canonicalizer: returns true
+     *  IFF the canonicalizer would leave the state unchanged. Models
+     *  whose canon sorts leaf blocks can answer this with one
+     *  sortedness sweep — no allocation, no sort — which lets the
+     *  engines skip the canonicalization call entirely on the ~40-50%
+     *  of firings that land on an already-canonical successor (the
+     *  dependency-index fast path). Optional; when absent the engines
+     *  detect identity by comparing bytes after canonicalizing. */
+    using CanonicalCheck = std::function<bool(const VState &)>;
     /** Permission summary of a state (the Neo sumC output). */
     using Summarizer = std::function<Perm(const VState &)>;
 
@@ -97,17 +106,27 @@ class TransitionSystem
         std::vector<EffectTerm> effectTerms;
         bool guardFlat = false;
         bool effectFlat = false;
+        /** Declared read-set for a FALLBACK (lambda) guard: the exact
+         *  variables the guard inspects, promised by the model author
+         *  via declareGuardReads(). Lets the dependency index keep a
+         *  disjunctive guard out of the conservative everything-set.
+         *  Flat guards don't need it (their reads are the term vars). */
+        std::vector<std::uint16_t> guardReads;
+        bool guardReadsDeclared = false;
 
         /** Rewrite the guard/effect with an opaque function (the
          *  mutant registry's surgical rewrites). MUST be used instead
-         *  of assigning the member directly: a stale flat form would
-         *  make CompiledRules fire the pre-mutation behavior. */
+         *  of assigning the member directly: a stale flat form — or a
+         *  stale declared read-set — would make CompiledRules or the
+         *  dependency index reason about the pre-mutation behavior. */
         void
         overrideGuard(Guard g)
         {
             guard = std::move(g);
             guardTerms.clear();
             guardFlat = false;
+            guardReads.clear();
+            guardReadsDeclared = false;
         }
         void
         overrideEffect(Effect e)
@@ -122,6 +141,18 @@ class TransitionSystem
     {
         std::string name;
         Check check;
+        /** Flat term form (a pure conjunction over single variables),
+         *  when the model declared one; `check` is synthesized from
+         *  the terms in that case, so every consumer that only knows
+         *  `check` behaves identically. */
+        std::vector<GuardTerm> terms;
+        bool flat = false;
+        /** The exact variables the predicate reads — from the flat
+         *  terms, or declared alongside a lambda check. Feeds the
+         *  dependency index's var→invariant map; absent means the
+         *  invariant conservatively depends on every variable. */
+        std::vector<std::uint16_t> reads;
+        bool readsDeclared = false;
     };
 
     /** Declare a variable; @return its index into the state vector. */
@@ -163,16 +194,41 @@ class TransitionSystem
     void
     addInvariant(std::string name, Check check)
     {
-        invariants_.push_back(Invariant{std::move(name),
-                                        std::move(check)});
+        Invariant inv;
+        inv.name = std::move(name);
+        inv.check = std::move(check);
+        invariants_.push_back(std::move(inv));
     }
+
+    /** Invariant in flat term form (a conjunction of `s[var] OP imm`);
+     *  the predicate is synthesized from the terms and the read-set is
+     *  exactly the term variables. */
+    void addInvariant(std::string name, std::vector<GuardTerm> terms);
+
+    /** Lambda invariant with a declared read-set: @p reads must list
+     *  EVERY variable the predicate can inspect (the engines skip
+     *  re-checking it after firings that write none of them). */
+    void addInvariant(std::string name, Check check,
+                      std::vector<std::uint16_t> reads);
+
+    /** Declare the exact read-set of an existing rule's fallback
+     *  (lambda) guard; fatal if the rule does not exist. The promise
+     *  mirrors addInvariant's: @p vars lists EVERY variable the guard
+     *  can inspect. Cleared again by Rule::overrideGuard. */
+    void declareGuardReads(const std::string &ruleName,
+                           std::vector<std::uint16_t> vars);
 
     /** Remove an invariant by name; @return whether it existed. Used
      *  by corpus mutants whose protocol change makes one bookkeeping
      *  invariant vacuous, so the remaining violation is unique. */
     bool dropInvariant(const std::string &name);
 
-    void setCanonicalizer(Canonicalizer c) { canon_ = std::move(c); }
+    void
+    setCanonicalizer(Canonicalizer c, CanonicalCheck isCanonical = {})
+    {
+        canon_ = std::move(c);
+        canonCheck_ = std::move(isCanonical);
+    }
     void setSummarizer(Summarizer s) { sum_ = std::move(s); }
 
     VState initialState() const { return init_; }
@@ -183,6 +239,7 @@ class TransitionSystem
         return invariants_;
     }
     const Canonicalizer &canonicalizer() const { return canon_; }
+    const CanonicalCheck &canonicalCheck() const { return canonCheck_; }
     const Summarizer &summarizer() const { return sum_; }
     const std::string &varName(std::size_t i) const
     {
@@ -208,7 +265,18 @@ class TransitionSystem
     std::vector<Rule> rules_;
     std::vector<Invariant> invariants_;
     Canonicalizer canon_;
+    CanonicalCheck canonCheck_;
     Summarizer sum_;
+};
+
+/** One recorded byte of a fire-and-undo effect application: restore
+ *  s[var] = old to roll the firing back (CompiledRules::undoEffect
+ *  replays records in reverse, so effects that write a variable twice
+ *  restore the ORIGINAL value). */
+struct EffectUndo
+{
+    std::uint16_t var = 0;
+    std::uint8_t old = 0;
 };
 
 /**
@@ -274,6 +342,45 @@ class CompiledRules
         }
     }
 
+    bool guardFlat(std::size_t r) const { return rules_[r].guardFlat; }
+    bool effectFlat(std::size_t r) const
+    {
+        return rules_[r].effectFlat;
+    }
+
+    /** Largest flat-effect term count over all rules: the undo buffer
+     *  size effectInPlace() needs (0 for a rule-free system). */
+    std::size_t maxEffectTerms() const { return maxEffectTerms_; }
+
+    /** Fire rule @p r's FLAT effect directly on @p s, writing one undo
+     *  record per term into @p undo — a raw buffer of at least
+     *  maxEffectTerms() entries; raw writes, not a vector, because
+     *  this runs once per transition and even push_back's capacity
+     *  check is measurable there. Returns the record count. Only valid
+     *  when effectFlat(r); the caller restores @p s with
+     *  undoEffect(). */
+    std::size_t
+    effectInPlace(std::size_t r, VState &s, EffectUndo *undo) const
+    {
+        const Entry &e = rules_[r];
+        std::size_t n = 0;
+        for (std::uint32_t i = e.eBegin; i != e.eEnd; ++i) {
+            const EffectTerm &t = eterms_[i];
+            undo[n++] = EffectUndo{t.dst, s[t.dst]};
+            s[t.dst] = t.op == EffectTerm::Op::Set ? t.imm : s[t.src];
+        }
+        return n;
+    }
+
+    /** Roll back an effectInPlace() application (reverse replay) and
+     *  clear the log for reuse. */
+    static void
+    undoEffect(VState &s, const EffectUndo *undo, std::size_t n)
+    {
+        while (n-- > 0)
+            s[undo[n].var] = undo[n].old;
+    }
+
   private:
     struct Entry
     {
@@ -288,6 +395,106 @@ class CompiledRules
     std::vector<Entry> rules_;
     std::vector<GuardTerm> gterms_;
     std::vector<EffectTerm> eterms_;
+    std::size_t maxEffectTerms_ = 0;
+};
+
+/**
+ * Static read/write dependency index over a TransitionSystem.
+ *
+ * For every rule r it precomputes two bitsets:
+ *
+ *  - affectedRules(r): the rules whose guard READ-set intersects r's
+ *    effect WRITE-set. After firing r on a state whose enabled-rule
+ *    bitset is known, only these guards can have changed value — the
+ *    engines re-evaluate them and copy every other bit from the
+ *    parent (sound ONLY when the successor is its own canonical
+ *    representative; a permuted representative rewrites variables the
+ *    effect never touched, so the engines gate the delta on a
+ *    canonicalizer-identity check and fall back to a full scan).
+ *
+ *  - affectedInvariants(r): the invariants whose read-set intersects
+ *    r's write-set. An invariant outside this set evaluates to the
+ *    same value on parent and successor, and the parent (being
+ *    expanded) already passed it — so it provably holds and the
+ *    engines can skip the predicate call while still counting the
+ *    logical evaluation.
+ *
+ * Conservatism: a fallback (lambda) guard without a declared
+ * read-set reads "everything" (its bit is re-evaluated after every
+ * firing); a fallback effect writes "everything" (the firing
+ * invalidates every guard and every invariant). Mutant-overridden
+ * rules clear their flat forms and declared read-sets, so they are
+ * conservative by construction. Immutable after construction and
+ * safe to share read-only across worker threads; holds no pointers
+ * into the system.
+ */
+class RuleDepIndex
+{
+  public:
+    explicit RuleDepIndex(const TransitionSystem &ts);
+
+    std::size_t numRules() const { return nRules_; }
+    std::size_t numInvariants() const { return nInvs_; }
+    /** Words per rule-bitset / invariant-bitset. */
+    std::size_t ruleWords() const { return ruleWords_; }
+    std::size_t invWords() const { return invWords_; }
+
+    const std::uint64_t *
+    affectedRules(std::size_t r) const
+    {
+        return affRules_.data() + r * ruleWords_;
+    }
+    const std::uint64_t *
+    affectedInvariants(std::size_t r) const
+    {
+        return affInvs_.data() + r * invWords_;
+    }
+    /** Popcount of affectedRules(r) — what a delta re-evaluation
+     *  costs; numRules() - this is what it skips. */
+    std::uint32_t
+    affectedRuleCount(std::size_t r) const
+    {
+        return affRuleCount_[r];
+    }
+
+    bool
+    ruleAffectsRule(std::size_t r, std::size_t q) const
+    {
+        return (affectedRules(r)[q >> 6] >> (q & 63)) & 1;
+    }
+    bool
+    ruleAffectsInvariant(std::size_t r, std::size_t i) const
+    {
+        return (affectedInvariants(r)[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Rule r's effect write-set is unknown (fallback effect): it
+     *  conservatively invalidates every guard and invariant. */
+    bool
+    writeSetUnknown(std::size_t r) const
+    {
+        return writeUnknown_[r] != 0;
+    }
+    /** Rule q's guard read-set is unknown (fallback guard, no
+     *  declared reads): every firing re-evaluates it. */
+    bool
+    readSetUnknown(std::size_t q) const
+    {
+        return readUnknown_[q] != 0;
+    }
+
+    /** Mean affected-rule count across rules (reported by the bench:
+     *  the expected delta cost per firing vs a full O(R) scan). */
+    double avgAffectedRules() const;
+
+  private:
+    std::size_t nRules_ = 0, nInvs_ = 0;
+    std::size_t ruleWords_ = 0, invWords_ = 0;
+    std::vector<std::uint64_t> affRules_;
+    std::vector<std::uint64_t> affInvs_;
+    std::vector<std::uint32_t> affRuleCount_;
+    std::vector<std::uint8_t> writeUnknown_;
+    std::vector<std::uint8_t> readUnknown_;
 };
 
 } // namespace neo

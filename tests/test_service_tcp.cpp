@@ -492,8 +492,14 @@ TEST(ServiceTcp, ChaoticLinksRetryToTheExactFixpointNeverFalseVerify)
     // (false Verified) — the one outcome this design must exclude.
     const std::string coordAddr = pickFreeAddr();
     const std::string proxyAddr = pickFreeAddr();
+    // The checkpoint cadence is wall-clock while the fault schedule
+    // is byte-positional, so the cadence must track engine speed:
+    // PR 10's faster successor generation reaches the same lethal
+    // byte offsets in fewer 200ms ticks, leaving attempts too little
+    // banked progress to converge within the retry budget. 100ms
+    // restores the epochs-per-megabyte the schedule was tuned for.
     TcpServiceFixture svc(
-        "--workers 4 --checkpoint-every 200ms --retries 14",
+        "--workers 4 --checkpoint-every 100ms --retries 14",
         coordAddr, proxyAddr);
 
     // Calibrated against the ~40MB a german N=5 run routes through
